@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Cml Gkbms Hashtbl Instance Kernel Langs List Logic Measure Printf Staged Store String Sys Temporal Test Time Toolkit Unix Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Cml Gkbms Kernel Langs List Logic Printf Store Symbol Temporal Tms

@@ -1,0 +1,374 @@
+(* The experiment harness: regenerates the paper's figures' content as
+   "shape" tables and measures every efficiency question the paper raises
+   (deductive querying, consistency checking, selective backtracking,
+   configuration, the time calculi, reason maintenance).  Experiment ids
+   E1..E12 index into DESIGN.md / EXPERIMENTS.md.
+
+   Run with: dune exec bench/main.exe            (everything)
+             dune exec bench/main.exe -- shapes  (tables only, fast) *)
+
+open Bechamel
+open Toolkit
+module Tdl = Langs.Taxis_dl
+module Repo = Gkbms.Repository
+module Dec = Gkbms.Decision
+module Term = Logic.Term
+module W = Workloads
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Shape tables: the paper-reproduction numbers                        *)
+(* ------------------------------------------------------------------ *)
+
+let shape_e2_mapping_strategies () =
+  section "E2 (fig 2-2): mapping strategies — distribute vs move-down";
+  Printf.printf "%-8s %-8s | %-22s | %-22s\n" "depth" "fanout"
+    "distribute rel/cons" "move-down rel/cons";
+  List.iter
+    (fun (depth, fanout) ->
+      let counts strategy =
+        let design = W.hierarchy ~depth ~fanout in
+        let repo = W.repo_with_design design in
+        let outs = ok (strategy repo ~design ~root:"H") in
+        let c role = List.length (List.filter (fun (r, _) -> r = role) outs) in
+        (c "relation", c "constructor")
+      in
+      let dr, dc = counts Gkbms.Mapping.distribute in
+      let mr, mc = counts Gkbms.Mapping.move_down in
+      Printf.printf "%-8d %-8d | %10d / %-9d | %10d / %-9d\n" depth fanout dr
+        dc mr mc)
+    [ (1, 2); (2, 2); (2, 3); (3, 2); (3, 3) ];
+  Printf.printf
+    "expected shape: distribute = one relation per class, no views;\n\
+     move-down = relations only at the leaves, views for the inner nodes.\n"
+
+let shape_e4_selective_backtracking () =
+  section "E4 (fig 2-4): selective backtracking vs chronological undo";
+  Printf.printf "%-12s | %-20s | %-26s\n" "decisions" "selective removes"
+    "chronological would undo";
+  List.iter
+    (fun w ->
+      let repo, decisions = W.independent_edits w in
+      let target = List.hd decisions in
+      let report = ok (Gkbms.Backtrack.retract repo target ()) in
+      let removed = List.length report.Gkbms.Backtrack.retracted_decisions in
+      (* chronological backtracking rolls back to before the first
+         decision, losing every later (independent) one *)
+      Printf.printf "%-12d | %20d | %26d\n" w removed w)
+    [ 8; 16; 32; 64 ];
+  Printf.printf
+    "expected shape: the dependency-based closure touches exactly the one\n\
+     dependent decision; chronological undo would redo all the others.\n\
+     (a dependent chain behaves like the chronological column: retracting\n\
+     decision k of an n-chain removes its n-k+1 consequences, no more)\n"
+
+let shape_e9_deduction () =
+  section "E9: deductive query engines on transitive closure (chain graph)";
+  Printf.printf "%-8s | %-12s %-12s | %-14s %-14s\n" "edges" "naive-tuples"
+    "semi-tuples" "sld-resolutions" "lemmas";
+  List.iter
+    (fun n ->
+      let d1 = W.chain_program n in
+      ok (Logic.Datalog.solve ~strategy:`Naive d1);
+      let naive = Logic.Datalog.derived_count d1 in
+      let d2 = W.chain_program n in
+      ok (Logic.Datalog.solve ~strategy:`Seminaive d2);
+      let semi = Logic.Datalog.derived_count d2 in
+      let d3 = W.chain_program n in
+      let p = Logic.Prover.make ~tabling:true d3 in
+      ignore (Logic.Prover.solve p [ Term.atom "path" [ Term.sym "n0"; Term.var "Y" ] ]);
+      Printf.printf "%-8d | %-12d %-12d | %-14d %-14d\n" n naive semi
+        (Logic.Prover.stats p).Logic.Prover.resolutions
+        (Logic.Prover.lemma_count p))
+    [ 16; 32; 64 ];
+  Printf.printf
+    "expected shape: both bottom-up engines materialize the same closure;\n\
+     the tabled prover touches only the goal-relevant subgoals.\n"
+
+let shape_e10_consistency () =
+  section "E10: consistency checking — full pass vs set-oriented delta";
+  Printf.printf "%-10s | %-16s %-16s\n" "objects" "full-violations"
+    "delta-violations";
+  List.iter
+    (fun n ->
+      let kb = W.populated_kb n in
+      (* inject one dangling reference *)
+      let bad =
+        Kernel.Prop.make
+          ~id:(Kernel.Prop.fresh_id ())
+          ~source:(Kernel.Symbol.intern "obj0")
+          ~label:(Kernel.Symbol.intern "broken")
+          ~dest:(Kernel.Symbol.intern "missing-object")
+          ()
+      in
+      ignore (Store.Base.insert (Cml.Kb.base kb) bad);
+      let full = List.length (Cml.Consistency.check_all kb) in
+      let delta =
+        List.length (Cml.Consistency.check_delta kb [ Store.Base.Added bad ])
+      in
+      Printf.printf "%-10d | %-16d %-16d\n" n full delta)
+    [ 100; 400; 1600 ];
+  Printf.printf
+    "expected shape: both find the injected violation; the delta check\n\
+     looks only at the touched neighborhood (see timings below).\n"
+
+let shape_e8_configuration () =
+  section "E8 (fig 3-4): configuration picks current versions only";
+  Printf.printf "%-12s | %-10s %-12s\n" "revisions" "members" "superseded";
+  List.iter
+    (fun n ->
+      let repo, _ = W.edit_chain n in
+      let config = Gkbms.Version.configure repo ~level:Gkbms.Metamodel.dbpl_object in
+      Printf.printf "%-12d | %-10d %-12d\n" n
+        (List.length config.Gkbms.Version.members)
+        (List.length config.Gkbms.Version.superseded))
+    [ 4; 16; 64 ];
+  Printf.printf
+    "expected shape: one current member regardless of how many superseded\n\
+     versions accumulated — projection scales with the slice, not history.\n"
+
+let shape_e1_menu () =
+  section "E1 (fig 2-1): tool selection menu for a focus object";
+  let design = W.hierarchy ~depth:2 ~fanout:3 in
+  let repo = W.repo_with_design design in
+  let menu = Dec.applicable repo (Kernel.Symbol.intern "H_1") in
+  List.iter
+    (fun (e : Dec.menu_entry) ->
+      Printf.printf "  %s (role %s) via %s\n" e.Dec.decision_class e.Dec.role
+        (String.concat ", " e.Dec.tools))
+    menu;
+  Printf.printf
+    "expected shape: the specialized mapping decisions first, the generic\n\
+     TDL_MappingDec last; tools resolved through the decision classes.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing benches                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tests : (string * (unit -> unit) Staged.t) list ref = ref []
+
+let bench name (f : unit -> unit) = tests := (name, Staged.stage f) :: !tests
+
+let setup_benches () =
+  (* E1: menu latency against KB size *)
+  let repo_small = W.repo_with_design (W.hierarchy ~depth:2 ~fanout:2) in
+  let repo_large = W.repo_with_design (W.hierarchy ~depth:3 ~fanout:4) in
+  bench "E1 tool-selection kb=small" (fun () ->
+      ignore (Dec.applicable repo_small (Kernel.Symbol.intern "H_1")));
+  bench "E1 tool-selection kb=large" (fun () ->
+      ignore (Dec.applicable repo_large (Kernel.Symbol.intern "H_1")));
+  (* E2/E5: decision execution (includes fresh repository) *)
+  let design = W.hierarchy ~depth:2 ~fanout:2 in
+  bench "E2 mapping distribute d2f2" (fun () ->
+      let repo = W.repo_with_design design in
+      ignore (ok (Gkbms.Mapping.distribute repo ~design ~root:"H")));
+  bench "E2 mapping move-down d2f2" (fun () ->
+      let repo = W.repo_with_design design in
+      ignore (ok (Gkbms.Mapping.move_down repo ~design ~root:"H")));
+  bench "E5 decision-execution (manual edit)" (fun () ->
+      ignore (W.edit_chain 1));
+  (* E3: the full normalization step on the meeting scenario *)
+  bench "E3 normalize (scenario step)" (fun () ->
+      let st = ok (Gkbms.Scenario.setup ()) in
+      ignore (ok (Gkbms.Scenario.map_move_down st));
+      ignore (ok (Gkbms.Scenario.normalize_invitations st)));
+  ();
+  (* E6: object transformer *)
+  let kb_frames = Cml.Kb.create () in
+  ignore (ok (Cml.Kb.declare kb_frames "C"));
+  let frame64 =
+    Cml.Object_processor.frame ~classes:[ "C" ]
+      ~attrs:(List.init 64 (fun i -> (Printf.sprintf "a%d" i, "C")))
+      "Big"
+  in
+  let big = ok (Cml.Object_processor.store kb_frames frame64) in
+  bench "E6 object-transformer retrieve 64-attr frame" (fun () ->
+      ignore (ok (Cml.Object_processor.retrieve kb_frames big)));
+  (* E8: configuration over accumulated versions *)
+  let repo_versions, _ = W.edit_chain 64 in
+  bench "E8 configuration n=64 versions" (fun () ->
+      ignore
+        (Gkbms.Version.configure repo_versions ~level:Gkbms.Metamodel.dbpl_object));
+  (* E9: deduction strategies *)
+  let d_naive = W.chain_program 64 in
+  let d_semi = W.chain_program 64 in
+  let d_sld = W.chain_program 64 in
+  bench "E9 datalog naive n=64" (fun () ->
+      Logic.Datalog.invalidate d_naive;
+      ok (Logic.Datalog.solve ~strategy:`Naive d_naive));
+  bench "E9 datalog seminaive n=64" (fun () ->
+      Logic.Datalog.invalidate d_semi;
+      ok (Logic.Datalog.solve ~strategy:`Seminaive d_semi));
+  bench "E9 tabled-sld bound-goal n=64" (fun () ->
+      let p = Logic.Prover.make ~tabling:true d_sld in
+      ignore
+        (Logic.Prover.solve p [ Term.atom "path" [ Term.sym "n0"; Term.var "Y" ] ]));
+  bench "E9 lemma-reuse (warm table) n=64" (fun () ->
+      let p = Logic.Prover.make ~tabling:true d_sld in
+      ignore
+        (Logic.Prover.solve p [ Term.atom "path" [ Term.sym "n0"; Term.var "Y" ] ]);
+      ignore
+        (Logic.Prover.solve p [ Term.atom "path" [ Term.sym "n1"; Term.var "Y" ] ]));
+  (* E10: consistency full vs delta *)
+  let kb_cons = W.populated_kb 800 in
+  let delta_prop =
+    Kernel.Prop.make
+      ~id:(Kernel.Prop.fresh_id ())
+      ~source:(Kernel.Symbol.intern "obj0")
+      ~label:(Kernel.Symbol.intern "extra")
+      ~dest:(Kernel.Symbol.intern "obj1")
+      ()
+  in
+  ignore (Store.Base.insert (Cml.Kb.base kb_cons) delta_prop);
+  bench "E10 consistency full kb=800" (fun () ->
+      ignore (Cml.Consistency.check_all kb_cons));
+  bench "E10 consistency delta kb=800" (fun () ->
+      ignore (Cml.Consistency.check_delta kb_cons [ Store.Base.Added delta_prop ]));
+  (* E11: time calculi *)
+  bench "E11 allen path-consistency n=16" (fun () ->
+      ignore (Temporal.Allen.Network.propagate (W.allen_chain 16)));
+  bench "E11 allen path-consistency n=32" (fun () ->
+      ignore (Temporal.Allen.Network.propagate (W.allen_chain 32)));
+  let ec = Temporal.Event_calculus.create () in
+  let act = Kernel.Symbol.intern "act" and fl = Kernel.Symbol.intern "fl" in
+  Temporal.Event_calculus.declare_initiates ec act fl;
+  for i = 0 to 255 do
+    Temporal.Event_calculus.record ec ~time:i act
+  done;
+  bench "E11 event-calculus holds_at 256 events" (fun () ->
+      ignore (Temporal.Event_calculus.holds_at ec fl 200));
+  (* E12: reason maintenance *)
+  bench "E12 jtms ladder n=64" (fun () -> ignore (W.jtms_ladder 64));
+  bench "E12 atms ladder n=64" (fun () -> ignore (W.atms_ladder 64));
+  (* the per-decision abstraction the paper proposes: one JTMS node per
+     decision (8 decisions here) instead of one per proposition (64) *)
+  bench "E12 jtms per-decision n=8 (abstracted)" (fun () ->
+      ignore (W.jtms_ladder 8));
+  (* E13: ATMS version contexts over the conflict history *)
+  let conflict_state =
+    match Gkbms.Scenario.run_through_conflict () with
+    | Ok st -> st
+    | Error e -> failwith e
+  in
+  bench "E13 context build (conflict history)" (fun () ->
+      ignore (Gkbms.Context.build conflict_state.Gkbms.Scenario.repo));
+  let ctx = Gkbms.Context.build conflict_state.Gkbms.Scenario.repo in
+  bench "E13 context alternatives" (fun () ->
+      ignore (Gkbms.Context.alternatives ctx));
+  (* E14: formal obligation verification *)
+  let verify_state =
+    let st = ok (Gkbms.Scenario.setup ()) in
+    ignore (ok (Gkbms.Scenario.map_move_down st));
+    let norm =
+      ok
+        (Dec.execute st.Gkbms.Scenario.repo
+           ~decision_class:Gkbms.Metamodel.dec_normalize
+           ~tool:Gkbms.Mapping.normalize_tool
+           ~inputs:[ ("relation", st.Gkbms.Scenario.invitation_rel) ]
+           ())
+    in
+    (st.Gkbms.Scenario.repo, norm.Dec.decision)
+  in
+  let vrepo, vdec = verify_state in
+  bench "E14 verify lossless pop=8" (fun () ->
+      ignore
+        (ok
+           (Gkbms.Verify.check_obligation vrepo ~decision:vdec
+              ~obligation:"reconstruction-constructor-lossless" ())));
+  bench "E14 verify lossless pop=64" (fun () ->
+      ignore
+        (ok
+           (Gkbms.Verify.check_obligation vrepo ~decision:vdec
+              ~obligation:"reconstruction-constructor-lossless" ~population:64
+              ())));
+  (* E15: whole-repository persistence *)
+  let snapshot = Gkbms.Persist.save_repository conflict_state.Gkbms.Scenario.repo in
+  bench "E15 persist save (conflict history)" (fun () ->
+      ignore (Gkbms.Persist.save_repository conflict_state.Gkbms.Scenario.repo));
+  bench "E15 persist load (conflict history)" (fun () ->
+      ignore (ok (Gkbms.Persist.load_repository snapshot)));
+  (* ablation: store indexes *)
+  let mem_base = W.fill_store `Mem 2000 in
+  let log_base = W.fill_store `Log 2000 in
+  let src = Kernel.Symbol.intern "src7" in
+  bench "ablation store-query mem-indexed n=2000" (fun () ->
+      ignore (Store.Base.by_source mem_base src));
+  bench "ablation store-query log-scan n=2000" (fun () ->
+      ignore (Store.Base.by_source log_base src))
+
+(* E4 mutates its repository, so it cannot loop over one state: time it
+   manually across a pool of identically prepared repositories. *)
+let bench_e4_manual () =
+  section "E4 timings (manual, mean over 48 prepared repositories)";
+  let w = 32 in
+  let runs = 48 in
+  let pool =
+    List.init runs (fun _ ->
+        let repo, decisions = W.independent_edits w in
+        (repo, List.hd decisions))
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (repo, target) -> ignore (ok (Gkbms.Backtrack.retract repo target ())))
+    pool;
+  let selective = (Unix.gettimeofday () -. t0) /. float_of_int runs in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to runs do
+    ignore (W.independent_edits w)
+  done;
+  let redo = (Unix.gettimeofday () -. t1) /. float_of_int runs in
+  Printf.printf "%-48s %14.0f ns/run\n" "E4 selective-backtrack w=32 (1 dependent)"
+    (selective *. 1e9);
+  Printf.printf "%-48s %14.0f ns/run\n"
+    "E4 chronological-redo w=32 (re-execute all)" (redo *. 1e9);
+  Printf.printf "speedup: %.1fx (scales with consequences, not history)\n"
+    (redo /. selective)
+
+let run_benches () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  section "timings (ns/run, OLS estimate)";
+  List.iter
+    (fun (name, fn) ->
+      let test = Test.make ~name fn in
+      let raw = Benchmark.all cfg instances test in
+      let results =
+        List.map (fun instance -> Analyze.all ols instance raw) instances
+      in
+      let merged = Analyze.merge ols instances results in
+      Hashtbl.iter
+        (fun _measure tbl ->
+          Hashtbl.iter
+            (fun test_name olsr ->
+              match Analyze.OLS.estimates olsr with
+              | Some (est :: _) ->
+                Printf.printf "%-48s %14.0f ns/run\n%!" test_name est
+              | Some [] | None ->
+                Printf.printf "%-48s %14s\n%!" test_name "n/a")
+            tbl)
+        merged)
+    (List.rev !tests)
+
+let () =
+  let shapes_only = Array.length Sys.argv > 1 && Sys.argv.(1) = "shapes" in
+  shape_e1_menu ();
+  shape_e2_mapping_strategies ();
+  shape_e4_selective_backtracking ();
+  shape_e8_configuration ();
+  shape_e9_deduction ();
+  shape_e10_consistency ();
+  if not shapes_only then begin
+    bench_e4_manual ();
+    setup_benches ();
+    run_benches ()
+  end;
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,383 @@
+(* The GKBMS command line: run the paper's scenario, browse the resulting
+   knowledge base, regenerate the figures, and export/import the
+   proposition base.
+
+   Examples:
+     gkbms scenario                      # the full section-2.1 storyline
+     gkbms scenario --until key          # stop before the conflict
+     gkbms focus InvitationRel2          # fig 2-1-style focus view
+     gkbms why InvitationRel2            # explanation facility
+     gkbms deps --dot                    # dependency graph as Graphviz
+     gkbms config                        # fig 3-4 configuration
+     gkbms export kb.props               # persist the proposition base *)
+
+module Scn = Gkbms.Scenario
+module Repo = Gkbms.Repository
+module Sym = Kernel.Symbol
+open Cmdliner
+
+type stage = Setup | Mapped | Normalized | Keyed | Conflict | Resolved
+
+let stage_conv =
+  let parse = function
+    | "setup" -> Ok Setup
+    | "map" -> Ok Mapped
+    | "normalize" -> Ok Normalized
+    | "key" -> Ok Keyed
+    | "conflict" -> Ok Conflict
+    | "resolved" -> Ok Resolved
+    | s -> Error (`Msg (Printf.sprintf "unknown stage %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | Setup -> "setup"
+      | Mapped -> "map"
+      | Normalized -> "normalize"
+      | Keyed -> "key"
+      | Conflict -> "conflict"
+      | Resolved -> "resolved")
+  in
+  Arg.conv (parse, print)
+
+let ( let* ) = Result.bind
+
+let build_state until =
+  let* st = Scn.setup () in
+  let steps =
+    [
+      (Mapped, fun () -> Result.map ignore (Scn.map_move_down st));
+      (Normalized, fun () -> Result.map ignore (Scn.normalize_invitations st));
+      (Keyed, fun () -> Result.map ignore (Scn.substitute_key st));
+      (Conflict, fun () -> Result.map ignore (Scn.introduce_minutes st));
+      (Resolved, fun () -> Result.map ignore (Scn.resolve_conflict st));
+    ]
+  in
+  let rank = function
+    | Setup -> 0 | Mapped -> 1 | Normalized -> 2 | Keyed -> 3
+    | Conflict -> 4 | Resolved -> 5
+  in
+  let* () =
+    List.fold_left
+      (fun acc (stage, step) ->
+        let* () = acc in
+        if rank stage <= rank until then step () else Ok ())
+      (Ok ()) steps
+  in
+  Ok st
+
+let handle = function
+  | Ok () -> 0
+  | Error e ->
+    Format.eprintf "error: %s@." e;
+    1
+
+let until_arg =
+  Arg.(value & opt stage_conv Resolved & info [ "until" ] ~docv:"STAGE"
+         ~doc:"Run the scenario up to STAGE (setup, map, normalize, key, conflict, resolved).")
+
+let focus_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT")
+
+(* scenario ------------------------------------------------------------- *)
+
+let scenario_cmd =
+  let run until =
+    handle
+      (let* st = build_state until in
+       let repo = st.Scn.repo in
+       Format.printf "decision log:@.";
+       List.iter
+         (fun (dec, dc) -> Format.printf "  %s : %s@." (Sym.name dec) dc)
+         (Gkbms.Navigation.browse_process repo);
+       Format.printf "@.version lattice:@.";
+       Gkbms.Version.pp_version_lattice repo Format.std_formatter ();
+       (match Cml.Consistency.check_all (Repo.kb repo) with
+       | [] -> Format.printf "@.knowledge base is consistent.@."
+       | vs ->
+         List.iter
+           (fun v -> Format.printf "%a@." Cml.Consistency.pp_violation v)
+           vs);
+       Ok ())
+  in
+  Cmd.v (Cmd.info "scenario" ~doc:"Run the section-2.1 storyline.")
+    Term.(const run $ until_arg)
+
+(* focus ------------------------------------------------------------------ *)
+
+let focus_cmd =
+  let run until name =
+    handle
+      (let* st = build_state until in
+       let view = Gkbms.Navigation.focus st.Scn.repo (Sym.intern name) in
+       Format.printf "%a@." Gkbms.Navigation.pp_focus view;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "focus" ~doc:"Show the focus view (fig 2-1) of a design object.")
+    Term.(const run $ until_arg $ focus_arg)
+
+(* why ---------------------------------------------------------------------- *)
+
+let why_cmd =
+  let run until name =
+    handle
+      (let* st = build_state until in
+       Format.printf "%a@." Gkbms.Explain.pp_why
+         (Gkbms.Explain.why st.Scn.repo (Sym.intern name));
+       Ok ())
+  in
+  Cmd.v (Cmd.info "why" ~doc:"Explain why a design object exists.")
+    Term.(const run $ until_arg $ focus_arg)
+
+(* deps ---------------------------------------------------------------------- *)
+
+let deps_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of ASCII.")
+  in
+  let root =
+    Arg.(value & opt string "Papers" & info [ "root" ] ~docv:"OBJECT"
+           ~doc:"Root of the ASCII rendering.")
+  in
+  let run until dot root =
+    handle
+      (let* st = build_state until in
+       if dot then print_string (Gkbms.Depgraph.to_dot st.Scn.repo)
+       else Gkbms.Depgraph.pp st.Scn.repo Format.std_formatter (Sym.intern root);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "deps" ~doc:"Show the dependency graph (figs 2-2 .. 2-4).")
+    Term.(const run $ until_arg $ dot $ root)
+
+(* config ---------------------------------------------------------------------- *)
+
+let config_cmd =
+  let run until =
+    handle
+      (let* st = build_state until in
+       let repo = st.Scn.repo in
+       let config = Gkbms.Version.configure repo ~level:Gkbms.Metamodel.dbpl_object in
+       Format.printf "%a@." (Gkbms.Version.pp_configuration repo) config;
+       let* m = Gkbms.Version.to_dbpl_module repo config ~name:"MeetingDB" in
+       Format.printf "@.%a@." Langs.Dbpl.pp_module m;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "config"
+       ~doc:"Configure the latest complete DBPL program version (fig 3-4).")
+    Term.(const run $ until_arg)
+
+(* source ---------------------------------------------------------------------- *)
+
+let source_cmd =
+  let run until name =
+    handle
+      (let* st = build_state until in
+       match Repo.source_text st.Scn.repo (Sym.intern name) with
+       | Some src ->
+         print_endline src;
+         Ok ()
+       | None -> Error (Printf.sprintf "no source recorded for %s" name))
+  in
+  Cmd.v (Cmd.info "source" ~doc:"Print the code frame of a design object.")
+    Term.(const run $ until_arg $ focus_arg)
+
+(* ask / derive ---------------------------------------------------------------- *)
+
+let ask_cmd =
+  let formula_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA"
+           ~doc:"e.g. \"forall x/Paper in(?x, Document)\"")
+  in
+  let run until formula =
+    handle
+      (let* st = build_state until in
+       let* f = Langs.Assertion.parse_formula formula in
+       let* answer = Cml.Kb.ask (Repo.kb st.Scn.repo) f in
+       Format.printf "%b@." answer;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "ask" ~doc:"Evaluate a closed assertion against the KB.")
+    Term.(const run $ until_arg $ formula_arg)
+
+let derive_cmd =
+  let atom_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATOM"
+           ~doc:"e.g. \"in(InvitationRel, ?C)\"")
+  in
+  let run until atom =
+    handle
+      (let* st = build_state until in
+       let* goal = Langs.Assertion.parse_atom atom in
+       let* substs = Cml.Kb.derive (Repo.kb st.Scn.repo) goal in
+       if substs = [] then Format.printf "no.@."
+       else
+         List.iter
+           (fun s -> Format.printf "%a@." Logic.Term.Subst.pp s)
+           substs;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:"Query the deductive view (tabled top-down inference).")
+    Term.(const run $ until_arg $ atom_arg)
+
+(* export / import ----------------------------------------------------------- *)
+
+let export_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run until file =
+    handle
+      (let* st = build_state until in
+       let oc = open_out file in
+       Store.Base.save (Cml.Kb.base (Repo.kb st.Scn.repo)) oc;
+       close_out oc;
+       Format.printf "wrote %d propositions to %s@."
+         (Store.Base.cardinal (Cml.Kb.base (Repo.kb st.Scn.repo)))
+         file;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Persist the proposition base to a file.")
+    Term.(const run $ until_arg $ file)
+
+let import_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run file =
+    handle
+      (let* repo = Gkbms.Persist.load_from_file file in
+       Format.printf "loaded %d propositions, %d decisions@."
+         (Store.Base.cardinal (Cml.Kb.base (Repo.kb repo)))
+         (List.length (Repo.decision_log repo));
+       List.iter
+         (fun (dec, dc) -> Format.printf "  %s : %s@." (Sym.name dec) dc)
+         (Gkbms.Navigation.browse_process repo);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Load a repository snapshot and summarize it.")
+    Term.(const run $ file)
+
+let snapshot_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run until file =
+    handle
+      (let* st = build_state until in
+       let* () = Gkbms.Persist.save_to_file st.Scn.repo file in
+       Format.printf "repository snapshot written to %s@." file;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Persist the whole repository (KB + artifacts + history).")
+    Term.(const run $ until_arg $ file)
+
+let stats_cmd =
+  let run until =
+    handle
+      (let* st = build_state until in
+       let repo = st.Scn.repo in
+       let base = Cml.Kb.base (Repo.kb repo) in
+       Format.printf "propositions:    %d@." (Store.Base.cardinal base);
+       Format.printf "design objects:  %d@."
+         (List.length (Repo.all_design_objects repo));
+       Format.printf "decisions:       %d@."
+         (List.length (Repo.decision_log repo));
+       Format.printf "unmapped:        %s@."
+         (String.concat ", "
+            (List.map Sym.name (Gkbms.Navigation.unmapped_objects repo)));
+       Ok ())
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Knowledge base statistics.")
+    Term.(const run $ until_arg)
+
+let audit_cmd =
+  let run until =
+    handle
+      (let* st = build_state until in
+       let repo = st.Scn.repo in
+       Format.printf "== consistency ==@.";
+       (match Cml.Consistency.check_all (Repo.kb repo) with
+       | [] -> Format.printf "  ok@."
+       | vs ->
+         List.iter (fun v -> Format.printf "  %a@." Cml.Consistency.pp_violation v) vs);
+       Format.printf "== methodology (%s) ==@."
+         Gkbms.Methodology.daida_kernel.Gkbms.Methodology.methodology_name;
+       (match
+          Gkbms.Methodology.check_history repo Gkbms.Methodology.daida_kernel
+        with
+       | [] -> Format.printf "  conforms@."
+       | vs ->
+         List.iter
+           (fun v -> Format.printf "  %a@." Gkbms.Methodology.pp_violation v)
+           vs);
+       Format.printf "== open obligations ==@.";
+       List.iter
+         (fun dec ->
+           match Gkbms.Decision.open_obligations repo dec with
+           | [] -> ()
+           | obs ->
+             Format.printf "  %s: %s@." (Sym.name dec) (String.concat ", " obs))
+         (Repo.decision_log repo);
+       Format.printf "== reason maintenance ==@.";
+       (match Gkbms.Backtrack.unsupported_objects repo with
+       | [] -> Format.printf "  all design objects supported@."
+       | objs ->
+         List.iter (fun o -> Format.printf "  unsupported: %s@." (Sym.name o)) objs);
+       Format.printf "== decision contexts ==@.";
+       let ctx = Gkbms.Context.build repo in
+       (match Gkbms.Context.nogoods ctx with
+       | [] -> Format.printf "  no conflicting decision sets@."
+       | ngs ->
+         List.iter
+           (fun ng -> Format.printf "  nogood: {%s}@." (String.concat ", " ng))
+           ngs);
+       List.iter
+         (fun alt -> Format.printf "  alternative: {%s}@." (String.concat ", " alt))
+         (Gkbms.Context.alternatives ctx);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Consistency, methodology, obligations, support and contexts.")
+    Term.(const run $ until_arg)
+
+let repl_cmd =
+  let run () =
+    match Gkbms.Shell.create () with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok shell ->
+      Format.printf
+        "GKBMS dialog manager — the meeting design is loaded; try 'help'.@.";
+      let rec loop () =
+        Format.printf "gkbms> %!";
+        match In_channel.input_line stdin with
+        | None -> 0
+        | Some line when Gkbms.Shell.is_quit line -> 0
+        | Some line ->
+          let output = Gkbms.Shell.eval shell line in
+          if output <> "" then Format.printf "%s@." output;
+          loop ()
+      in
+      loop ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive dialog manager (§3.3.1).")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "gkbms" ~version:"1.0.0"
+       ~doc:
+         "A knowledge base management system for information system \
+          evolution (Jarke & Rose, SIGMOD 1988).")
+    [ scenario_cmd; focus_cmd; why_cmd; deps_cmd; config_cmd; source_cmd;
+      ask_cmd; derive_cmd; export_cmd; import_cmd; snapshot_cmd; audit_cmd;
+      repl_cmd; stats_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/full_lifecycle.ml: Cml Format Gkbms Kernel List Option String

@@ -1,0 +1,1 @@
+examples/group_negotiation.ml: Format Gkbms Group Kernel List

@@ -1,0 +1,1 @@
+examples/meeting_scenario.ml: Cml Format Gkbms Kernel Langs List String

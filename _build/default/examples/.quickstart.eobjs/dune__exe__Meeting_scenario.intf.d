@@ -1,0 +1,1 @@
+examples/meeting_scenario.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cml Format Gkbms Kernel Langs List Option String

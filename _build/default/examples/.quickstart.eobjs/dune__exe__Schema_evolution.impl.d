@@ -1,0 +1,1 @@
+examples/schema_evolution.ml: Format Gkbms Kernel Langs List Option String Temporal

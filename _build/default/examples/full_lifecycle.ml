@@ -1,0 +1,144 @@
+(* The complete DAIDA life cycle of fig 1-1, in one sitting:
+
+   1. a CML world model is loaded at the requirements level;
+   2. the requirements mapping assistant derives the TaxisDL design;
+   3. the move-down mapping produces the DBPL program level;
+   4. normalization splits a set-valued attribute, and its verification
+      obligation is discharged *formally* by executing the generated
+      DBPL on synthetic data;
+   5. the kernel methodology gates a premature key substitution and
+      admits it after the obligations are closed;
+   6. the ATMS version context shows under which decisions each artifact
+      exists;
+   7. the whole repository is snapshotted and reloaded, and the history
+      keeps working.
+
+   Run with: dune exec examples/full_lifecycle.exe *)
+
+module Repo = Gkbms.Repository
+module Dec = Gkbms.Decision
+module Sym = Kernel.Symbol
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let banner s = Format.printf "@.=== %s ===@." s
+
+let world_model =
+  "Class Seminar with\n\
+  \  attribute\n\
+  \    organizer : Person\n\
+  \    room : Room\n\
+  \  setof\n\
+  \    speakers : Person\n\
+   end\n\
+   Class Colloquium isA Seminar with\n\
+  \  attribute\n\
+  \    guest : Person\n\
+   end\n"
+
+let () =
+  let repo = Repo.create () in
+  Gkbms.Mapping.register_tools repo;
+  Gkbms.Requirements.register_tools repo;
+
+  banner "1. requirements analysis: the CML world model";
+  let doc = ok (Gkbms.Requirements.load_world_model_text repo ~name:"SeminarWorld" world_model) in
+  print_string (Option.value ~default:"" (Repo.source_text repo doc));
+
+  banner "2. CML -> TaxisDL (a documented decision)";
+  let req =
+    ok
+      (Dec.execute repo ~decision_class:Gkbms.Metamodel.dec_req_mapping
+         ~tool:Gkbms.Requirements.requirements_tool
+         ~inputs:[ ("concept", doc) ]
+         ~params:[ ("design", "SeminarSystem") ]
+         ~rationale:"the seminar world model seeds the conceptual design" ())
+  in
+  Format.printf "%s@."
+    (Option.value ~default:"" (Repo.source_text repo (Sym.intern "SeminarSystem")));
+
+  banner "3. TaxisDL -> DBPL (move-down)";
+  let mapping =
+    ok
+      (Dec.execute repo ~decision_class:Gkbms.Metamodel.dec_move_down
+         ~tool:Gkbms.Mapping.mapping_tool_move_down
+         ~inputs:[ ("entity", Sym.intern "Seminars") ]
+         ~params:[ ("design", "SeminarSystem") ]
+         ~rationale:"relations for the leaves, views for the abstractions" ())
+  in
+  let rel = List.assoc "relation" mapping.Dec.outputs in
+  Format.printf "%s@." (Option.value ~default:"" (Repo.source_text repo rel));
+
+  banner "4. normalization, verified formally";
+  let norm =
+    ok
+      (Dec.execute repo ~decision_class:Gkbms.Metamodel.dec_normalize
+         ~tool:Gkbms.Mapping.normalize_tool
+         ~inputs:[ ("relation", rel) ]
+         ~rationale:"speakers is set-valued" ())
+  in
+  Format.printf "open obligations before verification: %s@."
+    (String.concat ", " (Dec.open_obligations repo norm.Dec.decision));
+  let verdict =
+    ok
+      (Gkbms.Verify.discharge repo ~decision:norm.Dec.decision
+         ~obligation:"referential-integrity-selector-correct" ~population:16 ())
+  in
+  Format.printf "%a@." Gkbms.Verify.pp_verdict verdict;
+  let lossless =
+    ok
+      (Gkbms.Verify.check_obligation repo ~decision:norm.Dec.decision
+         ~obligation:"reconstruction-constructor-lossless" ())
+  in
+  Format.printf "%a@." Gkbms.Verify.pp_verdict lossless;
+
+  banner "5. the methodology as a gate";
+  let rel2 = List.assoc "normalized" norm.Dec.outputs in
+  (match
+     Gkbms.Methodology.gate repo Gkbms.Methodology.daida_kernel
+       ~decision_class:Gkbms.Metamodel.dec_key_subst
+       ~inputs:[ ("relation", rel2) ]
+   with
+  | Ok () -> Format.printf "the key decision is admissible now.@."
+  | Error e -> Format.printf "gate closed: %s@." e);
+  Format.printf "history conformance: %d violations@."
+    (List.length
+       (Gkbms.Methodology.check_history repo Gkbms.Methodology.daida_kernel));
+
+  banner "6. decision contexts (which artifact exists under what?)";
+  let ctx = Gkbms.Context.build repo in
+  List.iter
+    (fun name ->
+      Format.printf "  %-24s %s@." name
+        (String.concat " | "
+           (List.map
+              (fun env -> "{" ^ String.concat "," env ^ "}")
+              (Gkbms.Context.label ctx (Sym.intern name)))))
+    [ "SeminarSystem"; Sym.name rel; Sym.name rel2 ];
+
+  banner "7. snapshot, reload, continue";
+  let snapshot = Gkbms.Persist.save_repository repo in
+  Format.printf "snapshot: %d bytes@." (String.length snapshot);
+  let register_all r =
+    Gkbms.Mapping.register_tools r;
+    Gkbms.Requirements.register_tools r
+  in
+  let repo2 = ok (Gkbms.Persist.load_repository ~register_tools:register_all snapshot) in
+  Format.printf "reloaded: %d decisions, consistent = %b@."
+    (List.length (Repo.decision_log repo2))
+    (Cml.Consistency.check_all (Repo.kb repo2) = []);
+  let key =
+    ok
+      (Dec.execute repo2 ~decision_class:Gkbms.Metamodel.dec_key_subst
+         ~tool:Gkbms.Mapping.key_subst_tool
+         ~inputs:[ ("relation", Sym.intern (Sym.name rel2)) ]
+         ~params:[ ("key", "organizer,room") ]
+         ~rationale:"seminar slots are unique per organizer and room" ())
+  in
+  ok
+    (Dec.sign_obligation repo2 ~decision:key.Dec.decision
+       ~obligation:"new-key-unique-for-all-instances" ~by:"the example");
+  Format.printf "post-reload decision %s executed; why-chain:@.%a@."
+    (Sym.name key.Dec.decision) Gkbms.Explain.pp_why
+    (Gkbms.Explain.why repo2 (List.assoc "rekeyed" key.Dec.outputs));
+  ignore req

@@ -1,0 +1,119 @@
+(* Group decision support (section 3.3.3 / [HI88]): two developers
+   disagree about the key decision of the meeting scenario.  They argue
+   about it, score the alternatives against weighted criteria, and the
+   accepted position is executed as a documented design decision whose
+   rationale records the argumentation outcome.
+
+   Run with: dune exec examples/group_negotiation.exe *)
+
+module Arg = Group.Argumentation
+module Choice = Group.Choice
+module Scn = Gkbms.Scenario
+module Dec = Gkbms.Decision
+module Sym = Kernel.Symbol
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let banner s = Format.printf "@.=== %s ===@." s
+
+let issue = "which key for InvitationRel2?"
+
+let () =
+  (* reach the state of fig 2-3 (before the key decision) *)
+  let st = ok (Scn.setup ()) in
+  ignore (ok (Scn.map_move_down st));
+  ignore (ok (Scn.normalize_invitations st));
+  let repo = st.Gkbms.Scenario.repo in
+
+  banner "the issue is raised";
+  let arena = Arg.create () in
+  ok (Arg.raise_issue arena ~about:"InvitationRel2" issue);
+  ok (Arg.propose arena ~issue ~position:"associative key (date, author)" ~by:"jarke");
+  ok (Arg.propose arena ~issue ~position:"keep the surrogate paperkey" ~by:"rose");
+
+  banner "argumentation";
+  ok
+    (Arg.argue arena ~issue ~position:"associative key (date, author)"
+       ~by:"jarke" ~polarity:Arg.Pro ~weight:3
+       "users recognize date+author; the surrogate is meaningless to them");
+  ok
+    (Arg.argue arena ~issue ~position:"associative key (date, author)"
+       ~by:"rose" ~polarity:Arg.Contra ~weight:2
+       "only valid while Invitations are the only Papers");
+  ok
+    (Arg.argue arena ~issue ~position:"associative key (date, author)"
+       ~by:"vassiliou" ~polarity:Arg.Pro ~weight:2
+       "selective backtracking can undo it if Minutes ever arrive");
+  ok
+    (Arg.argue arena ~issue ~position:"keep the surrogate paperkey" ~by:"rose"
+       ~polarity:Arg.Pro ~weight:2 "stable under any future subclassing");
+  Arg.pp_issue arena Format.std_formatter issue;
+
+  banner "multicriteria choice support";
+  let criteria =
+    [
+      { Choice.crit_name = "user-friendliness"; weight = 3. };
+      { Choice.crit_name = "evolution-robustness"; weight = 2. };
+      { Choice.crit_name = "implementation-effort"; weight = 1. };
+    ]
+  in
+  let alternatives =
+    [
+      {
+        Choice.alt_name = "associative key (date, author)";
+        ratings =
+          [ ("user-friendliness", 9.); ("evolution-robustness", 3.);
+            ("implementation-effort", 5.) ];
+      };
+      {
+        Choice.alt_name = "keep the surrogate paperkey";
+        ratings =
+          [ ("user-friendliness", 3.); ("evolution-robustness", 9.);
+            ("implementation-effort", 8.) ];
+      };
+    ]
+  in
+  let ranking = ok (Choice.rank ~criteria ~alternatives) in
+  Choice.pp_ranking Format.std_formatter ranking;
+  let sens = ok (Choice.sensitivity ~criteria ~alternatives ~delta:0.5) in
+  Format.printf "@.sensitivity (does +/-50%% weight change the winner?):@.";
+  List.iter
+    (fun (c, flips) -> Format.printf "  %-22s %s@." c (if flips then "YES" else "no"))
+    sens;
+
+  banner "the accepted position becomes a documented decision";
+  (match Arg.resolution arena ~issue with
+  | Some position when position = "associative key (date, author)" ->
+    (* the argumentation itself is recorded in the knowledge base, and
+       the decision links back to the issue it resolves *)
+    let executed =
+      ok
+        (Gkbms.Negotiation.decide repo arena ~issue
+           ~decision_class:Gkbms.Metamodel.dec_key_subst
+           ~tool:Gkbms.Mapping.key_subst_tool
+           ~inputs:[ ("relation", st.Gkbms.Scenario.invitation_rel) ]
+           ~params:[ ("key", "date,author") ]
+           ~assumptions:
+             [ (Scn.only_invitations_assumption, Scn.other_subclass_defeater) ]
+           ())
+    in
+    ok
+      (Dec.sign_obligation repo ~decision:executed.Dec.decision
+         ~obligation:"new-key-unique-for-all-instances" ~by:"jarke, rose");
+    Format.printf "%s@." (ok (Gkbms.Explain.explain_decision repo executed.Dec.decision));
+    (match Gkbms.Negotiation.issue_of_decision repo executed.Dec.decision with
+    | Some issue_id ->
+      Format.printf "the decision resolves KB issue %s, whose positions are:@."
+        (Kernel.Symbol.name issue_id);
+      List.iter
+        (fun p -> Format.printf "  %s@." (Kernel.Symbol.name p))
+        (Gkbms.Negotiation.positions_of repo issue_id)
+    | None -> ())
+  | Some other -> Format.printf "accepted: %s — nothing to execute@." other
+  | None -> Format.printf "no resolution; the issue stays open@.");
+
+  banner "note";
+  Format.printf
+    "the argumentation predicted the risk: rerun the meeting scenario to \
+     watch the assumption get defeated and the decision selectively \
+     backtracked.@."

@@ -1,0 +1,104 @@
+(* The full support scenario of section 2.1 of the paper, reproduced
+   figure by figure: browsing and focusing (fig 2-1), the move-down
+   mapping with its dependency graph and code frames (fig 2-2),
+   normalization and the manual key substitution (fig 2-3), the
+   inconsistency caused by Minutes and its resolution by selective
+   backtracking (fig 2-4), and the resulting decision-based versions and
+   configurations (fig 3-4).
+
+   Run with: dune exec examples/meeting_scenario.exe *)
+
+module Scn = Gkbms.Scenario
+module Repo = Gkbms.Repository
+module Dec = Gkbms.Decision
+module Nav = Gkbms.Navigation
+module Ver = Gkbms.Version
+module Sym = Kernel.Symbol
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let banner fmt =
+  Format.printf "@.==================================================@.";
+  Format.kfprintf
+    (fun ppf -> Format.fprintf ppf "@.==================================================@.")
+    Format.std_formatter fmt
+
+let show_sources repo names =
+  List.iter
+    (fun n ->
+      match Repo.source_text repo (Sym.intern n) with
+      | Some src -> Format.printf "@.-- %s ----------------------------@.%s@." n src
+      | None -> ())
+    names
+
+let () =
+  banner "Fig 2-1: browsing design objects, focusing on the IsA hierarchy";
+  let st = ok (Scn.setup ()) in
+  let repo = st.Scn.repo in
+  Format.printf "unmapped objects: %s@."
+    (String.concat ", " (List.map Sym.name (Nav.unmapped_objects repo)));
+  Format.printf "@.IsA hierarchy under focus:@.";
+  Cml.Display.text_dag_browser ~max_depth:3
+    ~labels:[ Sym.intern "isa" ]
+    (Repo.kb repo) Format.std_formatter st.Scn.invitations;
+  Format.printf "@.menu of applicable decision classes and tools:@.";
+  List.iter
+    (fun (e : Dec.menu_entry) ->
+      Format.printf "  > %s (role %s) via %s@." e.Dec.decision_class e.Dec.role
+        (String.concat ", " e.Dec.tools))
+    (Dec.applicable repo st.Scn.invitations);
+
+  banner "Fig 2-2: move-down mapping, dependency graph, code frames";
+  let mapping = ok (Scn.map_move_down st) in
+  Format.printf "decision %s created:@." (Sym.name mapping.Dec.decision);
+  Gkbms.Depgraph.pp repo Format.std_formatter st.Scn.papers;
+  show_sources repo [ "InvitationRel"; "ConsPaper" ];
+
+  banner "Fig 2-3: normalization of the set-valued attribute";
+  let norm = ok (Scn.normalize_invitations st) in
+  Format.printf "decision %s outputs: %s@."
+    (Sym.name norm.Dec.decision)
+    (String.concat ", " (List.map (fun (_, o) -> Sym.name o) norm.Dec.outputs));
+  show_sources repo
+    [ "InvitationRel2"; "InvitationReceiversRel"; "InvitationReceiversIC";
+      "ConsInvitation" ];
+
+  banner "Fig 2-3 (right): manual key substitution under an assumption";
+  let key = ok (Scn.substitute_key st) in
+  Format.printf "%s@." (ok (Gkbms.Explain.explain_decision repo key.Dec.decision));
+  show_sources repo [ "InvitationRel3" ];
+
+  banner "Fig 2-4: introducing Minutes defeats the key assumption";
+  let minutes = ok (Scn.introduce_minutes st) in
+  Format.printf "decision %s mapped Minutes.@." (Sym.name minutes.Dec.decision);
+  Format.printf "objects that lost their support:@.";
+  List.iter
+    (fun o -> Format.printf "  %s@." (Sym.name o))
+    (Gkbms.Backtrack.unsupported_objects repo);
+  (match Gkbms.Backtrack.suggest_culprit repo with
+  | Some culprit ->
+    Format.printf "dependency-directed suggestion: retract %s@." (Sym.name culprit)
+  | None -> Format.printf "no culprit found?!@.");
+
+  banner "Fig 2-4 (resolution): selective backtracking";
+  let report = ok (Scn.resolve_conflict st) in
+  Format.printf "%a@." Gkbms.Backtrack.pp_report report;
+  Format.printf "@.rest of the design untouched; dependency graph now:@.";
+  Gkbms.Depgraph.pp repo Format.std_formatter st.Scn.papers;
+
+  banner "Fig 3-4: decision-based versions and configurations";
+  Ver.pp_version_lattice repo Format.std_formatter ();
+  let config = Ver.configure repo ~level:Gkbms.Metamodel.dbpl_object in
+  Format.printf "@.%a@." (Ver.pp_configuration repo) config;
+  let m = ok (Ver.to_dbpl_module repo config ~name:"MeetingDB") in
+  Format.printf "@.the latest complete DBPL database program system version:@.@.%a@."
+    Langs.Dbpl.pp_module m;
+
+  banner "Epilogue: the decision history";
+  List.iter
+    (fun (dec, dc) -> Format.printf "  %s : %s@." (Sym.name dec) dc)
+    (Nav.browse_process repo);
+  match Cml.Consistency.check_all (Repo.kb repo) with
+  | [] -> Format.printf "@.knowledge base is consistent.@."
+  | vs ->
+    List.iter (fun v -> Format.printf "%a@." Cml.Consistency.pp_violation v) vs

@@ -1,0 +1,71 @@
+(* Quickstart: declare a tiny TaxisDL design, let the GKBMS map it to
+   DBPL through a documented design decision, and look at what the
+   knowledge base now knows.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Tdl = Langs.Taxis_dl
+module Repo = Gkbms.Repository
+module Dec = Gkbms.Decision
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  (* 1. a repository = ConceptBase KB + GKBMS metamodel + tool registry *)
+  let repo = Repo.create () in
+  Gkbms.Mapping.register_tools repo;
+
+  (* 2. a conceptual design: rooms with a set-valued attribute *)
+  let design =
+    {
+      Tdl.design_name = "RoomBooking";
+      classes =
+        [
+          Tdl.entity_class
+            ~attrs:
+              [ Tdl.attribute "number" "String";
+                Tdl.attribute ~kind:Tdl.SetOf "features" "Feature" ]
+            ~key:[ "number" ] "Rooms";
+        ];
+      transactions = [];
+    }
+  in
+  ignore (ok (Gkbms.Mapping.load_design repo design));
+
+  (* 3. what can we do with the Rooms class?  (fig 2-1's menu) *)
+  let rooms = Kernel.Symbol.intern "Rooms" in
+  Format.printf "=== applicable decisions for Rooms ===@.";
+  List.iter
+    (fun (e : Dec.menu_entry) ->
+      Format.printf "  %s via %s@." e.Dec.decision_class
+        (String.concat ", " e.Dec.tools))
+    (Dec.applicable repo rooms);
+
+  (* 4. execute the mapping decision *)
+  let executed =
+    ok
+      (Dec.execute repo ~decision_class:Gkbms.Metamodel.dec_distribute
+         ~tool:Gkbms.Mapping.mapping_tool_distribute
+         ~inputs:[ ("entity", rooms) ]
+         ~params:[ ("design", "RoomBooking") ]
+         ~rationale:"one relation per class is fine for a flat design" ())
+  in
+  Format.printf "@.=== decision %s executed ===@."
+    (Kernel.Symbol.name executed.Dec.decision);
+
+  (* 5. the generated DBPL code frame *)
+  List.iter
+    (fun (role, obj) ->
+      Format.printf "@.-- output %s (%s):@.%s@." (Kernel.Symbol.name obj) role
+        (Option.value ~default:"(no source)" (Repo.source_text repo obj)))
+    executed.Dec.outputs;
+
+  (* 6. why does RoomRel exist? *)
+  Format.printf "@.=== why RoomRel ===@.%a@." Gkbms.Explain.pp_why
+    (Gkbms.Explain.why repo (Kernel.Symbol.intern "RoomRel"));
+
+  (* 7. and the KB is still consistent *)
+  match Cml.Consistency.check_all (Repo.kb repo) with
+  | [] -> Format.printf "@.knowledge base is consistent.@."
+  | vs ->
+    List.iter (fun v -> Format.printf "%a@." Cml.Consistency.pp_violation v) vs

@@ -1,0 +1,137 @@
+(* Schema evolution over time: the library-loan information system grows
+   a new requirement; the GKBMS replays the recorded mapping decisions
+   against the evolved design, browses the history along the temporal
+   dimension, and uses the two ConceptBase time calculi (the event
+   calculus for the decision history, Allen's interval algebra for
+   checking the plausibility of version validity intervals).
+
+   Run with: dune exec examples/schema_evolution.exe *)
+
+module Tdl = Langs.Taxis_dl
+module Repo = Gkbms.Repository
+module Dec = Gkbms.Decision
+module Nav = Gkbms.Navigation
+module EC = Temporal.Event_calculus
+module Allen = Temporal.Allen
+module Sym = Kernel.Symbol
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let banner s = Format.printf "@.=== %s ===@." s
+
+let design_v1 =
+  {
+    Tdl.design_name = "Library";
+    classes =
+      [
+        Tdl.entity_class
+          ~attrs:[ Tdl.attribute "title" "String"; Tdl.attribute "isbn" "String" ]
+          ~key:[ "isbn" ] "Books";
+        Tdl.entity_class ~supers:[ "Books" ]
+          ~attrs:[ Tdl.attribute ~kind:Tdl.SetOf "articles" "Article" ]
+          "Journals";
+      ];
+    transactions = [];
+  }
+
+let () =
+  let repo = Repo.create () in
+  Gkbms.Mapping.register_tools repo;
+  let ec = EC.create () in
+  let decision_made = Sym.intern "decision_made" in
+  let design_stable = Sym.intern "design_stable" in
+  EC.declare_initiates ec decision_made design_stable;
+  EC.declare_terminates ec (Sym.intern "requirement_change") design_stable;
+
+  banner "V1: initial design and mapping";
+  ignore (ok (Gkbms.Mapping.load_design repo design_v1));
+  let books = Sym.intern "Books" in
+  let mapping =
+    ok
+      (Dec.execute repo ~decision_class:Gkbms.Metamodel.dec_distribute
+         ~tool:Gkbms.Mapping.mapping_tool_distribute
+         ~inputs:[ ("entity", books) ]
+         ~params:[ ("design", "Library") ]
+         ~rationale:"initial implementation of the loan system" ())
+  in
+  EC.record ec ~time:(Kernel.Time.Clock.tick ()) decision_made;
+  Format.printf "mapped: %s@."
+    (String.concat ", " (List.map (fun (_, o) -> Sym.name o) mapping.Dec.outputs));
+
+  banner "requirements change: journals also need publishers";
+  EC.record ec ~time:(Kernel.Time.Clock.tick ()) (Sym.intern "requirement_change");
+  let journals_v2 =
+    Tdl.entity_class ~supers:[ "Books" ]
+      ~attrs:
+        [ Tdl.attribute ~kind:Tdl.SetOf "articles" "Article";
+          Tdl.attribute "publisher" "Publisher" ]
+      "Journals"
+  in
+  let design_v2 =
+    {
+      design_v1 with
+      Tdl.design_name = "Library2";
+      classes = [ List.hd design_v1.Tdl.classes; journals_v2 ];
+    }
+  in
+  (* record the evolved design document and class version *)
+  ignore
+    (ok
+       (Repo.new_object repo ~name:"Library2" ~cls:Gkbms.Metamodel.tdl_object
+          ~replaces:(Sym.intern "Library")
+          (Repo.Tdl_design design_v2)));
+  Repo.set_artifact repo (Sym.intern "Journals") (Repo.Tdl_class journals_v2);
+
+  banner "is the recorded mapping decision still applicable?";
+  Format.printf "replay check: %a@." Gkbms.Replay.pp_applicability
+    (Gkbms.Replay.check repo mapping.Dec.decision);
+
+  banner "replaying the mapping against the evolved design";
+  (* point the replay at the new design document *)
+  let replayed =
+    ok
+      (Dec.execute repo ~decision_class:Gkbms.Metamodel.dec_distribute
+         ~tool:Gkbms.Mapping.mapping_tool_distribute
+         ~inputs:[ ("entity", books) ]
+         ~params:[ ("design", "Library2") ]
+         ~rationale:"replay after adding publisher to Journals" ())
+  in
+  EC.record ec ~time:(Kernel.Time.Clock.tick ()) decision_made;
+  List.iter
+    (fun (_, o) ->
+      Format.printf "@.-- %s:@.%s@." (Sym.name o)
+        (Option.value ~default:"" (Repo.source_text repo o)))
+    replayed.Dec.outputs;
+
+  banner "temporal browsing";
+  Format.printf "version history of JournalRel:@.";
+  List.iter
+    (fun (v, dec, belief) ->
+      Format.printf "  %s  (decision %s, learnt at t=%d)@." (Sym.name v)
+        (match dec with Some d -> Sym.name d | None -> "-")
+        belief)
+    (Nav.history_of repo (Sym.intern "JournalRel"));
+  Format.printf "@.design objects learnt since t=1:@.";
+  List.iter
+    (fun o -> Format.printf "  %s@." (Sym.name o))
+    (Nav.browse_temporal repo ~since:1);
+
+  banner "event calculus: when was the design stable?";
+  List.iter
+    (fun (t, v) ->
+      Format.printf "  t=%d: design_stable becomes %b@." t v)
+    (EC.history ec design_stable);
+
+  banner "Allen algebra: do the version validity intervals make sense?";
+  (* v1 of JournalRel should be before or meet v2 *)
+  let n = Allen.Network.create 2 in
+  Allen.Network.constrain n 0 1 (Allen.of_list [ Allen.Before; Allen.Meets ]);
+  if Allen.Network.propagate n then
+    Format.printf "version interval network is consistent: v1 %a v2@."
+      Allen.pp_set
+      (Allen.Network.get n 0 1)
+  else Format.printf "inconsistent version intervals!@.";
+
+  banner "final configuration";
+  let config = Gkbms.Version.configure repo ~level:Gkbms.Metamodel.dbpl_object in
+  Format.printf "%a@." (Gkbms.Version.pp_configuration repo) config

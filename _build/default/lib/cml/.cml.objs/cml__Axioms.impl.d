@@ -1,0 +1,1 @@
+lib/cml/axioms.ml: Kernel List Prop Symbol

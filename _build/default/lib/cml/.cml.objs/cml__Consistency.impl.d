@@ -1,0 +1,1 @@
+lib/cml/consistency.ml: Axioms Format Kb Kbgraph Kernel List Logic Prop Store Symbol Time

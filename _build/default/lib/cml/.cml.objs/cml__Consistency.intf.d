@@ -1,0 +1,1 @@
+lib/cml/consistency.mli: Format Kb Kernel Prop Store

@@ -1,0 +1,1 @@
+lib/cml/display.ml: Format Kb Kbgraph Kernel List Prop Store String Symbol Time

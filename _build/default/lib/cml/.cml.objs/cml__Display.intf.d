@@ -1,0 +1,1 @@
+lib/cml/display.mli: Format Kb Kbgraph Kernel Prop Symbol

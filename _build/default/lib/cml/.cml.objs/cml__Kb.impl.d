@@ -1,0 +1,1 @@
+lib/cml/kb.ml: Array Axioms Format Kernel List Logic Printf Prop Store Symbol Time

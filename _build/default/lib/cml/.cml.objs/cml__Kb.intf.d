@@ -1,0 +1,1 @@
+lib/cml/kb.mli: Kernel Logic Prop Store Time

@@ -1,0 +1,1 @@
+lib/cml/model.ml: Hashtbl Kb Kernel List Printf Prop Store String Symbol

@@ -1,0 +1,1 @@
+lib/cml/model.mli: Kb Kernel Prop Store Symbol

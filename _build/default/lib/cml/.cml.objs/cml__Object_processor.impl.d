@@ -1,0 +1,1 @@
+lib/cml/object_processor.ml: Axioms Format Hashtbl Kb Kernel List Prop Result String Symbol Time

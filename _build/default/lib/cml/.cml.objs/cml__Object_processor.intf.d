@@ -1,0 +1,1 @@
+lib/cml/object_processor.mli: Format Kb Kernel Prop Time

@@ -1,0 +1,251 @@
+open Kernel
+module Base = Store.Base
+module Formula = Logic.Formula
+module Term = Logic.Term
+
+type violation = { subject : Prop.id; rule : string; message : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %a: %s" v.rule Symbol.pp v.subject v.message
+
+let violation subject rule fmt =
+  Format.kasprintf (fun message -> { subject; rule; message }) fmt
+
+(* Classes whose extension is universal: everything is a PROPOSITION and
+   every proposition can act as a CLASS in principle. *)
+let universal c =
+  Symbol.equal c Axioms.proposition || Symbol.equal c Axioms.class_
+
+(* an endpoint conforms to the category's endpoint class if it is an
+   instance of it; or — at the class level, where attributes refine their
+   category — the class itself or one of its specializations; or — one
+   omega level down, when the category's endpoint is a metaclass — an
+   instance of an instance of it *)
+let instance_ok kb ~inst ~cls =
+  universal cls || Kb.is_instance kb ~inst ~cls || Symbol.equal inst cls
+  || List.exists (Symbol.equal cls) (Kb.isa_closure kb inst)
+  || List.exists
+       (fun c -> Kb.is_instance kb ~inst:c ~cls)
+       (Kb.classes_of kb inst)
+
+(* --- structural checks on a single proposition ----------------------- *)
+
+let check_referential kb (p : Prop.t) =
+  let missing which id =
+    violation p.id "referential-integrity" "%s %s of %s does not exist" which
+      (Symbol.name id) (Symbol.name p.id)
+  in
+  let base = Kb.base kb in
+  let acc = [] in
+  let acc = if Base.mem base p.source then acc else missing "source" p.source :: acc in
+  let acc = if Base.mem base p.dest then acc else missing "destination" p.dest :: acc in
+  acc
+
+let check_temporal kb (p : Prop.t) =
+  if Prop.is_individual p then []
+  else
+    let base = Kb.base kb in
+    let contained which id =
+      match Base.find base id with
+      | Some endpoint ->
+        if Time.during p.time endpoint.Prop.time then []
+        else
+          [
+            violation p.id "temporal-containment"
+              "valid time %s of %s exceeds %s %s's valid time %s"
+              (Time.to_string p.time) (Symbol.name p.id) which (Symbol.name id)
+              (Time.to_string endpoint.Prop.time);
+          ]
+      | None -> []
+    in
+    contained "source" p.source @ contained "destination" p.dest
+
+let check_attribute_conformance kb (p : Prop.t) =
+  if Prop.is_individual p || Axioms.is_reserved_label p.Prop.label then []
+  else
+    match Kb.category_of kb p.id with
+    | Some cat -> (
+      match Kb.find kb cat with
+      | None ->
+        [ violation p.id "attribute-category"
+            "attribute category %s does not exist" (Symbol.name cat) ]
+      | Some cls_attr ->
+        if Prop.is_individual cls_attr then
+          (* classified directly under a plain object (e.g. the bootstrap
+             Attribute class handles this level) — accept *)
+          []
+        else
+          let bad_source =
+            if instance_ok kb ~inst:p.source ~cls:cls_attr.Prop.source then []
+            else
+              [
+                violation p.id "attribute-conformance"
+                  "source %s is not an instance of %s (required by category %s)"
+                  (Symbol.name p.source)
+                  (Symbol.name cls_attr.Prop.source)
+                  (Symbol.name cat);
+              ]
+          in
+          let bad_dest =
+            if instance_ok kb ~inst:p.dest ~cls:cls_attr.Prop.dest then []
+            else
+              [
+                violation p.id "attribute-conformance"
+                  "destination %s is not an instance of %s (required by category %s)"
+                  (Symbol.name p.dest)
+                  (Symbol.name cls_attr.Prop.dest)
+                  (Symbol.name cat);
+              ]
+          in
+          bad_source @ bad_dest)
+    | None ->
+      (* a category with this label is defined on the source's classes:
+         the attribute should instantiate it *)
+      (match
+         List.find_opt
+           (fun c -> not (universal c))
+           (Kb.all_classes_of kb p.source)
+       with
+      | Some _ -> (
+        let defined =
+          List.exists
+            (fun c ->
+              List.exists
+                (fun (q : Prop.t) ->
+                  (not (Prop.is_individual q))
+                  && (not (Axioms.is_reserved_label q.Prop.label))
+                  && Symbol.equal q.Prop.label p.Prop.label)
+                (Base.by_source (Kb.base kb) c))
+            (Kb.all_classes_of kb p.source)
+        in
+        if defined then
+          [
+            violation p.id "attribute-classification"
+              "attribute %s of %s matches a class-level category but is not \
+               classified under it"
+              (Symbol.name p.Prop.label) (Symbol.name p.source);
+          ]
+        else [])
+      | None -> [])
+
+let check_prop kb p =
+  check_referential kb p @ check_temporal kb p
+  @ check_attribute_conformance kb p
+
+(* --- isa acyclicity --------------------------------------------------- *)
+
+let check_isa_acyclic kb =
+  let g = Kbgraph.Digraph.create () in
+  Base.iter (Kb.base kb) (fun (p : Prop.t) ->
+      (* self-loops such as the predefined [IsA_1 = <SimpleClass, isa,
+         SimpleClass>] declare the category of isa links rather than a
+         specialization, so they are not edges of the isa order *)
+      if
+        Symbol.equal p.label Axioms.isa
+        && (not (Prop.is_individual p))
+        && not (Symbol.equal p.source p.dest)
+      then Kbgraph.Digraph.add_edge g p.source (Symbol.intern "isa") p.dest);
+  match Kbgraph.Digraph.topo_sort g with
+  | Ok _ -> []
+  | Error cyclic ->
+    List.map
+      (fun n ->
+        violation n "isa-acyclicity" "class %s participates in an isa cycle"
+          (Symbol.name n))
+      cyclic
+
+(* --- class constraints ------------------------------------------------ *)
+
+let check_constraint kb (cls, cid, formula) =
+  let env = Kb.formula_env kb in
+  match Formula.first_violation env Term.Subst.empty formula with
+  | Ok None -> []
+  | Ok (Some viol) ->
+    [
+      violation cls "class-constraint" "constraint %s on %s: %s"
+        (Symbol.name cid) (Symbol.name cls)
+        (Format.asprintf "%a" Formula.pp_violation viol);
+    ]
+  | Error e ->
+    [
+      violation cls "class-constraint" "constraint %s on %s cannot be \
+                                        evaluated: %s"
+        (Symbol.name cid) (Symbol.name cls) e;
+    ]
+
+(* --- public entry points ---------------------------------------------- *)
+
+let check_all kb =
+  let structural =
+    Base.fold (Kb.base kb) (fun acc p -> check_prop kb p @ acc) []
+  in
+  let cycles = check_isa_acyclic kb in
+  let constraints =
+    List.concat_map (check_constraint kb) (Kb.all_constraints kb)
+  in
+  structural @ cycles @ constraints
+
+let check_delta kb changes =
+  let base = Kb.base kb in
+  (* propositions to re-check structurally: the added ones, plus anything
+     incident to an object touched by a change *)
+  let touched = ref Symbol.Set.empty in
+  let add_sym s = touched := Symbol.Set.add s !touched in
+  let isa_changed = ref false in
+  List.iter
+    (fun change ->
+      let p =
+        match change with Base.Added p -> p | Base.Removed p -> p
+      in
+      add_sym p.Prop.id;
+      add_sym p.Prop.source;
+      add_sym p.Prop.dest;
+      if Symbol.equal p.Prop.label Axioms.isa then isa_changed := true)
+    changes;
+  let props_to_check = ref [] in
+  let seen = ref Symbol.Set.empty in
+  let enqueue (p : Prop.t) =
+    if not (Symbol.Set.mem p.id !seen) then begin
+      seen := Symbol.Set.add p.id !seen;
+      props_to_check := p :: !props_to_check
+    end
+  in
+  Symbol.Set.iter
+    (fun s ->
+      (match Base.find base s with Some p -> enqueue p | None -> ());
+      List.iter enqueue (Base.by_source base s);
+      List.iter enqueue (Base.by_dest base s))
+    !touched;
+  let structural =
+    List.concat_map (fun p -> check_prop kb p) !props_to_check
+  in
+  let cycles = if !isa_changed then check_isa_acyclic kb else [] in
+  (* constraints of classes related to any touched object *)
+  let affected_classes =
+    Symbol.Set.fold
+      (fun s acc ->
+        let classes = Kb.all_classes_of kb s in
+        let with_subs =
+          List.concat_map
+            (fun c -> c :: Kb.isa_closure kb c)
+            (s :: classes)
+        in
+        List.fold_left (fun acc c -> Symbol.Set.add c acc) acc with_subs)
+      !touched Symbol.Set.empty
+  in
+  let constraints =
+    List.concat_map
+      (fun ((cls, _, _) as entry) ->
+        if Symbol.Set.mem cls affected_classes then check_constraint kb entry
+        else [])
+      (Kb.all_constraints kb)
+  in
+  structural @ cycles @ constraints
+
+let watch kb =
+  let batch = ref [] in
+  Base.on_change (Kb.base kb) (fun c -> batch := c :: !batch);
+  fun () ->
+    let changes = List.rev !batch in
+    batch := [];
+    changes

@@ -1,0 +1,73 @@
+open Kernel
+module Base = Store.Base
+module G = Kbgraph.Digraph
+
+let link_graph ?labels kb =
+  let g = G.create () in
+  let keep (p : Prop.t) =
+    match labels with
+    | None -> true
+    | Some ls -> List.exists (Symbol.equal p.label) ls
+  in
+  Base.iter (Kb.base kb) (fun p ->
+      if Prop.is_individual p then G.add_node g p.id
+      else if keep p then G.add_edge g p.source p.label p.dest);
+  g
+
+let text_dag_browser ?max_depth ?max_width ?labels kb ppf focus =
+  let g = link_graph ?labels kb in
+  if G.mem_node g focus then
+    G.pp_ascii_dag ?max_depth ?max_width g ppf focus
+  else Format.fprintf ppf "%s (no such object)@." (Symbol.name focus)
+
+let relational_display kb ppf obj =
+  let attrs = Kb.attributes kb obj in
+  let classes = List.map Symbol.name (Kb.classes_of kb obj) in
+  let supers = List.map Symbol.name (Kb.isa_supers kb obj) in
+  Format.fprintf ppf "@[<v>object: %s@," (Symbol.name obj);
+  if classes <> [] then
+    Format.fprintf ppf "in:     %s@," (String.concat ", " classes);
+  if supers <> [] then
+    Format.fprintf ppf "isA:    %s@," (String.concat ", " supers);
+  let rows =
+    List.map
+      (fun (p : Prop.t) ->
+        let category =
+          match Kb.category_of kb p.id with
+          | Some c -> Symbol.name c
+          | None -> "-"
+        in
+        (Symbol.name p.label, Symbol.name p.dest, category,
+         Time.to_string p.time))
+      attrs
+  in
+  if rows <> [] then begin
+    let w1 = List.fold_left (fun m (a, _, _, _) -> max m (String.length a)) 9 rows in
+    let w2 = List.fold_left (fun m (_, b, _, _) -> max m (String.length b)) 6 rows in
+    let w3 = List.fold_left (fun m (_, _, c, _) -> max m (String.length c)) 8 rows in
+    let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+    Format.fprintf ppf "%s | %s | %s | time@," (pad "attribute" w1)
+      (pad "target" w2) (pad "category" w3);
+    Format.fprintf ppf "%s@,"
+      (String.make (w1 + w2 + w3 + 13) '-');
+    List.iter
+      (fun (a, b, c, tm) ->
+        Format.fprintf ppf "%s | %s | %s | %s@," (pad a w1) (pad b w2)
+          (pad c w3) tm)
+      rows
+  end;
+  Format.fprintf ppf "@]"
+
+let proposition_table kb ppf obj =
+  let props =
+    List.sort Prop.compare (Base.by_source (Kb.base kb) obj)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun p -> Format.fprintf ppf "%a@," Prop.pp p) props;
+  Format.fprintf ppf "@]"
+
+let dot_of_focus ?labels kb focus =
+  let g = link_graph ?labels kb in
+  let keep = Symbol.Set.add focus (G.reachable g focus) in
+  let sub = G.subgraph g (fun n -> Symbol.Set.mem n keep) in
+  G.to_dot ~name:"focus" sub

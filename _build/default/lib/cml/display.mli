@@ -1,0 +1,31 @@
+(** Model Display and Interaction: the text DAG browser, the relational
+    display and proposition dumps of §3.3.1, rendered to a formatter
+    (the stand-in for the SUN window tools). *)
+
+open Kernel
+
+val link_graph :
+  ?labels:Symbol.t list -> Kb.t -> Kbgraph.Digraph.t
+(** Project the KB's link propositions (optionally only those with the
+    given labels) onto a digraph whose edges are labelled with the
+    proposition labels. *)
+
+val text_dag_browser :
+  ?max_depth:int -> ?max_width:int -> ?labels:Symbol.t list ->
+  Kb.t -> Format.formatter -> Prop.id -> unit
+(** Browse a tree-like CML structure from a focus object at a
+    dynamically defined depth and width (fig 2-1). *)
+
+val relational_display :
+  Kb.t -> Format.formatter -> Prop.id -> unit
+(** Show the properties of an object in tabular form (label, target,
+    category, valid time) — the Object Processor level view. *)
+
+val proposition_table : Kb.t -> Format.formatter -> Prop.id -> unit
+(** Dump every proposition with the object as source, in the quadruple
+    notation of §3.1 (fig 3-2's textual equivalent). *)
+
+val dot_of_focus :
+  ?labels:Symbol.t list -> Kb.t -> Prop.id -> string
+(** DOT rendering of the link graph reachable from a focus object — the
+    graphical DAG browser. *)

@@ -1,0 +1,476 @@
+open Kernel
+module Base = Store.Base
+module Term = Logic.Term
+module Formula = Logic.Formula
+module Datalog = Logic.Datalog
+module Prover = Logic.Prover
+
+type t = {
+  base : Base.t;
+  mutable rules : (Symbol.t * Term.clause) list;  (** newest first *)
+  constraint_defs : Formula.t Symbol.Tbl.t;  (** constraint object -> formula *)
+  mutable behaviour_defs : (Symbol.t * string * (t -> Prop.id -> unit)) list;
+}
+
+let base t = t.base
+let now _t = Time.Clock.now ()
+let tick _t = Time.Clock.tick ()
+
+let exists t name = Base.mem t.base (Symbol.intern name)
+let find t id = Base.find t.base id
+
+(* Explicit classification / specialization ----------------------------- *)
+
+let dests_by t source label =
+  List.map (fun (p : Prop.t) -> p.dest) (Base.by_source_label t.base source label)
+
+let sources_by t dest label =
+  List.filter_map
+    (fun (p : Prop.t) ->
+      if Symbol.equal p.label label then Some p.source else None)
+    (Base.by_dest t.base dest)
+
+let classes_of t x = List.sort_uniq Symbol.compare (dests_by t x Axioms.instanceof)
+let isa_supers t x = List.sort_uniq Symbol.compare (dests_by t x Axioms.isa)
+let instances_of t c = List.sort_uniq Symbol.compare (sources_by t c Axioms.instanceof)
+
+let closure next start =
+  let seen = ref Symbol.Set.empty in
+  let rec visit x =
+    List.iter
+      (fun y ->
+        if not (Symbol.Set.mem y !seen) then begin
+          seen := Symbol.Set.add y !seen;
+          visit y
+        end)
+      (next x)
+  in
+  visit start;
+  Symbol.Set.elements !seen
+
+let isa_closure t x = closure (fun y -> dests_by t y Axioms.isa) x
+
+let isa_subs_closure t x = closure (fun y -> sources_by t y Axioms.isa) x
+
+let all_classes_of t x =
+  let direct = classes_of t x in
+  let inherited = List.concat_map (fun c -> isa_closure t c) direct in
+  (* keep explicit classes first: they are the most specific *)
+  let seen = ref Symbol.Set.empty in
+  List.filter
+    (fun c ->
+      if Symbol.Set.mem c !seen then false
+      else begin
+        seen := Symbol.Set.add c !seen;
+        true
+      end)
+    (direct @ inherited)
+
+let all_instances_of t c =
+  let classes = c :: isa_subs_closure t c in
+  List.sort_uniq Symbol.compare (List.concat_map (fun c -> instances_of t c) classes)
+
+let is_instance t ~inst ~cls =
+  List.exists (Symbol.equal cls) (all_classes_of t inst)
+
+(* Creation with axiom checks ------------------------------------------- *)
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_axioms t (p : Prop.t) =
+  if Prop.is_individual p then Ok ()
+  else if not (Base.mem t.base p.source) then
+    err "axiom violation: source %a of %a does not exist" Symbol.pp p.source
+      Prop.pp p
+  else if not (Base.mem t.base p.dest) then
+    err "axiom violation: destination %a of %a does not exist" Symbol.pp p.dest
+      Prop.pp p
+  else if Symbol.equal p.label Axioms.isa then begin
+    (* specialization must stay acyclic *)
+    if
+      Symbol.equal p.source p.dest
+      || List.exists (Symbol.equal p.source) (isa_closure t p.dest)
+    then err "axiom violation: isa cycle through %a" Symbol.pp p.source
+    else Ok ()
+  end
+  else Ok ()
+
+let create_proposition t p =
+  match check_axioms t p with
+  | Error e -> Error e
+  | Ok () -> Base.insert t.base p
+
+let remove_proposition t id =
+  match Base.find t.base id with
+  | None -> err "no proposition %a" Symbol.pp id
+  | Some p ->
+    let dependents =
+      List.filter
+        (fun (q : Prop.t) -> not (Symbol.equal q.id id))
+        (Base.by_source t.base id @ Base.by_dest t.base id)
+    in
+    if dependents <> [] && Prop.is_individual p then
+      err "cannot remove %a: %d propositions still refer to it" Symbol.pp id
+        (List.length dependents)
+    else Base.remove t.base id
+
+let declare ?(time = Time.always) t name =
+  let id = Symbol.intern name in
+  if Base.mem t.base id then Ok id
+  else
+    match Base.insert t.base (Prop.individual ~time id) with
+    | Ok () -> Ok id
+    | Error e -> Error e
+
+let link ?(time = Time.always) ?id t source label dest =
+  let id =
+    match id with Some i -> Symbol.intern i | None -> Prop.fresh_id ()
+  in
+  let p =
+    Prop.make ~time ~id ~source:(Symbol.intern source) ~label
+      ~dest:(Symbol.intern dest) ()
+  in
+  match create_proposition t p with Ok () -> Ok p | Error e -> Error e
+
+let add_instanceof ?time t ~inst ~cls = link ?time t inst Axioms.instanceof cls
+let add_isa ?time t ~sub ~super = link ?time t sub Axioms.isa super
+
+(* Attributes ------------------------------------------------------------ *)
+
+let is_attribute_prop (p : Prop.t) =
+  (not (Prop.is_individual p)) && not (Axioms.is_reserved_label p.label)
+
+let category_of t id =
+  match dests_by t id Axioms.instanceof with
+  | c :: _ -> Some c
+  | [] -> None
+
+let attributes t ?category x =
+  let attrs = List.filter is_attribute_prop (Base.by_source t.base x) in
+  match category with
+  | None -> attrs
+  | Some cat ->
+    let cat = Symbol.intern cat in
+    List.filter
+      (fun (p : Prop.t) ->
+        match category_of t p.id with
+        | Some c ->
+          Symbol.equal c cat
+          || (match Base.find t.base c with
+             | Some cp -> Symbol.equal cp.Prop.label cat
+             | None -> false)
+        | None -> false)
+      attrs
+
+let attribute_values t x label =
+  let label = Symbol.intern label in
+  List.filter_map
+    (fun (p : Prop.t) ->
+      if Symbol.equal p.label label && is_attribute_prop p then Some p.dest
+      else None)
+    (Base.by_source t.base x)
+
+(* find the attribute class labelled [category] on one of [source]'s
+   classes, most specific class first *)
+let find_attribute_class t source category =
+  let cat = Symbol.intern category in
+  let classes = all_classes_of t source in
+  let rec search = function
+    | [] -> None
+    | c :: rest -> (
+      let candidates =
+        List.filter
+          (fun (p : Prop.t) -> is_attribute_prop p && Symbol.equal p.label cat)
+          (Base.by_source t.base c)
+      in
+      match candidates with p :: _ -> Some p | [] -> search rest)
+  in
+  search classes
+
+let add_attribute ?time ?category ?id t ~source ~label ~dest =
+  let label_sym = Symbol.intern label in
+  if Axioms.is_reserved_label label_sym then
+    err "label %s is reserved" label
+  else
+    match link ?time ?id t source label_sym dest with
+    | Error e -> Error e
+    | Ok p -> (
+      let category = match category with Some c -> Some c | None -> Some label in
+      match category with
+      | None -> Ok p
+      | Some cat -> (
+        match find_attribute_class t (Symbol.intern source) cat with
+        | None -> Ok p (* uncategorized: flagged by the consistency checker *)
+        | Some cls_attr -> (
+          match
+            link ?time t (Symbol.name p.id) Axioms.instanceof
+              (Symbol.name cls_attr.Prop.id)
+          with
+          | Ok _ -> Ok p
+          | Error e -> Error e)))
+
+(* Rules, constraints, behaviours ----------------------------------------- *)
+
+let add_rule t ~name clause =
+  if not (Term.clause_safe clause) then
+    err "unsafe rule %a" Term.pp_clause clause
+  else
+    match declare t name with
+    | Error e -> Error e
+    | Ok id -> (
+      match
+        link t name Axioms.instanceof (Symbol.name Axioms.rule_class)
+      with
+      | Error e -> Error e
+      | Ok _ ->
+        t.rules <- (id, clause) :: t.rules;
+        Ok ())
+
+let add_constraint t ~name ~cls formula =
+  if not (Base.mem t.base (Symbol.intern cls)) then
+    err "constraint target class %s does not exist" cls
+  else
+    match declare t name with
+    | Error e -> Error e
+    | Ok id -> (
+      match link t cls Axioms.constraint_ name with
+      | Error e -> Error e
+      | Ok _ ->
+        Symbol.Tbl.replace t.constraint_defs id formula;
+        Ok ())
+
+let constraints_of t cls =
+  let classes = cls :: isa_closure t cls in
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun (p : Prop.t) ->
+          if Symbol.equal p.label Axioms.constraint_ then
+            match Symbol.Tbl.find_opt t.constraint_defs p.dest with
+            | Some f -> Some (p.dest, f)
+            | None -> None
+          else None)
+        (Base.by_source t.base c))
+    classes
+
+let all_constraints t =
+  Base.fold t.base
+    (fun acc (p : Prop.t) ->
+      if Symbol.equal p.label Axioms.constraint_ then
+        match Symbol.Tbl.find_opt t.constraint_defs p.dest with
+        | Some f -> (p.source, p.dest, f) :: acc
+        | None -> acc
+      else acc)
+    []
+
+let add_behaviour t ~cls ~event f =
+  let cls_id = Symbol.intern cls in
+  if not (Base.mem t.base cls_id) then err "class %s does not exist" cls
+  else begin
+    let event_obj = Printf.sprintf "%s!%s" cls event in
+    match declare t event_obj with
+    | Error e -> Error e
+    | Ok _ -> (
+      match link t cls Axioms.behaviour event_obj with
+      | Error e -> Error e
+      | Ok _ ->
+        t.behaviour_defs <- (cls_id, event, f) :: t.behaviour_defs;
+        Ok ())
+  end
+
+let trigger t obj event =
+  if not (Base.mem t.base obj) then err "object %a does not exist" Symbol.pp obj
+  else begin
+    let classes = all_classes_of t obj in
+    let ran = ref 0 in
+    List.iter
+      (fun (cls, ev, f) ->
+        if ev = event && List.exists (Symbol.equal cls) classes then begin
+          f t obj;
+          incr ran
+        end)
+      (List.rev t.behaviour_defs);
+    Ok !ran
+  end
+
+(* Deductive view --------------------------------------------------------- *)
+
+let term_sym s = Term.symbol s
+
+let match_sym pattern s =
+  match pattern with
+  | Term.Var _ -> true
+  | Term.Sym s' -> Symbol.equal s s'
+  | Term.Int _ -> false
+
+let datalog t =
+  let d = Datalog.create () in
+  let enum_props pattern =
+    (* pattern: [id; source; label; dest] *)
+    match pattern with
+    | [ pid; psrc; plab; pdst ] ->
+      let candidates =
+        match (pid, psrc, pdst) with
+        | Term.Sym id, _, _ -> (
+          match Base.find t.base id with Some p -> [ p ] | None -> [])
+        | _, Term.Sym src, _ -> Base.by_source t.base src
+        | _, _, Term.Sym dst -> Base.by_dest t.base dst
+        | _ -> Base.to_list t.base
+      in
+      List.filter_map
+        (fun (p : Prop.t) ->
+          if
+            match_sym pid p.id && match_sym psrc p.source
+            && match_sym plab p.label && match_sym pdst p.dest
+          then Some [ term_sym p.id; term_sym p.source; term_sym p.label;
+                      term_sym p.dest ]
+          else None)
+        candidates
+    | _ -> []
+  in
+  let enum_label label keep pattern =
+    match pattern with
+    | [ psrc; pdst ] ->
+      let candidates =
+        match (psrc, pdst) with
+        | Term.Sym src, _ -> Base.by_source_label t.base src label
+        | _, Term.Sym dst -> Base.by_dest t.base dst
+        | _ -> Base.by_label t.base label
+      in
+      List.filter_map
+        (fun (p : Prop.t) ->
+          if
+            Symbol.equal p.label label && keep p && match_sym psrc p.source
+            && match_sym pdst p.dest
+          then Some [ term_sym p.source; term_sym p.dest ]
+          else None)
+        candidates
+    | _ -> []
+  in
+  let enum_attr pattern =
+    match pattern with
+    | [ psrc; plab; pdst ] ->
+      let candidates =
+        match (psrc, pdst) with
+        | Term.Sym src, _ -> Base.by_source t.base src
+        | _, Term.Sym dst -> Base.by_dest t.base dst
+        | _ -> Base.to_list t.base
+      in
+      List.filter_map
+        (fun (p : Prop.t) ->
+          if
+            is_attribute_prop p && match_sym psrc p.source
+            && match_sym plab p.label && match_sym pdst p.dest
+          then Some [ term_sym p.source; term_sym p.label; term_sym p.dest ]
+          else None)
+        candidates
+    | _ -> []
+  in
+  Datalog.register_external d (Symbol.intern "prop") enum_props;
+  Datalog.register_external d (Symbol.intern "instanceof")
+    (enum_label Axioms.instanceof (fun _ -> true));
+  Datalog.register_external d (Symbol.intern "isa")
+    (enum_label Axioms.isa (fun _ -> true));
+  Datalog.register_external d (Symbol.intern "attr") enum_attr;
+  (* inheritance prelude: transitive isa and classification through it *)
+  let v = Term.var and atom = Term.atom in
+  let prelude =
+    [
+      Term.clause (atom "isa_tc" [ v "X"; v "Y" ])
+        [ Term.Pos (atom "isa" [ v "X"; v "Y" ]) ];
+      Term.clause (atom "isa_tc" [ v "X"; v "Y" ])
+        [ Term.Pos (atom "isa" [ v "X"; v "Z" ]);
+          Term.Pos (atom "isa_tc" [ v "Z"; v "Y" ]) ];
+      Term.clause (atom "in" [ v "X"; v "C" ])
+        [ Term.Pos (atom "instanceof" [ v "X"; v "C" ]) ];
+      Term.clause (atom "in" [ v "X"; v "C" ])
+        [ Term.Pos (atom "instanceof" [ v "X"; v "C0" ]);
+          Term.Pos (atom "isa_tc" [ v "C0"; v "C" ]) ];
+    ]
+  in
+  List.iter (fun c -> ignore (Datalog.add_clause d c)) prelude;
+  List.iter
+    (fun (_, c) -> ignore (Datalog.add_clause d c))
+    (List.rev t.rules);
+  d
+
+let prover t ~tabling = Prover.make ~tabling (datalog t)
+
+let derive t goal =
+  let p = prover t ~tabling:true in
+  Ok (Prover.solve p [ goal ])
+
+let enum_holds t (a : Term.atom) =
+  match Array.to_list a.args with
+  | [ Term.Sym id; _; _; _ ] -> (
+    match Base.find t.base id with
+    | Some p ->
+      match_sym a.args.(1) p.source && match_sym a.args.(2) p.label
+      && match_sym a.args.(3) p.dest
+    | None -> false)
+  | _ -> false
+
+let formula_env t =
+  {
+    Formula.instances_of = (fun c -> List.map term_sym (all_instances_of t c));
+    holds =
+      (fun (a : Term.atom) ->
+        let name = Symbol.name a.pred in
+        let arg i =
+          match a.args.(i) with
+          | Term.Sym s -> Some s
+          | Term.Var _ | Term.Int _ -> None
+        in
+        match (name, Array.length a.args) with
+        | "instanceof", 2 -> (
+          match (arg 0, arg 1) with
+          | Some x, Some c ->
+            List.exists (Symbol.equal c) (classes_of t x)
+          | _ -> false)
+        | "in", 2 -> (
+          match (arg 0, arg 1) with
+          | Some x, Some c -> is_instance t ~inst:x ~cls:c
+          | _ -> false)
+        | "isa", 2 -> (
+          match (arg 0, arg 1) with
+          | Some x, Some c -> List.exists (Symbol.equal c) (isa_supers t x)
+          | _ -> false)
+        | "isa_tc", 2 -> (
+          match (arg 0, arg 1) with
+          | Some x, Some c -> List.exists (Symbol.equal c) (isa_closure t x)
+          | _ -> false)
+        | "attr", 3 -> (
+          match (arg 0, arg 2) with
+          | Some x, Some y ->
+            List.exists
+              (fun (p : Prop.t) ->
+                match_sym a.args.(1) p.label && Symbol.equal p.dest y)
+              (List.filter is_attribute_prop (Base.by_source t.base x))
+          | _ -> false)
+        | "prop", 4 -> enum_holds t a
+        | _ ->
+          (* fall back to the deductive view for user predicates *)
+          (match derive t a with
+          | Ok (_ :: _) -> true
+          | Ok [] | Error _ -> false));
+  }
+
+let ask t f = Formula.eval (formula_env t) Term.Subst.empty f
+
+let create ?backend () =
+  let base = Base.create ?backend () in
+  let t =
+    {
+      base;
+      rules = [];
+      constraint_defs = Symbol.Tbl.create 32;
+      behaviour_defs = [];
+    }
+  in
+  List.iter
+    (fun p ->
+      match Base.insert base p with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Kb.create bootstrap: " ^ e))
+    (Axioms.bootstrap_props ());
+  t

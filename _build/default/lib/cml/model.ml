@@ -1,0 +1,135 @@
+open Kernel
+module Base = Store.Base
+
+type model = {
+  mutable own : Symbol.Set.t;
+  mutable includes : string list;
+}
+
+type t = {
+  kb : Kb.t;
+  table : (string, model) Hashtbl.t;
+  mutable active : Symbol.Set.t;
+}
+
+let create kb = { kb; table = Hashtbl.create 16; active = Symbol.Set.empty }
+let kb t = t.kb
+
+let define t name =
+  if Hashtbl.mem t.table name then
+    Error (Printf.sprintf "model %s already exists" name)
+  else begin
+    Hashtbl.add t.table name { own = Symbol.Set.empty; includes = [] };
+    Ok ()
+  end
+
+let models t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
+  |> List.sort String.compare
+
+let get t name =
+  match Hashtbl.find_opt t.table name with
+  | Some m -> Ok m
+  | None -> Error (Printf.sprintf "no model %s" name)
+
+let add_object t ~model id =
+  match get t model with
+  | Error e -> Error e
+  | Ok m ->
+    if not (Base.mem (Kb.base t.kb) id) then
+      Error (Printf.sprintf "object %s does not exist in the KB" (Symbol.name id))
+    else begin
+      m.own <- Symbol.Set.add id m.own;
+      Ok ()
+    end
+
+let rec reaches t ~frm ~target =
+  if frm = target then true
+  else
+    match Hashtbl.find_opt t.table frm with
+    | None -> false
+    | Some m -> List.exists (fun inc -> reaches t ~frm:inc ~target) m.includes
+
+let include_model t ~model ~included =
+  match (get t model, get t included) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok m, Ok _ ->
+    if reaches t ~frm:included ~target:model then
+      Error
+        (Printf.sprintf "including %s in %s would create a cycle" included
+           model)
+    else begin
+      if not (List.mem included m.includes) then
+        m.includes <- included :: m.includes;
+      Ok ()
+    end
+
+let objects t name =
+  match get t name with
+  | Error e -> Error e
+  | Ok _ ->
+    let seen = Hashtbl.create 8 in
+    let acc = ref Symbol.Set.empty in
+    let rec visit name =
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        match Hashtbl.find_opt t.table name with
+        | None -> ()
+        | Some m ->
+          acc := Symbol.Set.union !acc m.own;
+          List.iter visit m.includes
+      end
+    in
+    visit name;
+    Ok !acc
+
+let configure t names =
+  let rec collect acc = function
+    | [] -> Ok acc
+    | name :: rest -> (
+      match objects t name with
+      | Error e -> Error e
+      | Ok objs -> collect (Symbol.Set.union acc objs) rest)
+  in
+  match collect Symbol.Set.empty names with
+  | Error e -> Error e
+  | Ok objs ->
+    t.active <- objs;
+    Ok ()
+
+let active_objects t = t.active
+let is_active t id = Symbol.Set.mem id t.active
+
+let project t =
+  let out = Base.create () in
+  let base = Kb.base t.kb in
+  let keep (p : Prop.t) =
+    if Prop.is_individual p then Symbol.Set.mem p.id t.active
+    else
+      (* link propositions come along when both endpoints are active *)
+      Symbol.Set.mem p.source t.active && Symbol.Set.mem p.dest t.active
+  in
+  let result = ref (Ok ()) in
+  Base.iter base (fun p ->
+      if !result = Ok () && keep p then
+        match Base.insert out p with Ok () -> () | Error e -> result := Error e);
+  match !result with Ok () -> Ok out | Error e -> Error e
+
+let sharing t =
+  let all = models t in
+  List.map
+    (fun name ->
+      let objs = match objects t name with Ok o -> o | Error _ -> Symbol.Set.empty in
+      let sharers =
+        List.filter
+          (fun other ->
+            other <> name
+            &&
+            let others =
+              match objects t other with Ok o -> o | Error _ -> Symbol.Set.empty
+            in
+            not (Symbol.Set.is_empty (Symbol.Set.inter objs others)))
+          all
+      in
+      (name, sharers))
+    all

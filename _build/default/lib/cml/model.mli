@@ -1,0 +1,48 @@
+(** The Conceptual Model Processor's Model Configuration module.
+
+    "Models constitute highly complex multi-level object structures which
+    are maintained in hierarchies.  Different models may share some
+    objects or (sub-)models.  Configuring a model for a specific
+    application means the activation of the corresponding nodes in the
+    lattice."  This is the paper's simple main-memory version. *)
+
+open Kernel
+
+type t
+(** A model base over one KB: a lattice of named models. *)
+
+val create : Kb.t -> t
+val kb : t -> Kb.t
+
+val define : t -> string -> (unit, string) result
+(** Create an empty model.  Fails on duplicates. *)
+
+val models : t -> string list
+
+val add_object : t -> model:string -> Prop.id -> (unit, string) result
+(** Put an object (it must exist in the KB) into a model. *)
+
+val include_model : t -> model:string -> included:string -> (unit, string) result
+(** Sub-model sharing; rejected if it would create a cycle in the
+    lattice. *)
+
+val objects : t -> string -> (Symbol.Set.t, string) result
+(** All objects of the model, including those of transitively included
+    sub-models. *)
+
+val configure : t -> string list -> (unit, string) result
+(** Activate the given models: their objects (transitively) become the
+    accessible working set. *)
+
+val active_objects : t -> Symbol.Set.t
+val is_active : t -> Prop.id -> bool
+
+val project : t -> (Store.Base.t, string) result
+(** Extract the active configuration as a standalone proposition base:
+    all propositions whose id, source and destination are active (or are
+    links between active objects).  The "configure the latest complete
+    version" operation builds on this. *)
+
+val sharing : t -> (string * string list) list
+(** For each model, which other models share at least one object with it
+    (the lattice's sharing structure). *)

@@ -1,0 +1,167 @@
+open Kernel
+
+type attr = {
+  category : string option;
+  label : string;
+  target : string;
+  attr_time : Time.t;
+}
+
+type frame = {
+  name : string;
+  classes : string list;
+  supers : string list;
+  attrs : attr list;
+  frame_time : Time.t;
+}
+
+let attr ?category ?(time = Time.always) label target =
+  { category; label; target; attr_time = time }
+
+let frame ?(classes = []) ?(supers = []) ?(attrs = []) ?(time = Time.always)
+    name =
+  {
+    name;
+    classes;
+    supers;
+    attrs = List.map (fun (l, tgt) -> attr l tgt) attrs;
+    frame_time = time;
+  }
+
+let store kb f =
+  let ( let* ) = Result.bind in
+  let* id = Kb.declare ~time:f.frame_time kb f.name in
+  let* () =
+    List.fold_left
+      (fun acc cls ->
+        let* () = acc in
+        let* _ = Kb.declare kb cls in
+        if Kb.is_instance kb ~inst:id ~cls:(Symbol.intern cls) then Ok ()
+        else
+          let* _ = Kb.add_instanceof kb ~inst:f.name ~cls in
+          Ok ())
+      (Ok ()) f.classes
+  in
+  let* () =
+    List.fold_left
+      (fun acc super ->
+        let* () = acc in
+        let* _ = Kb.declare kb super in
+        if List.exists (Symbol.equal (Symbol.intern super)) (Kb.isa_supers kb id)
+        then Ok ()
+        else
+          let* _ = Kb.add_isa kb ~sub:f.name ~super in
+          Ok ())
+      (Ok ()) f.supers
+  in
+  let* () =
+    List.fold_left
+      (fun acc a ->
+        let* () = acc in
+        let already =
+          List.exists
+            (Symbol.equal (Symbol.intern a.target))
+            (Kb.attribute_values kb id a.label)
+        in
+        if already then Ok ()
+        else
+          let* _ = Kb.declare kb a.target in
+          let* _ =
+            Kb.add_attribute ~time:a.attr_time ?category:a.category kb
+              ~source:f.name ~label:a.label ~dest:a.target
+          in
+          Ok ())
+      (Ok ()) f.attrs
+  in
+  Ok id
+
+let retrieve kb id =
+  match Kb.find kb id with
+  | None -> Error (Format.asprintf "no object %a" Symbol.pp id)
+  | Some p ->
+    let name = Symbol.name id in
+    let classes =
+      List.filter_map
+        (fun c ->
+          (* hide the axiom-base bootstrap tower *)
+          if Symbol.equal c Axioms.class_ || Symbol.equal c Axioms.proposition
+          then None
+          else Some (Symbol.name c))
+        (Kb.classes_of kb id)
+    in
+    let supers = List.map Symbol.name (Kb.isa_supers kb id) in
+    let attrs =
+      List.map
+        (fun (a : Prop.t) ->
+          let category =
+            match Kb.category_of kb a.id with
+            | Some c -> (
+              (* report the category by its attribute-class label *)
+              match Kb.find kb c with
+              | Some cp when not (Symbol.equal cp.Prop.label a.label) ->
+                Some (Symbol.name cp.Prop.label)
+              | Some _ | None -> None)
+            | None -> None
+          in
+          {
+            category;
+            label = Symbol.name a.label;
+            target = Symbol.name a.dest;
+            attr_time = a.time;
+          })
+        (Kb.attributes kb id)
+    in
+    Ok
+      {
+        name;
+        classes = List.sort String.compare classes;
+        supers = List.sort String.compare supers;
+        attrs =
+          List.sort (fun a b -> compare (a.label, a.target) (b.label, b.target)) attrs;
+        frame_time = p.Prop.time;
+      }
+
+let equal_modulo_order f g =
+  let norm_attrs attrs =
+    List.sort compare
+      (List.map (fun a -> (a.category, a.label, a.target)) attrs)
+  in
+  f.name = g.name
+  && List.sort String.compare f.classes = List.sort String.compare g.classes
+  && List.sort String.compare f.supers = List.sort String.compare g.supers
+  && norm_attrs f.attrs = norm_attrs g.attrs
+
+let pp ppf f =
+  let head = if f.classes = [] && f.supers = [] then "Object" else "Class" in
+  Format.fprintf ppf "@[<v>%s %s" head f.name;
+  (match f.classes with
+  | [] -> ()
+  | cs -> Format.fprintf ppf " in %s" (String.concat ", " cs));
+  (match f.supers with
+  | [] -> ()
+  | ss -> Format.fprintf ppf " isA %s" (String.concat ", " ss));
+  if f.attrs = [] then Format.fprintf ppf " end@]"
+  else begin
+    Format.fprintf ppf " with@,";
+    (* group attributes by category *)
+    let groups = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun a ->
+        let key = match a.category with Some c -> c | None -> "attribute" in
+        (match Hashtbl.find_opt groups key with
+        | Some cell -> cell := a :: !cell
+        | None ->
+          Hashtbl.add groups key (ref [ a ]);
+          order := key :: !order))
+      f.attrs;
+    List.iter
+      (fun key ->
+        let attrs = List.rev !(Hashtbl.find groups key) in
+        Format.fprintf ppf "  %s@," key;
+        List.iter
+          (fun a -> Format.fprintf ppf "    %s : %s@," a.label a.target)
+          attrs)
+      (List.rev !order);
+    Format.fprintf ppf "end@]"
+  end

@@ -1,0 +1,51 @@
+(** The Object Processor: groups propositions around a common source (the
+    object identifier) and transforms between frame-structured objects
+    and proposition sets, as in fig 3-2 of the paper (the propositional
+    representation of [Invitation]). *)
+
+open Kernel
+
+type attr = {
+  category : string option;
+      (** attribute class this attribute instantiates, e.g. [FROM] *)
+  label : string;  (** e.g. [sender] *)
+  target : string;  (** e.g. [Person] *)
+  attr_time : Time.t;
+}
+
+type frame = {
+  name : string;
+  classes : string list;  (** the frame's [in] clause *)
+  supers : string list;  (** the frame's [isA] clause *)
+  attrs : attr list;
+  frame_time : Time.t;
+}
+
+val frame :
+  ?classes:string list -> ?supers:string list ->
+  ?attrs:(string * string) list -> ?time:Time.t -> string -> frame
+(** Convenience constructor; [attrs] are (label, target) pairs without
+    explicit categories. *)
+
+val attr : ?category:string -> ?time:Time.t -> string -> string -> attr
+
+val store : Kb.t -> frame -> (Prop.id, string) result
+(** Transform the frame into propositions and create them in the KB
+    (idempotent on re-store of identical content; new attributes are
+    added).  Targets and classes must already exist or be plain
+    individuals (they are declared on the fly). *)
+
+val retrieve : Kb.t -> Prop.id -> (frame, string) result
+(** Re-assemble the frame of an object from its propositions. *)
+
+val equal_modulo_order : frame -> frame -> bool
+(** Structural equality ignoring list order and attribute ids. *)
+
+val pp : Format.formatter -> frame -> unit
+(** CML surface syntax, e.g.
+    {v
+Class Invitation in TDL_EntityClass isA Paper with
+  attribute
+    sender : Person
+end
+    v} *)

@@ -1,0 +1,1 @@
+lib/core/backtrack.ml: Cml Decision Depgraph Format Kernel List Metamodel Printf Prop Repository Result Store String Symbol Tms

@@ -1,0 +1,1 @@
+lib/core/backtrack.mli: Format Kernel Prop Repository

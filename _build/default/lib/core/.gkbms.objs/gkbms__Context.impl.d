@@ -1,0 +1,1 @@
+lib/core/context.ml: Cml Decision Kernel List Metamodel Printf Repository String Symbol Tms

@@ -1,0 +1,1 @@
+lib/core/decision.ml: Cml Format Kernel List Metamodel Printf Prop Repository Result Store String Symbol Tms

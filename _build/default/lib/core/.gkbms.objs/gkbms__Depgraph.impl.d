@@ -1,0 +1,1 @@
+lib/core/depgraph.ml: Cml Decision Format Kbgraph Kernel List Metamodel Prop Repository Store Symbol

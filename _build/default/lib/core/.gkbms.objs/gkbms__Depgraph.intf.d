@@ -1,0 +1,1 @@
+lib/core/depgraph.mli: Format Kbgraph Kernel Prop Repository Symbol

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Decision Format Kernel List Printf Prop Repository String Symbol Tms

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Buffer Cml Kernel Langs List Metamodel Printf Repository Result String Symbol

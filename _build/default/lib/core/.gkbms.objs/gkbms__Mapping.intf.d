@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Kernel Langs Prop Repository

@@ -1,0 +1,1 @@
+lib/core/methodology.ml: Cml Decision Format Kernel List Metamodel Printf Prop Repository String Symbol

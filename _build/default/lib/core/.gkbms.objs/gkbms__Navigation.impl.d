@@ -1,0 +1,1 @@
+lib/core/navigation.ml: Cml Decision Depgraph Format Kbgraph Kernel List Metamodel Prop Repository String Symbol Version

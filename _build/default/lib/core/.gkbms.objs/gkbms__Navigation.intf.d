@@ -1,0 +1,1 @@
+lib/core/navigation.mli: Decision Format Kernel Prop Repository Time

@@ -1,0 +1,1 @@
+lib/core/negotiation.ml: Cml Decision Format Group Kernel List Metamodel Printf Repository Result Store String Symbol

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Cml Decision Format Kernel Langs List Mapping Prop Repository Result Sexp Store Symbol Time

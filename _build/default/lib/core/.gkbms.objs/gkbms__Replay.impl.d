@@ -1,0 +1,1 @@
+lib/core/replay.ml: Cml Decision Depgraph Format Kernel List Printf Repository String Symbol

@@ -1,0 +1,1 @@
+lib/core/replay.mli: Decision Format Kernel Prop Repository

@@ -1,0 +1,1 @@
+lib/core/repository.ml: Cml Format Hashtbl Kernel Langs List Metamodel Printf Prop Result Store String Symbol Tms

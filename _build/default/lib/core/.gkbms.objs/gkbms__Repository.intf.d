@@ -1,0 +1,1 @@
+lib/core/repository.mli: Cml Format Kernel Langs Prop Store Tms

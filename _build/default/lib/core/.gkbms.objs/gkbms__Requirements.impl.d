@@ -1,0 +1,1 @@
+lib/core/requirements.ml: Cml Kernel Langs List Mapping Metamodel Printf Repository Result String Symbol

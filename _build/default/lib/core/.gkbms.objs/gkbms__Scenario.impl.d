@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Backtrack Cml Decision Kernel Langs List Mapping Metamodel Prop Repository Result Symbol Verify

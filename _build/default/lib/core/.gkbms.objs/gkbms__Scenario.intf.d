@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Backtrack Decision Kernel Langs Prop Repository

@@ -1,0 +1,1 @@
+lib/core/shell.ml: Backtrack Cml Decision Depgraph Explain Format Kernel Langs List Logic Metamodel Methodology Navigation Persist Printf Repository Scenario Store String Symbol Version

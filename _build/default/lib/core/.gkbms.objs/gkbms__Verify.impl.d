@@ -1,0 +1,1 @@
+lib/core/verify.ml: Decision Format Kernel Langs List Printf Repository Result Symbol

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Format Kernel Langs Prop Repository

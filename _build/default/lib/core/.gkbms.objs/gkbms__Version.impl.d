@@ -1,0 +1,1 @@
+lib/core/version.ml: Cml Decision Format Hashtbl Kernel Langs List Mapping Metamodel Printf Prop Repository Store String Symbol

@@ -1,0 +1,33 @@
+(** Selective backtracking of design decisions (§2.1, fig 2-4).
+
+    "The decision to choose associative keys must be retracted, together
+    with all its consequent changes, without redoing all the rest of the
+    design."  Retracting removes the decision instance, its outputs, and
+    transitively every decision that consumed those outputs — and nothing
+    else.  Predecessor versions (the [REPLACES] targets of removed
+    outputs) become current again. *)
+
+open Kernel
+
+type report = {
+  retracted_decisions : string list;  (** chronologically, first = argument *)
+  removed_objects : string list;
+  restored_objects : string list;  (** predecessor versions current again *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val retract : Repository.t -> Prop.id -> ?rationale:string -> unit ->
+  (report, string) result
+(** Retract the decision and its consequences, inside a transaction; the
+    retraction itself is documented as a [RetractDec] decision instance
+    whose rationale records what was undone. *)
+
+val unsupported_objects : Repository.t -> Prop.id list
+(** Design objects whose JTMS node is OUT although the object still
+    exists — the candidates a contradiction should retract (how the
+    Minutes conflict of fig 2-4 is surfaced). *)
+
+val suggest_culprit : Repository.t -> Prop.id option
+(** If the JTMS currently believes a contradiction, the decision whose
+    assumption dependency-directed backtracking would defeat. *)

@@ -1,0 +1,38 @@
+(** Assumption-based version contexts.
+
+    §3.3.3 proposes storing "redundant dependency information as the
+    basis of a reason maintenance system"; combined with the version
+    model of fig 3-4, an ATMS view of the decision history labels every
+    design-object *version* with the minimal sets of decisions under
+    which it exists.  Two decisions resting on mutually exclusive
+    assumptions (the associative-key choice vs. the Minutes mapping)
+    become a *nogood*, so the algebra of consistent decision sets is
+    exactly the space of alternative configurations. *)
+
+open Kernel
+
+type t
+
+val build : Repository.t -> t
+(** Mirror the current decision history: each executed decision is an
+    ATMS assumption; each design object is justified by its creating
+    decision and that decision's inputs; imported objects are premises;
+    each (assumption, defeater-asserting decision) pair found in the
+    JTMS records becomes a nogood. *)
+
+val decisions : t -> string list
+
+val label : t -> Prop.id -> string list list
+(** Minimal decision sets under which the object exists. *)
+
+val exists_under : t -> Prop.id -> string list -> bool
+val consistent : t -> string list -> bool
+val nogoods : t -> string list list
+
+val configuration_under : t -> string list -> Prop.id list
+(** All design objects derivable from (a consistent superset of) the
+    given decisions, sorted by name. *)
+
+val alternatives : t -> string list list
+(** The maximal consistent subsets of the decision history — fig 3-4's
+    alternative implementations. *)

@@ -1,0 +1,573 @@
+open Kernel
+module Kb = Cml.Kb
+module Repo = Repository
+module J = Tms.Jtms
+
+type menu_entry = {
+  decision_class : string;
+  role : string;
+  tools : string list;
+}
+
+let ( let* ) = Result.bind
+
+(* FROM/TO signature of a decision class: attribute propositions on the
+   class (or its generalizations) categorized under the metaclass FROM/TO
+   attribute. *)
+let signature repo dc kind =
+  let kb = Repo.kb repo in
+  let dc_id = Symbol.intern dc in
+  let classes = dc_id :: List.map Symbol.intern (List.map Symbol.name (Kb.isa_closure kb dc_id)) in
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun (p : Prop.t) ->
+          match Kb.category_of kb p.id with
+          | Some cat_attr -> (
+            match Kb.find kb cat_attr with
+            | Some cat_prop
+              when Symbol.equal cat_prop.Prop.label (Symbol.intern kind) ->
+              Some (Symbol.name p.label, p.dest)
+            | Some _ | None -> None)
+          | None -> None)
+        (Kb.attributes kb c))
+    classes
+
+let from_signature repo dc = signature repo dc Metamodel.from_cat
+let to_signature repo dc = signature repo dc Metamodel.to_cat
+
+(* role conformance, omega-level aware: an object fills a role typed by a
+   class when it instantiates it, or — when the role is typed by a
+   metaclass such as [DesignObject] — when one of its classes does *)
+let conforms repo ~inst ~cls =
+  let kb = Repo.kb repo in
+  Kb.is_instance kb ~inst ~cls
+  || List.exists
+       (fun c -> Kb.is_instance kb ~inst:c ~cls)
+       (Kb.classes_of kb inst)
+
+let decision_classes repo =
+  Kb.instances_of (Repo.kb repo) (Symbol.intern Metamodel.design_decision)
+
+let specificity repo dc =
+  List.length (Kb.isa_closure (Repo.kb repo) dc)
+
+let applicable repo focus =
+  let entries =
+    List.filter_map
+      (fun dc ->
+        let dc_name = Symbol.name dc in
+        let matching_roles =
+          List.filter
+            (fun (_, cls) -> conforms repo ~inst:focus ~cls)
+            (from_signature repo dc_name)
+        in
+        match matching_roles with
+        | [] -> None
+        | (role, _) :: _ ->
+          let tools =
+            List.map
+              (fun (tool : Repo.tool) -> tool.tool_name)
+              (Repo.tools_for repo dc_name)
+          in
+          Some (specificity repo dc, { decision_class = dc_name; role; tools }))
+      (decision_classes repo)
+  in
+  (* most specific decision classes first *)
+  List.map snd
+    (List.sort
+       (fun (sa, ea) (sb, eb) ->
+         if sa <> sb then compare sb sa
+         else String.compare ea.decision_class eb.decision_class)
+       entries)
+
+type executed = {
+  decision : Prop.id;
+  outputs : (string * Prop.id) list;
+  obligations : (string * [ `Open | `Guaranteed of string ]) list;
+}
+
+let check_inputs repo dc inputs =
+  let signature = from_signature repo dc in
+  let rec loop = function
+    | [] -> Ok ()
+    | (role, obj) :: rest -> (
+      match List.assoc_opt role signature with
+      | None ->
+        Error (Printf.sprintf "decision class %s has no FROM role %s" dc role)
+      | Some cls ->
+        if conforms repo ~inst:obj ~cls then loop rest
+        else
+          Error
+            (Printf.sprintf "input %s does not instantiate %s (role %s of %s)"
+               (Symbol.name obj) (Symbol.name cls) role dc))
+  in
+  if inputs = [] then Error "a decision needs at least one input object"
+  else loop inputs
+
+let check_outputs repo dc outputs =
+  let signature = to_signature repo dc in
+  let rec loop = function
+    | [] -> Ok ()
+    | (out : Repo.output) :: rest -> (
+      match List.assoc_opt out.role signature with
+      | None ->
+        Error (Printf.sprintf "decision class %s has no TO role %s" dc out.role)
+      | Some cls ->
+        if conforms repo ~inst:out.obj ~cls then loop rest
+        else
+          Error
+            (Printf.sprintf
+               "output %s does not instantiate %s (role %s of %s)"
+               (Symbol.name out.obj) (Symbol.name cls) out.role dc))
+  in
+  loop outputs
+
+let ensure_supported repo id =
+  (* imported objects (no creating decision) become JTMS premises *)
+  let j = Repo.jtms repo in
+  let node = J.node j (Symbol.name id) in
+  if J.justifications j node = [] then ignore (J.premise j node);
+  node
+
+let attach_text repo ~owner ~label ~suffix text =
+  let name = Printf.sprintf "%s!%s" owner suffix in
+  let* _ = Kb.declare (Repo.kb repo) name in
+  let* _ =
+    Kb.add_instanceof (Repo.kb repo) ~inst:name ~cls:Metamodel.text_object
+  in
+  Repo.set_artifact repo (Symbol.intern name) (Repo.Text text);
+  let* _ =
+    Kb.add_attribute (Repo.kb repo) ~source:owner ~label ~dest:name
+  in
+  Ok name
+
+let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
+    ?(assumptions = []) ?(asserts = []) () =
+  let kb = Repo.kb repo in
+  let base = Kb.base kb in
+  if not (Kb.exists kb decision_class) then
+    Error (Printf.sprintf "unknown decision class %s" decision_class)
+  else
+    match Repo.find_tool repo tool with
+    | None -> Error (Printf.sprintf "unknown tool %s" tool)
+    | Some tool_spec ->
+      let dc_and_supers =
+        decision_class
+        :: List.map Symbol.name
+             (Kb.isa_closure kb (Symbol.intern decision_class))
+      in
+      if not (List.mem tool_spec.executes dc_and_supers) then
+        Error
+          (Printf.sprintf "tool %s executes %s, not %s" tool
+             tool_spec.executes decision_class)
+      else
+        let* () = check_inputs repo decision_class inputs in
+        ignore (Repo.drain_changes repo);
+        Store.Base.begin_tx base;
+        let added_justs = ref [] in
+        let rollback err =
+          (match Store.Base.rollback base with Ok () -> () | Error _ -> ());
+          List.iter (J.retract (Repo.jtms repo)) !added_justs;
+          Error err
+        in
+        let result =
+          let* outputs = tool_spec.run repo ~inputs ~params in
+          let* () = check_outputs repo decision_class outputs in
+          (* the decision instance and its links *)
+          let dec_name = Repo.fresh_decision_id repo in
+          let* dec_id = Kb.declare kb dec_name in
+          let* _ = Kb.add_instanceof kb ~inst:dec_name ~cls:decision_class in
+          let* () =
+            List.fold_left
+              (fun acc (role, obj) ->
+                let* () = acc in
+                let* _ =
+                  Kb.add_attribute kb ~category:role ~source:dec_name
+                    ~label:role ~dest:(Symbol.name obj)
+                in
+                Ok ())
+              (Ok ()) inputs
+          in
+          let* () =
+            List.fold_left
+              (fun acc (out : Repo.output) ->
+                let* () = acc in
+                let* _ =
+                  Kb.add_attribute kb ~category:out.role ~source:dec_name
+                    ~label:out.role ~dest:(Symbol.name out.obj)
+                in
+                (* conversely, the output is justified by the decision *)
+                let* _ =
+                  Kb.add_attribute kb ~source:(Symbol.name out.obj)
+                    ~label:Metamodel.justification_cat ~dest:dec_name
+                in
+                Ok ())
+              (Ok ()) outputs
+          in
+          let* _ =
+            Kb.add_attribute kb ~category:Metamodel.by_cat ~source:dec_name
+              ~label:"by" ~dest:tool
+          in
+          let* () =
+            if rationale = "" then Ok ()
+            else
+              let* _ =
+                attach_text repo ~owner:dec_name ~label:"rationale"
+                  ~suffix:"rationale" rationale
+              in
+              Ok ()
+          in
+          (* verification obligations *)
+          let obligations =
+            List.map
+              (fun ob ->
+                if List.mem ob tool_spec.guarantees then
+                  (ob, `Guaranteed tool)
+                else (ob, `Open))
+              (List.concat_map Metamodel.obligations_of dc_and_supers)
+          in
+          let* () =
+            List.fold_left
+              (fun acc (ob, status) ->
+                let* () = acc in
+                let text =
+                  match status with
+                  | `Open -> "open"
+                  | `Guaranteed tool -> "guaranteed by " ^ tool
+                in
+                let* _ =
+                  attach_text repo ~owner:dec_name ~label:"obligation"
+                    ~suffix:("ob!" ^ ob) text
+                in
+                Ok ())
+              (Ok ()) obligations
+          in
+          (* reason maintenance: inputs + assumptions |- decision |- outputs *)
+          let j = Repo.jtms repo in
+          let input_nodes = List.map (fun (_, i) -> ensure_supported repo i) inputs in
+          let assumption_nodes =
+            List.map
+              (fun (asm, defeater) ->
+                let asm_node = J.node j asm in
+                let defeater_node = J.node j defeater in
+                added_justs :=
+                  J.justify j ~outlist:[ defeater_node ]
+                    ~reason:(Printf.sprintf "assumption %s (unless %s)" asm defeater)
+                    asm_node
+                  :: !added_justs;
+                asm_node)
+              assumptions
+          in
+          let dec_node = J.node j dec_name in
+          added_justs :=
+            J.justify j
+              ~inlist:(input_nodes @ assumption_nodes)
+              ~reason:(Printf.sprintf "decision %s (%s by %s)" dec_name decision_class tool)
+              dec_node
+            :: !added_justs;
+          List.iter
+            (fun (out : Repo.output) ->
+              added_justs :=
+                J.justify j ~inlist:[ dec_node ]
+                  ~reason:(Printf.sprintf "%s created by %s" (Symbol.name out.obj) dec_name)
+                  (J.node j (Symbol.name out.obj))
+                :: !added_justs)
+            outputs;
+          (* facts the decision establishes — typically the defeaters of
+             earlier assumptions ("other subclasses of Papers exist") *)
+          List.iter
+            (fun fact ->
+              added_justs :=
+                J.justify j ~inlist:[ dec_node ]
+                  ~reason:(Printf.sprintf "%s established by %s" fact dec_name)
+                  (J.node j fact)
+                :: !added_justs)
+            asserts;
+          (* record tool parameters so the decision can be replayed *)
+          let* () =
+            if params = [] then Ok ()
+            else
+              let text =
+                String.concat ";"
+                  (List.map (fun (k, v) -> k ^ "=" ^ v) params)
+              in
+              let* _ =
+                attach_text repo ~owner:dec_name ~label:"params"
+                  ~suffix:"params" text
+              in
+              Ok ()
+          in
+          (* record assumptions and asserted facts so the reason
+             maintenance can be rebuilt after persistence *)
+          let* () =
+            if assumptions = [] then Ok ()
+            else
+              let text =
+                String.concat ";"
+                  (List.map (fun (a, d) -> a ^ "=" ^ d) assumptions)
+              in
+              let* _ =
+                attach_text repo ~owner:dec_name ~label:"assumptions"
+                  ~suffix:"assumptions" text
+              in
+              Ok ()
+          in
+          let* () =
+            if asserts = [] then Ok ()
+            else
+              let* _ =
+                attach_text repo ~owner:dec_name ~label:"asserts"
+                  ~suffix:"asserts" (String.concat ";" asserts)
+              in
+              Ok ()
+          in
+          (* set-oriented consistency check over the delta *)
+          let delta = Repo.drain_changes repo in
+          match Cml.Consistency.check_delta kb delta with
+          | [] ->
+            Repo.log_decision repo dec_id;
+            Repo.record_justifications repo dec_id !added_justs;
+            Ok
+              {
+                decision = dec_id;
+                outputs = List.map (fun (o : Repo.output) -> (o.role, o.obj)) outputs;
+                obligations;
+              }
+          | violations ->
+            Error
+              (Format.asprintf "decision rejected, KB would become inconsistent:@ %a"
+                 (Format.pp_print_list Cml.Consistency.pp_violation)
+                 violations)
+        in
+        (match result with
+        | Ok executed -> (
+          match Store.Base.commit base with
+          | Ok () -> Ok executed
+          | Error e -> rollback e)
+        | Error e -> rollback e)
+
+let obligation_objects repo dec =
+  let kb = Repo.kb repo in
+  List.filter_map
+    (fun (p : Prop.t) ->
+      if Symbol.equal p.label (Symbol.intern "obligation") then Some p.dest
+      else None)
+    (Kb.attributes kb dec)
+
+let open_obligations repo dec =
+  List.filter_map
+    (fun ob_id ->
+      match Repo.artifact repo ob_id with
+      | Some (Repo.Text "open") ->
+        (* name after the last "ob!" marker *)
+        let n = Symbol.name ob_id in
+        let marker = "ob!" in
+        let idx =
+          let rec find i =
+            if i + String.length marker > String.length n then None
+            else if String.sub n i (String.length marker) = marker then Some i
+            else find (i + 1)
+          in
+          find 0
+        in
+        (match idx with
+        | Some i -> Some (String.sub n (i + 3) (String.length n - i - 3))
+        | None -> Some n)
+      | Some _ | None -> None)
+    (obligation_objects repo dec)
+
+let discharge_obligation repo ~decision ~obligation ~how =
+  let target =
+    List.find_opt
+      (fun ob_id ->
+        let n = Symbol.name ob_id in
+        let suffix = "ob!" ^ obligation in
+        String.length n >= String.length suffix
+        && String.sub n (String.length n - String.length suffix)
+             (String.length suffix)
+           = suffix)
+      (obligation_objects repo decision)
+  in
+  match target with
+  | None ->
+    Error
+      (Printf.sprintf "decision %s has no obligation %s" (Symbol.name decision)
+         obligation)
+  | Some ob_id -> (
+    match Repo.artifact repo ob_id with
+    | Some (Repo.Text "open") ->
+      Repo.set_artifact repo ob_id (Repo.Text how);
+      Ok ()
+    | Some (Repo.Text other) ->
+      Error (Printf.sprintf "obligation already discharged (%s)" other)
+    | Some _ | None -> Error "obligation object has no status")
+
+let sign_obligation repo ~decision ~obligation ~by =
+  discharge_obligation repo ~decision ~obligation ~how:("signed by " ^ by)
+
+(* role classification of a decision instance's links ------------------- *)
+
+let role_kind repo dec_class_id role =
+  let kb = Repo.kb repo in
+  let classes = dec_class_id :: List.map (fun s -> s) (Kb.isa_closure kb dec_class_id) in
+  let rec search = function
+    | [] -> `Other
+    | c :: rest -> (
+      let attrs =
+        List.filter
+          (fun (p : Prop.t) -> Symbol.equal p.label (Symbol.intern role))
+          (Kb.attributes kb c)
+      in
+      match attrs with
+      | p :: _ -> (
+        match Kb.category_of kb p.id with
+        | Some cat -> (
+          match Kb.find kb cat with
+          | Some cp when Symbol.equal cp.Prop.label (Symbol.intern Metamodel.from_cat)
+            -> `Input
+          | Some cp when Symbol.equal cp.Prop.label (Symbol.intern Metamodel.to_cat)
+            -> `Output
+          | Some _ | None -> `Other)
+        | None -> `Other)
+      | [] -> search rest)
+  in
+  search classes
+
+let decision_class_of repo dec =
+  let kb = Repo.kb repo in
+  match Kb.classes_of kb dec with
+  | c :: _ -> Some (Symbol.name c)
+  | [] -> None
+
+let links_of_kind repo dec kind =
+  let kb = Repo.kb repo in
+  match Kb.classes_of kb dec with
+  | [] -> []
+  | dc :: _ ->
+    List.filter_map
+      (fun (p : Prop.t) ->
+        let role = Symbol.name p.label in
+        if role = "by" || role = "rationale" || role = "obligation" then None
+        else if role_kind repo dc role = kind then Some (role, p.dest)
+        else None)
+      (Kb.attributes kb dec)
+
+let inputs_of repo dec = links_of_kind repo dec `Input
+let outputs_of repo dec = links_of_kind repo dec `Output
+
+let tool_of repo dec =
+  match Kb.attribute_values (Repo.kb repo) dec "by" with
+  | tool :: _ -> Some (Symbol.name tool)
+  | [] -> None
+
+let params_of repo dec =
+  match Kb.attribute_values (Repo.kb repo) dec "params" with
+  | text_id :: _ -> (
+    match Repo.artifact repo text_id with
+    | Some (Repo.Text s) ->
+      List.filter_map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i ->
+            Some
+              ( String.sub kv 0 i,
+                String.sub kv (i + 1) (String.length kv - i - 1) )
+          | None -> None)
+        (String.split_on_char ';' s)
+    | Some _ | None -> [])
+  | [] -> []
+
+let assumptions_of repo dec =
+  match Kb.attribute_values (Repo.kb repo) dec "assumptions" with
+  | text_id :: _ -> (
+    match Repo.artifact repo text_id with
+    | Some (Repo.Text s) ->
+      List.filter_map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i ->
+            Some
+              ( String.sub kv 0 i,
+                String.sub kv (i + 1) (String.length kv - i - 1) )
+          | None -> None)
+        (String.split_on_char ';' s)
+    | Some _ | None -> [])
+  | [] -> []
+
+let asserts_of repo dec =
+  match Kb.attribute_values (Repo.kb repo) dec "asserts" with
+  | text_id :: _ -> (
+    match Repo.artifact repo text_id with
+    | Some (Repo.Text s) ->
+      List.filter (fun x -> x <> "") (String.split_on_char ';' s)
+    | Some _ | None -> [])
+  | [] -> []
+
+let rationale_of repo dec =
+  match Kb.attribute_values (Repo.kb repo) dec "rationale" with
+  | text_id :: _ -> (
+    match Repo.artifact repo text_id with
+    | Some (Repo.Text s) -> Some s
+    | Some _ | None -> None)
+  | [] -> None
+
+(* Rebuild the reason-maintenance mirror from the recorded decision
+   history (used after loading a persisted repository). *)
+let rebuild_jtms repo =
+  let j = Repo.jtms repo in
+  List.iter
+    (fun dec ->
+      let dec_name = Symbol.name dec in
+      let inputs = inputs_of repo dec in
+      let outputs = outputs_of repo dec in
+      let assumptions = assumptions_of repo dec in
+      let asserts = asserts_of repo dec in
+      let added = ref [] in
+      let input_nodes = List.map (fun (_, i) -> ensure_supported repo i) inputs in
+      let assumption_nodes =
+        List.map
+          (fun (asm, defeater) ->
+            let asm_node = J.node j asm in
+            let defeater_node = J.node j defeater in
+            added :=
+              J.justify j ~outlist:[ defeater_node ]
+                ~reason:(Printf.sprintf "assumption %s (unless %s)" asm defeater)
+                asm_node
+              :: !added;
+            asm_node)
+          assumptions
+      in
+      let dec_node = J.node j dec_name in
+      added :=
+        J.justify j
+          ~inlist:(input_nodes @ assumption_nodes)
+          ~reason:(Printf.sprintf "decision %s (rebuilt)" dec_name)
+          dec_node
+        :: !added;
+      List.iter
+        (fun (_, out) ->
+          added :=
+            J.justify j ~inlist:[ dec_node ]
+              ~reason:
+                (Printf.sprintf "%s created by %s" (Symbol.name out) dec_name)
+              (J.node j (Symbol.name out))
+            :: !added)
+        outputs;
+      List.iter
+        (fun fact ->
+          added :=
+            J.justify j ~inlist:[ dec_node ]
+              ~reason:(Printf.sprintf "%s established by %s" fact dec_name)
+              (J.node j fact)
+            :: !added)
+        asserts;
+      Repo.record_justifications repo dec !added)
+    (Repo.decision_log repo)
+
+let justifying_decision repo obj =
+  match
+    Kb.attribute_values (Repo.kb repo) obj Metamodel.justification_cat
+  with
+  | dec :: _ -> Some dec
+  | [] -> None

@@ -1,0 +1,23 @@
+(** The design explanation facility planned for DAIDA's second stage
+    (§3.3.3): answering why a design object exists (its justifying
+    decisions, tools and rationales, transitively) and summarizing a
+    decision for review. *)
+
+open Kernel
+
+type why_step = {
+  step_object : Prop.id;
+  step_decision : Prop.id option;
+  step_tool : string option;
+  step_rationale : string option;
+}
+
+val why : Repository.t -> Prop.id -> why_step list
+(** The justification chain of an object, from the object back to
+    premises (objects with no creating decision). *)
+
+val pp_why : Format.formatter -> why_step list -> unit
+
+val explain_decision : Repository.t -> Prop.id -> (string, string) result
+(** A textual dossier: class, tool, inputs, outputs, rationale,
+    obligations and their status, plus the JTMS support trail. *)

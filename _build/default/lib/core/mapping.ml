@@ -1,0 +1,631 @@
+open Kernel
+module Tdl = Langs.Taxis_dl
+module Dbpl = Langs.Dbpl
+module Repo = Repository
+module Kb = Cml.Kb
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Naming                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* "Papers" -> "Paper", "Invitations" -> "Invitation" *)
+let singular name =
+  let n = String.length name in
+  if n > 1 && name.[n - 1] = 's' then String.sub name 0 (n - 1) else name
+
+let rel_name_of cls = singular cls ^ "Rel"
+let rec_name_of cls = singular cls ^ "Type"
+
+let surrogate_field root = String.lowercase_ascii (singular root) ^ "key"
+
+(* root of the hierarchy a class belongs to (first supers chain) *)
+let rec hierarchy_root design cls_name =
+  match Tdl.find_class design cls_name with
+  | Some { Tdl.supers = s :: _; _ } -> hierarchy_root design s
+  | Some _ | None -> cls_name
+
+let next_version_name repo base =
+  let kb = Repo.kb repo in
+  if not (Kb.exists kb base) then base
+  else
+    let rec try_n n =
+      let candidate = Printf.sprintf "%s%d" base n in
+      if Kb.exists kb candidate then try_n (n + 1) else candidate
+    in
+    try_n 2
+
+(* strip a trailing version number: "InvitationRel2" -> "InvitationRel" *)
+let version_base name =
+  let n = String.length name in
+  let rec first_digit i =
+    if i = 0 then n
+    else if name.[i - 1] >= '0' && name.[i - 1] <= '9' then first_digit (i - 1)
+    else i
+  in
+  let cut = first_digit n in
+  if cut = n then name else String.sub name 0 cut
+
+(* ------------------------------------------------------------------ *)
+(* Class -> relation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let field_of_attr (a : Tdl.attribute) =
+  match a.kind with
+  | Tdl.Single -> Dbpl.field a.attr_name (Dbpl.Named a.target)
+  | Tdl.SetOf -> Dbpl.field a.attr_name (Dbpl.SetOf (Dbpl.Named a.target))
+
+let relation_of_class design (cls : Tdl.entity_class) =
+  let fields = List.map field_of_attr (Tdl.all_attrs design cls) in
+  if cls.key <> [] then
+    Dbpl.relation ~key:cls.key ~name:(rel_name_of cls.cls_name)
+      ~rec_name:(rec_name_of cls.cls_name) fields
+  else
+    (* TaxisDL objects have identity, not keys: introduce a surrogate *)
+    let root = hierarchy_root design cls.cls_name in
+    let skey = surrogate_field root in
+    Dbpl.relation ~key:[ skey ]
+      ~name:(rel_name_of cls.cls_name)
+      ~rec_name:(rec_name_of cls.cls_name)
+      (Dbpl.field skey Dbpl.Surrogate :: fields)
+
+(* ------------------------------------------------------------------ *)
+(* Loading a TaxisDL design into the repository                        *)
+(* ------------------------------------------------------------------ *)
+
+let load_design repo (design : Tdl.design) =
+  let kb = Repo.kb repo in
+  let* () =
+    match Tdl.validate design with
+    | Ok () -> Ok ()
+    | Error es -> Error (String.concat "; " es)
+  in
+  let* design_id =
+    Repo.new_object repo ~name:design.design_name ~cls:Metamodel.tdl_object
+      (Repo.Tdl_design design)
+  in
+  let* () =
+    List.fold_left
+      (fun acc (cls : Tdl.entity_class) ->
+        let* () = acc in
+        let* _ =
+          Repo.new_object repo ~name:cls.cls_name
+            ~cls:Metamodel.tdl_entity_class (Repo.Tdl_class cls)
+        in
+        Ok ())
+      (Ok ()) design.classes
+  in
+  (* IsA links between the class design objects, for browsing *)
+  let* () =
+    List.fold_left
+      (fun acc (cls : Tdl.entity_class) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc super ->
+            let* () = acc in
+            let* _ = Kb.add_isa kb ~sub:cls.cls_name ~super in
+            Ok ())
+          (Ok ()) cls.supers)
+      (Ok ()) design.classes
+  in
+  let* () =
+    List.fold_left
+      (fun acc (tx : Tdl.transaction) ->
+        let* () = acc in
+        let* _ =
+          Repo.new_object repo ~name:tx.tx_name ~cls:Metamodel.tdl_transaction
+            (Repo.Tdl_tx tx)
+        in
+        Ok ())
+      (Ok ()) design.transactions
+  in
+  Ok design_id
+
+(* ------------------------------------------------------------------ *)
+(* Mapping strategies                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let subtree design root =
+  match Tdl.find_class design root with
+  | None -> Error (Printf.sprintf "no class %s in the design" root)
+  | Some root_cls ->
+    let rec collect (cls : Tdl.entity_class) =
+      cls :: List.concat_map collect (Tdl.subclasses design cls.cls_name)
+    in
+    Ok (collect root_cls)
+
+let distribute repo ~design ~root =
+  let* classes = subtree design root in
+  List.fold_left
+    (fun acc (cls : Tdl.entity_class) ->
+      let* outs = acc in
+      let rel = relation_of_class design cls in
+      let name = next_version_name repo rel.Dbpl.rel_name in
+      let* id =
+        Repo.new_object repo ~name ~cls:Metamodel.dbpl_rel
+          (Repo.Dbpl_rel { rel with Dbpl.rel_name = name })
+      in
+      Ok (("relation", id) :: outs))
+    (Ok []) classes
+  |> Result.map List.rev
+
+let move_down repo ~design ~root =
+  let* classes = subtree design root in
+  let leaf_names = List.map (fun c -> c.Tdl.cls_name) (Tdl.leaves design root) in
+  let is_leaf c = List.mem c.Tdl.cls_name leaf_names in
+  let leaves, inners = List.partition is_leaf classes in
+  (* leaves become relations *)
+  let* leaf_outs =
+    List.fold_left
+      (fun acc (cls : Tdl.entity_class) ->
+        let* outs = acc in
+        let rel = relation_of_class design cls in
+        let name = next_version_name repo rel.Dbpl.rel_name in
+        let* id =
+          Repo.new_object repo ~name ~cls:Metamodel.dbpl_rel
+            (Repo.Dbpl_rel { rel with Dbpl.rel_name = name })
+        in
+        Ok ((cls.Tdl.cls_name, ("relation", id)) :: outs))
+      (Ok []) leaves
+  in
+  let rel_name_of_leaf leaf =
+    match List.assoc_opt leaf leaf_outs with
+    | Some (_, id) -> Symbol.name id
+    | None -> rel_name_of leaf
+  in
+  (* inner classes become constructors over their leaves *)
+  let* inner_outs =
+    List.fold_left
+      (fun acc (cls : Tdl.entity_class) ->
+        let* outs = acc in
+        let own_attrs = Tdl.all_attrs design cls in
+        let skey =
+          if cls.Tdl.key <> [] then []
+          else [ surrogate_field (hierarchy_root design cls.Tdl.cls_name) ]
+        in
+        let projected = skey @ List.map (fun a -> a.Tdl.attr_name) own_attrs in
+        let sub_leaves = Tdl.leaves design cls.Tdl.cls_name in
+        let union =
+          match sub_leaves with
+          | [] -> Dbpl.Rel (rel_name_of cls.Tdl.cls_name)
+          | first :: rest ->
+            List.fold_left
+              (fun acc (leaf : Tdl.entity_class) ->
+                Dbpl.Union
+                  ( acc,
+                    Dbpl.Project
+                      (Dbpl.Rel (rel_name_of_leaf leaf.Tdl.cls_name), projected)
+                  ))
+              (Dbpl.Project
+                 (Dbpl.Rel (rel_name_of_leaf first.Tdl.cls_name), projected))
+              rest
+        in
+        let con_fields =
+          (match skey with
+          | [] -> []
+          | s -> List.map (fun k -> Dbpl.field k Dbpl.Surrogate) s)
+          @ List.map field_of_attr own_attrs
+        in
+        let name = next_version_name repo ("Cons" ^ singular cls.Tdl.cls_name) in
+        let con = { Dbpl.con_name = name; con_fields; def = union } in
+        let* id =
+          Repo.new_object repo ~name ~cls:Metamodel.dbpl_constructor
+            (Repo.Dbpl_con con)
+        in
+        Ok (("constructor", id) :: outs))
+      (Ok []) inners
+  in
+  Ok (List.map snd (List.rev leaf_outs) @ List.rev inner_outs)
+
+(* ------------------------------------------------------------------ *)
+(* Normalization (fig 2-3)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let capitalize = String.capitalize_ascii
+
+let normalize repo ~rel =
+  match Repo.artifact repo rel with
+  | Some (Repo.Dbpl_rel r) -> (
+    match Dbpl.set_valued_fields r with
+    | [] ->
+      Error
+        (Printf.sprintf "relation %s has no set-valued field to normalize"
+           r.Dbpl.rel_name)
+    | f :: _ ->
+      let elem_ty =
+        match f.Dbpl.field_ty with Dbpl.SetOf t -> t | t -> t
+      in
+      let base = version_base r.Dbpl.rel_name in
+      let short =
+        (* "InvitationRel" -> "Invitation" *)
+        if String.length base > 3 && String.sub base (String.length base - 3) 3 = "Rel"
+        then String.sub base 0 (String.length base - 3)
+        else base
+      in
+      let keep_fields =
+        List.filter (fun g -> g.Dbpl.field_name <> f.Dbpl.field_name) r.Dbpl.fields
+      in
+      let norm_name = next_version_name repo base in
+      let norm =
+        {
+          r with
+          Dbpl.rel_name = norm_name;
+          rec_name = rec_name_of (norm_name ^ "s");
+          fields = keep_fields;
+        }
+      in
+      let key_fields =
+        List.filter
+          (fun g -> List.mem g.Dbpl.field_name r.Dbpl.key)
+          r.Dbpl.fields
+      in
+      let child_name =
+        next_version_name repo (short ^ capitalize f.Dbpl.field_name ^ "Rel")
+      in
+      let child =
+        Dbpl.relation
+          ~key:(r.Dbpl.key @ [ f.Dbpl.field_name ])
+          ~name:child_name
+          ~rec_name:(child_name ^ "Type")
+          (key_fields @ [ Dbpl.field f.Dbpl.field_name elem_ty ])
+      in
+      let sel_name =
+        next_version_name repo (short ^ capitalize f.Dbpl.field_name ^ "IC")
+      in
+      let key_eqs =
+        String.concat " AND "
+          (List.map (fun k -> Printf.sprintf "r.%s = r2.%s" k k) r.Dbpl.key)
+      in
+      let sel =
+        {
+          Dbpl.sel_name;
+          ranges = [ ("r2", child_name) ];
+          predicate = Printf.sprintf "SOME r IN %s (%s)" norm_name key_eqs;
+          sem =
+            Some
+              (Dbpl.Ref_integrity
+                 { child = child_name; parent = norm_name; key = r.Dbpl.key });
+        }
+      in
+      let con_name = next_version_name repo ("Cons" ^ short) in
+      let con =
+        {
+          Dbpl.con_name;
+          con_fields = r.Dbpl.fields;
+          def =
+            Dbpl.Nest
+              ( Dbpl.NatJoin (Dbpl.Rel norm_name, Dbpl.Rel child_name),
+                [ f.Dbpl.field_name ],
+                f.Dbpl.field_name );
+        }
+      in
+      let* norm_id =
+        Repo.new_object repo ~name:norm_name ~replaces:rel
+          ~cls:Metamodel.dbpl_rel_normalized (Repo.Dbpl_rel norm)
+      in
+      let* child_id =
+        Repo.new_object repo ~name:child_name
+          ~cls:Metamodel.dbpl_rel_normalized (Repo.Dbpl_rel child)
+      in
+      let* sel_id =
+        Repo.new_object repo ~name:sel_name ~cls:Metamodel.dbpl_selector
+          (Repo.Dbpl_sel sel)
+      in
+      let* con_id =
+        Repo.new_object repo ~name:con_name ~cls:Metamodel.dbpl_constructor
+          (Repo.Dbpl_con con)
+      in
+      Ok
+        [
+          { Repo.role = "normalized"; obj = norm_id; replaces = Some rel };
+          { Repo.role = "normalized"; obj = child_id; replaces = None };
+          { Repo.role = "selector"; obj = sel_id; replaces = None };
+          { Repo.role = "constructor"; obj = con_id; replaces = None };
+        ])
+  | Some _ -> Error (Printf.sprintf "%s is not a relation" (Symbol.name rel))
+  | None -> Error (Printf.sprintf "no artifact for %s" (Symbol.name rel))
+
+(* ------------------------------------------------------------------ *)
+(* Key substitution (figs 2-3/2-4)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec rewrite_expr old_rel new_rel old_key new_key = function
+  | Dbpl.Rel n -> Dbpl.Rel (if n = old_rel then new_rel else n)
+  | Dbpl.Project (e, fields) ->
+    let fields =
+      List.concat_map
+        (fun f -> if f = old_key then new_key else [ f ])
+        fields
+    in
+    Dbpl.Project (rewrite_expr old_rel new_rel old_key new_key e, fields)
+  | Dbpl.SelectEq (e, f, v) ->
+    Dbpl.SelectEq (rewrite_expr old_rel new_rel old_key new_key e, f, v)
+  | Dbpl.NatJoin (a, b) ->
+    Dbpl.NatJoin
+      ( rewrite_expr old_rel new_rel old_key new_key a,
+        rewrite_expr old_rel new_rel old_key new_key b )
+  | Dbpl.Union (a, b) ->
+    Dbpl.Union
+      ( rewrite_expr old_rel new_rel old_key new_key a,
+        rewrite_expr old_rel new_rel old_key new_key b )
+  | Dbpl.Nest (e, fields, as_field) ->
+    Dbpl.Nest (rewrite_expr old_rel new_rel old_key new_key e, fields, as_field)
+
+let mentions_rel repo obj rel_name =
+  match Repo.artifact repo obj with
+  | Some (Repo.Dbpl_con c) -> List.mem rel_name (Dbpl.rel_expr_sources c.Dbpl.def)
+  | Some (Repo.Dbpl_sel s) ->
+    List.exists (fun (_, r) -> r = rel_name) s.Dbpl.ranges
+    ||
+    (* the predicate may reference it textually *)
+    (let hay = s.Dbpl.predicate and needle = rel_name in
+     let nl = String.length needle and hl = String.length hay in
+     let rec loop i = i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1)) in
+     loop 0)
+  | Some _ | None -> false
+
+let replace_in_string ~needle ~by hay =
+  let nl = String.length needle in
+  if nl = 0 then hay
+  else begin
+    let buf = Buffer.create (String.length hay) in
+    let i = ref 0 in
+    while !i < String.length hay do
+      if
+        !i + nl <= String.length hay
+        && String.sub hay !i nl = needle
+      then begin
+        Buffer.add_string buf by;
+        i := !i + nl
+      end
+      else begin
+        Buffer.add_char buf hay.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+let key_subst repo ~rel ~new_key =
+  match Repo.artifact repo rel with
+  | Some (Repo.Dbpl_rel r) -> (
+    let surrogate_keys =
+      List.filter
+        (fun k ->
+          match List.find_opt (fun f -> f.Dbpl.field_name = k) r.Dbpl.fields with
+          | Some { Dbpl.field_ty = Dbpl.Surrogate; _ } -> true
+          | Some _ | None -> false)
+        r.Dbpl.key
+    in
+    match surrogate_keys with
+    | [] ->
+      Error
+        (Printf.sprintf "relation %s has no surrogate key to substitute"
+           r.Dbpl.rel_name)
+    | old_key :: _ ->
+      let available =
+        List.filter_map
+          (fun f ->
+            match f.Dbpl.field_ty with
+            | Dbpl.SetOf _ -> None
+            | Dbpl.Named _ | Dbpl.Surrogate -> Some f.Dbpl.field_name)
+          r.Dbpl.fields
+      in
+      let missing = List.filter (fun k -> not (List.mem k available)) new_key in
+      if missing <> [] then
+        Error
+          (Printf.sprintf "key fields not present in %s: %s" r.Dbpl.rel_name
+             (String.concat ", " missing))
+      else begin
+        let base = version_base r.Dbpl.rel_name in
+        let new_name = next_version_name repo base in
+        let rekeyed =
+          {
+            r with
+            Dbpl.rel_name = new_name;
+            fields =
+              List.filter (fun f -> f.Dbpl.field_name <> old_key) r.Dbpl.fields;
+            key = new_key;
+          }
+        in
+        let* rekeyed_id =
+          Repo.new_object repo ~name:new_name ~replaces:rel
+            ~cls:Metamodel.dbpl_rel (Repo.Dbpl_rel rekeyed)
+        in
+        (* new versions of the dependents (constructors, selectors) *)
+        let dependents =
+          List.filter
+            (fun obj -> mentions_rel repo obj r.Dbpl.rel_name)
+            (Repo.objects_of_class repo Metamodel.dbpl_object)
+        in
+        let* revised =
+          List.fold_left
+            (fun acc dep ->
+              let* outs = acc in
+              match Repo.artifact repo dep with
+              | Some (Repo.Dbpl_con c) ->
+                let name = next_version_name repo (version_base c.Dbpl.con_name) in
+                let revised_con =
+                  {
+                    Dbpl.con_name = name;
+                    con_fields =
+                      List.concat_map
+                        (fun f ->
+                          if f.Dbpl.field_name = old_key then
+                            List.filter
+                              (fun g -> List.mem g.Dbpl.field_name new_key)
+                              r.Dbpl.fields
+                          else [ f ])
+                        c.Dbpl.con_fields;
+                    def =
+                      rewrite_expr r.Dbpl.rel_name new_name old_key new_key
+                        c.Dbpl.def;
+                  }
+                in
+                let* id =
+                  Repo.new_object repo ~name ~replaces:dep
+                    ~cls:Metamodel.dbpl_constructor (Repo.Dbpl_con revised_con)
+                in
+                Ok ({ Repo.role = "revision"; obj = id; replaces = Some dep } :: outs)
+              | Some (Repo.Dbpl_sel s) ->
+                let name = next_version_name repo (version_base s.Dbpl.sel_name) in
+                let subst text =
+                  replace_in_string ~needle:r.Dbpl.rel_name ~by:new_name
+                    (replace_in_string ~needle:old_key
+                       ~by:(String.concat ", " new_key) text)
+                in
+                let subst_name n = if n = r.Dbpl.rel_name then new_name else n in
+                let subst_key ks =
+                  List.concat_map
+                    (fun k -> if k = old_key then new_key else [ k ])
+                    ks
+                in
+                let revised_sel =
+                  {
+                    Dbpl.sel_name = name;
+                    ranges =
+                      List.map (fun (v, rng) -> (v, subst_name rng)) s.Dbpl.ranges;
+                    predicate = subst s.Dbpl.predicate;
+                    sem =
+                      (match s.Dbpl.sem with
+                      | Some (Dbpl.Ref_integrity { child; parent; key }) ->
+                        Some
+                          (Dbpl.Ref_integrity
+                             {
+                               child = subst_name child;
+                               parent = subst_name parent;
+                               key = subst_key key;
+                             })
+                      | Some (Dbpl.Key_unique { rel; key }) ->
+                        Some
+                          (Dbpl.Key_unique
+                             { rel = subst_name rel; key = subst_key key })
+                      | None -> None);
+                  }
+                in
+                let* id =
+                  Repo.new_object repo ~name ~replaces:dep
+                    ~cls:Metamodel.dbpl_selector (Repo.Dbpl_sel revised_sel)
+                in
+                Ok ({ Repo.role = "revision"; obj = id; replaces = Some dep } :: outs)
+              | Some _ | None -> Ok outs)
+            (Ok []) dependents
+        in
+        Ok
+          ({ Repo.role = "rekeyed"; obj = rekeyed_id; replaces = Some rel }
+          :: List.rev revised)
+      end)
+  | Some _ -> Error (Printf.sprintf "%s is not a relation" (Symbol.name rel))
+  | None -> Error (Printf.sprintf "no artifact for %s" (Symbol.name rel))
+
+(* ------------------------------------------------------------------ *)
+(* Tool registration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mapping_tool_distribute = "DistributeMapper"
+let mapping_tool_move_down = "MoveDownMapper"
+let normalize_tool = "Normalizer"
+let key_subst_tool = "KeyEditor"
+let editor_tool = "Editor"
+
+let design_of_params repo params =
+  match List.assoc_opt "design" params with
+  | None -> Error "mapping tools need a 'design' parameter"
+  | Some name -> (
+    match Repo.artifact repo (Symbol.intern name) with
+    | Some (Repo.Tdl_design d) -> Ok d
+    | Some _ -> Error (Printf.sprintf "%s is not a TaxisDL design" name)
+    | None -> Error (Printf.sprintf "no design %s" name))
+
+let entity_input inputs =
+  match List.assoc_opt "entity" inputs with
+  | Some obj -> Ok obj
+  | None -> Error "mapping tools need an 'entity' input"
+
+let run_mapping strategy repo ~inputs ~params =
+  let* design = design_of_params repo params in
+  let* entity = entity_input inputs in
+  let* pairs = strategy repo ~design ~root:(Symbol.name entity) in
+  Ok
+    (List.map
+       (fun (role, obj) -> { Repo.role; obj; replaces = None })
+       pairs)
+
+let run_normalize repo ~inputs ~params =
+  ignore params;
+  match List.assoc_opt "relation" inputs with
+  | Some rel -> normalize repo ~rel
+  | None -> Error "the normalizer needs a 'relation' input"
+
+let run_key_subst repo ~inputs ~params =
+  match List.assoc_opt "relation" inputs with
+  | None -> Error "key substitution needs a 'relation' input"
+  | Some rel -> (
+    match List.assoc_opt "key" params with
+    | None -> Error "key substitution needs a 'key' parameter (comma-separated)"
+    | Some key ->
+      let new_key =
+        List.filter (fun s -> s <> "") (String.split_on_char ',' key)
+        |> List.map String.trim
+      in
+      key_subst repo ~rel ~new_key)
+
+let run_editor repo ~inputs ~params =
+  (* the most general manual tool: replace an object's artifact by an
+     edited version supplied as text *)
+  match (List.assoc_opt "object" inputs, List.assoc_opt "text" params) with
+  | Some obj, Some text ->
+    let name =
+      next_version_name repo (version_base (Symbol.name obj))
+    in
+    let* id =
+      Repo.new_object repo ~name ~replaces:obj ~cls:Metamodel.dbpl_object
+        (Repo.Text text)
+    in
+    Ok [ { Repo.role = "edited"; obj = id; replaces = Some obj } ]
+  | None, _ -> Error "the editor needs an 'object' input"
+  | _, None -> Error "the editor needs a 'text' parameter"
+
+let register_tools repo =
+  Repo.register_tool repo
+    {
+      Repo.tool_name = mapping_tool_distribute;
+      executes = Metamodel.dec_distribute;
+      automation = `Automatic;
+      guarantees = [ "mapping-preserves-extension" ];
+      run = run_mapping distribute;
+    };
+  Repo.register_tool repo
+    {
+      Repo.tool_name = mapping_tool_move_down;
+      executes = Metamodel.dec_move_down;
+      automation = `Automatic;
+      guarantees = [ "mapping-preserves-extension" ];
+      run = run_mapping move_down;
+    };
+  Repo.register_tool repo
+    {
+      Repo.tool_name = normalize_tool;
+      executes = Metamodel.dec_normalize;
+      automation = `Automatic;
+      guarantees =
+        [ "outputs-are-normalized"; "reconstruction-constructor-lossless" ];
+      run = run_normalize;
+    };
+  Repo.register_tool repo
+    {
+      Repo.tool_name = key_subst_tool;
+      executes = Metamodel.dec_key_subst;
+      automation = `Manual;
+      guarantees = [];
+      run = run_key_subst;
+    };
+  Repo.register_tool repo
+    {
+      Repo.tool_name = editor_tool;
+      executes = Metamodel.dec_manual_edit;
+      automation = `Manual;
+      guarantees = [];
+      run = run_editor;
+    }

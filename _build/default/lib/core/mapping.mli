@@ -1,0 +1,77 @@
+(** The TaxisDL → DBPL mapping assistants of the scenario (§2.1).
+
+    Two mapping strategies [BGM85, WEDD87]:
+    - [distribute] generates one relation per TaxisDL entity class;
+    - [move_down] only generates relations for the leaves of the
+      hierarchy and represents the other classes by constructors (views).
+
+    Plus the two refinement transformations of figs 2-3/2-4:
+    - [normalize] splits a set-valued attribute into a second relation, a
+      referential-integrity selector and a reconstruction constructor;
+    - [key_subst] replaces the artificial surrogate key by an associative
+      key, producing new versions of the relation and its dependents.
+
+    Each is exposed both as a plain function and as a registered tool so
+    {!Decision.execute} can run it. *)
+
+open Kernel
+
+val surrogate_field : string -> string
+(** The artificial key field introduced "to map the object-oriented
+    TaxisDL model which does not have keys": [paperkey] for [Papers]. *)
+
+val relation_of_class :
+  Langs.Taxis_dl.design -> Langs.Taxis_dl.entity_class -> Langs.Dbpl.relation
+(** One DBPL relation for one entity class: all (inherited) attributes
+    become fields, set-valued ones [SET OF]; the declared key or a
+    surrogate becomes the relation key. *)
+
+val load_design :
+  Repository.t -> Langs.Taxis_dl.design -> (Prop.id, string) result
+(** Validate the design and create its design objects: one [TDL_Object]
+    for the design document, one [TDL_EntityClass] per class (with the
+    IsA links mirrored in the KB for browsing), one [TDL_Transaction]
+    per transaction.  Returns the design document's id. *)
+
+val hierarchy_root : Langs.Taxis_dl.design -> string -> string
+val next_version_name : Repository.t -> string -> string
+val version_base : string -> string
+
+val distribute :
+  Repository.t -> design:Langs.Taxis_dl.design -> root:string ->
+  ((string * Prop.id) list, string) result
+(** Map every class of the subtree rooted at [root] to a relation.
+    Returns (role, object) pairs for the created design objects. *)
+
+val move_down :
+  Repository.t -> design:Langs.Taxis_dl.design -> root:string ->
+  ((string * Prop.id) list, string) result
+(** Map only the leaves to relations; non-leaf classes become
+    constructors over their leaves' relations. *)
+
+val normalize :
+  Repository.t -> rel:Prop.id -> (Repository.output list, string) result
+(** Split the first set-valued field of the relation (fig 2-3). *)
+
+val key_subst :
+  Repository.t -> rel:Prop.id -> new_key:string list ->
+  (Repository.output list, string) result
+(** Replace the surrogate key by the associative [new_key]; dependents
+    (constructors and selectors mentioning the relation) get new
+    versions too (fig 2-3 right). *)
+
+(** {1 Tool registry} *)
+
+val mapping_tool_distribute : string
+val mapping_tool_move_down : string
+val normalize_tool : string
+val key_subst_tool : string
+val editor_tool : string
+
+val register_tools : Repository.t -> unit
+(** Install the five standard tools: the two mapping tools (automatic,
+    guaranteeing extension preservation), the normalization tool
+    (automatic, guaranteeing normal form and losslessness but not key
+    correctness), the key-substitution tool (manual: guarantees nothing,
+    so its obligation must be signed), and a plain editor associated
+    with the most general manual-edit decision. *)

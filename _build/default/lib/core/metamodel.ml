@@ -1,0 +1,161 @@
+(** The GKBMS conceptual process model (figs 2-5, 2-6, 3-3).
+
+    Top layer: metaclasses [DesignObject], [DesignDecision], [DesignTool]
+    with the link categories [FROM], [TO], [BY], [JUSTIFICATION],
+    [SOURCE], [REPLACES].  Middle layer: the kernel design-object and
+    design-decision classes of the first prototype, following the
+    abstract syntax of the three DAIDA languages.  The bottom
+    (documentation) layer is populated by {!Decision.execute}. *)
+
+
+(* metaclasses *)
+let design_object = "DesignObject"
+let design_decision = "DesignDecision"
+let design_tool = "DesignTool"
+
+(* link categories on the metaclasses *)
+let from_cat = "FROM"
+let to_cat = "TO"
+let by_cat = "BY"
+let justification_cat = "JUSTIFICATION"
+let source_cat = "SOURCE"
+let replaces_cat = "REPLACES"
+let rationale_cat = "RATIONALE"
+let obligation_cat = "OBLIGATION"
+
+(* kernel design object classes *)
+let cml_object = "CML_Object"
+let tdl_object = "TDL_Object"
+let tdl_entity_class = "TDL_EntityClass"
+let tdl_transaction = "TDL_Transaction"
+let dbpl_object = "DBPL_Object"
+let dbpl_rel = "DBPL_Rel"
+let dbpl_rel_normalized = "Normalized_DBPL_Rel"
+let dbpl_constructor = "DBPL_Constructor"
+let dbpl_selector = "DBPL_Selector"
+let dbpl_transaction = "DBPL_Transaction"
+let text_object = "TextObject"
+
+(* group decision support (§3.3.3): argumentation recorded as objects *)
+let issue_class = "Issue"
+let position_class = "Position"
+
+(* kernel decision classes *)
+let dec_req_mapping = "CML_MappingDec"
+let dec_mapping = "TDL_MappingDec"
+let dec_distribute = "DecDistribute"
+let dec_move_down = "DecMoveDown"
+let dec_normalize = "DecNormalize"
+let dec_refinement = "RefinementDec"
+let dec_key_subst = "DecKeySubst"
+let dec_choice = "ChoiceDec"
+let dec_retract = "RetractDec"
+let dec_manual_edit = "DecManualEdit"
+
+let levels = [ ("CML", cml_object); ("TaxisDL", tdl_object); ("DBPL", dbpl_object) ]
+
+let ( let* ) = Result.bind
+
+let seq rs = List.fold_left (fun acc r -> Result.bind acc (fun () -> r)) (Ok ()) rs
+
+(** Install the metamodel into a fresh KB. *)
+let install kb =
+  let decl n = Result.map (fun _ -> ()) (Cml.Kb.declare kb n) in
+  let inst i c = Result.map (fun _ -> ()) (Cml.Kb.add_instanceof kb ~inst:i ~cls:c) in
+  let isa s p = Result.map (fun _ -> ()) (Cml.Kb.add_isa kb ~sub:s ~super:p) in
+  let attr ?category src label dst =
+    Result.map (fun _ -> ())
+      (Cml.Kb.add_attribute ?category kb ~source:src ~label ~dest:dst)
+  in
+  let* () =
+    seq
+      (List.map decl
+         [ design_object; design_decision; design_tool; cml_object; tdl_object;
+           tdl_entity_class; tdl_transaction; dbpl_object; dbpl_rel;
+           dbpl_rel_normalized; dbpl_constructor; dbpl_selector;
+           dbpl_transaction; text_object; issue_class; position_class ])
+  in
+  (* metaclass structure: link categories live on the metaclasses so the
+     instantiation principle classifies everything below them *)
+  let* () = attr design_decision from_cat design_object in
+  let* () = attr design_decision to_cat design_object in
+  let* () = attr design_decision by_cat design_tool in
+  let* () = attr design_decision rationale_cat text_object in
+  let* () = attr design_decision obligation_cat text_object in
+  let* () = attr design_object justification_cat design_decision in
+  let* () = attr design_object source_cat text_object in
+  let* () = attr design_object replaces_cat design_object in
+  (* design object classes *)
+  let* () =
+    seq
+      (List.map
+         (fun c -> inst c design_object)
+         [ cml_object; tdl_object; tdl_entity_class; tdl_transaction;
+           dbpl_object; dbpl_rel; dbpl_rel_normalized; dbpl_constructor;
+           dbpl_selector; dbpl_transaction; text_object; issue_class;
+           position_class ])
+  in
+  let* () = isa tdl_entity_class tdl_object in
+  let* () = isa tdl_transaction tdl_object in
+  let* () =
+    seq
+      (List.map
+         (fun c -> isa c dbpl_object)
+         [ dbpl_rel; dbpl_constructor; dbpl_selector; dbpl_transaction ])
+  in
+  let* () = isa dbpl_rel_normalized dbpl_rel in
+  (* decision classes, with FROM/TO signatures as in fig 3-3 *)
+  let* () =
+    seq
+      (List.map decl
+         [ dec_req_mapping; dec_mapping; dec_distribute; dec_move_down;
+           dec_normalize; dec_refinement; dec_key_subst; dec_choice;
+           dec_retract; dec_manual_edit ])
+  in
+  let* () =
+    seq
+      (List.map
+         (fun c -> inst c design_decision)
+         [ dec_req_mapping; dec_mapping; dec_distribute; dec_move_down;
+           dec_normalize; dec_refinement; dec_key_subst; dec_choice;
+           dec_retract; dec_manual_edit ])
+  in
+  let* () = isa dec_distribute dec_mapping in
+  let* () = isa dec_move_down dec_mapping in
+  let* () = isa dec_key_subst dec_refinement in
+  let* () = isa dec_retract dec_choice in
+  (* FROM/TO signatures *)
+  let* () = attr ~category:from_cat dec_req_mapping "concept" cml_object in
+  let* () = attr ~category:to_cat dec_req_mapping "design" tdl_object in
+  let* () = attr ~category:to_cat dec_req_mapping "entity" tdl_entity_class in
+  let* () = attr ~category:from_cat dec_mapping "entity" tdl_entity_class in
+  let* () = attr ~category:to_cat dec_mapping "relation" dbpl_rel in
+  let* () = attr ~category:to_cat dec_mapping "constructor" dbpl_constructor in
+  let* () = attr ~category:from_cat dec_normalize "relation" dbpl_rel in
+  let* () =
+    attr ~category:to_cat dec_normalize "normalized" dbpl_rel_normalized
+  in
+  let* () = attr ~category:to_cat dec_normalize "selector" dbpl_selector in
+  let* () = attr ~category:to_cat dec_normalize "constructor" dbpl_constructor in
+  let* () = attr ~category:from_cat dec_refinement "object" dbpl_object in
+  let* () = attr ~category:to_cat dec_refinement "revision" dbpl_object in
+  let* () = attr ~category:from_cat dec_key_subst "relation" dbpl_rel in
+  let* () = attr ~category:to_cat dec_key_subst "rekeyed" dbpl_rel in
+  let* () = attr ~category:from_cat dec_choice "alternative" design_object in
+  let* () = attr ~category:from_cat dec_manual_edit "object" design_object in
+  let* () = attr ~category:to_cat dec_manual_edit "edited" design_object in
+  Ok ()
+
+(** The proof obligations a decision class imposes when executed; a tool
+    may guarantee some of them (§3.2: "only those parts of the
+    constraints not guaranteed by tool specifications have to be
+    tested"). *)
+let obligations_of = function
+  | "DecNormalize" ->
+    [ "outputs-are-normalized"; "referential-integrity-selector-correct";
+      "reconstruction-constructor-lossless" ]
+  | "DecKeySubst" -> [ "new-key-unique-for-all-instances" ]
+  | "DecDistribute" | "DecMoveDown" | "TDL_MappingDec" ->
+    [ "mapping-preserves-extension" ]
+  | "DecManualEdit" -> [ "edit-preserves-interfaces" ]
+  | _ -> []

@@ -1,0 +1,50 @@
+(** Methodology enforcement.
+
+    §2.2: "methods/tools are not directly associated with object classes
+    but only indirectly via the mediating concept of decision class.
+    This should ... make it easier to enforce methodology in design
+    processes since a methodology can be viewed as a global decision
+    class."  A methodology here is a named set of process rules over the
+    decision history; it can be checked after the fact or used as a gate
+    before executing the next decision. *)
+
+open Kernel
+
+type rule =
+  | Precedence of { later : string; earlier : string }
+      (** every decision of class [later] must have a decision of class
+          [earlier] among the (transitive) producers of its inputs *)
+  | Discharged_inputs of string
+      (** a decision of this class may only consume objects whose
+          producing decisions have no open obligations *)
+  | Max_open_obligations of int
+      (** the history may carry at most this many open obligations *)
+  | Rationale_required of string
+      (** decisions of this class must record a rationale *)
+
+type t = { methodology_name : string; rules : rule list }
+
+val daida_kernel : t
+(** The kernel methodology of the first prototype: key substitution only
+    after normalization, normalization only after mapping, manual
+    decisions must give a rationale, and refinements may not build on
+    unverified outputs. *)
+
+type violation = { subject : Prop.id; rule_text : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_decision : Repository.t -> t -> Prop.id -> violation list
+(** Rules violated by one executed decision. *)
+
+val check_history : Repository.t -> t -> violation list
+(** The whole decision log, chronologically. *)
+
+val gate :
+  Repository.t -> t -> decision_class:string -> inputs:(string * Prop.id) list ->
+  (unit, string) result
+(** Would executing a decision of this class on these inputs violate the
+    methodology?  Call before {!Decision.execute}. *)
+
+val producers_upstream : Repository.t -> Prop.id -> Prop.id list
+(** The decisions in the transitive production history of an object. *)

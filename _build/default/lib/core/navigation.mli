@@ -1,0 +1,45 @@
+(** Navigation in decision histories (§3.3.1).
+
+    "The GKBMS enables browsing along and arbitrary switching between
+    several dimensions: status-oriented ..., process-oriented ...,
+    temporal."  A focus yields the applicable decision/tool menu of
+    fig 2-1 together with the exploration directions open from it. *)
+
+open Kernel
+
+type direction =
+  | Status of string  (** the language level the focus belongs to *)
+  | Process_upstream of Prop.id  (** the decision that justified the focus *)
+  | Process_downstream of Prop.id list  (** decisions consuming the focus *)
+  | Temporal of Prop.id list  (** the focus's version chain *)
+
+type focus_view = {
+  focus : Prop.id;
+  classes : string list;
+  menu : Decision.menu_entry list;
+  directions : direction list;
+  source : string option;  (** the code frame of the focus *)
+}
+
+val focus : Repository.t -> Prop.id -> focus_view
+val pp_focus : Format.formatter -> focus_view -> unit
+
+val unmapped_objects : Repository.t -> Prop.id list
+(** TaxisDL entity classes not yet input to a mapping decision — the
+    browser's "unmapped objects" list in fig 2-1. *)
+
+val browse_status : Repository.t -> level:string -> Prop.id list
+(** Objects of a language level (status-oriented browsing). *)
+
+val browse_process : Repository.t -> (Prop.id * string) list
+(** Decisions in causal (topological, then chronological) order with
+    their decision classes. *)
+
+val browse_temporal : Repository.t -> since:Time.point -> Prop.id list
+(** Design objects the KB learnt about at or after the given belief time
+    (temporal browsing). *)
+
+val history_of : Repository.t -> Prop.id ->
+  (Prop.id * Prop.id option * Time.point) list
+(** Version chain of an object: (version, creating decision, belief
+    time), oldest first. *)

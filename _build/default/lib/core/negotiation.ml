@@ -1,0 +1,132 @@
+open Kernel
+module Repo = Repository
+module Kb = Cml.Kb
+module Arg = Group.Argumentation
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* stable object name for an issue: "issue!<slug>" *)
+let slug s =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+      then c
+      else '_')
+    s
+
+let issue_object_name issue = "issue!" ^ slug issue
+
+let attach_text repo ~owner ~label text =
+  let name =
+    Printf.sprintf "%s!%s%d" owner label (Store.Base.cardinal (Kb.base (Repo.kb repo)))
+  in
+  let* _ = Kb.declare (Repo.kb repo) name in
+  let* _ = Kb.add_instanceof (Repo.kb repo) ~inst:name ~cls:Metamodel.text_object in
+  Repo.set_artifact repo (Symbol.intern name) (Repo.Text text);
+  let* _ = Kb.add_attribute (Repo.kb repo) ~source:owner ~label ~dest:name in
+  Ok name
+
+let record_issue repo arena ~issue =
+  let kb = Repo.kb repo in
+  let name = issue_object_name issue in
+  if Kb.exists kb name then err "issue %S is already recorded" issue
+  else if not (List.mem issue (Arg.issues arena)) then
+    err "no issue %S in the argumentation arena" issue
+  else begin
+    let* issue_id = Kb.declare kb name in
+    let* _ = Kb.add_instanceof kb ~inst:name ~cls:Metamodel.issue_class in
+    let* _ = attach_text repo ~owner:name ~label:"subject" issue in
+    (* link to the object under discussion when it exists in the KB *)
+    let* () =
+      match Arg.about_of arena ~issue with
+      | Some about when Kb.exists kb about ->
+        let* _ = Kb.add_attribute kb ~source:name ~label:"about" ~dest:about in
+        Ok ()
+      | Some _ | None -> Ok ()
+    in
+    let* () =
+      List.fold_left
+        (fun acc position ->
+          let* () = acc in
+          let pos_name = name ^ "!pos!" ^ slug position in
+          let* _ = Kb.declare kb pos_name in
+          let* _ =
+            Kb.add_instanceof kb ~inst:pos_name ~cls:Metamodel.position_class
+          in
+          let* _ =
+            Kb.add_attribute kb ~source:name ~label:"position" ~dest:pos_name
+          in
+          let* _ = attach_text repo ~owner:pos_name ~label:"statement" position in
+          let* () =
+            match Arg.proposer_of arena ~issue ~position with
+            | Some by ->
+              let* _ = attach_text repo ~owner:pos_name ~label:"proposed_by" by in
+              Ok ()
+            | None -> Ok ()
+          in
+          let status =
+            match Arg.status arena ~issue ~position with
+            | Arg.Accepted -> "accepted"
+            | Arg.Rejected -> "rejected"
+            | Arg.Open -> "open"
+          in
+          let* _ = attach_text repo ~owner:pos_name ~label:"status" status in
+          List.fold_left
+            (fun acc (a : Arg.argument) ->
+              let* () = acc in
+              let label =
+                match a.Arg.polarity with Arg.Pro -> "pro" | Arg.Contra -> "contra"
+              in
+              let* _ =
+                attach_text repo ~owner:pos_name ~label
+                  (Printf.sprintf "[%d] %s: %s" a.Arg.weight a.Arg.author
+                     a.Arg.text)
+              in
+              Ok ())
+            (Ok ())
+            (Arg.arguments arena ~issue ~position))
+        (Ok ())
+        (Arg.positions arena ~issue)
+    in
+    Ok issue_id
+  end
+
+let positions_of repo issue_id =
+  Kb.attribute_values (Repo.kb repo) issue_id "position"
+
+let issue_of_decision repo dec =
+  match Kb.attribute_values (Repo.kb repo) dec "resolves" with
+  | i :: _ -> Some i
+  | [] -> None
+
+let decide repo arena ~issue ~decision_class ~tool ~inputs ?(params = [])
+    ?(assumptions = []) () =
+  match Arg.resolution arena ~issue with
+  | None -> err "issue %S has no accepted position yet" issue
+  | Some position ->
+    let rationale =
+      Printf.sprintf
+        "group decision on %S: accepted %S (score %d); participants: %s"
+        issue position
+        (Arg.score arena ~issue ~position)
+        (String.concat ", " (Arg.participants arena ~issue))
+    in
+    let* issue_id =
+      let name = issue_object_name issue in
+      if Kb.exists (Repo.kb repo) name then Ok (Symbol.intern name)
+      else record_issue repo arena ~issue
+    in
+    let* executed =
+      Decision.execute repo ~decision_class ~tool ~inputs ~params ~rationale
+        ~assumptions ()
+    in
+    let* _ =
+      Kb.add_attribute (Repo.kb repo)
+        ~source:(Symbol.name executed.Decision.decision)
+        ~label:"resolves" ~dest:(Symbol.name issue_id)
+    in
+    Ok executed

@@ -1,0 +1,35 @@
+(** Group decision support wired into the knowledge base.
+
+    §3.3.3 proposes "argumentation on derivation decisions, and explicit
+    group work organization in an object-oriented context" [HI88].  This
+    module records an {!Group.Argumentation} arena as KB objects —
+    [Issue] and [Position] design objects with their argument texts —
+    and executes the accepted position as a documented design decision
+    whose rationale cites the argumentation. *)
+
+open Kernel
+
+val record_issue :
+  Repository.t -> Group.Argumentation.t -> issue:string -> (Prop.id, string) result
+(** Materialize the issue in the KB: an [Issue] object linked to the
+    object it is about (attribute [about]), one [Position] object per
+    position (attribute [position] from the issue; [proposed_by] and one
+    [pro]/[contra] text per argument on the position).  Re-recording an
+    already recorded issue fails. *)
+
+val positions_of : Repository.t -> Prop.id -> Prop.id list
+(** Position objects of a recorded issue. *)
+
+val decide :
+  Repository.t -> Group.Argumentation.t -> issue:string ->
+  decision_class:string -> tool:string -> inputs:(string * Prop.id) list ->
+  ?params:(string * string) list ->
+  ?assumptions:(string * string) list ->
+  unit -> (Decision.executed, string) result
+(** Require the issue to have an accepted position, record the issue (if
+    not yet recorded), execute the decision with a rationale quoting the
+    resolution and participants, and link the decision instance to the
+    issue (attribute [resolves]). *)
+
+val issue_of_decision : Repository.t -> Prop.id -> Prop.id option
+(** The recorded issue a decision resolves, if any. *)

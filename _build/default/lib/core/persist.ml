@@ -1,0 +1,474 @@
+open Kernel
+module S = Sexp
+module Repo = Repository
+module Tdl = Langs.Taxis_dl
+module Dbpl = Langs.Dbpl
+module Op = Cml.Object_processor
+
+let ( let* ) = Result.bind
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* ---------------- encoders ---------------- *)
+
+let sexp_of_list f l = S.List (List.map f l)
+let sexp_of_strings l = sexp_of_list S.atom l
+let kv key v = S.List [ S.Atom key; v ]
+
+let rec sexp_of_ty = function
+  | Dbpl.Named n -> S.List [ S.Atom "named"; S.Atom n ]
+  | Dbpl.Surrogate -> S.Atom "surrogate"
+  | Dbpl.SetOf t -> S.List [ S.Atom "setof"; sexp_of_ty t ]
+
+let sexp_of_field (f : Dbpl.field) =
+  S.List [ S.Atom f.Dbpl.field_name; sexp_of_ty f.Dbpl.field_ty ]
+
+let sexp_of_relation (r : Dbpl.relation) =
+  S.List
+    [ S.Atom "relation"; kv "name" (S.Atom r.Dbpl.rel_name);
+      kv "rec" (S.Atom r.Dbpl.rec_name);
+      kv "key" (sexp_of_strings r.Dbpl.key);
+      kv "fields" (sexp_of_list sexp_of_field r.Dbpl.fields) ]
+
+let rec sexp_of_expr = function
+  | Dbpl.Rel n -> S.List [ S.Atom "rel"; S.Atom n ]
+  | Dbpl.Project (e, fs) ->
+    S.List [ S.Atom "project"; sexp_of_expr e; sexp_of_strings fs ]
+  | Dbpl.SelectEq (e, f, v) ->
+    S.List [ S.Atom "seleq"; sexp_of_expr e; S.Atom f; S.Atom v ]
+  | Dbpl.NatJoin (a, b) ->
+    S.List [ S.Atom "join"; sexp_of_expr a; sexp_of_expr b ]
+  | Dbpl.Union (a, b) ->
+    S.List [ S.Atom "union"; sexp_of_expr a; sexp_of_expr b ]
+  | Dbpl.Nest (e, fs, as_f) ->
+    S.List [ S.Atom "nest"; sexp_of_expr e; sexp_of_strings fs; S.Atom as_f ]
+
+let sexp_of_constructor (c : Dbpl.constructor_) =
+  S.List
+    [ S.Atom "constructor"; kv "name" (S.Atom c.Dbpl.con_name);
+      kv "fields" (sexp_of_list sexp_of_field c.Dbpl.con_fields);
+      kv "def" (sexp_of_expr c.Dbpl.def) ]
+
+let sexp_of_sem = function
+  | Dbpl.Ref_integrity { child; parent; key } ->
+    S.List [ S.Atom "refint"; S.Atom child; S.Atom parent; sexp_of_strings key ]
+  | Dbpl.Key_unique { rel; key } ->
+    S.List [ S.Atom "keyuniq"; S.Atom rel; sexp_of_strings key ]
+
+let sexp_of_selector (s : Dbpl.selector) =
+  S.List
+    [ S.Atom "selector"; kv "name" (S.Atom s.Dbpl.sel_name);
+      kv "ranges"
+        (sexp_of_list (fun (v, r) -> S.List [ S.Atom v; S.Atom r ]) s.Dbpl.ranges);
+      kv "predicate" (S.Atom s.Dbpl.predicate);
+      kv "sem"
+        (match s.Dbpl.sem with
+        | Some sem -> sexp_of_sem sem
+        | None -> S.Atom "none") ]
+
+let sexp_of_statement = function
+  | Dbpl.Insert (rel, bs) ->
+    S.List
+      [ S.Atom "insert"; S.Atom rel;
+        sexp_of_list (fun (f, v) -> S.List [ S.Atom f; S.Atom v ]) bs ]
+  | Dbpl.Delete (rel, c) -> S.List [ S.Atom "delete"; S.Atom rel; S.Atom c ]
+  | Dbpl.Update (rel, bs, c) ->
+    S.List
+      [ S.Atom "update"; S.Atom rel;
+        sexp_of_list (fun (f, v) -> S.List [ S.Atom f; S.Atom v ]) bs;
+        S.Atom c ]
+  | Dbpl.Call n -> S.List [ S.Atom "call"; S.Atom n ]
+
+let sexp_of_dbpl_tx (tx : Dbpl.transaction) =
+  S.List
+    [ S.Atom "dbpltx"; kv "name" (S.Atom tx.Dbpl.tx_name);
+      kv "params"
+        (sexp_of_list (fun (n, t) -> S.List [ S.Atom n; S.Atom t ]) tx.Dbpl.params);
+      kv "body" (sexp_of_list sexp_of_statement tx.Dbpl.body) ]
+
+let sexp_of_tdl_attr (a : Tdl.attribute) =
+  S.List
+    [ S.Atom a.Tdl.attr_name; S.Atom a.Tdl.target;
+      S.Atom (match a.Tdl.kind with Tdl.Single -> "single" | Tdl.SetOf -> "setof") ]
+
+let sexp_of_tdl_class (c : Tdl.entity_class) =
+  S.List
+    [ S.Atom "class"; kv "name" (S.Atom c.Tdl.cls_name);
+      kv "supers" (sexp_of_strings c.Tdl.supers);
+      kv "attrs" (sexp_of_list sexp_of_tdl_attr c.Tdl.attrs);
+      kv "key" (sexp_of_strings c.Tdl.key) ]
+
+let sexp_of_tdl_tx (tx : Tdl.transaction) =
+  S.List
+    [ S.Atom "tdltx"; kv "name" (S.Atom tx.Tdl.tx_name);
+      kv "on" (S.Atom tx.Tdl.on_class);
+      kv "params"
+        (sexp_of_list (fun (n, t) -> S.List [ S.Atom n; S.Atom t ]) tx.Tdl.params);
+      kv "body" (sexp_of_strings tx.Tdl.body) ]
+
+let sexp_of_design (d : Tdl.design) =
+  S.List
+    [ S.Atom "design"; kv "name" (S.Atom d.Tdl.design_name);
+      kv "classes" (sexp_of_list sexp_of_tdl_class d.Tdl.classes);
+      kv "transactions" (sexp_of_list sexp_of_tdl_tx d.Tdl.transactions) ]
+
+let sexp_of_frame_attr (a : Op.attr) =
+  S.List
+    [ S.Atom a.Op.label; S.Atom a.Op.target;
+      (match a.Op.category with Some c -> S.Atom c | None -> S.Atom "-");
+      S.Atom (Time.to_string a.Op.attr_time) ]
+
+let sexp_of_frame (f : Op.frame) =
+  S.List
+    [ S.Atom "frame"; kv "name" (S.Atom f.Op.name);
+      kv "classes" (sexp_of_strings f.Op.classes);
+      kv "supers" (sexp_of_strings f.Op.supers);
+      kv "attrs" (sexp_of_list sexp_of_frame_attr f.Op.attrs);
+      kv "time" (S.Atom (Time.to_string f.Op.frame_time)) ]
+
+let sexp_of_artifact = function
+  | Repo.Tdl_design d -> S.List [ S.Atom "tdl-design"; sexp_of_design d ]
+  | Repo.Tdl_class c -> S.List [ S.Atom "tdl-class"; sexp_of_tdl_class c ]
+  | Repo.Tdl_tx t -> S.List [ S.Atom "tdl-tx"; sexp_of_tdl_tx t ]
+  | Repo.Dbpl_rel r -> S.List [ S.Atom "dbpl-rel"; sexp_of_relation r ]
+  | Repo.Dbpl_con c -> S.List [ S.Atom "dbpl-con"; sexp_of_constructor c ]
+  | Repo.Dbpl_sel s -> S.List [ S.Atom "dbpl-sel"; sexp_of_selector s ]
+  | Repo.Dbpl_tx t -> S.List [ S.Atom "dbpl-tx"; sexp_of_dbpl_tx t ]
+  | Repo.Cml_frame f -> S.List [ S.Atom "cml-frame"; sexp_of_frame f ]
+  | Repo.Cml_model fs ->
+    S.List [ S.Atom "cml-model"; sexp_of_list sexp_of_frame fs ]
+  | Repo.Text t -> S.List [ S.Atom "text"; S.Atom t ]
+
+(* ---------------- decoders ---------------- *)
+
+let strings_of sexp =
+  let* items = S.as_list sexp in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      let* a = S.as_atom s in
+      Ok (a :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let pairs_of sexp =
+  let* items = S.as_list sexp in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      match s with
+      | S.List [ S.Atom a; S.Atom b ] -> Ok ((a, b) :: acc)
+      | _ -> err "expected a pair")
+    (Ok []) items
+  |> Result.map List.rev
+
+let rec ty_of = function
+  | S.Atom "surrogate" -> Ok Dbpl.Surrogate
+  | S.List [ S.Atom "named"; S.Atom n ] -> Ok (Dbpl.Named n)
+  | S.List [ S.Atom "setof"; t ] ->
+    let* t = ty_of t in
+    Ok (Dbpl.SetOf t)
+  | other -> err "bad type %s" (S.to_string other)
+
+let field_of = function
+  | S.List [ S.Atom name; ty ] ->
+    let* ty = ty_of ty in
+    Ok (Dbpl.field name ty)
+  | other -> err "bad field %s" (S.to_string other)
+
+let fields_of sexp =
+  let* items = S.as_list sexp in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      let* f = field_of s in
+      Ok (f :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let relation_of sexp =
+  let* name = Result.bind (S.field sexp "name") S.as_atom in
+  let* rec_name = Result.bind (S.field sexp "rec") S.as_atom in
+  let* key = Result.bind (S.field sexp "key") strings_of in
+  let* fields = Result.bind (S.field sexp "fields") fields_of in
+  Ok (Dbpl.relation ~key ~name ~rec_name fields)
+
+let rec expr_of = function
+  | S.List [ S.Atom "rel"; S.Atom n ] -> Ok (Dbpl.Rel n)
+  | S.List [ S.Atom "project"; e; fs ] ->
+    let* e = expr_of e in
+    let* fs = strings_of fs in
+    Ok (Dbpl.Project (e, fs))
+  | S.List [ S.Atom "seleq"; e; S.Atom f; S.Atom v ] ->
+    let* e = expr_of e in
+    Ok (Dbpl.SelectEq (e, f, v))
+  | S.List [ S.Atom "join"; a; b ] ->
+    let* a = expr_of a in
+    let* b = expr_of b in
+    Ok (Dbpl.NatJoin (a, b))
+  | S.List [ S.Atom "union"; a; b ] ->
+    let* a = expr_of a in
+    let* b = expr_of b in
+    Ok (Dbpl.Union (a, b))
+  | S.List [ S.Atom "nest"; e; fs; S.Atom as_f ] ->
+    let* e = expr_of e in
+    let* fs = strings_of fs in
+    Ok (Dbpl.Nest (e, fs, as_f))
+  | other -> err "bad expression %s" (S.to_string other)
+
+let constructor_of sexp =
+  let* con_name = Result.bind (S.field sexp "name") S.as_atom in
+  let* con_fields = Result.bind (S.field sexp "fields") fields_of in
+  let* def = Result.bind (S.field sexp "def") expr_of in
+  Ok { Dbpl.con_name; con_fields; def }
+
+let sem_of = function
+  | S.Atom "none" -> Ok None
+  | S.List [ S.Atom "refint"; S.Atom child; S.Atom parent; key ] ->
+    let* key = strings_of key in
+    Ok (Some (Dbpl.Ref_integrity { child; parent; key }))
+  | S.List [ S.Atom "keyuniq"; S.Atom rel; key ] ->
+    let* key = strings_of key in
+    Ok (Some (Dbpl.Key_unique { rel; key }))
+  | other -> err "bad selector semantics %s" (S.to_string other)
+
+let selector_of sexp =
+  let* sel_name = Result.bind (S.field sexp "name") S.as_atom in
+  let* ranges = Result.bind (S.field sexp "ranges") pairs_of in
+  let* predicate = Result.bind (S.field sexp "predicate") S.as_atom in
+  let* sem = Result.bind (S.field sexp "sem") sem_of in
+  Ok { Dbpl.sel_name; ranges; predicate; sem }
+
+let statement_of = function
+  | S.List [ S.Atom "insert"; S.Atom rel; bs ] ->
+    let* bs = pairs_of bs in
+    Ok (Dbpl.Insert (rel, bs))
+  | S.List [ S.Atom "delete"; S.Atom rel; S.Atom c ] -> Ok (Dbpl.Delete (rel, c))
+  | S.List [ S.Atom "update"; S.Atom rel; bs; S.Atom c ] ->
+    let* bs = pairs_of bs in
+    Ok (Dbpl.Update (rel, bs, c))
+  | S.List [ S.Atom "call"; S.Atom n ] -> Ok (Dbpl.Call n)
+  | other -> err "bad statement %s" (S.to_string other)
+
+let dbpl_tx_of sexp =
+  let* tx_name = Result.bind (S.field sexp "name") S.as_atom in
+  let* params = Result.bind (S.field sexp "params") pairs_of in
+  let* body_sexp = Result.bind (S.field sexp "body") S.as_list in
+  let* body =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* st = statement_of s in
+        Ok (st :: acc))
+      (Ok []) body_sexp
+    |> Result.map List.rev
+  in
+  Ok { Dbpl.tx_name; params; body }
+
+let tdl_attr_of = function
+  | S.List [ S.Atom name; S.Atom target; S.Atom kind ] ->
+    let kind = if kind = "setof" then Tdl.SetOf else Tdl.Single in
+    Ok (Tdl.attribute ~kind name target)
+  | other -> err "bad attribute %s" (S.to_string other)
+
+let tdl_class_of sexp =
+  let* name = Result.bind (S.field sexp "name") S.as_atom in
+  let* supers = Result.bind (S.field sexp "supers") strings_of in
+  let* attr_items = Result.bind (S.field sexp "attrs") S.as_list in
+  let* attrs =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* a = tdl_attr_of s in
+        Ok (a :: acc))
+      (Ok []) attr_items
+    |> Result.map List.rev
+  in
+  let* key = Result.bind (S.field sexp "key") strings_of in
+  Ok (Tdl.entity_class ~supers ~attrs ~key name)
+
+let tdl_tx_of sexp =
+  let* tx_name = Result.bind (S.field sexp "name") S.as_atom in
+  let* on_class = Result.bind (S.field sexp "on") S.as_atom in
+  let* params = Result.bind (S.field sexp "params") pairs_of in
+  let* body = Result.bind (S.field sexp "body") strings_of in
+  Ok { Tdl.tx_name; on_class; params; body }
+
+let design_of sexp =
+  let* design_name = Result.bind (S.field sexp "name") S.as_atom in
+  let* class_items = Result.bind (S.field sexp "classes") S.as_list in
+  let* classes =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* c = tdl_class_of s in
+        Ok (c :: acc))
+      (Ok []) class_items
+    |> Result.map List.rev
+  in
+  let* tx_items = Result.bind (S.field sexp "transactions") S.as_list in
+  let* transactions =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* t = tdl_tx_of s in
+        Ok (t :: acc))
+      (Ok []) tx_items
+    |> Result.map List.rev
+  in
+  Ok { Tdl.design_name; classes; transactions }
+
+let frame_attr_of = function
+  | S.List [ S.Atom label; S.Atom target; S.Atom cat; S.Atom time ] ->
+    let* attr_time = Time.of_string time in
+    let category = if cat = "-" then None else Some cat in
+    Ok { Op.label; target; category; attr_time }
+  | other -> err "bad frame attribute %s" (S.to_string other)
+
+let frame_of sexp =
+  let* name = Result.bind (S.field sexp "name") S.as_atom in
+  let* classes = Result.bind (S.field sexp "classes") strings_of in
+  let* supers = Result.bind (S.field sexp "supers") strings_of in
+  let* attr_items = Result.bind (S.field sexp "attrs") S.as_list in
+  let* attrs =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* a = frame_attr_of s in
+        Ok (a :: acc))
+      (Ok []) attr_items
+    |> Result.map List.rev
+  in
+  let* time_atom = Result.bind (S.field sexp "time") S.as_atom in
+  let* frame_time = Time.of_string time_atom in
+  Ok { Op.name; classes; supers; attrs; frame_time }
+
+let artifact_of_sexp sexp =
+  match sexp with
+  | S.List [ S.Atom "tdl-design"; d ] ->
+    Result.map (fun d -> Repo.Tdl_design d) (design_of d)
+  | S.List [ S.Atom "tdl-class"; c ] ->
+    Result.map (fun c -> Repo.Tdl_class c) (tdl_class_of c)
+  | S.List [ S.Atom "tdl-tx"; t ] ->
+    Result.map (fun t -> Repo.Tdl_tx t) (tdl_tx_of t)
+  | S.List [ S.Atom "dbpl-rel"; r ] ->
+    Result.map (fun r -> Repo.Dbpl_rel r) (relation_of r)
+  | S.List [ S.Atom "dbpl-con"; c ] ->
+    Result.map (fun c -> Repo.Dbpl_con c) (constructor_of c)
+  | S.List [ S.Atom "dbpl-sel"; s ] ->
+    Result.map (fun s -> Repo.Dbpl_sel s) (selector_of s)
+  | S.List [ S.Atom "dbpl-tx"; t ] ->
+    Result.map (fun t -> Repo.Dbpl_tx t) (dbpl_tx_of t)
+  | S.List [ S.Atom "cml-frame"; f ] ->
+    Result.map (fun f -> Repo.Cml_frame f) (frame_of f)
+  | S.List [ S.Atom "cml-model"; fs ] ->
+    let* items = S.as_list fs in
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* f = frame_of s in
+        Ok (f :: acc))
+      (Ok []) items
+    |> Result.map (fun fs -> Repo.Cml_model (List.rev fs))
+  | S.List [ S.Atom "text"; S.Atom t ] -> Ok (Repo.Text t)
+  | other -> err "unknown artifact %s" (S.to_string other)
+
+(* ---------------- repository snapshots ---------------- *)
+
+let save_repository repo =
+  let kb = Repo.kb repo in
+  let props = Store.Base.to_serialized (Cml.Kb.base kb) in
+  let artifacts =
+    List.filter_map
+      (fun obj ->
+        match Repo.artifact repo obj with
+        | Some a ->
+          Some (S.List [ S.Atom (Symbol.name obj); sexp_of_artifact a ])
+        | None -> None)
+      (Store.Base.fold (Cml.Kb.base kb) (fun acc p -> p.Prop.id :: acc) [])
+    |> List.sort_uniq compare
+  in
+  let log = List.map (fun d -> S.Atom (Symbol.name d)) (Repo.decision_log repo) in
+  S.to_string
+    (S.List
+       [ S.Atom "gkbms-repository"; kv "version" (S.Atom "1");
+         kv "props" (S.Atom props);
+         kv "artifacts" (S.List artifacts);
+         kv "log" (S.List log);
+         kv "counter"
+           (S.Atom (string_of_int (List.length (Repo.decision_log repo)))) ])
+
+let load_repository ?(register_tools = Mapping.register_tools) text =
+  let* sexp = S.parse text in
+  let* header =
+    match sexp with
+    | S.List (S.Atom "gkbms-repository" :: _) -> Ok sexp
+    | _ -> Error "not a gkbms repository snapshot"
+  in
+  (* the snapshot carries the metamodel propositions verbatim, so only
+     the fixed-id axiom bootstrap is installed up front *)
+  let repo = Repo.create ~install_metamodel:false () in
+  let base = Cml.Kb.base (Repo.kb repo) in
+  let* props = Result.bind (S.field header "props") S.as_atom in
+  (* insert every persisted proposition not already present from the
+     bootstrap *)
+  let* parsed = Store.Base.of_serialized props in
+  let* () =
+    List.fold_left
+      (fun acc (p : Prop.t) ->
+        let* () = acc in
+        if Store.Base.mem base p.Prop.id then Ok ()
+        else Result.map (fun () -> ()) (Store.Base.insert base p))
+      (Ok ())
+      (Store.Base.to_list parsed)
+  in
+  let* artifact_items = Result.bind (S.field header "artifacts") S.as_list in
+  let* () =
+    List.fold_left
+      (fun acc item ->
+        let* () = acc in
+        match item with
+        | S.List [ S.Atom name; art ] ->
+          let* a = artifact_of_sexp art in
+          Repo.set_artifact repo (Symbol.intern name) a;
+          Ok ()
+        | other -> err "bad artifact entry %s" (S.to_string other))
+      (Ok ()) artifact_items
+  in
+  let* log_items = Result.bind (S.field header "log") S.as_list in
+  let* () =
+    List.fold_left
+      (fun acc item ->
+        let* () = acc in
+        let* name = S.as_atom item in
+        Repo.log_decision repo (Symbol.intern name);
+        Ok ())
+      (Ok ()) log_items
+  in
+  (* tools are code, re-registered after the snapshot so their KB
+     records (already in the snapshot) are not duplicated *)
+  register_tools repo;
+  (* re-align the decision counter so fresh decisions do not collide *)
+  let rec bump () =
+    let candidate = Repo.fresh_decision_id repo in
+    if Cml.Kb.exists (Repo.kb repo) candidate then bump () else ()
+  in
+  bump ();
+  Decision.rebuild_jtms repo;
+  Ok repo
+
+let save_to_file repo path =
+  try
+    let oc = open_out path in
+    output_string oc (save_repository repo);
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error e
+
+let load_from_file ?register_tools path =
+  try
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    load_repository ?register_tools text
+  with Sys_error e -> Error e

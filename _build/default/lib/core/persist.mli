@@ -1,0 +1,28 @@
+(** Whole-repository persistence.
+
+    The proposition base has always been serializable
+    ({!Store.Base.save}); this module additionally persists the artifact
+    store (the design ASTs), the decision log and counter, and rebuilds
+    the reason-maintenance mirror on load — so a GKBMS session can be
+    closed and resumed, as the 1988 prototype did against its external
+    DBMS backends. *)
+
+val save_repository : Repository.t -> string
+(** A self-contained textual snapshot (s-expression). *)
+
+val load_repository :
+  ?register_tools:(Repository.t -> unit) -> string ->
+  (Repository.t, string) result
+(** Recreate a repository from a snapshot.  Tool implementations are code
+    and cannot be persisted; pass [register_tools] (defaults to
+    {!Mapping.register_tools}) to re-register them. *)
+
+val save_to_file : Repository.t -> string -> (unit, string) result
+val load_from_file :
+  ?register_tools:(Repository.t -> unit) -> string ->
+  (Repository.t, string) result
+
+(** {1 Artifact codecs (exposed for tests)} *)
+
+val sexp_of_artifact : Repository.artifact -> Kernel.Sexp.t
+val artifact_of_sexp : Kernel.Sexp.t -> (Repository.artifact, string) result

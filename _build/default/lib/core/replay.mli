@@ -1,0 +1,25 @@
+(** Decision processing beyond backtracking (§3.3): replaying recorded
+    decisions against a changed design.  "Adding an attribute in the
+    design could be processed by the GKBMS by replaying decisions (GKBMS
+    tests their re-applicability)." *)
+
+open Kernel
+
+type applicability =
+  | Applicable
+  | Inputs_missing of string list
+  | Inputs_reclassified of string list
+  | Tool_missing of string
+
+val check : Repository.t -> Prop.id -> applicability
+(** Would the recorded decision still execute? *)
+
+val replay_one : Repository.t -> Prop.id -> (Decision.executed, string) result
+(** Re-execute a recorded decision with its recorded class, tool, inputs
+    and parameters; the replica is a fresh decision instance. *)
+
+val replay_from : Repository.t -> Prop.id -> ((Prop.id * (Decision.executed, string) result) list, string) result
+(** Replay the decision and every consequence decision, in causal order,
+    stopping at the first failure (which is reported per decision). *)
+
+val pp_applicability : Format.formatter -> applicability -> unit

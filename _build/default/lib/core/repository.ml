@@ -1,0 +1,227 @@
+open Kernel
+module Kb = Cml.Kb
+
+type artifact =
+  | Tdl_design of Langs.Taxis_dl.design
+  | Tdl_class of Langs.Taxis_dl.entity_class
+  | Tdl_tx of Langs.Taxis_dl.transaction
+  | Dbpl_rel of Langs.Dbpl.relation
+  | Dbpl_con of Langs.Dbpl.constructor_
+  | Dbpl_sel of Langs.Dbpl.selector
+  | Dbpl_tx of Langs.Dbpl.transaction
+  | Cml_frame of Cml.Object_processor.frame
+  | Cml_model of Cml.Object_processor.frame list
+  | Text of string
+
+let pp_artifact ppf = function
+  | Tdl_design d -> Langs.Taxis_dl.pp_design ppf d
+  | Tdl_class c -> Langs.Taxis_dl.pp_class ppf c
+  | Tdl_tx tx -> Langs.Taxis_dl.pp_transaction ppf tx
+  | Dbpl_rel r -> Langs.Dbpl.pp_relation ppf r
+  | Dbpl_con c -> Langs.Dbpl.pp_constructor ppf c
+  | Dbpl_sel s -> Langs.Dbpl.pp_selector ppf s
+  | Dbpl_tx tx -> Langs.Dbpl.pp_transaction ppf tx
+  | Cml_frame f -> Cml.Object_processor.pp ppf f
+  | Cml_model frames ->
+    Format.fprintf ppf "@[<v>";
+    List.iter (fun f -> Format.fprintf ppf "%a@,@," Cml.Object_processor.pp f) frames;
+    Format.fprintf ppf "@]"
+  | Text s -> Format.pp_print_string ppf s
+
+type output = { role : string; obj : Prop.id; replaces : Prop.id option }
+
+type t = {
+  kb : Kb.t;
+  jtms : Tms.Jtms.t;
+  artifacts : artifact Symbol.Tbl.t;
+  tools : (string, tool) Hashtbl.t;
+  mutable log : Prop.id list;  (** reverse chronological *)
+  mutable decision_counter : int;
+  mutable change_batch : Store.Base.change list;  (** reverse order *)
+  decision_justs : Tms.Jtms.justification list Symbol.Tbl.t;
+      (** JTMS justifications installed by each decision instance *)
+}
+
+and tool = {
+  tool_name : string;
+  executes : string;
+  automation : [ `Automatic | `Semi_automatic | `Manual ];
+  guarantees : string list;
+  run :
+    t -> inputs:(string * Prop.id) list -> params:(string * string) list ->
+    (output list, string) result;
+}
+
+let create ?(install_metamodel = true) () =
+  let kb = Kb.create () in
+  if install_metamodel then
+    (match Metamodel.install kb with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Repository.create: metamodel bootstrap: " ^ e));
+  let t =
+    {
+      kb;
+      jtms = Tms.Jtms.create ();
+      artifacts = Symbol.Tbl.create 256;
+      tools = Hashtbl.create 16;
+      log = [];
+      decision_counter = 0;
+      change_batch = [];
+      decision_justs = Symbol.Tbl.create 64;
+    }
+  in
+  Store.Base.on_change (Kb.base kb) (fun c ->
+      t.change_batch <- c :: t.change_batch);
+  t
+
+let kb t = t.kb
+let jtms t = t.jtms
+
+let ( let* ) = Result.bind
+
+let artifact_default_name = function
+  | Tdl_design d -> d.Langs.Taxis_dl.design_name
+  | Tdl_class c -> c.Langs.Taxis_dl.cls_name
+  | Tdl_tx tx -> tx.Langs.Taxis_dl.tx_name
+  | Dbpl_rel r -> r.Langs.Dbpl.rel_name
+  | Dbpl_con c -> c.Langs.Dbpl.con_name
+  | Dbpl_sel s -> s.Langs.Dbpl.sel_name
+  | Dbpl_tx tx -> tx.Langs.Dbpl.tx_name
+  | Cml_frame f -> f.Cml.Object_processor.name
+  | Cml_model _ -> Symbol.name (Prop.fresh_id ~prefix:"worldmodel" ())
+  | Text _ -> Symbol.name (Prop.fresh_id ~prefix:"text" ())
+
+let render artifact = Format.asprintf "%a" pp_artifact artifact
+
+let new_object t ?name ?replaces ~cls artifact =
+  let name = match name with Some n -> n | None -> artifact_default_name artifact in
+  if Kb.exists t.kb name then
+    Error (Printf.sprintf "design object %s already exists" name)
+  else
+    let* id = Kb.declare t.kb name in
+    let* _ = Kb.add_instanceof t.kb ~inst:name ~cls in
+    Symbol.Tbl.replace t.artifacts id artifact;
+    (* attach the rendered source via SOURCE *)
+    let text_name = name ^ "!src" in
+    let* _ = Kb.declare t.kb text_name in
+    let* _ =
+      Kb.add_instanceof t.kb ~inst:text_name ~cls:Metamodel.text_object
+    in
+    Symbol.Tbl.replace t.artifacts (Symbol.intern text_name) (Text (render artifact));
+    let* _ =
+      Kb.add_attribute t.kb ~category:Metamodel.source_cat ~source:name
+        ~label:Metamodel.source_cat ~dest:text_name
+    in
+    let* () =
+      match replaces with
+      | None -> Ok ()
+      | Some prev ->
+        let* _ =
+          Kb.add_attribute t.kb ~category:Metamodel.replaces_cat ~source:name
+            ~label:Metamodel.replaces_cat ~dest:(Symbol.name prev)
+        in
+        Ok ()
+    in
+    Ok id
+
+let artifact t id = Symbol.Tbl.find_opt t.artifacts id
+let set_artifact t id a = Symbol.Tbl.replace t.artifacts id a
+
+let source_text t id =
+  match Kb.attribute_values t.kb id Metamodel.source_cat with
+  | text_id :: _ -> (
+    match Symbol.Tbl.find_opt t.artifacts text_id with
+    | Some (Text s) -> Some s
+    | Some a -> Some (render a)
+    | None -> None)
+  | [] -> (
+    match Symbol.Tbl.find_opt t.artifacts id with
+    | Some a -> Some (render a)
+    | None -> None)
+
+let objects_of_class t cls =
+  Kb.all_instances_of t.kb (Symbol.intern cls)
+
+let all_design_objects t =
+  (* the design object classes are the instances of the DesignObject
+     metaclass; the design objects are their instances *)
+  let classes = Kb.instances_of t.kb (Symbol.intern Metamodel.design_object) in
+  List.sort_uniq Symbol.compare
+    (List.concat_map (fun cls -> Kb.all_instances_of t.kb cls) classes)
+
+let register_tool t tool =
+  Hashtbl.replace t.tools tool.tool_name tool;
+  (* record the tool specification in the KB *)
+  (* the KB recording is content-idempotent so tools can be re-registered
+     on a freshly loaded repository without duplicating propositions *)
+  (match Kb.declare t.kb tool.tool_name with
+  | Ok tool_id ->
+    if
+      not
+        (Kb.is_instance t.kb ~inst:tool_id
+           ~cls:(Symbol.intern Metamodel.design_tool))
+    then
+      ignore
+        (Kb.add_instanceof t.kb ~inst:tool.tool_name ~cls:Metamodel.design_tool);
+    (* the decision class carries one BY category (typed DesignTool) so
+       instance-level [by] links classify and conform; the association
+       with this particular tool spec is a separate link *)
+    let dc = Symbol.intern tool.executes in
+    let has_by =
+      List.exists
+        (fun (p : Prop.t) ->
+          Symbol.equal p.label (Symbol.intern Metamodel.by_cat))
+        (Kb.attributes t.kb dc)
+    in
+    if not has_by then
+      ignore
+        (Kb.add_attribute t.kb ~category:Metamodel.by_cat
+           ~source:tool.executes ~label:Metamodel.by_cat
+           ~dest:Metamodel.design_tool);
+    if
+      not
+        (List.exists (Symbol.equal tool_id)
+           (Kb.attribute_values t.kb dc "toolspec"))
+    then
+      ignore
+        (Kb.add_attribute t.kb ~source:tool.executes ~label:"toolspec"
+           ~dest:tool.tool_name)
+  | Error _ -> ())
+
+let find_tool t name = Hashtbl.find_opt t.tools name
+
+let tools_for t decision_class =
+  let classes =
+    decision_class
+    :: List.map Symbol.name (Kb.isa_closure t.kb (Symbol.intern decision_class))
+  in
+  Hashtbl.fold
+    (fun _ tool acc ->
+      if List.mem tool.executes classes then tool :: acc else acc)
+    t.tools []
+  |> List.sort (fun a b -> String.compare a.tool_name b.tool_name)
+
+let log_decision t id = t.log <- id :: t.log
+
+let unlog_decision t id =
+  t.log <- List.filter (fun d -> not (Symbol.equal d id)) t.log
+
+let decision_log t = List.rev t.log
+
+let fresh_decision_id t =
+  t.decision_counter <- t.decision_counter + 1;
+  Printf.sprintf "dec%d" t.decision_counter
+
+let drain_changes t =
+  let changes = List.rev t.change_batch in
+  t.change_batch <- [];
+  changes
+
+let record_justifications t dec justs = Symbol.Tbl.replace t.decision_justs dec justs
+
+let justifications_of t dec =
+  match Symbol.Tbl.find_opt t.decision_justs dec with
+  | Some js -> js
+  | None -> []
+
+let forget_justifications t dec = Symbol.Tbl.remove t.decision_justs dec

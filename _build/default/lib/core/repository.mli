@@ -1,0 +1,100 @@
+(** The GKBMS repository: one ConceptBase KB carrying the conceptual
+    process model, plus the side structures of the prototype — the
+    artifact store (ASTs of the design documents, whose "characteristic
+    features" are what the KB tokens abstract), the reason-maintenance
+    mirror, the decision log and the tool registry. *)
+
+open Kernel
+
+type artifact =
+  | Tdl_design of Langs.Taxis_dl.design
+  | Tdl_class of Langs.Taxis_dl.entity_class
+  | Tdl_tx of Langs.Taxis_dl.transaction
+  | Dbpl_rel of Langs.Dbpl.relation
+  | Dbpl_con of Langs.Dbpl.constructor_
+  | Dbpl_sel of Langs.Dbpl.selector
+  | Dbpl_tx of Langs.Dbpl.transaction
+  | Cml_frame of Cml.Object_processor.frame
+  | Cml_model of Cml.Object_processor.frame list
+  | Text of string
+
+val pp_artifact : Format.formatter -> artifact -> unit
+(** The source-code frame of the artifact (fig 2-2's code windows). *)
+
+type output = {
+  role : string;  (** the TO role of the decision class this fills *)
+  obj : Prop.id;
+  replaces : Prop.id option;
+      (** predecessor version this output supersedes, if any *)
+}
+
+type t
+
+(** Tools assist the user in executing design decisions (§2.2). *)
+type tool = {
+  tool_name : string;
+  executes : string;  (** decision class *)
+  automation : [ `Automatic | `Semi_automatic | `Manual ];
+  guarantees : string list;
+      (** obligations of the decision class discharged by construction *)
+  run :
+    t -> inputs:(string * Prop.id) list -> params:(string * string) list ->
+    (output list, string) result;
+}
+
+val create : ?install_metamodel:bool -> unit -> t
+(** Fresh repository with the metamodel installed.  [install_metamodel]
+    (default true) is disabled only when loading a snapshot that already
+    carries the metamodel propositions ({!Persist.load_repository}).
+    @raise Invalid_argument if the bootstrap fails (a bug, not user error). *)
+
+val kb : t -> Cml.Kb.t
+val jtms : t -> Tms.Jtms.t
+
+(** {1 Design objects} *)
+
+val new_object :
+  t -> ?name:string -> ?replaces:Prop.id -> cls:string -> artifact ->
+  (Prop.id, string) result
+(** Create a design object of the given class, abstracting the artifact;
+    a [TextObject] holding its rendered source is attached via [SOURCE].
+    [name] defaults to a fresh id derived from the artifact. *)
+
+val artifact : t -> Prop.id -> artifact option
+val set_artifact : t -> Prop.id -> artifact -> unit
+val source_text : t -> Prop.id -> string option
+(** The rendered source attached to the object. *)
+
+val objects_of_class : t -> string -> Prop.id list
+(** All design objects (instances, incl. through specialization). *)
+
+val all_design_objects : t -> Prop.id list
+(** Instances of every design object class (every instance of the
+    [DesignObject] metaclass) — the whole documentation level. *)
+
+(** {1 Tools} *)
+
+val register_tool : t -> tool -> unit
+(** Also records the tool specification in the KB and links it to its
+    decision class via [BY]. *)
+
+val find_tool : t -> string -> tool option
+val tools_for : t -> string -> tool list
+(** Tools associated with a decision class (or its generalizations). *)
+
+(** {1 Decision log} *)
+
+val log_decision : t -> Prop.id -> unit
+val unlog_decision : t -> Prop.id -> unit
+val decision_log : t -> Prop.id list
+(** Chronological ids of executed (non-retracted) decision instances. *)
+
+val fresh_decision_id : t -> string
+
+val drain_changes : t -> Store.Base.change list
+(** Proposition-base changes accumulated since the last drain (used for
+    set-oriented consistency checking at decision commit). *)
+
+val record_justifications : t -> Prop.id -> Tms.Jtms.justification list -> unit
+val justifications_of : t -> Prop.id -> Tms.Jtms.justification list
+val forget_justifications : t -> Prop.id -> unit

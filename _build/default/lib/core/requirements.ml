@@ -1,0 +1,142 @@
+open Kernel
+module Repo = Repository
+module Op = Cml.Object_processor
+module Tdl = Langs.Taxis_dl
+module Kb = Cml.Kb
+
+let ( let* ) = Result.bind
+
+let pluralize name =
+  let n = String.length name in
+  if n > 0 && name.[n - 1] = 's' then name ^ "es" else name ^ "s"
+
+let load_world_model repo ~name frames =
+  let* doc =
+    Repo.new_object repo ~name ~cls:Metamodel.cml_object
+      (Repo.Cml_model frames)
+  in
+  let* () =
+    List.fold_left
+      (fun acc (f : Op.frame) ->
+        let* () = acc in
+        if Kb.exists (Repo.kb repo) f.Op.name then
+          Error (Printf.sprintf "concept %s already exists" f.Op.name)
+        else
+          let* concept =
+            Repo.new_object repo ~name:f.Op.name ~cls:Metamodel.cml_object
+              (Repo.Cml_frame f)
+          in
+          (* the frame's own content also lives in the ConceptBase KB so
+             it can be browsed and queried; categories referring to
+             attribute classes that do not exist are simply recorded *)
+          let* () =
+            List.fold_left
+              (fun acc (a : Op.attr) ->
+                let* () = acc in
+                let* _ = Kb.declare (Repo.kb repo) a.Op.target in
+                let* _ =
+                  Kb.add_attribute (Repo.kb repo) ~source:f.Op.name
+                    ~label:a.Op.label ~dest:a.Op.target
+                in
+                Ok ())
+              (Ok ()) f.Op.attrs
+          in
+          let* () =
+            List.fold_left
+              (fun acc super ->
+                let* () = acc in
+                if Kb.exists (Repo.kb repo) super then
+                  let* _ =
+                    Kb.add_isa (Repo.kb repo) ~sub:f.Op.name ~super
+                  in
+                  Ok ()
+                else Ok ())
+              (Ok ()) f.Op.supers
+          in
+          (* part-of link from the document *)
+          let* _ =
+            Kb.add_attribute (Repo.kb repo) ~source:name ~label:"concept"
+              ~dest:(Symbol.name concept)
+          in
+          Ok ())
+      (Ok ()) frames
+  in
+  Ok doc
+
+let load_world_model_text repo ~name text =
+  let* frames = Langs.Cml_frames.parse text in
+  load_world_model repo ~name frames
+
+let concepts_of_model repo doc =
+  Kb.attribute_values (Repo.kb repo) doc "concept"
+
+let to_design ~name frames =
+  if frames = [] then Error "empty world model"
+  else begin
+    let mapped = List.map (fun (f : Op.frame) -> f.Op.name) frames in
+    let classes =
+      List.map
+        (fun (f : Op.frame) ->
+          let supers =
+            List.filter_map
+              (fun s -> if List.mem s mapped then Some (pluralize s) else None)
+              f.Op.supers
+          in
+          let attrs =
+            List.map
+              (fun (a : Op.attr) ->
+                let kind =
+                  if a.Op.category = Some "setof" then Tdl.SetOf else Tdl.Single
+                in
+                Tdl.attribute ~kind a.Op.label a.Op.target)
+              f.Op.attrs
+          in
+          Tdl.entity_class ~supers ~attrs (pluralize f.Op.name))
+        frames
+    in
+    let design = { Tdl.design_name = name; classes; transactions = [] } in
+    match Tdl.validate design with
+    | Ok () -> Ok design
+    | Error es -> Error (String.concat "; " es)
+  end
+
+let requirements_tool = "RequirementsMapper"
+
+let run_requirements repo ~inputs ~params =
+  let* doc =
+    match List.assoc_opt "concept" inputs with
+    | Some d -> Ok d
+    | None -> Error "the requirements mapper needs a 'concept' input (the model document)"
+  in
+  let* design_name =
+    match List.assoc_opt "design" params with
+    | Some n -> Ok n
+    | None -> Error "the requirements mapper needs a 'design' parameter"
+  in
+  let* frames =
+    match Repo.artifact repo doc with
+    | Some (Repo.Cml_model frames) -> Ok frames
+    | Some (Repo.Cml_frame f) -> Ok [ f ]
+    | Some _ | None ->
+      Error (Printf.sprintf "%s is not a world model" (Symbol.name doc))
+  in
+  let* design = to_design ~name:design_name frames in
+  let* design_id = Mapping.load_design repo design in
+  let entity_outputs =
+    List.map
+      (fun (c : Tdl.entity_class) ->
+        { Repo.role = "entity"; obj = Symbol.intern c.Tdl.cls_name;
+          replaces = None })
+      design.Tdl.classes
+  in
+  Ok ({ Repo.role = "design"; obj = design_id; replaces = None } :: entity_outputs)
+
+let register_tools repo =
+  Repo.register_tool repo
+    {
+      Repo.tool_name = requirements_tool;
+      executes = Metamodel.dec_req_mapping;
+      automation = `Semi_automatic;
+      guarantees = [];
+      run = run_requirements;
+    }

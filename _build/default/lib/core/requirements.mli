@@ -1,0 +1,42 @@
+(** The requirements-analysis layer of the DAIDA life cycle (fig 1-1):
+    world/system models written in CML, and the mapping assistant that
+    derives an initial TaxisDL conceptual design from them.
+
+    "Database schemata naturally represent a system model of the
+    relevant world domain; therefore, the analysis underlying the
+    development of the initial database schema can be reused as a
+    starting point."  Concepts become pluralized entity classes; [isA]
+    carries over; attributes in the [setof] category become set-valued. *)
+
+open Kernel
+
+val load_world_model :
+  Repository.t -> name:string -> Cml.Object_processor.frame list ->
+  (Prop.id, string) result
+(** Record a CML world/system model: one [CML_Object] design object per
+    frame (the frame is also stored in the ConceptBase KB itself, so it
+    can be queried), plus a model document holding all of them.
+    Returns the document's id. *)
+
+val load_world_model_text :
+  Repository.t -> name:string -> string -> (Prop.id, string) result
+(** Same, from CML frame surface syntax. *)
+
+val concepts_of_model : Repository.t -> Prop.id -> Prop.id list
+(** The concept design objects of a world-model document. *)
+
+val to_design :
+  name:string -> Cml.Object_processor.frame list ->
+  (Langs.Taxis_dl.design, string) result
+(** The CML -> TaxisDL mapping itself: every frame with a class among its
+    [in] list becomes an entity class named by pluralizing the concept;
+    [isA] between mapped concepts is preserved; attributes keep their
+    label and target ([setof] category -> set-valued). *)
+
+val requirements_tool : string
+
+val register_tools : Repository.t -> unit
+(** Register the [RequirementsMapper] tool for [CML_MappingDec]: input
+    role [concept] = the world-model document object; parameter [design]
+    names the TaxisDL design to create; outputs the design document and
+    its entity classes. *)

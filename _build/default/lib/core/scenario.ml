@@ -1,0 +1,186 @@
+open Kernel
+module Tdl = Langs.Taxis_dl
+module Repo = Repository
+module Kb = Cml.Kb
+
+let ( let* ) = Result.bind
+
+let papers_class =
+  Tdl.entity_class
+    ~attrs:[ Tdl.attribute "date" "Date"; Tdl.attribute "author" "Person" ]
+    "Papers"
+
+let invitations_class =
+  Tdl.entity_class ~supers:[ "Papers" ]
+    ~attrs:
+      [ Tdl.attribute "sender" "Person";
+        Tdl.attribute ~kind:Tdl.SetOf "receivers" "Person" ]
+    "Invitations"
+
+let minutes_class =
+  Tdl.entity_class ~supers:[ "Papers" ]
+    ~attrs:[ Tdl.attribute "decisions" "Text" ]
+    "Minutes"
+
+let meeting_design =
+  {
+    Tdl.design_name = "MeetingDocuments";
+    classes = [ papers_class; invitations_class ];
+    transactions =
+      [
+        {
+          Tdl.tx_name = "SendInvitation";
+          on_class = "Invitations";
+          params = [ ("rcv", "Person") ];
+          body = [ "insert Invitations"; "add rcv to receivers" ];
+        };
+      ];
+  }
+
+let meeting_design_v2 =
+  {
+    meeting_design with
+    Tdl.design_name = "MeetingDocuments2";
+    classes = meeting_design.Tdl.classes @ [ minutes_class ];
+  }
+
+let only_invitations_assumption = "invitations-are-the-only-papers"
+let other_subclass_defeater = "another-papers-subclass-is-mapped"
+
+type state = {
+  repo : Repository.t;
+  design_doc : Prop.id;
+  mutable papers : Prop.id;
+  mutable invitations : Prop.id;
+  mutable invitation_rel : Prop.id;
+  mutable mapping_dec : Prop.id option;
+  mutable normalize_dec : Prop.id option;
+  mutable key_dec : Prop.id option;
+  mutable minutes_dec : Prop.id option;
+}
+
+let setup () =
+  let repo = Repo.create () in
+  Mapping.register_tools repo;
+  let* design_doc = Mapping.load_design repo meeting_design in
+  Ok
+    {
+      repo;
+      design_doc;
+      papers = Symbol.intern "Papers";
+      invitations = Symbol.intern "Invitations";
+      invitation_rel = Symbol.intern "InvitationRel";
+      mapping_dec = None;
+      normalize_dec = None;
+      key_dec = None;
+      minutes_dec = None;
+    }
+
+let map_move_down st =
+  let* executed =
+    Decision.execute st.repo ~decision_class:Metamodel.dec_move_down
+      ~tool:Mapping.mapping_tool_move_down
+      ~inputs:[ ("entity", st.papers) ]
+      ~params:[ ("design", "MeetingDocuments") ]
+      ~rationale:
+        "move-down keeps one relation per leaf; Papers itself becomes a \
+         constructor"
+      ()
+  in
+  st.mapping_dec <- Some executed.Decision.decision;
+  (match List.assoc_opt "relation" executed.Decision.outputs with
+  | Some rel -> st.invitation_rel <- rel
+  | None -> ());
+  Ok executed
+
+let normalize_invitations st =
+  let* executed =
+    Decision.execute st.repo ~decision_class:Metamodel.dec_normalize
+      ~tool:Mapping.normalize_tool
+      ~inputs:[ ("relation", st.invitation_rel) ]
+      ~rationale:"receivers is set-valued; split it off into its own relation"
+      ()
+  in
+  st.normalize_dec <- Some executed.Decision.decision;
+  (match List.assoc_opt "normalized" executed.Decision.outputs with
+  | Some rel -> st.invitation_rel <- rel
+  | None -> ());
+  (* the one obligation the tool does not guarantee is discharged
+     formally: the generated selector is exercised against a populated
+     database (§3.2's "proof ... either formal or by signature") *)
+  let* _ =
+    Verify.discharge st.repo ~decision:executed.Decision.decision
+      ~obligation:"referential-integrity-selector-correct" ()
+  in
+  Ok executed
+
+let substitute_key st =
+  let* executed =
+    Decision.execute st.repo ~decision_class:Metamodel.dec_key_subst
+      ~tool:Mapping.key_subst_tool
+      ~inputs:[ ("relation", st.invitation_rel) ]
+      ~params:[ ("key", "date,author") ]
+      ~rationale:
+        "make the system more user-friendly: replace the artificial \
+         paperkey by date, author"
+      ~assumptions:[ (only_invitations_assumption, other_subclass_defeater) ]
+      ()
+  in
+  st.key_dec <- Some executed.Decision.decision;
+  (match List.assoc_opt "rekeyed" executed.Decision.outputs with
+  | Some rel -> st.invitation_rel <- rel
+  | None -> ());
+  (* the key decision was manual: its obligation is discharged by
+     signature of the decision maker *)
+  let* () =
+    Decision.sign_obligation st.repo ~decision:executed.Decision.decision
+      ~obligation:"new-key-unique-for-all-instances" ~by:"developer"
+  in
+  Ok executed
+
+let introduce_minutes st =
+  let repo = st.repo in
+  (* evolve the design: record the new document version and the Minutes
+     entity class, then map it *)
+  let* _doc2 =
+    Repo.new_object repo ~name:"MeetingDocuments2" ~cls:Metamodel.tdl_object
+      ~replaces:st.design_doc (Repo.Tdl_design meeting_design_v2)
+  in
+  let* minutes_id =
+    Repo.new_object repo ~name:"Minutes" ~cls:Metamodel.tdl_entity_class
+      (Repo.Tdl_class minutes_class)
+  in
+  let* _ = Kb.add_isa (Repo.kb repo) ~sub:"Minutes" ~super:"Papers" in
+  let* executed =
+    Decision.execute repo ~decision_class:Metamodel.dec_move_down
+      ~tool:Mapping.mapping_tool_move_down
+      ~inputs:[ ("entity", minutes_id) ]
+      ~params:[ ("design", "MeetingDocuments2") ]
+      ~rationale:"Minutes is the second subclass of Papers"
+      ~asserts:[ other_subclass_defeater ]
+      ()
+  in
+  st.minutes_dec <- Some executed.Decision.decision;
+  Ok executed
+
+let run_through_conflict () =
+  let* st = setup () in
+  let* _ = map_move_down st in
+  let* _ = normalize_invitations st in
+  let* _ = substitute_key st in
+  let* _ = introduce_minutes st in
+  Ok st
+
+let resolve_conflict st =
+  match Backtrack.suggest_culprit st.repo with
+  | None -> Error "no defeated decision found to backtrack"
+  | Some culprit ->
+    Backtrack.retract st.repo culprit
+      ~rationale:
+        "associative key invalid once Minutes joins the Papers hierarchy"
+      ()
+
+let run_all () =
+  let* st = run_through_conflict () in
+  let* report = resolve_conflict st in
+  Ok (st, report)

@@ -1,0 +1,56 @@
+(** The project-meeting scenario of §2.1, scripted end-to-end: the
+    storyline of figs 2-1 through 2-4 as reusable steps.  The examples,
+    integration tests and benches all drive the GKBMS through this
+    module. *)
+
+open Kernel
+
+val meeting_design : Langs.Taxis_dl.design
+(** Papers (date, author) and Invitations isA Papers (sender, receivers:
+    setof Person).  Minutes is not yet considered. *)
+
+val minutes_class : Langs.Taxis_dl.entity_class
+val meeting_design_v2 : Langs.Taxis_dl.design
+(** The evolved design including Minutes isA Papers. *)
+
+(** Assumption bookkeeping for the key decision. *)
+val only_invitations_assumption : string
+val other_subclass_defeater : string
+
+type state = {
+  repo : Repository.t;
+  design_doc : Prop.id;
+  mutable papers : Prop.id;
+  mutable invitations : Prop.id;
+  mutable invitation_rel : Prop.id;  (** current relation version *)
+  mutable mapping_dec : Prop.id option;
+  mutable normalize_dec : Prop.id option;
+  mutable key_dec : Prop.id option;
+  mutable minutes_dec : Prop.id option;
+}
+
+val setup : unit -> (state, string) result
+(** Fresh repository, standard tools, design v1 loaded (fig 2-1 state). *)
+
+val map_move_down : state -> (Decision.executed, string) result
+(** Fig 2-2: move-down mapping of the Papers hierarchy. *)
+
+val normalize_invitations : state -> (Decision.executed, string) result
+(** Fig 2-3 left: split the set-valued [receivers]. *)
+
+val substitute_key : state -> (Decision.executed, string) result
+(** Fig 2-3 right: manual key decision [paperkey -> date, author], under
+    the assumption that Invitations are the only Papers; the obligation
+    is signed by the developer. *)
+
+val introduce_minutes : state -> (Decision.executed, string) result
+(** Fig 2-4: evolve the design with Minutes and map it; this asserts the
+    defeater of the key decision's assumption. *)
+
+val run_through_conflict : unit -> (state, string) result
+(** [setup] + all four steps: ends in the fig 2-4 conflict state. *)
+
+val resolve_conflict : state -> (Backtrack.report, string) result
+(** Selectively backtrack the key decision (fig 2-4's resolution). *)
+
+val run_all : unit -> (state * Backtrack.report, string) result

@@ -1,0 +1,179 @@
+open Kernel
+module Repo = Repository
+
+type t = { mutable state : Scenario.state }
+
+let create () =
+  match Scenario.setup () with
+  | Ok state -> Ok { state }
+  | Error e -> Error e
+
+let of_repository repo =
+  {
+    state =
+      {
+        Scenario.repo;
+        design_doc = Symbol.intern "MeetingDocuments";
+        papers = Symbol.intern "Papers";
+        invitations = Symbol.intern "Invitations";
+        invitation_rel = Symbol.intern "InvitationRel";
+        mapping_dec = None;
+        normalize_dec = None;
+        key_dec = None;
+        minutes_dec = None;
+      };
+  }
+
+let repository t = t.state.Scenario.repo
+
+let is_quit line =
+  match String.trim (String.lowercase_ascii line) with
+  | "quit" | "exit" | "q" -> true
+  | _ -> false
+
+let help_text =
+  "commands: help stats unmapped focus OBJ menu OBJ run CLASS TOOL \
+   ROLE=OBJ.. [K=V..]\n\
+  \          map normalize key minutes resolve why OBJ history OBJ source \
+   OBJ\n\
+  \          deps [OBJ] config check ask FORMULA derive ATOM save FILE \
+   load FILE quit"
+
+let words line =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
+
+let fmt = Format.asprintf
+
+let render_result name = function
+  | Ok (executed : Decision.executed) ->
+    fmt "%s executed: decision %s -> %s" name
+      (Symbol.name executed.Decision.decision)
+      (String.concat ", "
+         (List.map (fun (_, o) -> Symbol.name o) executed.Decision.outputs))
+  | Error e -> "error: " ^ e
+
+let eval t line =
+  let repo = t.state.Scenario.repo in
+  match words line with
+  | [] -> ""
+  | [ "help" ] -> help_text
+  | [ "stats" ] ->
+    fmt "propositions: %d; design objects: %d; decisions: %d"
+      (Store.Base.cardinal (Cml.Kb.base (Repo.kb repo)))
+      (List.length (Repo.all_design_objects repo))
+      (List.length (Repo.decision_log repo))
+  | [ "unmapped" ] ->
+    String.concat ", "
+      (List.map Symbol.name (Navigation.unmapped_objects repo))
+  | [ "focus"; name ] ->
+    fmt "%a" Navigation.pp_focus (Navigation.focus repo (Symbol.intern name))
+  | [ "menu"; name ] ->
+    String.concat "\n"
+      (List.map
+         (fun (e : Decision.menu_entry) ->
+           Printf.sprintf "%s (role %s) via %s" e.Decision.decision_class
+             e.Decision.role
+             (String.concat ", " e.Decision.tools))
+         (Decision.applicable repo (Symbol.intern name)))
+  | "run" :: dc :: tool :: rest ->
+    let bindings =
+      List.filter_map
+        (fun w ->
+          match String.index_opt w '=' with
+          | Some i ->
+            Some
+              ( String.sub w 0 i,
+                String.sub w (i + 1) (String.length w - i - 1) )
+          | None -> None)
+        rest
+    in
+    let is_object (_, v) = Cml.Kb.exists (Repo.kb repo) v in
+    let inputs, params = List.partition is_object bindings in
+    let inputs = List.map (fun (r, v) -> (r, Symbol.intern v)) inputs in
+    render_result "run"
+      (Decision.execute repo ~decision_class:dc ~tool ~inputs ~params
+         ~rationale:("shell: " ^ line) ())
+  | [ "map" ] -> render_result "map" (Scenario.map_move_down t.state)
+  | [ "normalize" ] ->
+    render_result "normalize" (Scenario.normalize_invitations t.state)
+  | [ "key" ] -> render_result "key" (Scenario.substitute_key t.state)
+  | [ "minutes" ] -> render_result "minutes" (Scenario.introduce_minutes t.state)
+  | [ "resolve" ] -> (
+    match Scenario.resolve_conflict t.state with
+    | Ok report -> fmt "%a" Backtrack.pp_report report
+    | Error e -> "error: " ^ e)
+  | [ "why"; name ] ->
+    fmt "%a" Explain.pp_why (Explain.why repo (Symbol.intern name))
+  | [ "history"; name ] ->
+    String.concat "\n"
+      (List.map
+         (fun (v, dec, belief) ->
+           Printf.sprintf "%s (decision %s, learnt at t=%d)" (Symbol.name v)
+             (match dec with Some d -> Symbol.name d | None -> "-")
+             belief)
+         (Navigation.history_of repo (Symbol.intern name)))
+  | [ "source"; name ] -> (
+    match Repo.source_text repo (Symbol.intern name) with
+    | Some src -> src
+    | None -> "error: no source recorded for " ^ name)
+  | [ "deps" ] -> fmt "%a" (fun ppf () -> Depgraph.pp repo ppf t.state.Scenario.papers) ()
+  | [ "deps"; name ] ->
+    fmt "%a" (fun ppf () -> Depgraph.pp repo ppf (Symbol.intern name)) ()
+  | [ "config" ] -> (
+    let config = Version.configure repo ~level:Metamodel.dbpl_object in
+    match Version.to_dbpl_module repo config ~name:"Configured" with
+    | Ok m -> fmt "%a@.@.%a" (Version.pp_configuration repo) config Langs.Dbpl.pp_module m
+    | Error e -> fmt "%a@.error: %s" (Version.pp_configuration repo) config e)
+  | [ "check" ] ->
+    let consistency =
+      match Cml.Consistency.check_all (Repo.kb repo) with
+      | [] -> "consistency: ok"
+      | vs ->
+        "consistency:\n"
+        ^ String.concat "\n"
+            (List.map (fmt "  %a" Cml.Consistency.pp_violation) vs)
+    in
+    let methodology =
+      match Methodology.check_history repo Methodology.daida_kernel with
+      | [] -> "methodology: conforms"
+      | vs ->
+        "methodology:\n"
+        ^ String.concat "\n" (List.map (fmt "  %a" Methodology.pp_violation) vs)
+    in
+    let support =
+      match Backtrack.unsupported_objects repo with
+      | [] -> "support: all design objects supported"
+      | objs ->
+        "unsupported: " ^ String.concat ", " (List.map Symbol.name objs)
+    in
+    String.concat "\n" [ consistency; methodology; support ]
+  | "ask" :: rest -> (
+    let text = String.concat " " rest in
+    match Langs.Assertion.parse_formula text with
+    | Error e -> "error: " ^ e
+    | Ok f -> (
+      match Cml.Kb.ask (Repo.kb repo) f with
+      | Ok b -> string_of_bool b
+      | Error e -> "error: " ^ e))
+  | "derive" :: rest -> (
+    let text = String.concat " " rest in
+    match Langs.Assertion.parse_atom text with
+    | Error e -> "error: " ^ e
+    | Ok goal -> (
+      match Cml.Kb.derive (Repo.kb repo) goal with
+      | Ok [] -> "no."
+      | Ok substs ->
+        String.concat "\n" (List.map (fmt "%a" Logic.Term.Subst.pp) substs)
+      | Error e -> "error: " ^ e))
+  | [ "save"; file ] -> (
+    match Persist.save_to_file repo file with
+    | Ok () -> "saved to " ^ file
+    | Error e -> "error: " ^ e)
+  | [ "load"; file ] -> (
+    match Persist.load_from_file file with
+    | Ok repo' ->
+      t.state <- (of_repository repo').state;
+      Printf.sprintf "loaded %s: %d decisions" file
+        (List.length (Repo.decision_log repo'))
+    | Error e -> "error: " ^ e)
+  | cmd :: _ -> "error: unknown command " ^ cmd ^ " (try 'help')"

@@ -1,0 +1,42 @@
+(** The dialog manager (§3.3.1: "A dialog manager with improved error
+    handling and recovery facilities is under construction" — here it
+    is).  A line-oriented command interpreter over one repository,
+    driving the same focusing / menu / decision / browsing operations as
+    the window tools; every command returns text, and errors never
+    destroy the session state.  [bin/gkbms repl] wires it to stdin. *)
+
+type t
+
+val create : unit -> (t, string) result
+(** A fresh session on the meeting scenario's initial state (design
+    loaded, nothing mapped). *)
+
+val of_repository : Repository.t -> t
+(** Drive an existing repository (e.g. one loaded from a snapshot). *)
+
+val repository : t -> Repository.t
+
+val eval : t -> string -> string
+(** Execute one command line and return the rendered output (errors are
+    reported in the output, prefixed with ["error:"]).  Commands:
+    {v
+help                       this list
+stats                      KB statistics
+unmapped                   TaxisDL classes not yet mapped (fig 2-1)
+focus OBJECT               focus view: classes, menu, directions
+menu OBJECT                applicable decision classes and tools
+run CLASS TOOL ROLE=OBJ... [KEY=VALUE...]   execute a decision
+map | normalize | key | minutes | resolve   scenario shortcuts
+why OBJECT                 explanation chain
+history OBJECT             version history
+source OBJECT              code frame
+deps [OBJECT]              dependency graph (ASCII)
+config                     current DBPL configuration
+check                      consistency + methodology + support audit
+ask FORMULA                evaluate a closed assertion
+derive ATOM                query the deductive view
+save FILE / load FILE      snapshot the repository
+v} *)
+
+val is_quit : string -> bool
+(** Does the line ask to leave ([quit] / [exit])? *)

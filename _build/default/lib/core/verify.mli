@@ -1,0 +1,50 @@
+(** Formal discharge of verification obligations.
+
+    §3.2: when a decision class's constraints are not guaranteed by the
+    executing tool, "the decision instance defin[es] a ... proof
+    obligation" and "the 'proof' may be either formal or by 'signature'
+    of the decision maker".  {!Decision.sign_obligation} is the
+    signature route; this module is the formal route: it compiles the
+    decision's artifacts into an executable DBPL database
+    ({!Langs.Dbpl_eval}), populates it with synthetic extensions, and
+    checks the obligation's semantic content.
+
+    Checks implemented:
+    - ["reconstruction-constructor-lossless"] (DecNormalize): populating
+      the unnormalized relation, splitting it into the normalized pair
+      and evaluating the reconstruction constructor yields exactly the
+      original extension;
+    - ["referential-integrity-selector-correct"] (DecNormalize): the
+      generated selector holds on the split database and is violated
+      once a parent tuple is deleted (i.e. it really checks containment);
+    - ["mapping-preserves-extension"] (mapping decisions): every inner
+      constructor's extension equals the union of its leaf relations'
+      projections, tuple for tuple. *)
+
+open Kernel
+
+type verdict = {
+  obligation : string;
+  passed : bool;
+  evidence : string;  (** what was populated / compared *)
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_obligation :
+  Repository.t -> decision:Prop.id -> obligation:string ->
+  ?population:int -> unit -> (verdict, string) result
+(** Run the formal check ([population] synthetic tuples per relation,
+    default 8).  [Error] if the obligation has no formal check or the
+    decision's artifacts cannot be assembled. *)
+
+val discharge :
+  Repository.t -> decision:Prop.id -> obligation:string ->
+  ?population:int -> unit -> (verdict, string) result
+(** {!check_obligation}, and on success mark the obligation discharged
+    ("verified formally").  Fails if the check fails. *)
+
+val synthesize_tuples :
+  Langs.Dbpl.relation -> n:int -> seed:int -> Langs.Dbpl_eval.tuple list
+(** The deterministic synthetic-extension generator (exposed for tests
+    and benches). *)

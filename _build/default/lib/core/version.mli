@@ -1,0 +1,51 @@
+(** Version and configuration management (§3.3.2, fig 3-4).
+
+    "Version and configuration management come as a natural by-product
+    of the decision-based documentation approach":
+    - *versions* arise from [REPLACES] chains created by refinement /
+      choice decisions;
+    - *horizontal configuration* selects, per logical object, the current
+      version on one language level;
+    - *vertical configuration* relates levels through mapping decisions
+      (the equivalences of [KCB86]). *)
+
+open Kernel
+
+val predecessor : Repository.t -> Prop.id -> Prop.id option
+val successors : Repository.t -> Prop.id -> Prop.id list
+val version_chain : Repository.t -> Prop.id -> Prop.id list
+(** The full chain of versions (oldest first) the object belongs to. *)
+
+val is_current : Repository.t -> Prop.id -> bool
+(** No existing successor version. *)
+
+val current_versions : Repository.t -> cls:string -> Prop.id list
+(** Current versions among the instances of a design object class. *)
+
+type configuration = {
+  level : string;  (** the design object class configured over *)
+  members : Prop.id list;  (** current versions, sorted *)
+  superseded : Prop.id list;  (** versions excluded as non-current *)
+  incomplete : string list;
+      (** diagnostics: dangling references between members *)
+}
+
+val configure : Repository.t -> level:string -> configuration
+(** Horizontal configuration: "configure the latest complete DBPL
+    database program system version" = [configure ~level:"DBPL_Object"].
+    Completeness checks that every constructor source and selector range
+    among the members resolves to a member relation/constructor. *)
+
+val to_dbpl_module :
+  Repository.t -> configuration -> name:string -> (Langs.Dbpl.module_, string) result
+(** Assemble the configured DBPL level into one module (and validate it). *)
+
+val vertical_check : Repository.t -> root:Prop.id -> string list
+(** Vertical configuration check from a TaxisDL root: every entity class
+    under it should be the input of some (surviving) mapping decision.
+    Returns the unmapped class names. *)
+
+val pp_configuration : Repository.t -> Format.formatter -> configuration -> unit
+val pp_version_lattice : Repository.t -> Format.formatter -> unit -> unit
+(** The decisions-and-versions picture of fig 3-4: one line per logical
+    object listing its version chain and the decisions between them. *)

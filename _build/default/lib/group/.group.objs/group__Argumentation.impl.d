@@ -1,0 +1,1 @@
+lib/group/argumentation.ml: Format List Printf String

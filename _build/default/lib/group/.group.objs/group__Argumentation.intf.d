@@ -1,0 +1,1 @@
+lib/group/argumentation.mli: Format

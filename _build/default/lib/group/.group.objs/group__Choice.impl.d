@@ -1,0 +1,1 @@
+lib/group/choice.ml: Format List String

@@ -1,0 +1,1 @@
+lib/group/choice.mli: Format

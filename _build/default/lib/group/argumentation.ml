@@ -1,0 +1,159 @@
+type polarity = Pro | Contra
+
+type argument = {
+  author : string;
+  polarity : polarity;
+  weight : int;
+  text : string;
+}
+
+type position_status = Open | Accepted | Rejected
+
+type position = { proposer : string; mutable args : argument list }
+
+type issue = { about : string; mutable positions : (string * position) list }
+
+type t = { mutable issue_table : (string * issue) list }
+
+let create () = { issue_table = [] }
+
+let raise_issue t ~about subject =
+  if List.mem_assoc subject t.issue_table then
+    Error (Printf.sprintf "issue %S already raised" subject)
+  else begin
+    t.issue_table <- (subject, { about; positions = [] }) :: t.issue_table;
+    Ok ()
+  end
+
+let issues t = List.sort String.compare (List.map fst t.issue_table)
+
+let find_issue t name =
+  match List.assoc_opt name t.issue_table with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "no issue %S" name)
+
+let about_of t ~issue =
+  match find_issue t issue with Ok i -> Some i.about | Error _ -> None
+
+let positions t ~issue =
+  match find_issue t issue with
+  | Ok i -> List.rev_map fst i.positions
+  | Error _ -> []
+
+let proposer_of t ~issue ~position =
+  match find_issue t issue with
+  | Ok i -> (
+    match List.assoc_opt position i.positions with
+    | Some p -> Some p.proposer
+    | None -> None)
+  | Error _ -> None
+
+let propose t ~issue ~position ~by =
+  match find_issue t issue with
+  | Error e -> Error e
+  | Ok i ->
+    if List.mem_assoc position i.positions then
+      Error (Printf.sprintf "position %S already proposed" position)
+    else begin
+      i.positions <- (position, { proposer = by; args = [] }) :: i.positions;
+      Ok ()
+    end
+
+let find_position i name =
+  match List.assoc_opt name i.positions with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "no position %S" name)
+
+let argue t ~issue ~position ~by ~polarity ?(weight = 1) text =
+  match find_issue t issue with
+  | Error e -> Error e
+  | Ok i -> (
+    match find_position i position with
+    | Error e -> Error e
+    | Ok p ->
+      let weight = max 1 (min 5 weight) in
+      p.args <- { author = by; polarity; weight; text } :: p.args;
+      Ok ())
+
+let arguments t ~issue ~position =
+  match find_issue t issue with
+  | Error _ -> []
+  | Ok i -> (
+    match find_position i position with
+    | Error _ -> []
+    | Ok p -> List.rev p.args)
+
+let score t ~issue ~position =
+  List.fold_left
+    (fun acc a ->
+      match a.polarity with Pro -> acc + a.weight | Contra -> acc - a.weight)
+    0
+    (arguments t ~issue ~position)
+
+let scores t issue_name =
+  match find_issue t issue_name with
+  | Error _ -> []
+  | Ok i ->
+    List.map
+      (fun (name, _) -> (name, score t ~issue:issue_name ~position:name))
+      (List.rev i.positions)
+
+let status t ~issue ~position =
+  let all = scores t issue in
+  match List.assoc_opt position all with
+  | None -> Open
+  | Some own ->
+    let rivals = List.filter (fun (n, _) -> n <> position) all in
+    let accepted =
+      own > 0 && List.for_all (fun (_, s) -> s < own) rivals
+    in
+    if accepted then Accepted
+    else if
+      List.exists
+        (fun (n, s) -> n <> position && s > 0 && List.for_all (fun (m, s') -> m = n || s' < s) all)
+        all
+    then Rejected
+    else Open
+
+let resolution t ~issue =
+  match find_issue t issue with
+  | Error _ -> None
+  | Ok i ->
+    List.find_map
+      (fun (name, _) ->
+        if status t ~issue ~position:name = Accepted then Some name else None)
+      i.positions
+
+let participants t ~issue =
+  match find_issue t issue with
+  | Error _ -> []
+  | Ok i ->
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (_, p) -> p.proposer :: List.map (fun a -> a.author) p.args)
+         i.positions)
+
+let pp_issue t ppf issue_name =
+  match find_issue t issue_name with
+  | Error e -> Format.fprintf ppf "%s@." e
+  | Ok i ->
+    Format.fprintf ppf "@[<v>issue: %s (about %s)@," issue_name i.about;
+    List.iter
+      (fun (name, p) ->
+        let st =
+          match status t ~issue:issue_name ~position:name with
+          | Accepted -> "ACCEPTED"
+          | Rejected -> "rejected"
+          | Open -> "open"
+        in
+        Format.fprintf ppf "  position %s [%s, score %d, by %s]@," name st
+          (score t ~issue:issue_name ~position:name)
+          p.proposer;
+        List.iter
+          (fun a ->
+            Format.fprintf ppf "    %s%d %s: %s@,"
+              (match a.polarity with Pro -> "+" | Contra -> "-")
+              a.weight a.author a.text)
+          (List.rev p.args))
+      (List.rev i.positions);
+    Format.fprintf ppf "@]"

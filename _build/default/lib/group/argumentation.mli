@@ -1,0 +1,63 @@
+(** Argumentation structures for group decision processes — the [HI88]
+    extension sketched in §3.3.3: "mechanisms for multicriteria choice
+    support, argumentation on derivation decisions, and explicit group
+    work organization".
+
+    Issues are raised about design decisions; stakeholders propose
+    positions and attach weighted pro/contra arguments; a position is
+    accepted when its net support strictly dominates every rival's. *)
+
+type polarity = Pro | Contra
+
+type argument = {
+  author : string;
+  polarity : polarity;
+  weight : int;  (** 1 = weak ... 5 = decisive *)
+  text : string;
+}
+
+type position_status = Open | Accepted | Rejected
+
+type t
+(** An argumentation memory for one project. *)
+
+val create : unit -> t
+
+val raise_issue : t -> about:string -> string -> (unit, string) result
+(** [raise_issue t ~about subject]: open an issue about a design object
+    or decision.  Fails on duplicate subjects. *)
+
+val issues : t -> string list
+
+val about_of : t -> issue:string -> string option
+(** What the issue was raised about. *)
+
+val positions : t -> issue:string -> string list
+(** Positions proposed so far, in proposal order. *)
+
+val proposer_of : t -> issue:string -> position:string -> string option
+
+val propose : t -> issue:string -> position:string -> by:string -> (unit, string) result
+
+val argue :
+  t -> issue:string -> position:string -> by:string -> polarity:polarity ->
+  ?weight:int -> string -> (unit, string) result
+(** Attach an argument ([weight] defaults to 1, clamped to 1..5). *)
+
+val arguments : t -> issue:string -> position:string -> argument list
+
+val score : t -> issue:string -> position:string -> int
+(** Sum of pro weights minus contra weights. *)
+
+val status : t -> issue:string -> position:string -> position_status
+(** [Accepted] iff the position's score is positive and strictly greater
+    than every other position's; [Rejected] iff some other position is
+    accepted; otherwise [Open]. *)
+
+val resolution : t -> issue:string -> string option
+(** The accepted position, if any. *)
+
+val participants : t -> issue:string -> string list
+(** Everyone who proposed or argued, sorted. *)
+
+val pp_issue : t -> Format.formatter -> string -> unit

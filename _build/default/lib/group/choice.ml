@@ -1,0 +1,83 @@
+type criterion = { crit_name : string; weight : float }
+
+type alternative = { alt_name : string; ratings : (string * float) list }
+
+let validate ~criteria ~alternatives =
+  if criteria = [] then Error "no criteria given"
+  else if alternatives = [] then Error "no alternatives given"
+  else if List.exists (fun c -> c.weight <= 0.) criteria then
+    Error "criterion weights must be positive"
+  else
+    let missing =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun c ->
+              if List.mem_assoc c.crit_name a.ratings then None
+              else Some (a.alt_name ^ "/" ^ c.crit_name))
+            criteria)
+        alternatives
+    in
+    if missing <> [] then
+      Error ("missing ratings: " ^ String.concat ", " missing)
+    else Ok ()
+
+let rank ~criteria ~alternatives =
+  match validate ~criteria ~alternatives with
+  | Error e -> Error e
+  | Ok () ->
+    let total = List.fold_left (fun acc c -> acc +. c.weight) 0. criteria in
+    let score a =
+      List.fold_left
+        (fun acc c ->
+          acc +. (c.weight /. total *. List.assoc c.crit_name a.ratings))
+        0. criteria
+    in
+    Ok
+      (List.sort
+         (fun (n1, s1) (n2, s2) ->
+           if s1 = s2 then String.compare n1 n2 else compare s2 s1)
+         (List.map (fun a -> (a.alt_name, score a)) alternatives))
+
+let winner ~criteria ~alternatives =
+  match rank ~criteria ~alternatives with
+  | Error e -> Error e
+  | Ok [] -> Error "no alternatives given"
+  | Ok ((best, _) :: _) -> Ok best
+
+let sensitivity ~criteria ~alternatives ~delta =
+  match winner ~criteria ~alternatives with
+  | Error e -> Error e
+  | Ok base ->
+    let perturb name factor =
+      List.map
+        (fun c ->
+          if c.crit_name = name then { c with weight = c.weight *. factor }
+          else c)
+        criteria
+    in
+    let results =
+      List.map
+        (fun c ->
+          let changed =
+            List.exists
+              (fun factor ->
+                match
+                  winner ~criteria:(perturb c.crit_name factor) ~alternatives
+                with
+                | Ok w -> w <> base
+                | Error _ -> true)
+              [ 1. +. delta; max 0.01 (1. -. delta) ]
+          in
+          (c.crit_name, changed))
+        criteria
+    in
+    Ok results
+
+let pp_ranking ppf ranking =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, s) ->
+      Format.fprintf ppf "%d. %-24s %.2f@," (i + 1) name s)
+    ranking;
+  Format.fprintf ppf "@]"

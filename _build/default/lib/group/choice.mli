@@ -1,0 +1,29 @@
+(** Multicriteria choice support (§3.3.3): rank design alternatives by
+    weighted criteria, with a simple sensitivity analysis so a group can
+    see how robust the winner is. *)
+
+type criterion = { crit_name : string; weight : float }
+(** Weights need not be normalized; they are rescaled to sum to 1. *)
+
+type alternative = {
+  alt_name : string;
+  ratings : (string * float) list;  (** criterion -> rating (0..10) *)
+}
+
+val rank :
+  criteria:criterion list -> alternatives:alternative list ->
+  ((string * float) list, string) result
+(** Alternatives with weighted scores, best first.  Fails on an empty
+    criteria list, non-positive weights, or a missing rating. *)
+
+val winner :
+  criteria:criterion list -> alternatives:alternative list ->
+  (string, string) result
+
+val sensitivity :
+  criteria:criterion list -> alternatives:alternative list -> delta:float ->
+  ((string * bool) list, string) result
+(** For each criterion: does perturbing its weight by ±[delta] (relative)
+    change the winner?  [true] = the choice is sensitive to it. *)
+
+val pp_ranking : Format.formatter -> (string * float) list -> unit

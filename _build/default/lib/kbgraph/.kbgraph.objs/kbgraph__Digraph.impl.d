@@ -1,0 +1,1 @@
+lib/kbgraph/digraph.ml: Buffer Format Kernel List Printf Queue String Symbol

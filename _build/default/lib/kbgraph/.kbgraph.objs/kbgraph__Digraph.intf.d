@@ -1,0 +1,1 @@
+lib/kbgraph/digraph.mli: Format Kernel Symbol

@@ -1,0 +1,1 @@
+lib/kernel/prop.ml: Format Printf Symbol Time

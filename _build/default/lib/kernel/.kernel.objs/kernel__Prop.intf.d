@@ -1,0 +1,1 @@
+lib/kernel/prop.mli: Format Symbol Time

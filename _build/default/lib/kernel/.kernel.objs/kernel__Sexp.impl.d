@@ -1,0 +1,1 @@
+lib/kernel/sexp.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/kernel/symbol.ml: Array Format Hashtbl Map Set Stdlib

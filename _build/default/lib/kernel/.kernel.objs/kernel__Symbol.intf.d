@@ -1,0 +1,1 @@
+lib/kernel/symbol.mli: Format Hashtbl Map Set

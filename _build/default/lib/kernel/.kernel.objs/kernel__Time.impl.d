@@ -1,0 +1,1 @@
+lib/kernel/time.ml: Format Printf Stdlib String

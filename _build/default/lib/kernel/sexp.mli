@@ -1,0 +1,23 @@
+(** Minimal s-expressions, the persistence syntax for structured
+    artifacts (design ASTs, decision metadata).  Atoms are quoted when
+    they contain whitespace, parentheses, quotes or are empty. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+val to_string : t -> string
+val parse : string -> (t, string) result
+(** Parses exactly one s-expression (surrounding whitespace allowed). *)
+
+val parse_many : string -> (t list, string) result
+
+(** {1 Convenience accessors} *)
+
+val as_atom : t -> (string, string) result
+val as_list : t -> (t list, string) result
+
+val field : t -> string -> (t, string) result
+(** [field (List [...; List [Atom key; v]; ...]) key = Ok v]. *)
+
+val field_opt : t -> string -> t option

@@ -1,0 +1,47 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 4096
+let names : string array ref = ref (Array.make 4096 "")
+let next = ref 0
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some i -> i
+  | None ->
+    let i = !next in
+    incr next;
+    if i >= Array.length !names then begin
+      let bigger = Array.make (2 * Array.length !names) "" in
+      Array.blit !names 0 bigger 0 (Array.length !names);
+      names := bigger
+    end;
+    !names.(i) <- s;
+    Hashtbl.add table s i;
+    i
+
+let name i = !names.(i)
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (i : t) = i
+let to_int i = i
+let count () = !next
+let pp ppf i = Format.pp_print_string ppf (name i)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,30 @@
+(** Interned strings.
+
+    Proposition identifiers, labels and object names are compared very
+    frequently (index lookups, unification).  Interning maps each distinct
+    string to a unique small integer so that equality is an integer
+    comparison and symbols can key arrays and bitsets. *)
+
+type t
+
+val intern : string -> t
+(** [intern s] returns the unique symbol for [s], creating it if needed. *)
+
+val name : t -> string
+(** [name t] is the string [t] was interned from. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_int : t -> int
+(** Stable dense integer code of the symbol (0-based, creation order). *)
+
+val count : unit -> int
+(** Number of distinct symbols interned so far. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,73 @@
+(** Time components of CML propositions.
+
+    Every CML proposition carries a time value [t] describing when the
+    asserted link holds ("valid time"); belief time ("the programmer told
+    the KB about PI on September 21, 1987") is recorded separately by the
+    proposition base.  Time points are logical ticks of a global clock;
+    intervals may be named, as in the paper's [version17]. *)
+
+type point = int
+
+type t =
+  | Always  (** holds at every point *)
+  | At of point  (** holds exactly at one point *)
+  | From of point  (** holds from a point onwards, e.g. "21-Sep-1987+" *)
+  | Between of point * point  (** closed interval [lo, hi], [lo <= hi] *)
+  | Named of string * point * point
+      (** a named interval such as [version17], with its extent *)
+
+val always : t
+val at : point -> t
+val from : point -> t
+
+val between : point -> point -> t
+(** @raise Invalid_argument if [lo > hi]. *)
+
+val named : string -> point -> point -> t
+(** @raise Invalid_argument if [lo > hi]. *)
+
+val bounds : t -> point * point
+(** Closed bounds of the interval; [Always] and [From] use [max_int]
+    (and [min_int]) as the open end. *)
+
+val valid_at : t -> point -> bool
+(** Does the interval cover the given point? *)
+
+val overlaps : t -> t -> bool
+(** Do the two intervals share at least one point? *)
+
+val during : t -> t -> bool
+(** [during a b]: every point of [a] lies in [b] (Allen's during,
+    reflexively: equal intervals count). *)
+
+val before : t -> t -> bool
+(** [before a b]: [a] ends strictly before [b] starts. *)
+
+val meets : t -> t -> bool
+(** [meets a b]: [a] ends exactly one tick before [b] starts. *)
+
+val intersect : t -> t -> t option
+(** Intersection interval, if non-empty.  Names are dropped. *)
+
+val clip_before : t -> point -> t option
+(** [clip_before t p] restricts [t] to points strictly before [p]:
+    the portion of the interval already elapsed when [p] is reached. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse the [to_string] format back. *)
+
+module Clock : sig
+  (** The global logical clock used for belief time stamping. *)
+
+  val now : unit -> point
+  val tick : unit -> point
+  (** Advance the clock and return the new time. *)
+
+  val reset : unit -> unit
+  (** Reset to 0 (for tests). *)
+end

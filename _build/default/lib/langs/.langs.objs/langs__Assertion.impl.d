@@ -1,0 +1,1 @@
+lib/langs/assertion.ml: Format Kernel Lex List Logic Printf Result String

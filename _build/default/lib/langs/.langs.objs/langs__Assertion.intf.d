@@ -1,0 +1,1 @@
+lib/langs/assertion.mli: Logic

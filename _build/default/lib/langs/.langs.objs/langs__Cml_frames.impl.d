@@ -1,0 +1,1 @@
+lib/langs/cml_frames.ml: Cml Kernel Lex List Result

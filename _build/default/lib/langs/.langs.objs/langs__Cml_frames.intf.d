@@ -1,0 +1,1 @@
+lib/langs/cml_frames.mli: Cml Kernel

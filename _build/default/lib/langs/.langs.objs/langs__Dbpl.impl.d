@@ -1,0 +1,1 @@
+lib/langs/dbpl.ml: Format List Printf String

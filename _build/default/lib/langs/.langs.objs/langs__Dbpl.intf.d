@@ -1,0 +1,1 @@
+lib/langs/dbpl.mli: Format

@@ -1,0 +1,1 @@
+lib/langs/dbpl_eval.ml: Dbpl Format Hashtbl List Result Stdlib String

@@ -1,0 +1,1 @@
+lib/langs/dbpl_eval.mli: Dbpl Format

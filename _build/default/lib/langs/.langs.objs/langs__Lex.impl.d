@@ -1,0 +1,1 @@
+lib/langs/lex.ml: List Printf String

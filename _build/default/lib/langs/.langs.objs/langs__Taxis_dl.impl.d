@@ -1,0 +1,1 @@
+lib/langs/taxis_dl.ml: Cml Format Hashtbl Kbgraph Kernel Lex List Result String

@@ -1,0 +1,1 @@
+lib/langs/taxis_dl.mli: Cml Format Kbgraph

@@ -1,0 +1,208 @@
+module Term = Logic.Term
+module Formula = Logic.Formula
+
+let ( let* ) = Result.bind
+
+(* terms ------------------------------------------------------------------ *)
+
+let parse_term_s s =
+  if Lex.accept s "?" then
+    let* v = Lex.ident s in
+    Ok (Term.var v)
+  else
+    let* word = Lex.ident s in
+    match int_of_string_opt word with
+    | Some i -> Ok (Term.int i)
+    | None -> Ok (Term.sym word)
+
+let parse_term_list s =
+  let* first = parse_term_s s in
+  let rec more acc =
+    if Lex.accept s "," then
+      let* t = parse_term_s s in
+      more (t :: acc)
+    else Ok (List.rev acc)
+  in
+  more [ first ]
+
+let parse_atom_tail s pred =
+  let* () = Lex.expect s "(" in
+  let* args = parse_term_list s in
+  let* () = Lex.expect s ")" in
+  Ok (Term.atom pred args)
+
+(* comparison operators may span two punctuation tokens *)
+let parse_cmp_op s =
+  match Lex.peek s with
+  | Some t when t.Lex.text = "=" ->
+    ignore (Lex.next s);
+    Some Term.Eq
+  | Some t when t.Lex.text = "<" ->
+    ignore (Lex.next s);
+    if Lex.accept s ">" then Some Term.Neq
+    else if Lex.accept s "=" then Some Term.Le
+    else Some Term.Lt
+  | Some t when t.Lex.text = ">" ->
+    ignore (Lex.next s);
+    if Lex.accept s "=" then Some Term.Ge else Some Term.Gt
+  | Some _ | None -> None
+
+(* formulas ----------------------------------------------------------------- *)
+
+let keywords = [ "forall"; "exists"; "and"; "or"; "not"; "true"; "false" ]
+
+let rec parse_formula_s s =
+  match Lex.peek s with
+  | Some t when t.Lex.text = "forall" || t.Lex.text = "exists" ->
+    ignore (Lex.next s);
+    let quant = t.Lex.text in
+    ignore (Lex.accept s "?");
+    let* v = Lex.ident s in
+    let* () = Lex.expect s "/" in
+    let* cls = Lex.ident s in
+    let* body = parse_formula_s s in
+    if quant = "forall" then
+      Ok (Formula.Forall (v, Kernel.Symbol.intern cls, body))
+    else Ok (Formula.Exists (v, Kernel.Symbol.intern cls, body))
+  | Some _ | None -> parse_implies s
+
+and parse_implies s =
+  let* lhs = parse_or s in
+  if Lex.accept s "=" then
+    let* () = Lex.expect s ">" in
+    let* rhs = parse_implies s in
+    Ok (Formula.Implies (lhs, rhs))
+  else Ok lhs
+
+and parse_or s =
+  let* first = parse_and s in
+  let rec more acc =
+    if Lex.accept s "or" then
+      let* g = parse_and s in
+      more (Formula.Or (acc, g))
+    else Ok acc
+  in
+  more first
+
+and parse_and s =
+  let* first = parse_not s in
+  let rec more acc =
+    if Lex.accept s "and" then
+      let* g = parse_not s in
+      more (Formula.And (acc, g))
+    else Ok acc
+  in
+  more first
+
+and parse_not s =
+  if Lex.accept s "not" then
+    let* f = parse_not s in
+    Ok (Formula.Not f)
+  else parse_primary s
+
+and parse_primary s =
+  match Lex.peek s with
+  | Some t when t.Lex.text = "(" ->
+    ignore (Lex.next s);
+    let* f = parse_formula_s s in
+    let* () = Lex.expect s ")" in
+    Ok f
+  | Some t when t.Lex.text = "true" ->
+    ignore (Lex.next s);
+    Ok Formula.True
+  | Some t when t.Lex.text = "false" ->
+    ignore (Lex.next s);
+    Ok Formula.False
+  | Some t
+    when t.Lex.text <> "?"
+         && (not (List.mem t.Lex.text keywords))
+         && Lex.is_ident_char t.Lex.text.[0]
+         && not
+              (t.Lex.text.[0] >= '0' && t.Lex.text.[0] <= '9') -> (
+    (* an identifier: either an atom pred(...) or the lhs of a comparison *)
+    ignore (Lex.next s);
+    match Lex.peek s with
+    | Some n when n.Lex.text = "(" -> (
+      let* atom = parse_atom_tail s t.Lex.text in
+      Ok (Formula.Atom atom))
+    | _ -> parse_cmp_rest s (Term.sym t.Lex.text))
+  | Some _ | None ->
+    let* lhs = parse_term_s s in
+    parse_cmp_rest s lhs
+
+and parse_cmp_rest s lhs =
+  match parse_cmp_op s with
+  | Some op ->
+    let* rhs = parse_term_s s in
+    Ok (Formula.Cmp (op, lhs, rhs))
+  | None -> Lex.error ?tok:(Lex.peek s) "expected a comparison operator"
+
+let run_parser parse src what =
+  let s = Lex.tokenize src in
+  let* v = parse s in
+  if Lex.at_end s then Ok v
+  else Lex.error ?tok:(Lex.peek s) (Printf.sprintf "trailing input after %s" what)
+
+let parse_term src = run_parser parse_term_s src "term"
+
+let parse_atom src =
+  run_parser
+    (fun s ->
+      let* pred = Lex.ident s in
+      parse_atom_tail s pred)
+    src "atom"
+
+let parse_formula src = run_parser parse_formula_s src "formula"
+
+(* rules --------------------------------------------------------------------- *)
+
+let parse_literal s =
+  if Lex.accept s "not" then
+    let* pred = Lex.ident s in
+    let* atom = parse_atom_tail s pred in
+    Ok (Term.Neg atom)
+  else
+    match Lex.peek s with
+    | Some t when Lex.is_ident_char t.Lex.text.[0] && t.Lex.text.[0] > '9' -> (
+      ignore (Lex.next s);
+      match Lex.peek s with
+      | Some n when n.Lex.text = "(" ->
+        let* atom = parse_atom_tail s t.Lex.text in
+        Ok (Term.Pos atom)
+      | _ -> (
+        match parse_cmp_op s with
+        | Some op ->
+          let* rhs = parse_term_s s in
+          Ok (Term.Cmp (op, Term.sym t.Lex.text, rhs))
+        | None -> Lex.error ?tok:(Lex.peek s) "expected ( or comparison"))
+    | Some _ | None -> (
+      let* lhs = parse_term_s s in
+      match parse_cmp_op s with
+      | Some op ->
+        let* rhs = parse_term_s s in
+        Ok (Term.Cmp (op, lhs, rhs))
+      | None -> Lex.error ?tok:(Lex.peek s) "expected a comparison operator")
+
+let parse_rule src =
+  run_parser
+    (fun s ->
+      let* pred = Lex.ident s in
+      let* head = parse_atom_tail s pred in
+      if Lex.at_end s || Lex.accept s "." then Ok (Term.fact head)
+      else
+        let* () = Lex.expect s ":" in
+        let* () = Lex.expect s "-" in
+        let* first = parse_literal s in
+        let rec more acc =
+          if Lex.accept s "," then
+            let* l = parse_literal s in
+            more (l :: acc)
+          else Ok (List.rev acc)
+        in
+        let* body = more [ first ] in
+        ignore (Lex.accept s ".");
+        Ok (Term.clause head body))
+    src "rule"
+
+let formula_to_string f = Format.asprintf "%a" Formula.pp f
+let rule_to_string c = Format.asprintf "%a" Term.pp_clause c

@@ -1,0 +1,28 @@
+(** The textual assertion language of the CML axiom base: first-order
+    query/constraint expressions and Horn rules, as accepted by the
+    inference engines ("queries are built using (open or closed)
+    first-order logic expression over CML objects; ... the same
+    assertion language is used in rules").
+
+    Concrete syntax (round-trips with {!Logic.Formula.pp} and
+    {!Logic.Term.pp_clause}):
+
+    {v
+forall x/Paper exists p/Person attr(?x, sender, ?p)
+(in(?x, Document) and not (isa(?x, ?x))) => true
+sends(?P, ?I) :- attr(?I, sender, ?P), not minuted(?I), ?P <> chair
+    v}
+
+    Variables are written [?name]; quantifier binders may drop the [?].
+    Comparison operators: [=], [<>], [<], [<=], [>], [>=]. *)
+
+val parse_term : string -> (Logic.Term.t, string) result
+val parse_atom : string -> (Logic.Term.atom, string) result
+val parse_formula : string -> (Logic.Formula.t, string) result
+
+val parse_rule : string -> (Logic.Term.clause, string) result
+(** [head :- lit, ..., lit.]  (the final period is optional); facts are
+    heads without a body. *)
+
+val formula_to_string : Logic.Formula.t -> string
+val rule_to_string : Logic.Term.clause -> string

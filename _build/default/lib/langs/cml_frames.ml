@@ -1,0 +1,84 @@
+module Op = Cml.Object_processor
+
+let ( let* ) = Result.bind
+
+let parse_ident_list s =
+  let* first = Lex.ident s in
+  let rec more acc =
+    if Lex.accept s "," then
+      let* next = Lex.ident s in
+      more (next :: acc)
+    else Ok (List.rev acc)
+  in
+  more [ first ]
+
+(* an attribute line is "label : target"; a group header is a bare
+   identifier not followed by ":" *)
+let rec parse_groups s current_category attrs =
+  match Lex.peek s with
+  | Some t when t.Lex.text = "end" ->
+    ignore (Lex.next s);
+    Ok (List.rev attrs)
+  | Some _ -> (
+    let* word = Lex.ident s in
+    if Lex.accept s ":" then
+      let* target = Lex.ident s in
+      let category =
+        if current_category = "attribute" then None else Some current_category
+      in
+      parse_groups s current_category
+        (Op.attr ?category word target :: attrs)
+    else parse_groups s word attrs)
+  | None -> Lex.error "unterminated frame (missing end)"
+
+let parse_frame s =
+  let* kw =
+    match Lex.next s with
+    | Some t when t.Lex.text = "Class" || t.Lex.text = "Object" -> Ok t.Lex.text
+    | Some t -> Lex.error ~tok:t "expected Class or Object"
+    | None -> Lex.error "expected Class or Object"
+  in
+  ignore kw;
+  let* name = Lex.ident s in
+  let* classes = if Lex.accept s "in" then parse_ident_list s else Ok [] in
+  let* supers = if Lex.accept s "isA" then parse_ident_list s else Ok [] in
+  if Lex.accept s "with" then
+    let* attrs = parse_groups s "attribute" [] in
+    Ok
+      {
+        Op.name;
+        classes;
+        supers;
+        attrs;
+        frame_time = Kernel.Time.always;
+      }
+  else
+    let* () = Lex.expect s "end" in
+    Ok
+      {
+        Op.name;
+        classes;
+        supers;
+        attrs = [];
+        frame_time = Kernel.Time.always;
+      }
+
+let parse src =
+  let s = Lex.tokenize src in
+  let rec loop acc =
+    if Lex.at_end s then Ok (List.rev acc)
+    else
+      let* f = parse_frame s in
+      loop (f :: acc)
+  in
+  loop []
+
+let load kb src =
+  let* frames = parse src in
+  List.fold_left
+    (fun acc f ->
+      let* ids = acc in
+      let* id = Op.store kb f in
+      Ok (id :: ids))
+    (Ok []) frames
+  |> Result.map List.rev

@@ -1,0 +1,19 @@
+(** Parser for the CML frame surface syntax (the inverse of
+    {!Cml.Object_processor.pp}), used to load world/system models — the
+    requirements-analysis layer of DAIDA — from text. *)
+
+val parse : string -> (Cml.Object_processor.frame list, string) result
+(** Accepts a sequence of frames:
+    {v
+Class Invitation in TDL_EntityClass isA Paper with
+  attribute
+    sender : Person
+end
+
+Object jarke in Person end
+    v}
+    Attribute group headers name the category ([attribute] is the
+    default and is left implicit on {!Cml.Object_processor.attr}). *)
+
+val load : Cml.Kb.t -> string -> (Kernel.Prop.id list, string) result
+(** Parse and store every frame in order. *)

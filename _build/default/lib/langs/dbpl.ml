@@ -1,0 +1,203 @@
+type ty = Named of string | Surrogate | SetOf of ty
+
+type field = { field_name : string; field_ty : ty }
+
+type relation = {
+  rel_name : string;
+  rec_name : string;
+  fields : field list;
+  key : string list;
+}
+
+type rel_expr =
+  | Rel of string
+  | Project of rel_expr * string list
+  | SelectEq of rel_expr * string * string
+  | NatJoin of rel_expr * rel_expr
+  | Union of rel_expr * rel_expr
+  | Nest of rel_expr * string list * string
+
+type constructor_ = {
+  con_name : string;
+  con_fields : field list;
+  def : rel_expr;
+}
+
+type sel_sem =
+  | Ref_integrity of { child : string; parent : string; key : string list }
+  | Key_unique of { rel : string; key : string list }
+
+type selector = {
+  sel_name : string;
+  ranges : (string * string) list;
+  predicate : string;
+  sem : sel_sem option;
+}
+
+type statement =
+  | Insert of string * (string * string) list
+  | Delete of string * string
+  | Update of string * (string * string) list * string
+  | Call of string
+
+type transaction = {
+  tx_name : string;
+  params : (string * string) list;
+  body : statement list;
+}
+
+type module_ = {
+  mod_name : string;
+  relations : relation list;
+  constructors : constructor_ list;
+  selectors : selector list;
+  transactions : transaction list;
+}
+
+let field field_name field_ty = { field_name; field_ty }
+
+let relation ?(key = []) ~name ~rec_name fields =
+  { rel_name = name; rec_name; fields; key }
+
+let empty_module mod_name =
+  { mod_name; relations = []; constructors = []; selectors = []; transactions = [] }
+
+let find_relation m name =
+  List.find_opt (fun r -> r.rel_name = name) m.relations
+
+let find_constructor m name =
+  List.find_opt (fun c -> c.con_name = name) m.constructors
+
+let set_valued_fields r =
+  List.filter (fun f -> match f.field_ty with SetOf _ -> true | Named _ | Surrogate -> false) r.fields
+
+let rec rel_expr_sources = function
+  | Rel name -> [ name ]
+  | Project (e, _) | SelectEq (e, _, _) | Nest (e, _, _) -> rel_expr_sources e
+  | NatJoin (a, b) | Union (a, b) -> rel_expr_sources a @ rel_expr_sources b
+
+let validate m =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let rel_names = List.map (fun r -> r.rel_name) m.relations in
+  List.iter
+    (fun n ->
+      if List.length (List.filter (String.equal n) rel_names) > 1 then
+        err "duplicate relation %s" n)
+    (List.sort_uniq String.compare rel_names);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun k ->
+          match List.find_opt (fun f -> f.field_name = k) r.fields with
+          | None -> err "relation %s: key field %s missing" r.rel_name k
+          | Some f -> (
+            match f.field_ty with
+            | SetOf _ -> err "relation %s: key field %s is set-valued" r.rel_name k
+            | Named _ | Surrogate -> ()))
+        r.key)
+    m.relations;
+  let known name =
+    List.mem name rel_names
+    || List.exists (fun c -> c.con_name = name) m.constructors
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun src ->
+          if not (known src) then
+            err "constructor %s: unknown source %s" c.con_name src)
+        (rel_expr_sources c.def))
+    m.constructors;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (_, rel) ->
+          if not (known rel) then
+            err "selector %s: unknown relation %s" s.sel_name rel)
+        s.ranges)
+    m.selectors;
+  List.iter
+    (fun tx ->
+      List.iter
+        (fun stmt ->
+          match stmt with
+          | Insert (rel, _) | Delete (rel, _) | Update (rel, _, _) ->
+            if not (known rel) then
+              err "transaction %s: unknown relation %s" tx.tx_name rel
+          | Call _ -> ())
+        tx.body)
+    m.transactions;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+(* Pretty printing: the "code frames" ------------------------------------- *)
+
+let rec pp_ty ppf = function
+  | Named n -> Format.pp_print_string ppf n
+  | Surrogate -> Format.pp_print_string ppf "Surrogate"
+  | SetOf t -> Format.fprintf ppf "SET OF %a" pp_ty t
+
+let pp_fields ppf fields =
+  List.iter
+    (fun f -> Format.fprintf ppf "  %s : %a;@," f.field_name pp_ty f.field_ty)
+    fields
+
+let pp_relation ppf r =
+  Format.fprintf ppf "@[<v>TYPE %s = RECORD@,%aEND;@," r.rec_name pp_fields
+    r.fields;
+  if r.key = [] then
+    Format.fprintf ppf "VAR %s : RELATION OF %s;@]" r.rel_name r.rec_name
+  else
+    Format.fprintf ppf "VAR %s : RELATION %s OF %s;@]" r.rel_name
+      (String.concat ", " r.key) r.rec_name
+
+let rec pp_rel_expr ppf = function
+  | Rel name -> Format.pp_print_string ppf name
+  | Project (e, fields) ->
+    Format.fprintf ppf "PROJECT %a [%s]" pp_rel_expr e
+      (String.concat ", " fields)
+  | SelectEq (e, f, value) ->
+    Format.fprintf ppf "SELECT %a WHERE %s = %s" pp_rel_expr e f value
+  | NatJoin (a, b) -> Format.fprintf ppf "(%a JOIN %a)" pp_rel_expr a pp_rel_expr b
+  | Union (a, b) -> Format.fprintf ppf "(%a UNION %a)" pp_rel_expr a pp_rel_expr b
+  | Nest (e, fields, as_field) ->
+    Format.fprintf ppf "NEST %a [%s AS %s]" pp_rel_expr e
+      (String.concat ", " fields) as_field
+
+let pp_constructor ppf c =
+  Format.fprintf ppf "@[<v>CONSTRUCTOR %s =@,  %a;@]" c.con_name pp_rel_expr
+    c.def
+
+let pp_selector ppf s =
+  Format.fprintf ppf "@[<v>SELECTOR %s =@,  SOME %s (%s);@]" s.sel_name
+    (String.concat ", "
+       (List.map (fun (v, rel) -> Printf.sprintf "%s IN %s" v rel) s.ranges))
+    s.predicate
+
+let pp_statement ppf = function
+  | Insert (rel, bindings) ->
+    Format.fprintf ppf "%s :+ [%s];" rel
+      (String.concat ", "
+         (List.map (fun (f, v) -> Printf.sprintf "%s = %s" f v) bindings))
+  | Delete (rel, cond) -> Format.fprintf ppf "%s :- WHERE %s;" rel cond
+  | Update (rel, bindings, cond) ->
+    Format.fprintf ppf "%s := [%s] WHERE %s;" rel
+      (String.concat ", "
+         (List.map (fun (f, v) -> Printf.sprintf "%s = %s" f v) bindings))
+      cond
+  | Call name -> Format.fprintf ppf "%s();" name
+
+let pp_transaction ppf tx =
+  Format.fprintf ppf "@[<v>TRANSACTION %s(%s);@,BEGIN@," tx.tx_name
+    (String.concat "; "
+       (List.map (fun (n, ty) -> Printf.sprintf "%s : %s" n ty) tx.params));
+  List.iter (fun st -> Format.fprintf ppf "  %a@," pp_statement st) tx.body;
+  Format.fprintf ppf "END;@]"
+
+let pp_module ppf m =
+  Format.fprintf ppf "@[<v>MODULE %s;@,@," m.mod_name;
+  List.iter (fun r -> Format.fprintf ppf "%a@,@," pp_relation r) m.relations;
+  List.iter (fun c -> Format.fprintf ppf "%a@,@," pp_constructor c) m.constructors;
+  List.iter (fun s -> Format.fprintf ppf "%a@,@," pp_selector s) m.selectors;
+  List.iter (fun tx -> Format.fprintf ppf "%a@,@," pp_transaction tx) m.transactions;
+  Format.fprintf ppf "END %s.@]" m.mod_name

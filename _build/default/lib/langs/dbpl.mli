@@ -1,0 +1,97 @@
+(** DBPL, the database programming language of DAIDA (successor of
+    Pascal/R [SCHM77, ECKH85]).  The subset modelled here is what the
+    mapping scenario generates: record types, keyed relations,
+    constructors (derived relations / views), selectors (predicative
+    integrity constraints) and transactions, grouped into modules.
+    {!pp_module} renders the "code frames" of figs 2-2 .. 2-4. *)
+
+type ty =
+  | Named of string  (** a host or database type, e.g. [Person] *)
+  | Surrogate  (** system-generated identity, the artificial [paperkey] *)
+  | SetOf of ty
+
+type field = { field_name : string; field_ty : ty }
+
+type relation = {
+  rel_name : string;
+  rec_name : string;  (** name of the record type, e.g. [InvitationType] *)
+  fields : field list;
+  key : string list;
+}
+
+(** Relational expressions for constructors. *)
+type rel_expr =
+  | Rel of string
+  | Project of rel_expr * string list
+  | SelectEq of rel_expr * string * string  (** field = field/value *)
+  | NatJoin of rel_expr * rel_expr
+  | Union of rel_expr * rel_expr
+  | Nest of rel_expr * string list * string
+      (** [Nest (e, fields, as_field)]: group [fields] into the set-valued
+          [as_field] — used to reconstruct an unnormalized relation *)
+
+type constructor_ = {
+  con_name : string;
+  con_fields : field list;  (** shape of the derived relation *)
+  def : rel_expr;
+}
+
+(** Machine-checkable meaning of a selector, alongside its displayed
+    predicate text.  The mapping tools generate these so the evaluator
+    ({!Dbpl_eval}) can verify them against a populated database. *)
+type sel_sem =
+  | Ref_integrity of { child : string; parent : string; key : string list }
+      (** every [key] projection of [child] occurs in [parent] *)
+  | Key_unique of { rel : string; key : string list }
+
+type selector = {
+  sel_name : string;
+  ranges : (string * string) list;  (** variable, relation *)
+  predicate : string;  (** first-order condition, pretty-printed *)
+  sem : sel_sem option;
+}
+
+type statement =
+  | Insert of string * (string * string) list  (** relation, field bindings *)
+  | Delete of string * string  (** relation, condition *)
+  | Update of string * (string * string) list * string
+  | Call of string
+
+type transaction = {
+  tx_name : string;
+  params : (string * string) list;
+  body : statement list;
+}
+
+type module_ = {
+  mod_name : string;
+  relations : relation list;
+  constructors : constructor_ list;
+  selectors : selector list;
+  transactions : transaction list;
+}
+
+val relation :
+  ?key:string list -> name:string -> rec_name:string -> field list -> relation
+
+val field : string -> ty -> field
+
+val empty_module : string -> module_
+
+val find_relation : module_ -> string -> relation option
+val find_constructor : module_ -> string -> constructor_ option
+val set_valued_fields : relation -> field list
+
+val rel_expr_sources : rel_expr -> string list
+(** Names of the base relations/constructors an expression reads. *)
+
+val validate : module_ -> (unit, string list) result
+(** Key fields exist and are not set-valued; relation names unique;
+    constructor/selector references resolve. *)
+
+val pp_ty : Format.formatter -> ty -> unit
+val pp_relation : Format.formatter -> relation -> unit
+val pp_constructor : Format.formatter -> constructor_ -> unit
+val pp_selector : Format.formatter -> selector -> unit
+val pp_transaction : Format.formatter -> transaction -> unit
+val pp_module : Format.formatter -> module_ -> unit

@@ -1,0 +1,353 @@
+type value = Str of string | Int of int | Sur of int | VSet of value list
+
+let rec value_compare a b =
+  match (a, b) with
+  | Str x, Str y -> String.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Sur x, Sur y -> Stdlib.compare x y
+  | VSet x, VSet y -> List.compare value_compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Sur _, _ -> -1
+  | _, Sur _ -> 1
+
+let vset vs = VSet (List.sort_uniq value_compare vs)
+
+type tuple = (string * value) list
+
+let normalize_tuple t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) t
+
+let tuple_compare a b =
+  List.compare
+    (fun (f1, v1) (f2, v2) ->
+      let c = String.compare f1 f2 in
+      if c <> 0 then c else value_compare v1 v2)
+    a b
+
+let rec pp_value ppf = function
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int i -> Format.pp_print_int ppf i
+  | Sur i -> Format.fprintf ppf "#%d" i
+  | VSet vs ->
+    Format.fprintf ppf "{%s}"
+      (String.concat ", " (List.map (Format.asprintf "%a" pp_value) vs))
+
+let pp_tuple ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (List.map (fun (f, v) -> Format.asprintf "%s = %a" f pp_value v) t))
+
+type db = {
+  schema : Dbpl.module_;
+  contents : (string, tuple list ref) Hashtbl.t;  (** base relations *)
+  mutable surrogate_counter : int;
+}
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+let ( let* ) = Result.bind
+
+let create m =
+  match Dbpl.validate m with
+  | Error es -> Error ("invalid module: " ^ String.concat "; " es)
+  | Ok () ->
+    let contents = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Dbpl.relation) -> Hashtbl.replace contents r.Dbpl.rel_name (ref []))
+      m.Dbpl.relations;
+    Ok { schema = m; contents; surrogate_counter = 0 }
+
+let fresh_surrogate db =
+  db.surrogate_counter <- db.surrogate_counter + 1;
+  Sur db.surrogate_counter
+
+let relation db name = Dbpl.find_relation db.schema name
+
+let rec type_ok (ty : Dbpl.ty) v =
+  match (ty, v) with
+  | Dbpl.Surrogate, Sur _ -> true
+  | Dbpl.Named _, (Str _ | Int _ | Sur _) -> true
+  | Dbpl.Named _, VSet _ -> false
+  | Dbpl.SetOf t, VSet vs -> List.for_all (type_ok t) vs
+  | (Dbpl.Surrogate | Dbpl.SetOf _), _ -> false
+
+let key_of (r : Dbpl.relation) (t : tuple) =
+  List.map (fun k -> List.assoc_opt k t) r.Dbpl.key
+
+let insert db ~rel t =
+  match relation db rel with
+  | None -> err "no base relation %s" rel
+  | Some r -> (
+    let t = normalize_tuple t in
+    let expected =
+      List.sort String.compare
+        (List.map (fun f -> f.Dbpl.field_name) r.Dbpl.fields)
+    in
+    let given = List.map fst t in
+    if expected <> given then
+      err "tuple fields %s do not match relation %s fields %s"
+        (String.concat "," given) rel
+        (String.concat "," expected)
+    else
+      let bad_type =
+        List.find_opt
+          (fun (f : Dbpl.field) ->
+            match List.assoc_opt f.Dbpl.field_name t with
+            | Some v -> not (type_ok f.Dbpl.field_ty v)
+            | None -> true)
+          r.Dbpl.fields
+      in
+      match bad_type with
+      | Some f -> err "field %s of %s has an ill-typed value" f.Dbpl.field_name rel
+      | None ->
+        let cell = Hashtbl.find db.contents rel in
+        if
+          r.Dbpl.key <> []
+          && List.exists (fun u -> key_of r u = key_of r t) !cell
+        then
+          err "key violation in %s: %s" rel
+            (Format.asprintf "%a" pp_tuple t)
+        else if List.exists (fun u -> tuple_compare u t = 0) !cell then
+          (* relations are sets: a duplicate insert is a no-op *)
+          Ok ()
+        else begin
+          cell := t :: !cell;
+          Ok ()
+        end)
+
+let tuples db name =
+  match Hashtbl.find_opt db.contents name with
+  | Some cell -> Ok (List.sort tuple_compare !cell)
+  | None -> err "no base relation %s" name
+
+let cardinality db name =
+  match Hashtbl.find_opt db.contents name with
+  | Some cell -> List.length !cell
+  | None -> 0
+
+let delete db ~rel pred =
+  match Hashtbl.find_opt db.contents rel with
+  | None -> err "no base relation %s" rel
+  | Some cell ->
+    let keep, drop = List.partition (fun t -> not (pred t)) !cell in
+    cell := keep;
+    Ok (List.length drop)
+
+(* expression evaluation ------------------------------------------------ *)
+
+let project fields t =
+  let rec pick acc = function
+    | [] -> Ok (normalize_tuple acc)
+    | f :: rest -> (
+      match List.assoc_opt f t with
+      | Some v -> pick ((f, v) :: acc) rest
+      | None ->
+        err "projection field %s missing in %s" f
+          (Format.asprintf "%a" pp_tuple t))
+  in
+  pick [] fields
+
+let nat_join a b =
+  List.concat_map
+    (fun ta ->
+      List.filter_map
+        (fun tb ->
+          let compatible =
+            List.for_all
+              (fun (f, v) ->
+                match List.assoc_opt f tb with
+                | Some w -> value_compare v w = 0
+                | None -> true)
+              ta
+          in
+          if compatible then
+            Some
+              (normalize_tuple
+                 (ta @ List.filter (fun (f, _) -> not (List.mem_assoc f ta)) tb))
+          else None)
+        b)
+    a
+
+let nest fields as_field ts =
+  (* group by the non-nested fields; collect the nested ones into a set
+     value (a single nested field yields a set of its values, several
+     yield a set of sub-tuples encoded as VSet of field values) *)
+  let split t =
+    let nested, rest = List.partition (fun (f, _) -> List.mem f fields) t in
+    let packed =
+      match nested with
+      | [ (_, v) ] -> v
+      | several -> VSet (List.map snd (normalize_tuple several))
+    in
+    (normalize_tuple rest, packed)
+  in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun t ->
+      let key, packed = split t in
+      match Hashtbl.find_opt groups key with
+      | Some cell -> cell := packed :: !cell
+      | None ->
+        Hashtbl.add groups key (ref [ packed ]);
+        order := key :: !order)
+    ts;
+  List.rev_map
+    (fun key ->
+      let packed = !(Hashtbl.find groups key) in
+      normalize_tuple ((as_field, vset packed) :: key))
+    !order
+
+let rec eval_expr db (e : Dbpl.rel_expr) =
+  match e with
+  | Dbpl.Rel name -> (
+    match Hashtbl.find_opt db.contents name with
+    | Some cell -> Ok (List.sort tuple_compare !cell)
+    | None -> eval_constructor db name)
+  | Dbpl.Project (e, fields) ->
+    let* ts = eval_expr db e in
+    let* projected =
+      List.fold_left
+        (fun acc t ->
+          let* acc = acc in
+          let* p = project fields t in
+          Ok (p :: acc))
+        (Ok []) ts
+    in
+    Ok (List.sort_uniq tuple_compare projected)
+  | Dbpl.SelectEq (e, f, v) ->
+    let* ts = eval_expr db e in
+    Ok
+      (List.filter
+         (fun t ->
+           match List.assoc_opt f t with
+           | None -> false
+           | Some fv -> (
+             (* [v] may name another field or denote a literal *)
+             match List.assoc_opt v t with
+             | Some wv -> value_compare fv wv = 0
+             | None -> Format.asprintf "%a" pp_value fv = v
+                       || (match fv with Str s -> s = v | _ -> false)))
+         ts)
+  | Dbpl.NatJoin (a, b) ->
+    let* ta = eval_expr db a in
+    let* tb = eval_expr db b in
+    Ok (List.sort_uniq tuple_compare (nat_join ta tb))
+  | Dbpl.Union (a, b) ->
+    let* ta = eval_expr db a in
+    let* tb = eval_expr db b in
+    Ok (List.sort_uniq tuple_compare (ta @ tb))
+  | Dbpl.Nest (e, fields, as_field) ->
+    let* ts = eval_expr db e in
+    Ok (List.sort tuple_compare (nest fields as_field ts))
+
+and eval_constructor db name =
+  match Dbpl.find_constructor db.schema name with
+  | Some c -> eval_expr db c.Dbpl.def
+  | None -> err "no relation or constructor named %s" name
+
+(* selectors -------------------------------------------------------------- *)
+
+let check_selector db (s : Dbpl.selector) =
+  match s.Dbpl.sem with
+  | None ->
+    err "selector %s has no machine-readable semantics recorded" s.Dbpl.sel_name
+  | Some (Dbpl.Ref_integrity { child; parent; key }) ->
+    let* child_ts = eval_expr db (Dbpl.Rel child) in
+    let* parent_ts = eval_expr db (Dbpl.Rel parent) in
+    let proj t = List.map (fun k -> List.assoc_opt k t) key in
+    let parent_keys = List.map proj parent_ts in
+    Ok (List.for_all (fun t -> List.mem (proj t) parent_keys) child_ts)
+  | Some (Dbpl.Key_unique { rel; key }) ->
+    let* ts = eval_expr db (Dbpl.Rel rel) in
+    let proj t = List.map (fun k -> List.assoc_opt k t) key in
+    let keys = List.map proj ts in
+    Ok (List.length (List.sort_uniq compare keys) = List.length keys)
+
+let violated_selectors db =
+  List.filter_map
+    (fun (s : Dbpl.selector) ->
+      match check_selector db s with
+      | Ok false -> Some s.Dbpl.sel_name
+      | Ok true | Error _ -> None)
+    db.schema.Dbpl.selectors
+
+(* transactions ------------------------------------------------------------ *)
+
+let resolve_binding args v =
+  match List.assoc_opt v args with
+  | Some value -> value
+  | None -> (
+    match int_of_string_opt v with Some i -> Int i | None -> Str v)
+
+let eval_cond args t cond =
+  if String.trim cond = "TRUE" then true
+  else
+    match String.split_on_char '=' cond with
+    | [ lhs; rhs ] -> (
+      let f = String.trim lhs and x = String.trim rhs in
+      match List.assoc_opt f t with
+      | None -> false
+      | Some fv -> value_compare fv (resolve_binding args x) = 0)
+    | _ -> false
+
+let rec run_transaction db name ~args =
+  match
+    List.find_opt
+      (fun (tx : Dbpl.transaction) -> tx.Dbpl.tx_name = name)
+      db.schema.Dbpl.transactions
+  with
+  | None -> err "no transaction %s" name
+  | Some tx ->
+    List.fold_left
+      (fun acc stmt ->
+        let* () = acc in
+        match stmt with
+        | Dbpl.Insert (rel, bindings) -> (
+          match relation db rel with
+          | None -> err "transaction %s inserts into unknown %s" name rel
+          | Some r ->
+            (* unbound fields default: surrogates fresh, others empty *)
+            let t =
+              List.map
+                (fun (f : Dbpl.field) ->
+                  match List.assoc_opt f.Dbpl.field_name bindings with
+                  | Some v -> (f.Dbpl.field_name, resolve_binding args v)
+                  | None -> (
+                    match f.Dbpl.field_ty with
+                    | Dbpl.Surrogate -> (f.Dbpl.field_name, fresh_surrogate db)
+                    | Dbpl.SetOf _ -> (f.Dbpl.field_name, vset [])
+                    | Dbpl.Named _ -> (f.Dbpl.field_name, Str "")))
+                r.Dbpl.fields
+            in
+            insert db ~rel t)
+        | Dbpl.Delete (rel, cond) -> (
+          match Hashtbl.find_opt db.contents rel with
+          | None -> err "transaction %s deletes from unknown %s" name rel
+          | Some cell ->
+            cell := List.filter (fun t -> not (eval_cond args t cond)) !cell;
+            Ok ())
+        | Dbpl.Update (rel, bindings, cond) -> (
+          match Hashtbl.find_opt db.contents rel with
+          | None -> err "transaction %s updates unknown %s" name rel
+          | Some cell ->
+            cell :=
+              List.map
+                (fun t ->
+                  if eval_cond args t cond then
+                    normalize_tuple
+                      (List.map
+                         (fun (f, v) ->
+                           match List.assoc_opt f bindings with
+                           | Some b -> (f, resolve_binding args b)
+                           | None -> (f, v))
+                         t)
+                  else t)
+                !cell;
+            Ok ())
+        | Dbpl.Call sub ->
+          if sub = name then err "transaction %s calls itself" name
+          else run_transaction db sub ~args)
+      (Ok ()) tx.Dbpl.body

@@ -1,0 +1,65 @@
+(** An in-memory evaluator for the DBPL subset: populate the relations of
+    a module, evaluate its constructors (derived relations), check its
+    selectors, and run its transactions.
+
+    The 1988 prototype compiled DBPL to an external DBMS; this evaluator
+    is the substitute substrate that lets the GKBMS *formally discharge*
+    verification obligations — e.g. that the reconstruction constructor
+    produced by normalization is lossless, or that a mapping preserves
+    the extension (see {!Gkbms.Verify}). *)
+
+type value =
+  | Str of string
+  | Int of int
+  | Sur of int  (** surrogate *)
+  | VSet of value list  (** canonically sorted, duplicate-free *)
+
+type tuple = (string * value) list
+(** field name -> value; kept canonically sorted by field name *)
+
+val value_compare : value -> value -> int
+val vset : value list -> value
+(** Build a canonical set value. *)
+
+val normalize_tuple : tuple -> tuple
+val pp_value : Format.formatter -> value -> unit
+val pp_tuple : Format.formatter -> tuple -> unit
+
+type db
+
+val create : Dbpl.module_ -> (db, string) result
+(** Validates the module and starts with empty base relations. *)
+
+val fresh_surrogate : db -> value
+
+val insert : db -> rel:string -> tuple -> (unit, string) result
+(** Field names must exactly match the relation's; key values must be
+    unique within the relation (set-valued fields take {!VSet} values). *)
+
+val tuples : db -> string -> (tuple list, string) result
+(** Contents of a base relation, canonically sorted. *)
+
+val cardinality : db -> string -> int
+
+val delete : db -> rel:string -> (tuple -> bool) -> (int, string) result
+(** Remove the tuples satisfying the predicate; returns how many. *)
+
+val eval_expr : db -> Dbpl.rel_expr -> (tuple list, string) result
+(** Evaluate a relational expression; referenced names may be base
+    relations or constructors (evaluated recursively). *)
+
+val eval_constructor : db -> string -> (tuple list, string) result
+
+val check_selector : db -> Dbpl.selector -> (bool, string) result
+(** Check the machine-readable semantics; [Error] if the selector has
+    none recorded. *)
+
+val violated_selectors : db -> string list
+(** Names of the module's selectors (with recorded semantics) currently
+    violated. *)
+
+val run_transaction :
+  db -> string -> args:(string * value) list -> (unit, string) result
+(** Execute a transaction's statements.  Binding values in statements
+    name either a parameter (bound via [args]) or a literal.  Supported
+    conditions: [TRUE], and [field = x]. *)

@@ -1,0 +1,82 @@
+(** A small shared tokenizer for the DAIDA language front-ends.
+
+    Tokens are identifiers (letters, digits, [_]), punctuation characters
+    and line comments starting with [--].  Every token carries its line
+    for error reporting. *)
+
+type token = { text : string; line : int }
+
+type stream = { mutable toks : token list }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize src =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      toks := { text = String.sub src start (!i - start); line = !line } :: !toks
+    end
+    else begin
+      toks := { text = String.make 1 c; line = !line } :: !toks;
+      incr i
+    end
+  done;
+  { toks = List.rev !toks }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let next s =
+  match s.toks with
+  | [] -> None
+  | t :: rest ->
+    s.toks <- rest;
+    Some t
+
+let error ?tok what =
+  match tok with
+  | Some t -> Error (Printf.sprintf "line %d: %s (at %S)" t.line what t.text)
+  | None -> Error (Printf.sprintf "unexpected end of input: %s" what)
+
+let expect s text =
+  match next s with
+  | Some t when t.text = text -> Ok ()
+  | Some t -> error ~tok:t (Printf.sprintf "expected %S" text)
+  | None -> error (Printf.sprintf "expected %S" text)
+
+let ident s =
+  match next s with
+  | Some t when String.length t.text > 0 && is_ident_char t.text.[0] -> Ok t.text
+  | Some t -> error ~tok:t "expected identifier"
+  | None -> error "expected identifier"
+
+let accept s text =
+  match peek s with
+  | Some t when t.text = text ->
+    ignore (next s);
+    true
+  | Some _ | None -> false
+
+let at_end s = s.toks = []

@@ -1,0 +1,313 @@
+type attr_kind = Single | SetOf
+
+type attribute = { attr_name : string; target : string; kind : attr_kind }
+
+type entity_class = {
+  cls_name : string;
+  supers : string list;
+  attrs : attribute list;
+  key : string list;
+}
+
+type transaction = {
+  tx_name : string;
+  on_class : string;
+  params : (string * string) list;
+  body : string list;
+}
+
+type design = {
+  design_name : string;
+  classes : entity_class list;
+  transactions : transaction list;
+}
+
+let attribute ?(kind = Single) attr_name target = { attr_name; target; kind }
+
+let entity_class ?(supers = []) ?(attrs = []) ?(key = []) cls_name =
+  { cls_name; supers; attrs; key }
+
+let find_class d name = List.find_opt (fun c -> c.cls_name = name) d.classes
+
+let subclasses d name =
+  List.filter (fun c -> List.mem name c.supers) d.classes
+
+let rec leaves d name =
+  match subclasses d name with
+  | [] -> ( match find_class d name with Some c -> [ c ] | None -> [])
+  | subs -> List.concat_map (fun c -> leaves d c.cls_name) subs
+
+let supers_closure d name =
+  (* cycle-safe: a malformed design may have circular IsA, which
+     [validate] reports rather than looping on *)
+  let seen = Hashtbl.create 8 in
+  let rec go name acc =
+    match find_class d name with
+    | None -> acc
+    | Some c ->
+      List.fold_left
+        (fun acc s ->
+          if Hashtbl.mem seen s then acc
+          else begin
+            Hashtbl.add seen s ();
+            go s (acc @ [ s ])
+          end)
+        acc c.supers
+  in
+  go name []
+
+let all_attrs d c =
+  let chain =
+    List.filter_map (fun n -> find_class d n) (supers_closure d c.cls_name)
+  in
+  (* own attributes shadow inherited ones of the same name *)
+  let seen = Hashtbl.create 8 in
+  let take acc attrs =
+    List.fold_left
+      (fun acc a ->
+        if Hashtbl.mem seen a.attr_name then acc
+        else begin
+          Hashtbl.add seen a.attr_name ();
+          a :: acc
+        end)
+      acc attrs
+  in
+  List.rev (List.fold_left (fun acc cls -> take acc cls.attrs) (take [] c.attrs) chain)
+
+let hierarchy d =
+  let g = Kbgraph.Digraph.create () in
+  let isa = Kernel.Symbol.intern "isa" in
+  List.iter
+    (fun c ->
+      Kbgraph.Digraph.add_node g (Kernel.Symbol.intern c.cls_name);
+      List.iter
+        (fun s ->
+          Kbgraph.Digraph.add_edge g
+            (Kernel.Symbol.intern c.cls_name)
+            isa
+            (Kernel.Symbol.intern s))
+        c.supers)
+    d.classes;
+  g
+
+let set_valued c = List.filter (fun a -> a.kind = SetOf) c.attrs
+
+let validate d =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let names = List.map (fun c -> c.cls_name) d.classes in
+  let dups =
+    List.filter
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      (List.sort_uniq String.compare names)
+  in
+  List.iter (fun n -> err "duplicate class %s" n) dups;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun s ->
+          if find_class d s = None then
+            err "class %s: undefined superclass %s" c.cls_name s)
+        c.supers;
+      let attr_names = List.map (fun a -> a.attr_name) c.attrs in
+      List.iter
+        (fun n ->
+          if List.length (List.filter (String.equal n) attr_names) > 1 then
+            err "class %s: duplicate attribute %s" c.cls_name n)
+        (List.sort_uniq String.compare attr_names);
+      let available = List.map (fun a -> a.attr_name) (all_attrs d c) in
+      List.iter
+        (fun k ->
+          if not (List.mem k available) then
+            err "class %s: key attribute %s is not defined" c.cls_name k)
+        c.key)
+    d.classes;
+  if Kbgraph.Digraph.has_cycle (hierarchy d) then err "IsA hierarchy is cyclic";
+  List.iter
+    (fun tx ->
+      if find_class d tx.on_class = None then
+        err "transaction %s: undefined class %s" tx.tx_name tx.on_class)
+    d.transactions;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+(* Surface syntax --------------------------------------------------------- *)
+
+let pp_attr ppf a =
+  match a.kind with
+  | Single -> Format.fprintf ppf "%s : %s" a.attr_name a.target
+  | SetOf -> Format.fprintf ppf "%s : setof %s" a.attr_name a.target
+
+let pp_class ppf c =
+  Format.fprintf ppf "@[<v>EntityClass %s" c.cls_name;
+  if c.supers <> [] then
+    Format.fprintf ppf " isA %s" (String.concat ", " c.supers);
+  Format.fprintf ppf " with@,";
+  if c.attrs <> [] then begin
+    Format.fprintf ppf "  attrs@,";
+    List.iter (fun a -> Format.fprintf ppf "    %a@," pp_attr a) c.attrs
+  end;
+  if c.key <> [] then
+    Format.fprintf ppf "  key %s@," (String.concat ", " c.key);
+  Format.fprintf ppf "end@]"
+
+let pp_transaction ppf tx =
+  Format.fprintf ppf "@[<v>Transaction %s on %s with@," tx.tx_name tx.on_class;
+  if tx.params <> [] then begin
+    Format.fprintf ppf "  params@,";
+    List.iter (fun (n, ty) -> Format.fprintf ppf "    %s : %s@," n ty) tx.params
+  end;
+  if tx.body <> [] then begin
+    Format.fprintf ppf "  body@,";
+    List.iter (fun line -> Format.fprintf ppf "    %s@," line) tx.body
+  end;
+  Format.fprintf ppf "end@]"
+
+let pp_design ppf d =
+  Format.fprintf ppf "@[<v>Design %s@,@," d.design_name;
+  List.iter (fun c -> Format.fprintf ppf "%a@,@," pp_class c) d.classes;
+  List.iter (fun tx -> Format.fprintf ppf "%a@,@," pp_transaction tx) d.transactions;
+  Format.fprintf ppf "@]"
+
+(* Parser ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let parse_ident_list s =
+  let* first = Lex.ident s in
+  let rec more acc =
+    if Lex.accept s "," then
+      let* next = Lex.ident s in
+      more (next :: acc)
+    else Ok (List.rev acc)
+  in
+  more [ first ]
+
+let parse_attr s =
+  let* attr_name = Lex.ident s in
+  let* () = Lex.expect s ":" in
+  let* first = Lex.ident s in
+  if first = "setof" then
+    let* target = Lex.ident s in
+    Ok { attr_name; target; kind = SetOf }
+  else Ok { attr_name; target = first; kind = Single }
+
+let rec parse_attrs s acc =
+  match Lex.peek s with
+  | Some t when t.Lex.text <> "key" && t.Lex.text <> "end" ->
+    let* a = parse_attr s in
+    parse_attrs s (a :: acc)
+  | Some _ | None -> Ok (List.rev acc)
+
+let parse_class s =
+  let* cls_name = Lex.ident s in
+  let* supers =
+    if Lex.accept s "isA" then parse_ident_list s else Ok []
+  in
+  let* () = Lex.expect s "with" in
+  let* attrs =
+    if Lex.accept s "attrs" then parse_attrs s [] else Ok []
+  in
+  let* key = if Lex.accept s "key" then parse_ident_list s else Ok [] in
+  let* () = Lex.expect s "end" in
+  Ok { cls_name; supers; attrs; key }
+
+let parse_params s =
+  let rec loop acc =
+    match Lex.peek s with
+    | Some t when t.Lex.text <> "body" && t.Lex.text <> "end" ->
+      let* name = Lex.ident s in
+      let* () = Lex.expect s ":" in
+      let* ty = Lex.ident s in
+      loop ((name, ty) :: acc)
+    | Some _ | None -> Ok (List.rev acc)
+  in
+  loop []
+
+let parse_body s =
+  (* statements are identifier sequences, one per source line *)
+  let rec loop acc current current_line =
+    match Lex.peek s with
+    | Some t when t.Lex.text = "end" ->
+      let acc =
+        if current = [] then acc else String.concat " " (List.rev current) :: acc
+      in
+      Ok (List.rev acc)
+    | Some t ->
+      ignore (Lex.next s);
+      if t.Lex.line <> current_line && current <> [] then
+        loop (String.concat " " (List.rev current) :: acc) [ t.Lex.text ] t.Lex.line
+      else loop acc (t.Lex.text :: current) t.Lex.line
+    | None -> Lex.error "unterminated transaction body"
+  in
+  loop [] [] (-1)
+
+let parse_transaction s =
+  let* tx_name = Lex.ident s in
+  let* () = Lex.expect s "on" in
+  let* on_class = Lex.ident s in
+  let* () = Lex.expect s "with" in
+  let* params = if Lex.accept s "params" then parse_params s else Ok [] in
+  let* body = if Lex.accept s "body" then parse_body s else Ok [] in
+  let* () = Lex.expect s "end" in
+  Ok { tx_name; on_class; params; body }
+
+let parse src =
+  let s = Lex.tokenize src in
+  let* () = Lex.expect s "Design" in
+  let* design_name = Lex.ident s in
+  let rec loop classes transactions =
+    if Lex.at_end s then
+      Ok
+        {
+          design_name;
+          classes = List.rev classes;
+          transactions = List.rev transactions;
+        }
+    else if Lex.accept s "EntityClass" then
+      let* c = parse_class s in
+      loop (c :: classes) transactions
+    else if Lex.accept s "Transaction" then
+      let* tx = parse_transaction s in
+      loop classes (tx :: transactions)
+    else Lex.error ?tok:(Lex.peek s) "expected EntityClass or Transaction"
+  in
+  loop [] []
+
+(* GKBMS design objects ----------------------------------------------------- *)
+
+let to_frames d =
+  let module Op = Cml.Object_processor in
+  let class_frames =
+    List.map
+      (fun c ->
+        let frame_attrs =
+          List.map
+            (fun a ->
+              let category =
+                match a.kind with Single -> "attribute" | SetOf -> "setof"
+              in
+              Op.attr ~category a.attr_name a.target)
+            c.attrs
+        in
+        {
+          Op.name = c.cls_name;
+          classes = [ "TDL_EntityClass" ];
+          supers = c.supers;
+          attrs = frame_attrs;
+          frame_time = Kernel.Time.always;
+        })
+      d.classes
+  in
+  let tx_frames =
+    List.map
+      (fun tx ->
+        {
+          Op.name = tx.tx_name;
+          classes = [ "TDL_Transaction" ];
+          supers = [];
+          attrs = [ Op.attr "on" tx.on_class ];
+          frame_time = Kernel.Time.always;
+        })
+      d.transactions
+  in
+  class_frames @ tx_frames

@@ -1,0 +1,95 @@
+(** TaxisDL, the declarative conceptual design language of DAIDA: data
+    classes and transactions organized in generalization hierarchies
+    [TDL87, MBW80].  This front-end covers the constructs the paper's
+    scenario uses: entity classes with single- and set-valued attributes,
+    optional associative keys, IsA hierarchies, and transaction
+    specifications. *)
+
+type attr_kind = Single | SetOf
+
+type attribute = { attr_name : string; target : string; kind : attr_kind }
+
+type entity_class = {
+  cls_name : string;
+  supers : string list;
+  attrs : attribute list;
+  key : string list;  (** associative key attributes; [] = object identity *)
+}
+
+type transaction = {
+  tx_name : string;
+  on_class : string;
+  params : (string * string) list;  (** name, type *)
+  body : string list;  (** abstract statement lines *)
+}
+
+type design = {
+  design_name : string;
+  classes : entity_class list;
+  transactions : transaction list;
+}
+
+val entity_class :
+  ?supers:string list -> ?attrs:attribute list -> ?key:string list ->
+  string -> entity_class
+
+val attribute : ?kind:attr_kind -> string -> string -> attribute
+
+(** {1 Queries over a design} *)
+
+val find_class : design -> string -> entity_class option
+val subclasses : design -> string -> entity_class list
+(** Direct subclasses. *)
+
+val leaves : design -> string -> entity_class list
+(** Leaf classes of the subtree rooted at the named class (the class
+    itself if it has no subclasses). *)
+
+val all_attrs : design -> entity_class -> attribute list
+(** Attributes including those inherited from (transitive) superclasses;
+    a redefined attribute name shadows the inherited one. *)
+
+val hierarchy : design -> Kbgraph.Digraph.t
+(** The IsA graph (edges sub --isa--> super). *)
+
+val set_valued : entity_class -> attribute list
+
+val validate : design -> (unit, string list) result
+(** Checks: unique class names, supers defined, no IsA cycles, key
+    attributes exist (possibly inherited), attribute names unique per
+    class. *)
+
+(** {1 Surface syntax} *)
+
+val pp_class : Format.formatter -> entity_class -> unit
+val pp_transaction : Format.formatter -> transaction -> unit
+val pp_design : Format.formatter -> design -> unit
+
+val parse : string -> (design, string) result
+(** Parse the surface syntax emitted by {!pp_design}:
+    {v
+Design MeetingDocs
+
+EntityClass Papers with
+  attrs
+    date : Date
+    author : Person
+  key date, author
+end
+
+EntityClass Invitations isA Papers with
+  attrs
+    receivers : setof Person
+end
+
+Transaction AddInvitation on Invitations with
+  params
+    rcv : Person
+  body
+    insert Invitations
+end
+    v} *)
+
+val to_frames : design -> Cml.Object_processor.frame list
+(** Design objects for the GKBMS: one frame per class and transaction,
+    classified under [TDL_EntityClass] / [TDL_Transaction]. *)

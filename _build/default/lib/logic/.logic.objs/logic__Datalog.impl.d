@@ -1,0 +1,1 @@
+lib/logic/datalog.ml: Array Format Hashtbl Kernel List Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/datalog.mli: Kernel Symbol Term

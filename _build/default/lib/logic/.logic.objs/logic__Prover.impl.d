@@ -1,0 +1,1 @@
+lib/logic/prover.ml: Array Datalog Hashtbl Kernel List Printf String Symbol Term

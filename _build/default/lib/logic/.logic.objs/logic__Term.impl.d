@@ -1,0 +1,1 @@
+lib/logic/term.ml: Array Format Kernel List Map Stdlib String Symbol

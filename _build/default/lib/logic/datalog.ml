@@ -1,0 +1,411 @@
+open Kernel
+
+type tuple = Term.t array
+
+module Tuple_set = struct
+  type t = (tuple, unit) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+  let mem (s : t) tup = Hashtbl.mem s tup
+
+  let add (s : t) tup =
+    if mem s tup then false
+    else begin
+      Hashtbl.add s tup ();
+      true
+    end
+
+  let iter f (s : t) = Hashtbl.iter (fun tup () -> f tup) s
+  let cardinal (s : t) = Hashtbl.length s
+  let to_list (s : t) = Hashtbl.fold (fun tup () acc -> tup :: acc) s []
+end
+
+type strategy = [ `Naive | `Seminaive ]
+
+type t = {
+  facts : Tuple_set.t Symbol.Tbl.t;  (** extensional, explicit *)
+  externals : (Term.t list -> Term.t list list) Symbol.Tbl.t;
+  mutable rules : Term.clause list;  (** reverse insertion order *)
+  derived : Tuple_set.t Symbol.Tbl.t;  (** materialized intensional *)
+  mutable solved : bool;
+}
+
+let create () =
+  {
+    facts = Symbol.Tbl.create 64;
+    externals = Symbol.Tbl.create 8;
+    rules = [];
+    derived = Symbol.Tbl.create 64;
+    solved = false;
+  }
+
+let copy t =
+  let dup_sets tbl =
+    let fresh = Symbol.Tbl.create (Symbol.Tbl.length tbl) in
+    Symbol.Tbl.iter
+      (fun p set ->
+        let s = Tuple_set.create () in
+        Tuple_set.iter (fun tup -> ignore (Tuple_set.add s tup)) set;
+        Symbol.Tbl.add fresh p s)
+      tbl;
+    fresh
+  in
+  {
+    facts = dup_sets t.facts;
+    externals = Symbol.Tbl.copy t.externals;
+    rules = t.rules;
+    derived = dup_sets t.derived;
+    solved = t.solved;
+  }
+
+let set_of tbl p =
+  match Symbol.Tbl.find_opt tbl p with
+  | Some s -> s
+  | None ->
+    let s = Tuple_set.create () in
+    Symbol.Tbl.add tbl p s;
+    s
+
+let idb_preds t =
+  List.fold_left
+    (fun acc (c : Term.clause) -> Symbol.Set.add c.head.pred acc)
+    Symbol.Set.empty t.rules
+
+let is_idb t p = Symbol.Set.mem p (idb_preds t)
+
+let add_fact t (a : Term.atom) =
+  if not (Term.atom_ground a) then
+    Error (Format.asprintf "non-ground fact %a" Term.pp_atom a)
+  else begin
+    ignore (Tuple_set.add (set_of t.facts a.pred) a.args);
+    t.solved <- false;
+    Ok ()
+  end
+
+let add_clause t (c : Term.clause) =
+  if not (Term.clause_safe c) then
+    Error (Format.asprintf "unsafe clause %a" Term.pp_clause c)
+  else if Symbol.Tbl.mem t.externals c.head.pred then
+    Error
+      (Format.asprintf "head predicate %a is an external relation" Symbol.pp
+         c.head.pred)
+  else begin
+    t.rules <- c :: t.rules;
+    t.solved <- false;
+    Ok ()
+  end
+
+let register_external t p enum =
+  Symbol.Tbl.replace t.externals p enum;
+  t.solved <- false
+
+let clauses t = List.rev t.rules
+
+(* Stratification ------------------------------------------------------- *)
+
+let stratify t =
+  let idb = idb_preds t in
+  let stratum = Symbol.Tbl.create 16 in
+  Symbol.Set.iter (fun p -> Symbol.Tbl.replace stratum p 0) idb;
+  let get p = match Symbol.Tbl.find_opt stratum p with Some s -> s | None -> 0 in
+  let n = Symbol.Set.cardinal idb in
+  let changed = ref true in
+  let rounds = ref 0 in
+  let result = ref (Ok ()) in
+  while !changed && !result = Ok () do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (c : Term.clause) ->
+        let h = c.head.pred in
+        List.iter
+          (fun lit ->
+            let bump required =
+              if get h < required then begin
+                Symbol.Tbl.replace stratum h required;
+                changed := true
+              end
+            in
+            match lit with
+            | Term.Pos a when Symbol.Set.mem a.pred idb -> bump (get a.pred)
+            | Term.Neg a when Symbol.Set.mem a.pred idb ->
+              bump (get a.pred + 1)
+            | Term.Pos _ | Term.Neg _ | Term.Cmp _ -> ())
+          c.body)
+      t.rules;
+    if !rounds > n + 1 then
+      result := Error "program is not stratifiable (negation in a cycle)"
+  done;
+  match !result with
+  | Error e -> Error e
+  | Ok () ->
+    let max_stratum = Symbol.Tbl.fold (fun _ s acc -> max s acc) stratum 0 in
+    let strata =
+      List.init (max_stratum + 1) (fun i ->
+          Symbol.Tbl.fold
+            (fun p s acc -> if s = i then p :: acc else acc)
+            stratum []
+          |> List.sort Symbol.compare)
+    in
+    Ok (List.filter (fun l -> l <> []) strata)
+
+(* Matching ------------------------------------------------------------- *)
+
+let match_tuple (pattern : Term.t array) (tup : tuple) subst =
+  let n = Array.length pattern in
+  if Array.length tup <> n then None
+  else
+    let rec loop i subst =
+      if i = n then Some subst
+      else
+        match Term.unify pattern.(i) tup.(i) subst with
+        | Some subst -> loop (i + 1) subst
+        | None -> None
+    in
+    loop 0 subst
+
+(* All stored tuples of predicate [p] possibly matching [pattern]:
+   explicit facts, materialized tuples, and external relations. *)
+let candidates t p (pattern : Term.t array) =
+  let explicit =
+    match Symbol.Tbl.find_opt t.facts p with
+    | Some s -> Tuple_set.to_list s
+    | None -> []
+  in
+  let derived =
+    match Symbol.Tbl.find_opt t.derived p with
+    | Some s -> Tuple_set.to_list s
+    | None -> []
+  in
+  let from_external =
+    match Symbol.Tbl.find_opt t.externals p with
+    | Some enum -> List.map Array.of_list (enum (Array.to_list pattern))
+    | None -> []
+  in
+  List.rev_append explicit (List.rev_append derived from_external)
+
+let match_against tuples (a : Term.atom) subst acc =
+  let pattern = Array.map (Term.Subst.apply subst) a.args in
+  List.fold_left
+    (fun acc tup ->
+      match match_tuple pattern tup subst with
+      | Some subst -> subst :: acc
+      | None -> acc)
+    acc tuples
+
+let holds_ground t (a : Term.atom) =
+  let pattern = a.args in
+  List.exists
+    (fun tup -> match_tuple pattern tup Term.Subst.empty <> None)
+    (candidates t a.pred pattern)
+
+(* Evaluate a rule body.  [lookup] maps the running index of each
+   positive literal to the tuple source for that occurrence (this is
+   where semi-naive evaluation injects the delta).  Negations and
+   comparisons are delayed until ground — clause safety guarantees they
+   eventually are. *)
+let eval_body t lookup body =
+  let rec go pos_idx substs pending = function
+    | [] ->
+      (* discharge delayed negations / comparisons *)
+      List.filter
+        (fun subst ->
+          List.for_all
+            (fun lit ->
+              match lit with
+              | Term.Neg a -> not (holds_ground t (Term.Subst.apply_atom subst a))
+              | Term.Cmp (op, l, r) -> (
+                match
+                  Term.eval_cmp op (Term.Subst.apply subst l)
+                    (Term.Subst.apply subst r)
+                with
+                | Some b -> b
+                | None -> false)
+              | Term.Pos _ -> true)
+            pending)
+        substs
+    | Term.Pos a :: rest ->
+      let substs =
+        List.fold_left
+          (fun acc subst ->
+            let pattern = Array.map (Term.Subst.apply subst) a.args in
+            match_against (lookup pos_idx a.pred pattern) a subst acc)
+          [] substs
+      in
+      if substs = [] then [] else go (pos_idx + 1) substs pending rest
+    | Term.Neg a :: rest ->
+      let ready, delayed =
+        List.partition
+          (fun subst -> Term.atom_ground (Term.Subst.apply_atom subst a))
+          substs
+      in
+      let survivors =
+        List.filter
+          (fun subst -> not (holds_ground t (Term.Subst.apply_atom subst a)))
+          ready
+      in
+      let pending =
+        if delayed = [] then pending else Term.Neg a :: pending
+      in
+      go pos_idx (survivors @ delayed) pending rest
+    | Term.Cmp (op, l, r) :: rest ->
+      let keep, delay =
+        List.fold_left
+          (fun (keep, delay) subst ->
+            match
+              Term.eval_cmp op (Term.Subst.apply subst l)
+                (Term.Subst.apply subst r)
+            with
+            | Some true -> (subst :: keep, delay)
+            | Some false -> (keep, delay)
+            | None -> (keep, subst :: delay))
+          ([], []) substs
+      in
+      let pending = if delay = [] then pending else Term.Cmp (op, l, r) :: pending in
+      go pos_idx (keep @ delay) pending rest
+  in
+  go 0 [ Term.Subst.empty ] [] body
+
+let head_tuples (c : Term.clause) substs =
+  List.filter_map
+    (fun subst ->
+      let inst = Term.Subst.apply_atom subst c.head in
+      if Term.atom_ground inst then Some inst.args else None)
+    substs
+
+let full_lookup t _idx p pattern = candidates t p pattern
+
+let eval_stratum_naive t stratum_rules =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : Term.clause) ->
+        let substs = eval_body t (full_lookup t) c.body in
+        List.iter
+          (fun tup ->
+            if Tuple_set.add (set_of t.derived c.head.pred) tup then
+              changed := true)
+          (head_tuples c substs))
+      stratum_rules
+  done
+
+let eval_stratum_seminaive t stratum_preds stratum_rules =
+  let in_stratum p = List.exists (Symbol.equal p) stratum_preds in
+  (* round 0: full evaluation of every rule once *)
+  let delta = Symbol.Tbl.create 8 in
+  let delta_set p =
+    match Symbol.Tbl.find_opt delta p with
+    | Some s -> s
+    | None ->
+      let s = Tuple_set.create () in
+      Symbol.Tbl.add delta p s;
+      s
+  in
+  List.iter
+    (fun (c : Term.clause) ->
+      let substs = eval_body t (full_lookup t) c.body in
+      List.iter
+        (fun tup ->
+          if Tuple_set.add (set_of t.derived c.head.pred) tup then
+            ignore (Tuple_set.add (delta_set c.head.pred) tup))
+        (head_tuples c substs))
+    stratum_rules;
+  (* iterate: each round focuses one same-stratum positive literal on the
+     previous round's delta *)
+  let delta_nonempty () =
+    Symbol.Tbl.fold (fun _ s acc -> acc || Tuple_set.cardinal s > 0) delta false
+  in
+  while delta_nonempty () do
+    let next = Symbol.Tbl.create 8 in
+    let next_set p =
+      match Symbol.Tbl.find_opt next p with
+      | Some s -> s
+      | None ->
+        let s = Tuple_set.create () in
+        Symbol.Tbl.add next p s;
+        s
+    in
+    List.iter
+      (fun (c : Term.clause) ->
+        let recursive_positions =
+          List.filter_map
+            (function
+              | Term.Pos a -> Some a.Term.pred
+              | Term.Neg _ | Term.Cmp _ -> None)
+            c.body
+          |> List.mapi (fun i p -> (i, p))
+          |> List.filter (fun (_, p) -> in_stratum p)
+          |> List.map fst
+        in
+        List.iter
+          (fun focus ->
+            let lookup idx p pattern =
+              if idx = focus then
+                match Symbol.Tbl.find_opt delta p with
+                | Some s -> Tuple_set.to_list s
+                | None -> []
+              else candidates t p pattern
+            in
+            let substs = eval_body t lookup c.body in
+            List.iter
+              (fun tup ->
+                if Tuple_set.add (set_of t.derived c.head.pred) tup then
+                  ignore (Tuple_set.add (next_set c.head.pred) tup))
+              (head_tuples c substs))
+          recursive_positions)
+      stratum_rules;
+    Symbol.Tbl.reset delta;
+    Symbol.Tbl.iter (fun p s -> Symbol.Tbl.replace delta p s) next
+  done
+
+let invalidate t =
+  Symbol.Tbl.reset t.derived;
+  t.solved <- false
+
+let solve ?(strategy = `Seminaive) t =
+  if t.solved then Ok ()
+  else
+    match stratify t with
+    | Error e -> Error e
+    | Ok strata ->
+      Symbol.Tbl.reset t.derived;
+      List.iter
+        (fun stratum_preds ->
+          let stratum_rules =
+            List.filter
+              (fun (c : Term.clause) ->
+                List.exists (Symbol.equal c.head.pred) stratum_preds)
+              (clauses t)
+          in
+          match strategy with
+          | `Naive -> eval_stratum_naive t stratum_rules
+          | `Seminaive -> eval_stratum_seminaive t stratum_preds stratum_rules)
+        strata;
+      t.solved <- true;
+      Ok ()
+
+let facts_of t p =
+  let explicit =
+    match Symbol.Tbl.find_opt t.facts p with
+    | Some s -> Tuple_set.to_list s
+    | None -> []
+  in
+  let derived =
+    match Symbol.Tbl.find_opt t.derived p with
+    | Some s -> Tuple_set.to_list s
+    | None -> []
+  in
+  List.map Array.to_list (List.rev_append explicit derived)
+
+let match_atom t (a : Term.atom) subst =
+  let pattern = Array.map (Term.Subst.apply subst) a.args in
+  match_against (candidates t a.pred pattern) a subst []
+
+let query ?strategy t a =
+  match solve ?strategy t with
+  | Error e -> Error e
+  | Ok () -> Ok (match_atom t a Term.Subst.empty)
+
+let derived_count t =
+  Symbol.Tbl.fold (fun _ s acc -> acc + Tuple_set.cardinal s) t.derived 0

@@ -1,0 +1,60 @@
+(** Deductive database engine: stratified Datalog with negation,
+    comparisons, and pluggable extensional relations.
+
+    The object processor "understands the knowledge base as a deductive
+    relational database"; this module is that view.  Extensional
+    predicates may be backed by explicit facts or by external relations —
+    in the GKBMS the proposition base registers [prop/5], [instanceof/2]
+    etc. as externals so rules deduce directly over stored propositions. *)
+
+open Kernel
+
+type t
+
+type strategy = [ `Naive | `Seminaive ]
+
+val create : unit -> t
+val copy : t -> t
+
+val add_fact : t -> Term.atom -> (unit, string) result
+(** Ground atoms only.  Duplicate facts are ignored. *)
+
+val add_clause : t -> Term.clause -> (unit, string) result
+(** Rejects unsafe clauses (see {!Term.clause_safe}) and clauses whose
+    head predicate is extensional. *)
+
+val register_external : t -> Symbol.t -> (Term.t list -> Term.t list list) -> unit
+(** [register_external t p enum]: [enum pattern] must return every stored
+    ground tuple of [p] matching the pattern (argument list possibly
+    containing variables, which match anything).  Registering [p] makes
+    it extensional. *)
+
+val clauses : t -> Term.clause list
+val is_idb : t -> Symbol.t -> bool
+
+val stratify : t -> (Symbol.t list list, string) result
+(** Strata of intensional predicates, lowest first.  [Error] if a
+    negation occurs in a recursive cycle. *)
+
+val solve : ?strategy:strategy -> t -> (unit, string) result
+(** Materialize all intensional predicates (bottom-up).  Idempotent until
+    the next [add_fact]/[add_clause]. *)
+
+val facts_of : t -> Symbol.t -> Term.t list list
+(** All currently materialized (or stored extensional) tuples of a
+    predicate; call {!solve} first for intensional ones.  Does not
+    include external relations (which cannot be enumerated without a
+    pattern — pass one via {!match_atom}). *)
+
+val match_atom : t -> Term.atom -> Term.Subst.t -> Term.Subst.t list
+(** All extensions of the substitution matching the atom against stored
+    facts, materialized facts and external relations. *)
+
+val query : ?strategy:strategy -> t -> Term.atom -> (Term.Subst.t list, string) result
+(** [solve] then [match_atom] with the empty substitution. *)
+
+val derived_count : t -> int
+(** Number of materialized intensional tuples (bench metric). *)
+
+val invalidate : t -> unit
+(** Drop materialized results (forces the next [solve] to recompute). *)

@@ -1,0 +1,155 @@
+open Kernel
+
+type t =
+  | True
+  | False
+  | Atom of Term.atom
+  | Cmp of Term.cmp_op * Term.t * Term.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Forall of string * Symbol.t * t
+  | Exists of string * Symbol.t * t
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let rec free_vars_acc bound acc = function
+  | True | False -> acc
+  | Atom a ->
+    List.fold_left
+      (fun acc v -> if List.mem v bound || List.mem v acc then acc else v :: acc)
+      acc (Term.atom_vars a)
+  | Cmp (_, l, r) ->
+    List.fold_left
+      (fun acc t ->
+        match t with
+        | Term.Var v when (not (List.mem v bound)) && not (List.mem v acc) ->
+          v :: acc
+        | Term.Var _ | Term.Sym _ | Term.Int _ -> acc)
+      acc [ l; r ]
+  | Not f -> free_vars_acc bound acc f
+  | And (f, g) | Or (f, g) | Implies (f, g) ->
+    free_vars_acc bound (free_vars_acc bound acc f) g
+  | Forall (v, _, f) | Exists (v, _, f) -> free_vars_acc (v :: bound) acc f
+
+let free_vars f = List.rev (free_vars_acc [] [] f)
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom a -> Term.pp_atom ppf a
+  | Cmp (op, l, r) -> Term.pp_literal ppf (Term.Cmp (op, l, r))
+  | Not f -> Format.fprintf ppf "not (%a)" pp f
+  | And (f, g) -> Format.fprintf ppf "(%a and %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(%a or %a)" pp f pp g
+  | Implies (f, g) -> Format.fprintf ppf "(%a => %a)" pp f pp g
+  | Forall (v, c, f) ->
+    Format.fprintf ppf "(forall %s/%a %a)" v Symbol.pp c pp f
+  | Exists (v, c, f) ->
+    Format.fprintf ppf "(exists %s/%a %a)" v Symbol.pp c pp f
+
+type env = {
+  instances_of : Symbol.t -> Term.t list;
+  holds : Term.atom -> bool;
+}
+
+exception Non_ground of string
+
+let eval_atom env subst a =
+  let inst = Term.Subst.apply_atom subst a in
+  if not (Term.atom_ground inst) then
+    raise (Non_ground (Format.asprintf "non-ground atom %a" Term.pp_atom inst));
+  env.holds inst
+
+let eval_cmp subst op l r =
+  match
+    Term.eval_cmp op (Term.Subst.apply subst l) (Term.Subst.apply subst r)
+  with
+  | Some b -> b
+  | None ->
+    raise
+      (Non_ground
+         (Format.asprintf "non-ground comparison %a"
+            Term.pp_literal (Term.Cmp (op, l, r))))
+
+let rec eval_exn env subst = function
+  | True -> true
+  | False -> false
+  | Atom a -> eval_atom env subst a
+  | Cmp (op, l, r) -> eval_cmp subst op l r
+  | Not f -> not (eval_exn env subst f)
+  | And (f, g) -> eval_exn env subst f && eval_exn env subst g
+  | Or (f, g) -> eval_exn env subst f || eval_exn env subst g
+  | Implies (f, g) -> (not (eval_exn env subst f)) || eval_exn env subst g
+  | Forall (v, c, f) ->
+    List.for_all
+      (fun inst -> eval_exn env (Term.Subst.bind v inst subst) f)
+      (env.instances_of c)
+  | Exists (v, c, f) ->
+    List.exists
+      (fun inst -> eval_exn env (Term.Subst.bind v inst subst) f)
+      (env.instances_of c)
+
+let eval env subst f =
+  match eval_exn env subst f with
+  | b -> Ok b
+  | exception Non_ground msg -> Error msg
+
+type violation = { witness : (string * Term.t) list; culprit : t }
+
+(* Track quantifier bindings down the path of the first failure. *)
+let first_violation env subst f =
+  let rec go witness subst f =
+    match f with
+    | True -> None
+    | False -> Some { witness = List.rev witness; culprit = f }
+    | Atom _ | Cmp _ | Not _ ->
+      if eval_exn env subst f then None
+      else Some { witness = List.rev witness; culprit = f }
+    | And (g, h) -> (
+      match go witness subst g with
+      | Some v -> Some v
+      | None -> go witness subst h)
+    | Or (g, h) ->
+      if eval_exn env subst f then None
+      else (
+        match go witness subst g with
+        | Some _ -> (
+          (* report the right disjunct only if it is the last resort *)
+          match go witness subst h with
+          | Some v -> Some v
+          | None -> None)
+        | None -> None)
+    | Implies (g, h) ->
+      if eval_exn env subst g then go witness subst h else None
+    | Forall (v, c, g) ->
+      let rec try_insts = function
+        | [] -> None
+        | inst :: rest -> (
+          match go ((v, inst) :: witness) (Term.Subst.bind v inst subst) g with
+          | Some viol -> Some viol
+          | None -> try_insts rest)
+      in
+      try_insts (env.instances_of c)
+    | Exists (_, _, _) ->
+      if eval_exn env subst f then None
+      else Some { witness = List.rev witness; culprit = f }
+  in
+  match go [] subst f with
+  | v -> Ok v
+  | exception Non_ground msg -> Error msg
+
+let pp_violation ppf { witness; culprit } =
+  let bindings =
+    String.concat ", "
+      (List.map (fun (v, t) -> Format.asprintf "%s = %a" v Term.pp t) witness)
+  in
+  if bindings = "" then Format.fprintf ppf "violated: %a" pp culprit
+  else Format.fprintf ppf "violated for %s: %a" bindings pp culprit

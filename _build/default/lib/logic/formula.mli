@@ -1,0 +1,48 @@
+(** First-order constraint expressions.
+
+    "Constraints (constraint propositions) place restrictions on the
+    instances of a class.  They are connected to the class by constraint
+    propositions which point to objects representing first-order logic
+    expressions."  Quantifiers range over finite domains supplied by the
+    evaluation environment — in CML, the instances of a class. *)
+
+open Kernel
+
+type t =
+  | True
+  | False
+  | Atom of Term.atom  (** evaluated by the environment's oracle *)
+  | Cmp of Term.cmp_op * Term.t * Term.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Forall of string * Symbol.t * t
+      (** [Forall (x, c, f)]: for every instance [x] of class [c] *)
+  | Exists of string * Symbol.t * t
+
+val conj : t list -> t
+val disj : t list -> t
+val free_vars : t -> string list
+val pp : Format.formatter -> t -> unit
+
+type env = {
+  instances_of : Symbol.t -> Term.t list;
+      (** finite quantification domain of a class *)
+  holds : Term.atom -> bool;  (** oracle for ground atoms *)
+}
+
+val eval : env -> Term.Subst.t -> t -> (bool, string) result
+(** Classical evaluation; [Error] on a non-ground atom or comparison
+    (free variable not bound by the substitution or a quantifier). *)
+
+type violation = {
+  witness : (string * Term.t) list;  (** quantifier bindings on the path *)
+  culprit : t;  (** innermost failing subformula *)
+}
+
+val first_violation : env -> Term.Subst.t -> t -> (violation option, string) result
+(** [Ok None] if the formula holds; otherwise the bindings leading to the
+    innermost failure — the consistency checker's error message. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,32 @@
+(** Top-down inference engine — the stand-in for the paper's "Prolog
+    prover with some enhancements concerning negation".
+
+    Two modes:
+    - plain SLD resolution (depth-first, depth-bounded), and
+    - tabled evaluation ("the inference engines may enhance their
+      performance by lemma generation"): answers to subgoals are cached
+      in a lemma table and reused, which also makes left-recursive
+      Datalog terminate.
+
+    The prover runs against a {!Datalog.t} program without materializing
+    it, so queries touch only the relevant part of the KB. *)
+
+
+type stats = { mutable resolutions : int; mutable lemma_hits : int }
+
+type t
+
+val make : ?tabling:bool -> ?max_depth:int -> Datalog.t -> t
+(** [max_depth] (default 512) bounds plain SLD recursion; tabled
+    evaluation ignores it. *)
+
+val solve : t -> Term.atom list -> Term.Subst.t list
+(** All answer substitutions for the conjunctive goal (restricted to the
+    goal's variables).  Duplicates are collapsed. *)
+
+val prove : t -> Term.atom list -> bool
+val stats : t -> stats
+val lemma_count : t -> int
+(** Number of lemmas (cached subgoal answers) generated so far. *)
+
+val clear_lemmas : t -> unit

@@ -1,0 +1,207 @@
+open Kernel
+
+type t = Var of string | Sym of Symbol.t | Int of int
+
+let var v = Var v
+let sym s = Sym (Symbol.intern s)
+let symbol s = Sym s
+let int i = Int i
+let is_ground = function Var _ -> false | Sym _ | Int _ -> true
+
+let equal a b =
+  match (a, b) with
+  | Var x, Var y -> String.equal x y
+  | Sym x, Sym y -> Symbol.equal x y
+  | Int x, Int y -> x = y
+  | (Var _ | Sym _ | Int _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Sym x, Sym y -> Symbol.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Var _, (Sym _ | Int _) -> -1
+  | Sym _, Var _ -> 1
+  | Sym _, Int _ -> -1
+  | Int _, (Var _ | Sym _) -> 1
+
+let pp ppf = function
+  | Var v -> Format.fprintf ppf "?%s" v
+  | Sym s -> Symbol.pp ppf s
+  | Int i -> Format.pp_print_int ppf i
+
+type atom = { pred : Symbol.t; args : t array }
+
+let atom name args = { pred = Symbol.intern name; args = Array.of_list args }
+let atom_s pred args = { pred; args = Array.of_list args }
+let atom_ground a = Array.for_all is_ground a.args
+
+let atom_equal a b =
+  Symbol.equal a.pred b.pred
+  && Array.length a.args = Array.length b.args
+  && Array.for_all2 equal a.args b.args
+
+let atom_compare a b =
+  let c = Symbol.compare a.pred b.pred in
+  if c <> 0 then c
+  else
+    let la = Array.length a.args and lb = Array.length b.args in
+    if la <> lb then Stdlib.compare la lb
+    else
+      let rec loop i =
+        if i = la then 0
+        else
+          let c = compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+
+let atom_vars a =
+  Array.fold_left
+    (fun acc t -> match t with Var v -> v :: acc | Sym _ | Int _ -> acc)
+    [] a.args
+  |> List.rev
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%a(%s)" Symbol.pp a.pred
+    (String.concat ", "
+       (Array.to_list (Array.map (Format.asprintf "%a" pp) a.args)))
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type literal = Pos of atom | Neg of atom | Cmp of cmp_op * t * t
+
+let cmp_op_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_literal ppf = function
+  | Pos a -> pp_atom ppf a
+  | Neg a -> Format.fprintf ppf "not %a" pp_atom a
+  | Cmp (op, l, r) -> Format.fprintf ppf "%a %s %a" pp l (cmp_op_string op) pp r
+
+type clause = { head : atom; body : literal list }
+
+let clause head body = { head; body }
+let fact head = { head; body = [] }
+
+let pp_clause ppf c =
+  match c.body with
+  | [] -> Format.fprintf ppf "%a." pp_atom c.head
+  | body ->
+    Format.fprintf ppf "%a :- %s." pp_atom c.head
+      (String.concat ", " (List.map (Format.asprintf "%a" pp_literal) body))
+
+let literal_vars = function
+  | Pos a | Neg a -> atom_vars a
+  | Cmp (_, l, r) ->
+    List.filter_map (function Var v -> Some v | Sym _ | Int _ -> None) [ l; r ]
+
+let clause_safe c =
+  let positive =
+    List.concat_map
+      (function Pos a -> atom_vars a | Neg _ | Cmp _ -> [])
+      c.body
+  in
+  let covered v = List.mem v positive in
+  List.for_all covered (atom_vars c.head)
+  && List.for_all
+       (fun lit ->
+         match lit with
+         | Pos _ -> true
+         | Neg _ | Cmp _ -> List.for_all covered (literal_vars lit))
+       c.body
+
+module Subst = struct
+  module M = Map.Make (String)
+
+  type term = t
+  type nonrec t = term M.t
+
+  let empty = M.empty
+  let bind v t s = M.add v t s
+  let lookup v s = M.find_opt v s
+
+  let rec apply s t =
+    match t with
+    | Var v -> (
+      match M.find_opt v s with
+      | Some t' when not (equal t t') -> apply s t'
+      | Some t' -> t'
+      | None -> t)
+    | Sym _ | Int _ -> t
+
+  let apply_atom s a = { a with args = Array.map (apply s) a.args }
+  let to_list s = M.bindings s
+
+  let pp ppf s =
+    Format.fprintf ppf "{%s}"
+      (String.concat "; "
+         (List.map
+            (fun (v, t) -> Format.asprintf "%s := %a" v pp t)
+            (M.bindings s)))
+end
+
+let unify a b subst =
+  let a = Subst.apply subst a and b = Subst.apply subst b in
+  match (a, b) with
+  | Var x, Var y when String.equal x y -> Some subst
+  | Var x, t | t, Var x -> Some (Subst.bind x t subst)
+  | Sym x, Sym y -> if Symbol.equal x y then Some subst else None
+  | Int x, Int y -> if x = y then Some subst else None
+  | (Sym _ | Int _), _ -> None
+
+let unify_atoms a b subst =
+  if
+    (not (Symbol.equal a.pred b.pred))
+    || Array.length a.args <> Array.length b.args
+  then None
+  else
+    let n = Array.length a.args in
+    let rec loop i subst =
+      if i = n then Some subst
+      else
+        match unify a.args.(i) b.args.(i) subst with
+        | Some subst -> loop (i + 1) subst
+        | None -> None
+    in
+    loop 0 subst
+
+let rename_term suffix = function
+  | Var v -> Var (v ^ "~" ^ string_of_int suffix)
+  | (Sym _ | Int _) as t -> t
+
+let rename_atom suffix a = { a with args = Array.map (rename_term suffix) a.args }
+
+let rename_clause suffix c =
+  {
+    head = rename_atom suffix c.head;
+    body =
+      List.map
+        (function
+          | Pos a -> Pos (rename_atom suffix a)
+          | Neg a -> Neg (rename_atom suffix a)
+          | Cmp (op, l, r) -> Cmp (op, rename_term suffix l, rename_term suffix r))
+        c.body;
+  }
+
+let eval_cmp op l r =
+  if not (is_ground l && is_ground r) then None
+  else
+    let cmp =
+      match (l, r) with
+      | Sym a, Sym b -> Some (String.compare (Symbol.name a) (Symbol.name b))
+      | Int a, Int b -> Some (Stdlib.compare a b)
+      | _ -> None
+    in
+    match op with
+    | Eq -> Some (equal l r)
+    | Neq -> Some (not (equal l r))
+    | Lt -> Some (match cmp with Some c -> c < 0 | None -> false)
+    | Le -> Some (match cmp with Some c -> c <= 0 | None -> false)
+    | Gt -> Some (match cmp with Some c -> c > 0 | None -> false)
+    | Ge -> Some (match cmp with Some c -> c >= 0 | None -> false)

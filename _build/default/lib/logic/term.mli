@@ -1,0 +1,77 @@
+(** Terms, atoms, literals, clauses and unification — the assertion
+    language of the CML axiom base ("Deduction (rule propositions) allows
+    the definition of Horn clauses"). *)
+
+open Kernel
+
+type t =
+  | Var of string
+  | Sym of Symbol.t  (** an object / proposition identifier *)
+  | Int of int  (** time points and counters *)
+
+val var : string -> t
+val sym : string -> t
+val symbol : Symbol.t -> t
+val int : int -> t
+val is_ground : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+type atom = { pred : Symbol.t; args : t array }
+
+val atom : string -> t list -> atom
+val atom_s : Symbol.t -> t list -> atom
+val atom_ground : atom -> bool
+val atom_equal : atom -> atom -> bool
+val atom_compare : atom -> atom -> int
+val atom_vars : atom -> string list
+val pp_atom : Format.formatter -> atom -> unit
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type literal =
+  | Pos of atom
+  | Neg of atom  (** negation as failure; must be safe *)
+  | Cmp of cmp_op * t * t  (** evaluated once both sides are ground *)
+
+val pp_literal : Format.formatter -> literal -> unit
+
+type clause = { head : atom; body : literal list }
+
+val clause : atom -> literal list -> clause
+val fact : atom -> clause
+val pp_clause : Format.formatter -> clause -> unit
+
+val clause_safe : clause -> bool
+(** Every variable of the head, of negative literals and of comparisons
+    occurs in some positive body literal. *)
+
+(** {1 Substitutions} *)
+
+module Subst : sig
+  type term := t
+  type t
+
+  val empty : t
+  val bind : string -> term -> t -> t
+  val lookup : string -> t -> term option
+  val apply : t -> term -> term
+  (** Follows bindings to a fixpoint. *)
+
+  val apply_atom : t -> atom -> atom
+  val to_list : t -> (string * term) list
+  val pp : Format.formatter -> t -> unit
+end
+
+val unify : t -> t -> Subst.t -> Subst.t option
+val unify_atoms : atom -> atom -> Subst.t -> Subst.t option
+
+val rename_clause : int -> clause -> clause
+(** Freshen clause variables with a numeric suffix so they cannot clash
+    with goal variables. *)
+
+val eval_cmp : cmp_op -> t -> t -> bool option
+(** [None] if a side is non-ground; symbols compare by name, ints by
+    value, and distinct constructors are unequal and incomparable
+    ([Lt] etc. on mixed operands is [false]). *)

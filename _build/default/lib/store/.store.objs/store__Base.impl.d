@@ -1,0 +1,1 @@
+lib/store/base.ml: Buffer Kernel List Log_store Mem_store Printf Prop Storage String Symbol Time

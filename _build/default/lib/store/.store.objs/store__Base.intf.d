@@ -1,0 +1,1 @@
+lib/store/base.mli: Kernel Prop Symbol Time

@@ -1,0 +1,1 @@
+lib/store/log_store.ml: Array Kernel List Prop Symbol

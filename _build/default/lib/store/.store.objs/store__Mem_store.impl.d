@@ -1,0 +1,1 @@
+lib/store/mem_store.ml: Hashtbl Kernel List Prop Symbol

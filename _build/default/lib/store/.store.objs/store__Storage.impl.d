@@ -1,0 +1,1 @@
+lib/store/storage.ml: Kernel Prop Symbol

@@ -1,0 +1,284 @@
+open Kernel
+
+type backend = [ `Mem | `Log ]
+type change = Added of Prop.t | Removed of Prop.t
+
+(* Undo entries record how to revert an applied change. *)
+type undo = Undo_insert of Prop.id | Undo_remove of Prop.t
+
+type t = {
+  impl : Storage.impl;
+  mutable undo : undo list;  (** most recent first; only while tx open *)
+  mutable marks : int list;  (** lengths of [undo] at open savepoints *)
+  mutable undo_len : int;
+  mutable listeners : (change -> unit) list;
+}
+
+let make_impl : backend -> Storage.impl = function
+  | `Mem -> Storage.Impl ((module Mem_store), Mem_store.create ())
+  | `Log -> Storage.Impl ((module Log_store), Log_store.create ())
+
+let create ?(backend = `Mem) () =
+  { impl = make_impl backend; undo = []; marks = []; undo_len = 0;
+    listeners = [] }
+
+let backend_name t =
+  let (Storage.Impl ((module S), _)) = t.impl in
+  S.name
+
+let clear t =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.clear s;
+  t.undo <- [];
+  t.marks <- [];
+  t.undo_len <- 0
+
+let notify t change = List.iter (fun f -> f change) t.listeners
+let on_change t f = t.listeners <- t.listeners @ [ f ]
+
+let in_tx t = t.marks <> []
+
+let push_undo t u =
+  if in_tx t then begin
+    t.undo <- u :: t.undo;
+    t.undo_len <- t.undo_len + 1
+  end
+
+let insert t (p : Prop.t) =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  if S.insert s p then begin
+    push_undo t (Undo_insert p.id);
+    notify t (Added p);
+    Ok ()
+  end
+  else
+    Error
+      (Printf.sprintf "proposition id %s already present" (Symbol.name p.id))
+
+let remove t id =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  match S.remove s id with
+  | Some p ->
+    push_undo t (Undo_remove p);
+    notify t (Removed p);
+    Ok p
+  | None ->
+    Error (Printf.sprintf "no proposition with id %s" (Symbol.name id))
+
+let find t id =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.find s id
+
+let mem t id =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.mem s id
+
+let by_source t x =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.by_source s x
+
+let by_source_label t x l =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.by_source_label s x l
+
+let by_dest t y =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.by_dest s y
+
+let by_label t l =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.by_label s l
+
+let links t ~source ~label ~dest =
+  List.filter
+    (fun (p : Prop.t) -> Symbol.equal p.dest dest)
+    (by_source_label t source label)
+
+let iter t f =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.iter s f
+
+let fold t f acc =
+  let r = ref acc in
+  iter t (fun p -> r := f !r p);
+  !r
+
+let to_list t = List.rev (fold t (fun acc p -> p :: acc) [])
+
+let cardinal t =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.cardinal s
+
+let query ?source ?label ?dest ?valid_at t =
+  let candidates =
+    match (source, label, dest) with
+    | Some x, Some l, _ -> by_source_label t x l
+    | Some x, None, _ -> by_source t x
+    | None, _, Some y -> by_dest t y
+    | None, Some l, None -> by_label t l
+    | None, None, None -> to_list t
+  in
+  let keep (p : Prop.t) =
+    (match source with None -> true | Some x -> Symbol.equal p.source x)
+    && (match label with None -> true | Some l -> Symbol.equal p.label l)
+    && (match dest with None -> true | Some y -> Symbol.equal p.dest y)
+    && match valid_at with None -> true | Some pt -> Time.valid_at p.time pt
+  in
+  List.filter keep candidates
+
+(* Transactions -------------------------------------------------------- *)
+
+let begin_tx t = t.marks <- t.undo_len :: t.marks
+
+let commit t =
+  match t.marks with
+  | [] -> Error "commit: no open transaction"
+  | mark :: rest ->
+    t.marks <- rest;
+    (* Merging into the parent keeps the undo entries so an enclosing
+       rollback still reverts the nested work; at top level the log is
+       discarded. *)
+    if rest = [] then begin
+      t.undo <- [];
+      t.undo_len <- 0
+    end
+    else ignore mark;
+    Ok ()
+
+let apply_undo t u =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  match u with
+  | Undo_insert id -> (
+    match S.remove s id with
+    | Some p -> notify t (Removed p)
+    | None -> ())
+  | Undo_remove p -> if S.insert s p then notify t (Added p)
+
+let rollback t =
+  match t.marks with
+  | [] -> Error "rollback: no open transaction"
+  | mark :: rest ->
+    while t.undo_len > mark do
+      match t.undo with
+      | [] -> t.undo_len <- mark (* unreachable: lengths kept in sync *)
+      | u :: us ->
+        t.undo <- us;
+        t.undo_len <- t.undo_len - 1;
+        apply_undo t u
+    done;
+    t.marks <- rest;
+    Ok ()
+
+let tx_depth t = List.length t.marks
+
+let with_tx t f =
+  begin_tx t;
+  match f () with
+  | Ok v ->
+    (match commit t with Ok () -> () | Error _ -> ());
+    Ok v
+  | Error e ->
+    (match rollback t with Ok () -> () | Error _ -> ());
+    Error e
+  | exception exn ->
+    (match rollback t with Ok () -> () | Error _ -> ());
+    raise exn
+
+(* Persistence ---------------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i < n then
+      if s.[i] = '\\' && i + 1 < n then begin
+        (match s.[i + 1] with
+        | 't' -> Buffer.add_char buf '\t'
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        loop (i + 2)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        loop (i + 1)
+      end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let prop_to_line (p : Prop.t) =
+  String.concat "\t"
+    [
+      escape (Symbol.name p.id);
+      escape (Symbol.name p.source);
+      escape (Symbol.name p.label);
+      escape (Symbol.name p.dest);
+      Time.to_string p.time;
+      string_of_int p.belief;
+    ]
+
+let split_fields line =
+  (* split on unescaped tabs; fields themselves never contain raw tabs *)
+  String.split_on_char '\t' line
+
+let prop_of_line line =
+  match split_fields line with
+  | [ id; source; label; dest; time; belief ] -> (
+    match (Time.of_string time, int_of_string_opt belief) with
+    | Ok time, Some belief ->
+      Ok
+        (Prop.make ~time ~belief
+           ~id:(Symbol.intern (unescape id))
+           ~source:(Symbol.intern (unescape source))
+           ~label:(Symbol.intern (unescape label))
+           ~dest:(Symbol.intern (unescape dest))
+           ())
+    | Error e, _ -> Error e
+    | _, None -> Error (Printf.sprintf "bad belief time in %S" line))
+  | _ -> Error (Printf.sprintf "malformed proposition line %S" line)
+
+let to_serialized t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (prop_to_line p);
+      Buffer.add_char buf '\n')
+    (to_list t);
+  Buffer.contents buf
+
+let of_serialized ?backend s =
+  let t = create ?backend () in
+  let lines = String.split_on_char '\n' s in
+  let rec loop = function
+    | [] -> Ok t
+    | "" :: rest -> loop rest
+    | line :: rest -> (
+      match prop_of_line line with
+      | Error e -> Error e
+      | Ok p -> (
+        match insert t p with Error e -> Error e | Ok () -> loop rest))
+  in
+  loop lines
+
+let save t oc = output_string oc (to_serialized t)
+
+let load ?backend ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  of_serialized ?backend (Buffer.contents buf)

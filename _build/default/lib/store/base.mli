@@ -1,0 +1,76 @@
+(** The Proposition Base.
+
+    Wraps a physical representation ({!Mem_store} by default) with the
+    services the proposition processor needs: duplicate-free insertion,
+    pattern retrieval, change notification, nested transactions (the
+    paper executes every design decision as a possibly nested
+    transaction), and textual persistence. *)
+
+open Kernel
+
+type t
+
+type backend = [ `Mem | `Log ]
+
+type change = Added of Prop.t | Removed of Prop.t
+
+val create : ?backend:backend -> unit -> t
+val backend_name : t -> string
+val clear : t -> unit
+
+(** {1 Updates} *)
+
+val insert : t -> Prop.t -> (unit, string) result
+(** Fails if a proposition with the same id exists. *)
+
+val remove : t -> Prop.id -> (Prop.t, string) result
+(** Fails if no proposition with this id exists. *)
+
+val on_change : t -> (change -> unit) -> unit
+(** Register a listener called after every successful insert/remove,
+    including those replayed by a rollback. *)
+
+(** {1 Retrieval} *)
+
+val find : t -> Prop.id -> Prop.t option
+val mem : t -> Prop.id -> bool
+val by_source : t -> Prop.id -> Prop.t list
+val by_source_label : t -> Prop.id -> Symbol.t -> Prop.t list
+val by_dest : t -> Prop.id -> Prop.t list
+val by_label : t -> Symbol.t -> Prop.t list
+
+val links : t -> source:Prop.id -> label:Symbol.t -> dest:Prop.id -> Prop.t list
+(** All propositions with the given source, label and destination. *)
+
+val query :
+  ?source:Prop.id -> ?label:Symbol.t -> ?dest:Prop.id -> ?valid_at:Time.point ->
+  t -> Prop.t list
+(** Pattern retrieval; picks the most selective available index. *)
+
+val iter : t -> (Prop.t -> unit) -> unit
+val fold : t -> ('a -> Prop.t -> 'a) -> 'a -> 'a
+val to_list : t -> Prop.t list
+val cardinal : t -> int
+
+(** {1 Nested transactions} *)
+
+val begin_tx : t -> unit
+val commit : t -> (unit, string) result
+(** Fails if no transaction is open. *)
+
+val rollback : t -> (unit, string) result
+(** Undo every change since the matching [begin_tx].  Fails if no
+    transaction is open. *)
+
+val tx_depth : t -> int
+
+val with_tx : t -> (unit -> ('a, 'e) result) -> ('a, 'e) result
+(** Run the function inside a transaction: commit on [Ok], roll back on
+    [Error] or exception (re-raised). *)
+
+(** {1 Persistence} *)
+
+val save : t -> out_channel -> unit
+val load : ?backend:backend -> in_channel -> (t, string) result
+val to_serialized : t -> string
+val of_serialized : ?backend:backend -> string -> (t, string) result

@@ -1,0 +1,87 @@
+(** Append-only physical representation.
+
+    Propositions live in a growable array in insertion order; removal
+    appends a tombstone.  Lookups other than by id are linear scans.
+    This deliberately index-free representation is the baseline of the
+    store index ablation bench (DESIGN.md §5) and doubles as a compact
+    journal for snapshotting. *)
+
+open Kernel
+
+type entry = Put of Prop.t | Tomb of Prop.id
+
+type t = {
+  mutable log : entry array;
+  mutable len : int;
+  live : unit Symbol.Tbl.t;  (** ids currently present *)
+}
+
+let name = "log"
+
+let create () = { log = Array.make 256 (Tomb (Symbol.intern "")); len = 0; live = Symbol.Tbl.create 256 }
+
+let clear t =
+  t.len <- 0;
+  Symbol.Tbl.reset t.live
+
+let append t e =
+  if t.len = Array.length t.log then begin
+    let bigger = Array.make (2 * t.len) e in
+    Array.blit t.log 0 bigger 0 t.len;
+    t.log <- bigger
+  end;
+  t.log.(t.len) <- e;
+  t.len <- t.len + 1
+
+let mem t id = Symbol.Tbl.mem t.live id
+
+let insert t (p : Prop.t) =
+  if mem t p.id then false
+  else begin
+    append t (Put p);
+    Symbol.Tbl.add t.live p.id ();
+    true
+  end
+
+let scan_find t id =
+  (* latest Put wins; only called when [id] is live *)
+  let rec loop i =
+    if i < 0 then None
+    else
+      match t.log.(i) with
+      | Put p when Symbol.equal p.Prop.id id -> Some p
+      | Put _ | Tomb _ -> loop (i - 1)
+  in
+  loop (t.len - 1)
+
+let find t id = if mem t id then scan_find t id else None
+
+let remove t id =
+  match find t id with
+  | None -> None
+  | Some p ->
+    append t (Tomb id);
+    Symbol.Tbl.remove t.live id;
+    Some p
+
+let fold_live t f acc =
+  let rec loop i acc =
+    if i >= t.len then acc
+    else
+      match t.log.(i) with
+      | Put p when mem t p.Prop.id -> loop (i + 1) (f acc p)
+      | Put _ | Tomb _ -> loop (i + 1) acc
+  in
+  loop 0 acc
+
+let select t pred = List.rev (fold_live t (fun acc p -> if pred p then p :: acc else acc) [])
+
+let by_source t x = select t (fun p -> Symbol.equal p.Prop.source x)
+
+let by_source_label t x l =
+  select t (fun p -> Symbol.equal p.Prop.source x && Symbol.equal p.Prop.label l)
+
+let by_dest t y = select t (fun p -> Symbol.equal p.Prop.dest y)
+let by_label t l = select t (fun p -> Symbol.equal p.Prop.label l)
+let iter t f = ignore (fold_live t (fun () p -> f p) ())
+let cardinal t = Symbol.Tbl.length t.live

@@ -1,0 +1,87 @@
+(** Indexed in-memory physical representation.
+
+    Maintains four secondary indexes (source, (source,label), dest, label)
+    over a primary id table.  All mutations keep the indexes in sync. *)
+
+open Kernel
+
+module Pair = struct
+  type t = Symbol.t * Symbol.t
+
+  let equal (a1, a2) (b1, b2) = Symbol.equal a1 b1 && Symbol.equal a2 b2
+  let hash (a, b) = (Symbol.hash a * 65599) + Symbol.hash b
+end
+
+module Pair_tbl = Hashtbl.Make (Pair)
+
+type t = {
+  by_id : Prop.t Symbol.Tbl.t;
+  by_source : Prop.t list ref Symbol.Tbl.t;
+  by_source_label : Prop.t list ref Pair_tbl.t;
+  by_dest : Prop.t list ref Symbol.Tbl.t;
+  by_label : Prop.t list ref Symbol.Tbl.t;
+}
+
+let name = "mem"
+
+let create () =
+  {
+    by_id = Symbol.Tbl.create 1024;
+    by_source = Symbol.Tbl.create 1024;
+    by_source_label = Pair_tbl.create 1024;
+    by_dest = Symbol.Tbl.create 1024;
+    by_label = Symbol.Tbl.create 256;
+  }
+
+let clear t =
+  Symbol.Tbl.reset t.by_id;
+  Symbol.Tbl.reset t.by_source;
+  Pair_tbl.reset t.by_source_label;
+  Symbol.Tbl.reset t.by_dest;
+  Symbol.Tbl.reset t.by_label
+
+let bucket_add tbl find add key (p : Prop.t) =
+  match find tbl key with
+  | Some cell -> cell := p :: !cell
+  | None -> add tbl key (ref [ p ])
+
+let bucket_del tbl find key (p : Prop.t) =
+  match find tbl key with
+  | None -> ()
+  | Some cell -> cell := List.filter (fun q -> not (Symbol.equal q.Prop.id p.Prop.id)) !cell
+
+let insert t (p : Prop.t) =
+  if Symbol.Tbl.mem t.by_id p.id then false
+  else begin
+    Symbol.Tbl.add t.by_id p.id p;
+    bucket_add t.by_source Symbol.Tbl.find_opt Symbol.Tbl.add p.source p;
+    bucket_add t.by_source_label Pair_tbl.find_opt Pair_tbl.add
+      (p.source, p.label) p;
+    bucket_add t.by_dest Symbol.Tbl.find_opt Symbol.Tbl.add p.dest p;
+    bucket_add t.by_label Symbol.Tbl.find_opt Symbol.Tbl.add p.label p;
+    true
+  end
+
+let find t id = Symbol.Tbl.find_opt t.by_id id
+let mem t id = Symbol.Tbl.mem t.by_id id
+
+let remove t id =
+  match find t id with
+  | None -> None
+  | Some p ->
+    Symbol.Tbl.remove t.by_id id;
+    bucket_del t.by_source Symbol.Tbl.find_opt p.source p;
+    bucket_del t.by_source_label Pair_tbl.find_opt (p.source, p.label) p;
+    bucket_del t.by_dest Symbol.Tbl.find_opt p.dest p;
+    bucket_del t.by_label Symbol.Tbl.find_opt p.label p;
+    Some p
+
+let deref = function Some cell -> !cell | None -> []
+let by_source t x = deref (Symbol.Tbl.find_opt t.by_source x)
+
+let by_source_label t x l = deref (Pair_tbl.find_opt t.by_source_label (x, l))
+
+let by_dest t y = deref (Symbol.Tbl.find_opt t.by_dest y)
+let by_label t l = deref (Symbol.Tbl.find_opt t.by_label l)
+let iter t f = Symbol.Tbl.iter (fun _ p -> f p) t.by_id
+let cardinal t = Symbol.Tbl.length t.by_id

@@ -1,0 +1,38 @@
+(** Physical representations of the proposition base.
+
+    The paper: "Several physical representations (e.g. Prolog workspaces,
+    external databases) of propositions can be managed by the proposition
+    base.  In its interface it exports operations for retrieving and
+    creating stored propositions."  We capture that interface as a module
+    type so the proposition base can run over any representation; two are
+    provided ({!Mem_store} with hash indexes, {!Log_store} append-only). *)
+
+open Kernel
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Human-readable name of the representation (for benches). *)
+
+  val create : unit -> t
+  val clear : t -> unit
+
+  val insert : t -> Prop.t -> bool
+  (** [insert t p] stores [p]; returns [false] (and stores nothing) if a
+      proposition with the same id already exists. *)
+
+  val remove : t -> Prop.id -> Prop.t option
+  (** Remove by id, returning the removed proposition. *)
+
+  val find : t -> Prop.id -> Prop.t option
+  val mem : t -> Prop.id -> bool
+  val by_source : t -> Prop.id -> Prop.t list
+  val by_source_label : t -> Prop.id -> Symbol.t -> Prop.t list
+  val by_dest : t -> Prop.id -> Prop.t list
+  val by_label : t -> Symbol.t -> Prop.t list
+  val iter : t -> (Prop.t -> unit) -> unit
+  val cardinal : t -> int
+end
+
+type impl = Impl : (module S with type t = 'a) * 'a -> impl

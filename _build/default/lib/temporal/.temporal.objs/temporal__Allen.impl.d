@@ -1,0 +1,1 @@
+lib/temporal/allen.ml: Array Format List Queue String

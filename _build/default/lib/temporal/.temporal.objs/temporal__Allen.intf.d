@@ -1,0 +1,1 @@
+lib/temporal/allen.mli: Format

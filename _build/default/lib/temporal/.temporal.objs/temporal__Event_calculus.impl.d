@@ -1,0 +1,1 @@
+lib/temporal/event_calculus.ml: Kernel List Stdlib String Symbol Time

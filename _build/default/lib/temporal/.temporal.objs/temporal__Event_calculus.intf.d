@@ -1,0 +1,1 @@
+lib/temporal/event_calculus.mli: Kernel Symbol Time

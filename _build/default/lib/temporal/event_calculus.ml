@@ -1,0 +1,114 @@
+open Kernel
+
+type action = Symbol.t
+type fluent = Symbol.t
+
+type t = {
+  mutable events : (Time.point * action) list;  (** reverse chronological *)
+  initiates : fluent list ref Symbol.Tbl.t;  (** action -> fluents *)
+  terminates : fluent list ref Symbol.Tbl.t;
+  affected : unit Symbol.Tbl.t;  (** every fluent ever declared *)
+}
+
+let create () =
+  {
+    events = [];
+    initiates = Symbol.Tbl.create 64;
+    terminates = Symbol.Tbl.create 64;
+    affected = Symbol.Tbl.create 64;
+  }
+
+let add_decl tbl action fluent =
+  (match Symbol.Tbl.find_opt tbl action with
+  | Some cell -> if not (List.exists (Symbol.equal fluent) !cell) then cell := fluent :: !cell
+  | None -> Symbol.Tbl.add tbl action (ref [ fluent ]))
+
+let declare_initiates t action fluent =
+  add_decl t.initiates action fluent;
+  Symbol.Tbl.replace t.affected fluent ()
+
+let declare_terminates t action fluent =
+  add_decl t.terminates action fluent;
+  Symbol.Tbl.replace t.affected fluent ()
+
+let record t ~time action = t.events <- (time, action) :: t.events
+
+let events t =
+  List.stable_sort (fun (a, _) (b, _) -> Stdlib.compare a b) (List.rev t.events)
+
+let effects tbl action =
+  match Symbol.Tbl.find_opt tbl action with Some cell -> !cell | None -> []
+
+let touches t fluent (_, action) =
+  List.exists (Symbol.equal fluent) (effects t.initiates action)
+  || List.exists (Symbol.equal fluent) (effects t.terminates action)
+
+(* Replay the chronological history of one fluent.  Within one time
+   point, termination applies before initiation. *)
+let replay t fluent upto =
+  let relevant =
+    List.filter
+      (fun ((tm, _) as e) -> tm <= upto && touches t fluent e)
+      (events t)
+  in
+  let step value (tm, action) =
+    let terminated =
+      List.exists (Symbol.equal fluent) (effects t.terminates action)
+    in
+    let initiated =
+      List.exists (Symbol.equal fluent) (effects t.initiates action)
+    in
+    let value = if terminated then false else value in
+    let value = if initiated then true else value in
+    ignore tm;
+    value
+  in
+  (* group events by time so simultaneous termination+initiation nets to
+     holding *)
+  let rec group = function
+    | [] -> []
+    | (tm, _) :: _ as l ->
+      let now, later = List.partition (fun (tm', _) -> tm' = tm) l in
+      (tm, now) :: group later
+  in
+  List.fold_left
+    (fun value (_, simultaneous) ->
+      let any_term =
+        List.exists
+          (fun (_, a) -> List.exists (Symbol.equal fluent) (effects t.terminates a))
+          simultaneous
+      and any_init =
+        List.exists
+          (fun (_, a) -> List.exists (Symbol.equal fluent) (effects t.initiates a))
+          simultaneous
+      in
+      ignore step;
+      if any_init then true else if any_term then false else value)
+    false (group relevant)
+
+let holds_at t fluent time = replay t fluent time
+
+let history t fluent =
+  let changes = ref [] in
+  let value = ref false in
+  let times =
+    List.sort_uniq Stdlib.compare
+      (List.filter_map
+         (fun ((tm, _) as e) -> if touches t fluent e then Some tm else None)
+         (events t))
+  in
+  List.iter
+    (fun tm ->
+      let v = holds_at t fluent tm in
+      if v <> !value then begin
+        changes := (tm, v) :: !changes;
+        value := v
+      end)
+    times;
+  List.rev !changes
+
+let holding_at t time =
+  Symbol.Tbl.fold
+    (fun fluent () acc -> if holds_at t fluent time then fluent :: acc else acc)
+    t.affected []
+  |> List.sort (fun a b -> String.compare (Symbol.name a) (Symbol.name b))

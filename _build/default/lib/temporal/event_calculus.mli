@@ -1,0 +1,41 @@
+(** A logic-based calculus of events after Kowalski & Sergot [KS86], the
+    second time calculus of the ConceptBase inference engines.
+
+    Actions *initiate* and *terminate* fluents; an event is an occurrence
+    of an action at a time point.  [holds_at] answers whether a fluent
+    holds at a point given the recorded history, under the usual
+    persistence (inertia) reading: a fluent holds if some earlier event
+    initiated it and no event in between terminated it. *)
+
+open Kernel
+
+type action = Symbol.t
+type fluent = Symbol.t
+type t
+
+val create : unit -> t
+
+val declare_initiates : t -> action -> fluent -> unit
+(** Occurrences of [action] initiate [fluent]. *)
+
+val declare_terminates : t -> action -> fluent -> unit
+
+val record : t -> time:Time.point -> action -> unit
+(** Record an event occurrence.  Multiple events may share a time point;
+    at equal times termination is processed before initiation, so an
+    action that both terminates and re-initiates a fluent leaves it
+    holding. *)
+
+val events : t -> (Time.point * action) list
+(** All recorded events, chronologically. *)
+
+val holds_at : t -> fluent -> Time.point -> bool
+(** Does the fluent hold at the given point?  Events strictly after the
+    point are ignored; an initiation at exactly [time] counts. *)
+
+val history : t -> fluent -> (Time.point * bool) list
+(** The change points of a fluent: each pair [(t, v)] means the fluent's
+    value becomes [v] at time [t].  Chronological, no repeated values. *)
+
+val holding_at : t -> Time.point -> fluent list
+(** All fluents holding at the given point, sorted by name. *)

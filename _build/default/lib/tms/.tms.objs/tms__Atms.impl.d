@@ -1,0 +1,1 @@
+lib/tms/atms.ml: Array Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/tms/jtms.mli:

@@ -1,0 +1,218 @@
+(* Environments are strictly increasing arrays of assumption ids. *)
+module Env = struct
+  type t = int array
+
+  let empty : t = [||]
+  let singleton a : t = [| a |]
+
+  let union (a : t) (b : t) : t =
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (la + lb) 0 in
+    let rec merge i j k =
+      if i = la && j = lb then k
+      else if i = la then begin
+        out.(k) <- b.(j);
+        merge i (j + 1) (k + 1)
+      end
+      else if j = lb then begin
+        out.(k) <- a.(i);
+        merge (i + 1) j (k + 1)
+      end
+      else if a.(i) = b.(j) then begin
+        out.(k) <- a.(i);
+        merge (i + 1) (j + 1) (k + 1)
+      end
+      else if a.(i) < b.(j) then begin
+        out.(k) <- a.(i);
+        merge (i + 1) j (k + 1)
+      end
+      else begin
+        out.(k) <- b.(j);
+        merge i (j + 1) (k + 1)
+      end
+    in
+    let k = merge 0 0 0 in
+    Array.sub out 0 k
+
+  let subset (a : t) (b : t) =
+    (* a ⊆ b *)
+    let la = Array.length a and lb = Array.length b in
+    let rec loop i j =
+      if i = la then true
+      else if j = lb then false
+      else if a.(i) = b.(j) then loop (i + 1) (j + 1)
+      else if a.(i) > b.(j) then loop i (j + 1)
+      else false
+    in
+    loop 0 0
+
+end
+
+type node = {
+  id : int;
+  node_name : string;
+  is_assumption_ : bool;
+  mutable label : Env.t list;  (** minimal consistent environments *)
+  mutable is_contradiction : bool;
+  mutable consumers : justification list;
+      (** justifications with this node among the antecedents *)
+}
+
+and justification = { antecedents : node list; consequent : node; reason : string }
+
+type t = {
+  by_name : (string, node) Hashtbl.t;
+  mutable all : node list;
+  mutable nogood_list : Env.t list;  (** minimal *)
+  mutable next_id : int;
+  mutable next_assumption : int;
+  assumption_names : (int, string) Hashtbl.t;
+  mutable pending : justification list;  (** worklist *)
+}
+
+let create () =
+  {
+    by_name = Hashtbl.create 128;
+    all = [];
+    nogood_list = [];
+    next_id = 0;
+    next_assumption = 0;
+    assumption_names = Hashtbl.create 32;
+    pending = [];
+  }
+
+let is_nogood t env = List.exists (fun ng -> Env.subset ng env) t.nogood_list
+
+let mk_node t name ~assumption =
+  match Hashtbl.find_opt t.by_name name with
+  | Some n -> n
+  | None ->
+    let n =
+      {
+        id = t.next_id;
+        node_name = name;
+        is_assumption_ = assumption;
+        label = [];
+        is_contradiction = false;
+        consumers = [];
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    if assumption then begin
+      let aid = t.next_assumption in
+      t.next_assumption <- t.next_assumption + 1;
+      Hashtbl.add t.assumption_names aid name;
+      let env = Env.singleton aid in
+      if not (is_nogood t env) then n.label <- [ env ]
+    end;
+    Hashtbl.add t.by_name name n;
+    t.all <- n :: t.all;
+    n
+
+let node t name = mk_node t name ~assumption:false
+let assumption t name = mk_node t name ~assumption:true
+let name n = n.node_name
+let find t name = Hashtbl.find_opt t.by_name name
+let is_assumption n = n.is_assumption_
+
+(* Insert an env into a minimal label; returns None if subsumed. *)
+let insert_minimal label env =
+  if List.exists (fun e -> Env.subset e env) label then None
+  else
+    Some (env :: List.filter (fun e -> not (Env.subset env e)) label)
+
+let rec process t =
+  match t.pending with
+  | [] -> ()
+  | j :: rest ->
+    t.pending <- rest;
+    (* candidate envs: cross-product unions of antecedent labels *)
+    let candidates =
+      List.fold_left
+        (fun acc n ->
+          List.concat_map
+            (fun env -> List.map (fun e -> Env.union env e) n.label)
+            acc)
+        [ Env.empty ] j.antecedents
+    in
+    let fresh =
+      List.filter (fun env -> not (is_nogood t env)) candidates
+    in
+    let changed = ref false in
+    List.iter
+      (fun env ->
+        match insert_minimal j.consequent.label env with
+        | Some label ->
+          j.consequent.label <- label;
+          changed := true
+        | None -> ())
+      fresh;
+    if !changed then begin
+      if j.consequent.is_contradiction then absorb_nogoods t j.consequent
+      else
+        t.pending <- t.pending @ j.consequent.consumers
+    end;
+    process t
+
+and absorb_nogoods t n =
+  let envs = n.label in
+  n.label <- [];
+  List.iter
+    (fun env ->
+      if not (is_nogood t env) then begin
+        t.nogood_list <-
+          env :: List.filter (fun ng -> not (Env.subset env ng)) t.nogood_list;
+        (* prune every label *)
+        List.iter
+          (fun m ->
+            let before = List.length m.label in
+            m.label <- List.filter (fun e -> not (Env.subset env e)) m.label;
+            if List.length m.label <> before then
+              t.pending <- t.pending @ m.consumers)
+          t.all
+      end)
+    envs
+
+let justify t ~antecedents ~reason consequent =
+  let j = { antecedents; consequent; reason } in
+  List.iter (fun n -> n.consumers <- j :: n.consumers) antecedents;
+  t.pending <- j :: t.pending;
+  process t
+
+let contradiction t n =
+  n.is_contradiction <- true;
+  absorb_nogoods t n;
+  process t
+
+let env_to_names t (env : Env.t) =
+  Array.to_list env
+  |> List.map (fun aid -> Hashtbl.find t.assumption_names aid)
+  |> List.sort String.compare
+
+let label t n =
+  List.map (env_to_names t) n.label |> List.sort compare
+
+let names_to_env t names =
+  let ids =
+    List.filter_map
+      (fun nm ->
+        match Hashtbl.find_opt t.by_name nm with
+        | Some n when n.is_assumption_ ->
+          (* recover the assumption id by scanning the name table *)
+          Hashtbl.fold
+            (fun aid anm acc -> if anm = nm then Some aid else acc)
+            t.assumption_names None
+        | Some _ | None -> None)
+      names
+  in
+  Array.of_list (List.sort_uniq Stdlib.compare ids)
+
+let consistent t names = not (is_nogood t (names_to_env t names))
+
+let holds_under t n names =
+  let env = names_to_env t names in
+  (not (is_nogood t env)) && List.exists (fun e -> Env.subset e env) n.label
+
+let nogoods t = List.map (env_to_names t) t.nogood_list |> List.sort compare
+let nodes t = List.rev_map (fun n -> n.node_name) t.all
+let env_count t = List.fold_left (fun acc n -> acc + List.length n.label) 0 t.all

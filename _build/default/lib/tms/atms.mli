@@ -1,0 +1,46 @@
+(** Assumption-based truth maintenance after de Kleer [DEKL86].
+
+    Every node carries a label: the minimal consistent environments
+    (assumption sets) under which it holds.  Justifications propagate
+    environment unions; environments subsumed by a nogood are pruned.
+    The GKBMS uses ATMS labels to answer "under which design choices
+    does this object version exist?" across alternative versions. *)
+
+type t
+type node
+
+val create : unit -> t
+
+val node : t -> string -> node
+(** Get or create a regular node (empty label until justified). *)
+
+val assumption : t -> string -> node
+(** Get or create an assumption node (labelled with itself). *)
+
+val name : node -> string
+val find : t -> string -> node option
+val is_assumption : node -> bool
+
+val justify : t -> antecedents:node list -> reason:string -> node -> unit
+(** Add a justification and propagate labels forward. *)
+
+val contradiction : t -> node -> unit
+(** Mark the node as contradictory: its label environments become
+    nogoods, now and on any later label growth. *)
+
+val label : t -> node -> string list list
+(** Minimal environments of the node, each as a sorted list of
+    assumption names; sorted for determinism. *)
+
+val holds_under : t -> node -> string list -> bool
+(** Is the node derivable from (a superset of) the given assumptions,
+    that environment being consistent? *)
+
+val consistent : t -> string list -> bool
+(** Is the assumption set free of nogoods? *)
+
+val nogoods : t -> string list list
+
+val nodes : t -> string list
+val env_count : t -> int
+(** Total label environments over all nodes (bench metric). *)

@@ -1,0 +1,69 @@
+(** Justification-based truth maintenance after Doyle [DOYL79].
+
+    Nodes are believed (IN) or not (OUT).  A justification supports its
+    consequence when every node of its in-list is IN and every node of
+    its out-list is OUT.  The GKBMS stores each design decision as a
+    justification from its input objects (and enabling assumptions) to
+    its outputs, so retracting a decision relabels exactly its
+    consequences — the machinery behind selective backtracking. *)
+
+type t
+type node
+type justification
+
+val create : unit -> t
+
+val node : t -> ?contradiction:bool -> string -> node
+(** Get or create the node with this name. *)
+
+val name : node -> string
+val find : t -> string -> node option
+
+val justify :
+  t -> ?inlist:node list -> ?outlist:node list -> reason:string ->
+  node -> justification
+(** Install a justification for the node and propagate labels. *)
+
+val premise : t -> node -> justification
+(** An always-valid justification (empty in- and out-list). *)
+
+val retract : t -> justification -> unit
+(** Remove the justification and relabel. *)
+
+val retract_batch : t -> justification list -> unit
+(** Remove several justifications with a single relabeling pass — what
+    selective backtracking of a whole decision closure uses. *)
+
+val justifications : t -> node -> justification list
+val reason : justification -> string
+val consequence : justification -> node
+val inlist : justification -> node list
+val outlist : justification -> node list
+val is_in : t -> node -> bool
+val is_out : t -> node -> bool
+
+val supporting : t -> node -> justification option
+(** The justification currently supporting an IN node (well-founded:
+    its in-list nodes were labeled before the node itself). *)
+
+val why : t -> node -> string list
+(** Human-readable well-founded support chain for an IN node: the
+    reasons of the supporting justifications, innermost first. *)
+
+val contradictions : t -> node list
+(** Contradiction nodes currently IN. *)
+
+val assumptions_under : t -> node -> node list
+(** The assumption nodes (nodes whose supporting justification has a
+    non-empty out-list) in the well-founded support of an IN node — the
+    candidate culprits for dependency-directed backtracking. *)
+
+val backtrack : t -> node -> (node, string) result
+(** Dependency-directed backtracking: given an IN contradiction node,
+    choose a culprit assumption under it and defeat it by justifying one
+    of its out-list nodes with a nogood justification.  Returns the
+    defeated assumption. *)
+
+val nodes : t -> node list
+val label_count : t -> int
+(** Number of IN nodes (bench metric). *)

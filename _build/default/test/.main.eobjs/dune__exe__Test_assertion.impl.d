@@ -1,0 +1,1 @@
+test/test_assertion.ml: Alcotest Array Cml Kernel Langs List Logic

@@ -1,0 +1,1 @@
+test/test_cml.ml: Alcotest Cml Format Kernel List Logic Prop Store String Symbol Time

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Cml Format Gkbms Kernel Langs List Logic Prop Store String Symbol Time

@@ -1,0 +1,1 @@
+test/test_dbpl_eval.ml: Alcotest Gkbms Langs List Option String

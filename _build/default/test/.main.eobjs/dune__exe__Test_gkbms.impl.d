@@ -1,0 +1,1 @@
+test/test_gkbms.ml: Alcotest Cml Format Gkbms Kbgraph Kernel Langs List Option Store String Symbol Time Tms

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Format Hashtbl Kbgraph Kernel List QCheck QCheck_alcotest String Symbol

@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Format Group List String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cml Format Gkbms Kernel List Option Store String Symbol

@@ -1,0 +1,1 @@
+test/test_langs.ml: Alcotest Cml Format Gkbms Kernel Langs List Option String

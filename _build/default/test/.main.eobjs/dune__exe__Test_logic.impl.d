@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Datalog Format Formula Gen Kernel List Logic Prover QCheck QCheck_alcotest String Term

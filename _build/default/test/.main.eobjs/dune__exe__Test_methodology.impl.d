@@ -1,0 +1,1 @@
+test/test_methodology.ml: Alcotest Gkbms Kernel List String Symbol

@@ -1,0 +1,1 @@
+test/test_negotiation.ml: Alcotest Cml Gkbms Group Kernel List String Symbol

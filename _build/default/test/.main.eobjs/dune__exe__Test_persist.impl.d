@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Cml Filename Gkbms Kernel Langs List Option Printf Result Sexp Store Symbol Sys

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Gen Gkbms Kernel Langs List Printf QCheck QCheck_alcotest

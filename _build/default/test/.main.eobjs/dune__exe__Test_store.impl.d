@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Base Hashtbl Kernel List Prop QCheck QCheck_alcotest Store String Symbol Time

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Array Kernel List Printf QCheck QCheck_alcotest Stdlib Symbol Temporal

@@ -1,0 +1,1 @@
+test/test_tms.ml: Alcotest Array List QCheck QCheck_alcotest Tms

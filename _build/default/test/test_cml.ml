@@ -1,0 +1,523 @@
+open Kernel
+module Kb = Cml.Kb
+module Op = Cml.Object_processor
+module Cons = Cml.Consistency
+module Model = Cml.Model
+module Display = Cml.Display
+module Term = Logic.Term
+module Formula = Logic.Formula
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let sym = Symbol.intern
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let names ids = List.sort String.compare (List.map Symbol.name ids)
+
+(* The running example of the paper: a document model. *)
+let document_kb () =
+  let kb = Kb.create () in
+  List.iter
+    (fun n -> ignore (ok (Kb.declare kb n)))
+    [ "TDL_EntityClass"; "Document"; "Paper"; "Invitation"; "Minutes";
+      "Person" ];
+  List.iter
+    (fun i -> ignore (ok (Kb.add_instanceof kb ~inst:i ~cls:"TDL_EntityClass")))
+    [ "Document"; "Paper"; "Invitation"; "Minutes" ];
+  ignore (ok (Kb.add_isa kb ~sub:"Paper" ~super:"Document"));
+  ignore (ok (Kb.add_isa kb ~sub:"Invitation" ~super:"Paper"));
+  ignore (ok (Kb.add_isa kb ~sub:"Minutes" ~super:"Paper"));
+  ignore
+    (ok (Kb.add_attribute kb ~source:"Invitation" ~label:"sender" ~dest:"Person"));
+  kb
+
+let test_bootstrap () =
+  let kb = Kb.create () in
+  check bool "PROPOSITION exists" true (Kb.exists kb "PROPOSITION");
+  check bool "CLASS exists" true (Kb.exists kb "CLASS");
+  check bool "CLASS is self-instance" true
+    (List.exists (Symbol.equal (sym "CLASS")) (Kb.classes_of kb (sym "CLASS")));
+  check bool "bootstrap consistent" true (Cons.check_all kb = [])
+
+let test_declare_idempotent () =
+  let kb = Kb.create () in
+  let a = ok (Kb.declare kb "Invitation") in
+  let b = ok (Kb.declare kb "Invitation") in
+  check bool "same id" true (Symbol.equal a b)
+
+let test_instanceof_requires_endpoints () =
+  let kb = Kb.create () in
+  match Kb.add_instanceof kb ~inst:"ghost" ~cls:"CLASS" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dangling instanceof accepted"
+
+let test_classification () =
+  let kb = document_kb () in
+  check Alcotest.(list string) "classes of Invitation" [ "TDL_EntityClass" ]
+    (names (Kb.classes_of kb (sym "Invitation")));
+  check Alcotest.(list string) "direct instances"
+    [ "Document"; "Invitation"; "Minutes"; "Paper" ]
+    (names (Kb.instances_of kb (sym "TDL_EntityClass")));
+  check bool "is_instance via class" true
+    (Kb.is_instance kb ~inst:(sym "Invitation") ~cls:(sym "TDL_EntityClass"))
+
+let test_specialization () =
+  let kb = document_kb () in
+  check Alcotest.(list string) "supers of Invitation" [ "Paper" ]
+    (names (Kb.isa_supers kb (sym "Invitation")));
+  check Alcotest.(list string) "isa closure"
+    [ "Document"; "Paper" ]
+    (names (Kb.isa_closure kb (sym "Invitation")))
+
+let test_isa_cycle_rejected () =
+  let kb = document_kb () in
+  match Kb.add_isa kb ~sub:"Document" ~super:"Invitation" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "isa cycle accepted"
+
+let test_isa_self_rejected () =
+  let kb = document_kb () in
+  match Kb.add_isa kb ~sub:"Paper" ~super:"Paper" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reflexive isa accepted"
+
+let test_all_instances_through_subclasses () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  check Alcotest.(list string) "instances of Paper include inv1" [ "inv1" ]
+    (names (Kb.all_instances_of kb (sym "Paper")));
+  check bool "inv1 is a Document" true
+    (Kb.is_instance kb ~inst:(sym "inv1") ~cls:(sym "Document"))
+
+let test_attributes () =
+  let kb = document_kb () in
+  let attrs = Kb.attributes kb (sym "Invitation") in
+  check int "one attribute" 1 (List.length attrs);
+  check Alcotest.(list string) "attribute values" [ "Person" ]
+    (names (Kb.attribute_values kb (sym "Invitation") "sender"))
+
+let test_attribute_reserved_label_rejected () =
+  let kb = document_kb () in
+  match Kb.add_attribute kb ~source:"Invitation" ~label:"isa" ~dest:"Paper" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reserved label accepted as attribute"
+
+let test_attribute_instantiation_principle () =
+  (* instance-level attribute classified under the class-level category *)
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.declare kb "jarke"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"jarke" ~cls:"Person"));
+  let p =
+    ok
+      (Kb.add_attribute kb ~category:"sender" ~source:"inv1" ~label:"sender"
+         ~dest:"jarke")
+  in
+  match Kb.category_of kb p.Prop.id with
+  | Some cat -> (
+    match Kb.find kb cat with
+    | Some cp ->
+      check bool "category is the class-level sender attribute" true
+        (Symbol.equal cp.Prop.source (sym "Invitation")
+        && Symbol.equal cp.Prop.label (sym "sender"))
+    | None -> Alcotest.fail "category object missing")
+  | None -> Alcotest.fail "attribute not classified"
+
+let test_attributes_by_category () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.declare kb "jarke"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  ignore
+    (ok
+       (Kb.add_attribute kb ~category:"sender" ~source:"inv1" ~label:"sender"
+          ~dest:"jarke"));
+  check int "by category" 1
+    (List.length (Kb.attributes kb ~category:"sender" (sym "inv1")))
+
+(* deduction ------------------------------------------------------------- *)
+
+let test_deductive_view_inheritance () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  let substs =
+    ok (Kb.derive kb (Term.atom "in" [ Term.sym "inv1"; Term.var "C" ]))
+  in
+  let classes =
+    List.sort_uniq compare
+      (List.map
+         (fun s -> Format.asprintf "%a" Term.pp (Term.Subst.apply s (Term.var "C")))
+         substs)
+  in
+  check Alcotest.(list string) "deduced classification"
+    [ "Document"; "Invitation"; "Paper" ]
+    classes
+
+let test_user_rule () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.declare kb "jarke"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  ignore
+    (ok (Kb.add_attribute kb ~source:"inv1" ~label:"sender" ~dest:"jarke"));
+  ok
+    (Kb.add_rule kb ~name:"SenderRule"
+       (Term.clause
+          (Term.atom "sends" [ Term.var "P"; Term.var "I" ])
+          [ Term.Pos (Term.atom "attr" [ Term.var "I"; Term.sym "sender"; Term.var "P" ]) ]));
+  let substs =
+    ok (Kb.derive kb (Term.atom "sends" [ Term.var "P"; Term.sym "inv1" ]))
+  in
+  check int "one sender deduced" 1 (List.length substs);
+  check bool "rule object recorded" true (Kb.exists kb "SenderRule")
+
+let test_ask_formula () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  check bool "every Paper instance is a Document instance" true
+    (ok
+       (Kb.ask kb
+          (Formula.Forall
+             ("x", sym "Paper",
+              Formula.Atom (Term.atom "in" [ Term.var "x"; Term.sym "Document" ])))));
+  check bool "no Minutes instances yet" false
+    (ok
+       (Kb.ask kb
+          (Formula.Exists
+             ("x", sym "Minutes",
+              Formula.Atom (Term.atom "in" [ Term.var "x"; Term.sym "Paper" ])))))
+
+(* behaviours ------------------------------------------------------------ *)
+
+let test_behaviours () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  let log = ref [] in
+  ok
+    (Kb.add_behaviour kb ~cls:"Paper" ~event:"display" (fun _kb obj ->
+         log := Symbol.name obj :: !log));
+  let ran = ok (Kb.trigger kb (sym "inv1") "display") in
+  check int "inherited behaviour ran" 1 ran;
+  check Alcotest.(list string) "behaviour saw the object" [ "inv1" ] !log;
+  let ran2 = ok (Kb.trigger kb (sym "inv1") "create") in
+  check int "no such event" 0 ran2
+
+(* object processor ------------------------------------------------------ *)
+
+let test_frame_store_retrieve_roundtrip () =
+  let kb = document_kb () in
+  let f =
+    Op.frame ~classes:[ "TDL_EntityClass" ] ~supers:[ "Paper" ]
+      ~attrs:[ ("receivers", "Person"); ("venue", "Place") ]
+      "Workshop"
+  in
+  let id = ok (Op.store kb f) in
+  let g = ok (Op.retrieve kb id) in
+  check bool "roundtrip equal" true (Op.equal_modulo_order f g);
+  check bool "consistent" true (Cons.check_all kb = [])
+
+let test_frame_store_idempotent () =
+  let kb = document_kb () in
+  let f =
+    Op.frame ~classes:[ "TDL_EntityClass" ] ~attrs:[ ("a", "Person") ] "X"
+  in
+  ignore (ok (Op.store kb f));
+  let before = Store.Base.cardinal (Kb.base kb) in
+  ignore (ok (Op.store kb f));
+  check int "no duplicates" before (Store.Base.cardinal (Kb.base kb))
+
+let test_frame_pp () =
+  let f =
+    Op.frame ~classes:[ "TDL_EntityClass" ] ~supers:[ "Paper" ]
+      ~attrs:[ ("sender", "Person") ]
+      "Invitation"
+  in
+  let text = Format.asprintf "%a" Op.pp f in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec loop i = i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1)) in
+    loop 0
+  in
+  check bool "header" true
+    (contains "Class Invitation in TDL_EntityClass isA Paper with" text);
+  check bool "attribute line" true (contains "sender : Person" text);
+  check bool "end" true (contains "end" text)
+
+let test_paper_fig_3_2 () =
+  (* the Invitation example of fig 3-2: the frame expands to an
+     individual, an instanceof link, and a classified attribute *)
+  let kb = Kb.create () in
+  ignore (ok (Kb.declare kb "TDL_EntityClass"));
+  ignore (ok (Kb.declare kb "Person"));
+  let f =
+    Op.frame ~classes:[ "TDL_EntityClass" ] ~attrs:[ ("sender", "Person") ]
+      "Invitation"
+  in
+  let id = ok (Op.store kb f) in
+  let props = Store.Base.by_source (Kb.base kb) id in
+  (* individual + instanceof + attribute *)
+  check int "three propositions from Invitation" 3 (List.length props);
+  check bool "instanceof present" true
+    (List.exists
+       (fun (p : Prop.t) ->
+         Symbol.equal p.label (sym "instanceof")
+         && Symbol.equal p.dest (sym "TDL_EntityClass"))
+       props);
+  check bool "attribute present" true
+    (List.exists
+       (fun (p : Prop.t) ->
+         Symbol.equal p.label (sym "sender") && Symbol.equal p.dest (sym "Person"))
+       props)
+
+(* consistency ------------------------------------------------------------ *)
+
+let test_consistency_clean () =
+  let kb = document_kb () in
+  check Alcotest.(list string) "no violations" []
+    (List.map (fun v -> v.Cons.rule) (Cons.check_all kb))
+
+let test_consistency_dangling_reference () =
+  let kb = document_kb () in
+  (* bypass the axiom checks by inserting directly into the base *)
+  let p =
+    Prop.make ~id:(Prop.fresh_id ()) ~source:(sym "Invitation")
+      ~label:(sym "about") ~dest:(sym "NoSuchThing") ()
+  in
+  ignore (Store.Base.insert (Kb.base kb) p);
+  let rules = List.map (fun v -> v.Cons.rule) (Cons.check_all kb) in
+  check bool "referential violation found" true
+    (List.mem "referential-integrity" rules)
+
+let test_consistency_attribute_conformance () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.declare kb "notAPerson"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  (* classify the attribute under the sender category although the target
+     is not a Person *)
+  let p =
+    ok
+      (Kb.add_attribute kb ~category:"sender" ~source:"inv1" ~label:"sender"
+         ~dest:"notAPerson")
+  in
+  ignore p;
+  let rules = List.map (fun v -> v.Cons.rule) (Cons.check_all kb) in
+  check bool "conformance violation" true (List.mem "attribute-conformance" rules)
+
+let test_consistency_unclassified_attribute () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.declare kb "jarke"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  (* raw insert of a sender attribute with no instanceof link *)
+  let p =
+    Prop.make ~id:(Prop.fresh_id ()) ~source:(sym "inv1") ~label:(sym "sender")
+      ~dest:(sym "jarke") ()
+  in
+  ignore (Store.Base.insert (Kb.base kb) p);
+  let rules = List.map (fun v -> v.Cons.rule) (Cons.check_all kb) in
+  check bool "classification violation" true
+    (List.mem "attribute-classification" rules)
+
+let test_consistency_temporal () =
+  let kb = Kb.create () in
+  ignore (ok (Kb.declare ~time:(Time.between 0 5) kb "shortLived"));
+  ignore (ok (Kb.declare kb "Other"));
+  ignore
+    (ok
+       (Kb.add_attribute ~time:(Time.between 3 9) kb ~source:"shortLived"
+          ~label:"ref" ~dest:"Other"));
+  let rules = List.map (fun v -> v.Cons.rule) (Cons.check_all kb) in
+  check bool "temporal violation" true (List.mem "temporal-containment" rules)
+
+let test_consistency_class_constraint () =
+  let kb = document_kb () in
+  ok
+    (Kb.add_constraint kb ~name:"InvitationHasSender" ~cls:"Invitation"
+       (Formula.Forall
+          ("i", sym "Invitation",
+           Formula.Exists
+             ("p", sym "Person",
+              Formula.Atom
+                (Term.atom "attr" [ Term.var "i"; Term.sym "sender"; Term.var "p" ])))));
+  check bool "vacuously satisfied" true
+    (List.for_all
+       (fun v -> v.Cons.rule <> "class-constraint")
+       (Cons.check_all kb));
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  let rules = List.map (fun v -> v.Cons.rule) (Cons.check_all kb) in
+  check bool "violated once an instance lacks a sender" true
+    (List.mem "class-constraint" rules);
+  ignore (ok (Kb.declare kb "jarke"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"jarke" ~cls:"Person"));
+  ignore
+    (ok (Kb.add_attribute kb ~source:"inv1" ~label:"sender" ~dest:"jarke"));
+  check bool "satisfied after repair" true
+    (List.for_all
+       (fun v -> v.Cons.rule <> "class-constraint")
+       (Cons.check_all kb))
+
+let test_consistency_incremental_agrees () =
+  let kb = document_kb () in
+  let drain = Cons.watch kb in
+  ignore (ok (Kb.declare kb "inv1"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"inv1" ~cls:"Invitation"));
+  let p =
+    Prop.make ~id:(Prop.fresh_id ()) ~source:(sym "inv1") ~label:(sym "sender")
+      ~dest:(sym "jarkeX") ()
+  in
+  ignore (Store.Base.insert (Kb.base kb) p);
+  let delta = drain () in
+  let inc = List.map (fun v -> v.Cons.rule) (Cons.check_delta kb delta) in
+  let full = List.map (fun v -> v.Cons.rule) (Cons.check_all kb) in
+  check bool "incremental finds the dangling reference" true
+    (List.mem "referential-integrity" inc);
+  check bool "incremental subset of full" true
+    (List.for_all (fun r -> List.mem r full) inc)
+
+let test_consistency_incremental_empty_delta () =
+  let kb = document_kb () in
+  check Alcotest.(list string) "empty delta, no violations" []
+    (List.map (fun v -> v.Cons.rule) (Cons.check_delta kb []))
+
+(* model configuration ----------------------------------------------------- *)
+
+let test_model_basics () =
+  let kb = document_kb () in
+  let mb = Model.create kb in
+  ok (Model.define mb "world");
+  ok (Model.define mb "system");
+  (match Model.define mb "world" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate model accepted");
+  ok (Model.add_object mb ~model:"world" (sym "Document"));
+  ok (Model.add_object mb ~model:"system" (sym "Invitation"));
+  check Alcotest.(list string) "models" [ "system"; "world" ] (Model.models mb)
+
+let test_model_includes_and_sharing () =
+  let kb = document_kb () in
+  let mb = Model.create kb in
+  ok (Model.define mb "base");
+  ok (Model.define mb "design");
+  ok (Model.add_object mb ~model:"base" (sym "Document"));
+  ok (Model.add_object mb ~model:"design" (sym "Invitation"));
+  ok (Model.include_model mb ~model:"design" ~included:"base");
+  let objs = ok (Model.objects mb "design") in
+  check Alcotest.(list string) "transitive objects"
+    [ "Document"; "Invitation" ]
+    (names (Symbol.Set.elements objs));
+  (match Model.include_model mb ~model:"base" ~included:"design" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "lattice cycle accepted");
+  match Model.sharing mb with
+  | sharing ->
+    let design_sharers = List.assoc "design" sharing in
+    check Alcotest.(list string) "sharing detected" [ "base" ] design_sharers
+
+let test_model_configure_project () =
+  let kb = document_kb () in
+  let mb = Model.create kb in
+  ok (Model.define mb "docs");
+  List.iter
+    (fun n -> ok (Model.add_object mb ~model:"docs" (sym n)))
+    [ "Document"; "Paper"; "Invitation" ];
+  ok (Model.configure mb [ "docs" ]);
+  check bool "active" true (Model.is_active mb (sym "Paper"));
+  check bool "inactive" false (Model.is_active mb (sym "Minutes"));
+  let projected = ok (Model.project mb) in
+  (* individuals Document, Paper, Invitation + isa links between them *)
+  check int "projection size" 5 (Store.Base.cardinal projected);
+  check bool "link kept" true
+    (List.exists
+       (fun (p : Prop.t) -> Symbol.equal p.dest (sym "Paper"))
+       (Store.Base.by_source projected (sym "Invitation")))
+
+(* display ------------------------------------------------------------------ *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec loop i = i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1)) in
+  loop 0
+
+let test_text_dag_browser () =
+  let kb = document_kb () in
+  let out =
+    Format.asprintf "%a"
+      (Display.text_dag_browser ~max_depth:4
+         ~labels:[ sym "isa" ] kb)
+      (sym "Invitation")
+  in
+  check bool "chain rendered" true (contains "--isa--> Paper" out);
+  check bool "document reached" true (contains "--isa--> Document" out)
+
+let test_relational_display () =
+  let kb = document_kb () in
+  let out = Format.asprintf "%a" (Display.relational_display kb) (sym "Invitation") in
+  check bool "object header" true (contains "object: Invitation" out);
+  check bool "attribute row" true (contains "sender" out);
+  check bool "class row" true (contains "TDL_EntityClass" out)
+
+let test_proposition_table () =
+  let kb = document_kb () in
+  let out = Format.asprintf "%a" (Display.proposition_table kb) (sym "Invitation") in
+  check bool "quadruple shown" true (contains "isa, Paper, Always>" out)
+
+let test_dot_of_focus () =
+  let kb = document_kb () in
+  let dot = Display.dot_of_focus ~labels:[ sym "isa" ] kb (sym "Invitation") in
+  check bool "dot header" true (contains "digraph focus" dot);
+  check bool "isa edge" true (contains "\"Invitation\" -> \"Paper\"" dot);
+  check bool "unrelated pruned" false (contains "Minutes" dot)
+
+let suite =
+  [
+    ("bootstrap", `Quick, test_bootstrap);
+    ("declare idempotent", `Quick, test_declare_idempotent);
+    ("instanceof requires endpoints", `Quick, test_instanceof_requires_endpoints);
+    ("classification", `Quick, test_classification);
+    ("specialization", `Quick, test_specialization);
+    ("isa cycle rejected", `Quick, test_isa_cycle_rejected);
+    ("isa self rejected", `Quick, test_isa_self_rejected);
+    ("instances through subclasses", `Quick, test_all_instances_through_subclasses);
+    ("attributes", `Quick, test_attributes);
+    ("reserved label rejected", `Quick, test_attribute_reserved_label_rejected);
+    ("attribute instantiation principle", `Quick,
+     test_attribute_instantiation_principle);
+    ("attributes by category", `Quick, test_attributes_by_category);
+    ("deductive view inheritance", `Quick, test_deductive_view_inheritance);
+    ("user rule", `Quick, test_user_rule);
+    ("ask formula", `Quick, test_ask_formula);
+    ("behaviours", `Quick, test_behaviours);
+    ("frame roundtrip", `Quick, test_frame_store_retrieve_roundtrip);
+    ("frame store idempotent", `Quick, test_frame_store_idempotent);
+    ("frame pp", `Quick, test_frame_pp);
+    ("paper fig 3-2", `Quick, test_paper_fig_3_2);
+    ("consistency clean", `Quick, test_consistency_clean);
+    ("consistency dangling reference", `Quick, test_consistency_dangling_reference);
+    ("consistency attribute conformance", `Quick,
+     test_consistency_attribute_conformance);
+    ("consistency unclassified attribute", `Quick,
+     test_consistency_unclassified_attribute);
+    ("consistency temporal", `Quick, test_consistency_temporal);
+    ("consistency class constraint", `Quick, test_consistency_class_constraint);
+    ("consistency incremental agrees", `Quick, test_consistency_incremental_agrees);
+    ("consistency incremental empty delta", `Quick,
+     test_consistency_incremental_empty_delta);
+    ("model basics", `Quick, test_model_basics);
+    ("model includes and sharing", `Quick, test_model_includes_and_sharing);
+    ("model configure and project", `Quick, test_model_configure_project);
+    ("text dag browser", `Quick, test_text_dag_browser);
+    ("relational display", `Quick, test_relational_display);
+    ("proposition table", `Quick, test_proposition_table);
+    ("dot of focus", `Quick, test_dot_of_focus);
+  ]

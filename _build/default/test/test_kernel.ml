@@ -1,0 +1,150 @@
+open Kernel
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* Symbol ------------------------------------------------------------- *)
+
+let test_symbol_intern () =
+  let a = Symbol.intern "Invitation" and b = Symbol.intern "Invitation" in
+  check bool "same string, same symbol" true (Symbol.equal a b);
+  let c = Symbol.intern "Paper" in
+  check bool "different strings differ" false (Symbol.equal a c);
+  check string "name roundtrip" "Invitation" (Symbol.name a)
+
+let test_symbol_codes () =
+  let a = Symbol.intern "sym-code-a" and b = Symbol.intern "sym-code-b" in
+  check bool "distinct codes" true (Symbol.to_int a <> Symbol.to_int b);
+  check int "hash is code" (Symbol.to_int a) (Symbol.hash a)
+
+let test_symbol_containers () =
+  let s =
+    Symbol.Set.of_list [ Symbol.intern "x"; Symbol.intern "y"; Symbol.intern "x" ]
+  in
+  check int "set dedups" 2 (Symbol.Set.cardinal s);
+  let tbl = Symbol.Tbl.create 4 in
+  Symbol.Tbl.replace tbl (Symbol.intern "x") 1;
+  Symbol.Tbl.replace tbl (Symbol.intern "x") 2;
+  check int "tbl replace" 2 (Symbol.Tbl.find tbl (Symbol.intern "x"))
+
+(* Time ---------------------------------------------------------------- *)
+
+let test_time_validity () =
+  check bool "always valid" true (Time.valid_at Time.always 42);
+  check bool "at matches" true (Time.valid_at (Time.at 5) 5);
+  check bool "at rejects" false (Time.valid_at (Time.at 5) 6);
+  check bool "from open end" true (Time.valid_at (Time.from 3) max_int);
+  check bool "from rejects earlier" false (Time.valid_at (Time.from 3) 2);
+  check bool "between inclusive" true (Time.valid_at (Time.between 1 4) 4);
+  check bool "named behaves as interval" true
+    (Time.valid_at (Time.named "version17" 2 9) 5)
+
+let test_time_relations () =
+  let a = Time.between 1 3 and b = Time.between 5 9 in
+  check bool "before" true (Time.before a b);
+  check bool "not before (rev)" false (Time.before b a);
+  check bool "no overlap" false (Time.overlaps a b);
+  check bool "meets" true (Time.meets (Time.between 1 4) b);
+  check bool "during reflexive" true (Time.during a a);
+  check bool "during strict" true (Time.during (Time.between 2 3) (Time.between 1 4));
+  check bool "not during" false (Time.during (Time.between 1 4) (Time.between 2 3))
+
+let test_time_intersect () =
+  (match Time.intersect (Time.between 1 5) (Time.between 3 9) with
+  | Some t -> check bool "intersection" true (Time.equal t (Time.between 3 5))
+  | None -> Alcotest.fail "expected intersection");
+  check bool "disjoint" true
+    (Time.intersect (Time.between 1 2) (Time.between 4 5) = None);
+  match Time.intersect Time.always (Time.at 7) with
+  | Some t -> check bool "always absorbs" true (Time.equal t (Time.at 7))
+  | None -> Alcotest.fail "expected intersection with always"
+
+let test_time_clip () =
+  (match Time.clip_before (Time.between 2 9) 5 with
+  | Some t -> check bool "clip" true (Time.equal t (Time.between 2 4))
+  | None -> Alcotest.fail "expected clip");
+  check bool "clip empties" true (Time.clip_before (Time.from 5) 5 = None)
+
+let test_time_string_roundtrip () =
+  let cases =
+    [ Time.always; Time.at 7; Time.from 3; Time.between 2 9;
+      Time.named "version17" 0 4 ]
+  in
+  List.iter
+    (fun t ->
+      match Time.of_string (Time.to_string t) with
+      | Ok t' -> check bool (Time.to_string t) true (Time.equal t t')
+      | Error e -> Alcotest.fail e)
+    cases;
+  check bool "garbage rejected" true
+    (match Time.of_string "nonsense" with Error _ -> true | Ok _ -> false)
+
+let test_time_invalid () =
+  Alcotest.check_raises "between lo > hi"
+    (Invalid_argument "Time.between: lo > hi") (fun () ->
+      ignore (Time.between 5 2))
+
+let test_clock () =
+  Time.Clock.reset ();
+  check int "reset" 0 (Time.Clock.now ());
+  let t1 = Time.Clock.tick () in
+  check int "tick advances" 1 t1;
+  check int "now stable" 1 (Time.Clock.now ())
+
+(* Prop ---------------------------------------------------------------- *)
+
+let sym = Symbol.intern
+
+let test_prop_make () =
+  Time.Clock.reset ();
+  let p =
+    Prop.make ~id:(sym "p37") ~source:(sym "Invitation") ~label:(sym "isa")
+      ~dest:(sym "Paper") ()
+  in
+  check string "pp form" "p37 = <Invitation, isa, Paper, Always>"
+    (Prop.to_string p);
+  check bool "belief stamped" true (p.Prop.belief = 0)
+
+let test_prop_individual () =
+  let p = Prop.individual (sym "Invitation") in
+  check bool "individual recognized" true (Prop.is_individual p);
+  let q =
+    Prop.make ~id:(sym "q1") ~source:(sym "a") ~label:(sym "l") ~dest:(sym "b") ()
+  in
+  check bool "link not individual" false (Prop.is_individual q)
+
+let test_prop_fresh_ids () =
+  Prop.reset_ids ();
+  let a = Prop.fresh_id () and b = Prop.fresh_id () in
+  check bool "fresh ids distinct" false (Symbol.equal a b);
+  let c = Prop.fresh_id ~prefix:"dec" () in
+  check bool "prefix used" true
+    (String.length (Symbol.name c) > 3
+    && String.sub (Symbol.name c) 0 3 = "dec")
+
+let test_prop_equal_ignores_belief () =
+  let mk belief =
+    Prop.make ~belief ~id:(sym "px") ~source:(sym "a") ~label:(sym "l")
+      ~dest:(sym "b") ()
+  in
+  check bool "belief-insensitive equality" true (Prop.equal (mk 1) (mk 99))
+
+let suite =
+  [
+    ("symbol intern", `Quick, test_symbol_intern);
+    ("symbol codes", `Quick, test_symbol_codes);
+    ("symbol containers", `Quick, test_symbol_containers);
+    ("time validity", `Quick, test_time_validity);
+    ("time relations", `Quick, test_time_relations);
+    ("time intersect", `Quick, test_time_intersect);
+    ("time clip", `Quick, test_time_clip);
+    ("time string roundtrip", `Quick, test_time_string_roundtrip);
+    ("time invalid interval", `Quick, test_time_invalid);
+    ("clock", `Quick, test_clock);
+    ("prop make", `Quick, test_prop_make);
+    ("prop individual", `Quick, test_prop_individual);
+    ("prop fresh ids", `Quick, test_prop_fresh_ids);
+    ("prop equality ignores belief", `Quick, test_prop_equal_ignores_belief);
+  ]

@@ -1,0 +1,201 @@
+open Kernel
+module S = Sexp
+module Repo = Gkbms.Repository
+module P = Gkbms.Persist
+module Scn = Gkbms.Scenario
+module Dbpl = Langs.Dbpl
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* sexp ------------------------------------------------------------------- *)
+
+let test_sexp_roundtrip () =
+  let cases =
+    [
+      S.Atom "plain";
+      S.Atom "needs quoting";
+      S.Atom "with \"quotes\" and \\ and\nnewline";
+      S.Atom "";
+      S.List [ S.Atom "a"; S.List [ S.Atom "b"; S.Atom "c" ]; S.Atom "d" ];
+      S.List [];
+    ]
+  in
+  List.iter
+    (fun sexp ->
+      let printed = S.to_string sexp in
+      match S.parse printed with
+      | Ok sexp' -> check bool printed true (sexp = sexp')
+      | Error e -> Alcotest.failf "%s: %s" printed e)
+    cases
+
+let test_sexp_parse_errors () =
+  List.iter
+    (fun src ->
+      match S.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S parsed" src)
+    [ "("; ")"; "\"unterminated"; "a b" (* two expressions *); "" ]
+
+let test_sexp_comments () =
+  match S.parse "; a comment\n(a b) ; trailing" with
+  | Ok (S.List [ S.Atom "a"; S.Atom "b" ]) -> ()
+  | Ok s -> Alcotest.failf "unexpected %s" (S.to_string s)
+  | Error e -> Alcotest.fail e
+
+let test_sexp_fields () =
+  let s = ok (S.parse "(rec (name X) (key a b))") in
+  check Alcotest.string "field" "X" (ok (Result.bind (S.field s "name") S.as_atom));
+  check bool "missing field" true (Result.is_error (S.field s "nope"))
+
+(* artifact codecs ----------------------------------------------------------- *)
+
+let artifact_roundtrip a =
+  match P.artifact_of_sexp (P.sexp_of_artifact a) with
+  | Ok a' -> a = a'
+  | Error _ -> false
+
+let test_artifact_codecs () =
+  let rel =
+    Dbpl.relation ~key:[ "k" ] ~name:"R" ~rec_name:"RT"
+      [ Dbpl.field "k" Dbpl.Surrogate;
+        Dbpl.field "xs" (Dbpl.SetOf (Dbpl.Named "X")) ]
+  in
+  let artifacts =
+    [
+      Repo.Tdl_design Scn.meeting_design_v2;
+      Repo.Tdl_class Scn.minutes_class;
+      Repo.Dbpl_rel rel;
+      Repo.Dbpl_con
+        {
+          Dbpl.con_name = "C";
+          con_fields = [ Dbpl.field "k" Dbpl.Surrogate ];
+          def =
+            Dbpl.Nest
+              ( Dbpl.Union
+                  ( Dbpl.Project (Dbpl.Rel "R", [ "k" ]),
+                    Dbpl.SelectEq (Dbpl.Rel "R", "k", "v") ),
+                [ "k" ], "ks" );
+        };
+      Repo.Dbpl_sel
+        {
+          Dbpl.sel_name = "S";
+          ranges = [ ("r", "R") ];
+          predicate = "SOME x (weird \"chars\")";
+          sem = Some (Dbpl.Ref_integrity { child = "R"; parent = "P"; key = [ "k" ] });
+        };
+      Repo.Dbpl_tx
+        {
+          Dbpl.tx_name = "T";
+          params = [ ("p", "X") ];
+          body =
+            [ Dbpl.Insert ("R", [ ("k", "p") ]); Dbpl.Delete ("R", "TRUE");
+              Dbpl.Update ("R", [ ("k", "p") ], "k = p"); Dbpl.Call "Sub" ];
+        };
+      Repo.Cml_frame
+        (Cml.Object_processor.frame ~classes:[ "C" ] ~supers:[ "D" ]
+           ~attrs:[ ("a", "B") ] "F");
+      Repo.Cml_model [ Cml.Object_processor.frame "G" ];
+      Repo.Text "multi\nline \"text\"";
+    ]
+  in
+  List.iteri
+    (fun i a ->
+      check bool (Printf.sprintf "artifact %d" i) true (artifact_roundtrip a))
+    artifacts
+
+let test_artifact_decode_errors () =
+  match P.artifact_of_sexp (S.Atom "garbage") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage artifact decoded"
+
+(* repository snapshots -------------------------------------------------------- *)
+
+let test_repository_roundtrip () =
+  let st = ok (Scn.run_through_conflict ()) in
+  let repo = st.Scn.repo in
+  let snapshot = P.save_repository repo in
+  let repo2 = ok (P.load_repository snapshot) in
+  (* same decisions, same propositions *)
+  check Alcotest.(list string) "log preserved"
+    (List.map Symbol.name (Repo.decision_log repo))
+    (List.map Symbol.name (Repo.decision_log repo2));
+  check int "same proposition count"
+    (Store.Base.cardinal (Cml.Kb.base (Repo.kb repo)))
+    (Store.Base.cardinal (Cml.Kb.base (Repo.kb repo2)));
+  (* artifacts render identically *)
+  List.iter
+    (fun obj ->
+      check bool (Symbol.name obj ^ " source preserved") true
+        (Repo.source_text repo obj = Repo.source_text repo2 obj))
+    (Repo.all_design_objects repo);
+  (* the reason maintenance is rebuilt: conflict state survives *)
+  check bool "culprit after reload" true
+    (Gkbms.Backtrack.suggest_culprit repo2 <> None);
+  check Alcotest.(list string) "unsupported objects preserved"
+    (List.map Symbol.name (Gkbms.Backtrack.unsupported_objects repo))
+    (List.map Symbol.name (Gkbms.Backtrack.unsupported_objects repo2))
+
+let test_loaded_repo_continues () =
+  let st = ok (Scn.run_through_conflict ()) in
+  let snapshot = P.save_repository st.Scn.repo in
+  let repo2 = ok (P.load_repository snapshot) in
+  (* selective backtracking works on the reloaded history *)
+  let culprit = Option.get (Gkbms.Backtrack.suggest_culprit repo2) in
+  let report = ok (Gkbms.Backtrack.retract repo2 culprit ()) in
+  check bool "consequences removed" true
+    (List.mem "InvitationRel3" report.Gkbms.Backtrack.removed_objects);
+  check bool "still consistent" true
+    (Cml.Consistency.check_all (Repo.kb repo2) = []);
+  (* and fresh decisions get non-colliding ids *)
+  let repo3 = ok (P.load_repository snapshot) in
+  let executed =
+    ok
+      (Gkbms.Decision.execute repo3
+         ~decision_class:Gkbms.Metamodel.dec_manual_edit
+         ~tool:Gkbms.Mapping.editor_tool
+         ~inputs:[ ("object", Symbol.intern "InvitationRel") ]
+         ~params:[ ("text", "patched") ]
+         ())
+  in
+  check bool "fresh id distinct from history" true
+    (not
+       (List.mem
+          (Symbol.name executed.Gkbms.Decision.decision)
+          [ "dec1"; "dec2"; "dec3"; "dec4" ]))
+
+let test_snapshot_rejects_garbage () =
+  (match P.load_repository "(not-a-repo)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match P.load_repository "((" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unparsable accepted"
+
+let test_file_roundtrip () =
+  let st = ok (Scn.setup ()) in
+  ignore (ok (Scn.map_move_down st));
+  let path = Filename.temp_file "gkbms" ".repo" in
+  ok (P.save_to_file st.Scn.repo path);
+  let repo2 = ok (P.load_from_file path) in
+  Sys.remove path;
+  check int "one decision" 1 (List.length (Repo.decision_log repo2))
+
+let suite =
+  [
+    ("sexp roundtrip", `Quick, test_sexp_roundtrip);
+    ("sexp parse errors", `Quick, test_sexp_parse_errors);
+    ("sexp comments", `Quick, test_sexp_comments);
+    ("sexp fields", `Quick, test_sexp_fields);
+    ("artifact codecs roundtrip", `Quick, test_artifact_codecs);
+    ("artifact decode errors", `Quick, test_artifact_decode_errors);
+    ("repository snapshot roundtrip", `Quick, test_repository_roundtrip);
+    ("loaded repository continues", `Quick, test_loaded_repo_continues);
+    ("snapshot rejects garbage", `Quick, test_snapshot_rejects_garbage);
+    ("file roundtrip", `Quick, test_file_roundtrip);
+  ]

@@ -1,0 +1,102 @@
+module Shell = Gkbms.Shell
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec loop i = i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1)) in
+  loop 0
+
+let test_session_runs_the_storyline () =
+  let shell = ok (Shell.create ()) in
+  check bool "unmapped lists the hierarchy" true
+    (contains "Papers" (Shell.eval shell "unmapped"));
+  check bool "map" true (contains "dec1" (Shell.eval shell "map"));
+  check bool "normalize" true (contains "InvitationRel2" (Shell.eval shell "normalize"));
+  check bool "key" true (contains "InvitationRel3" (Shell.eval shell "key"));
+  check bool "minutes" true (contains "MinuteRel" (Shell.eval shell "minutes"));
+  check bool "check sees the conflict" true
+    (contains "unsupported: InvitationRel3" (Shell.eval shell "check"));
+  check bool "resolve backtracks" true
+    (contains "retracted decisions: dec3" (Shell.eval shell "resolve"));
+  check bool "config ends complete" true
+    (contains "MinuteRel" (Shell.eval shell "config"))
+
+let test_browsing_commands () =
+  let shell = ok (Shell.create ()) in
+  ignore (Shell.eval shell "map");
+  check bool "focus" true
+    (contains "focus: InvitationRel" (Shell.eval shell "focus InvitationRel"));
+  check bool "menu" true
+    (contains "DecNormalize" (Shell.eval shell "menu InvitationRel"));
+  check bool "why" true
+    (contains "created by dec1" (Shell.eval shell "why InvitationRel"));
+  check bool "source" true
+    (contains "TYPE InvitationType" (Shell.eval shell "source InvitationRel"));
+  check bool "deps" true (contains "--from--> dec1" (Shell.eval shell "deps Papers"));
+  ignore (Shell.eval shell "normalize");
+  check bool "history" true
+    (contains "InvitationRel2" (Shell.eval shell "history InvitationRel"))
+
+let test_ask_and_derive () =
+  let shell = ok (Shell.create ()) in
+  check bool "ask true" true
+    (Shell.eval shell "ask forall x/Normalized_DBPL_Rel in(?x, DBPL_Rel)" = "true");
+  ignore (Shell.eval shell "map");
+  check bool "derive" true
+    (contains "DBPL_Rel" (Shell.eval shell "derive in(InvitationRel, ?C)"));
+  check bool "parse error reported" true
+    (contains "error" (Shell.eval shell "ask ((("))
+
+let test_run_generic_decision () =
+  let shell = ok (Shell.create ()) in
+  ignore (Shell.eval shell "map");
+  let out =
+    Shell.eval shell
+      "run DecNormalize Normalizer relation=InvitationRel"
+  in
+  check bool "generic run works" true (contains "InvitationRel2" out)
+
+let test_error_recovery () =
+  let shell = ok (Shell.create ()) in
+  check bool "unknown command" true
+    (contains "unknown command" (Shell.eval shell "frobnicate"));
+  check bool "bad focus is harmless" true
+    (contains "no such object"
+       (Shell.eval shell "focus Nonexistent")
+    || Shell.eval shell "focus Nonexistent" <> "");
+  (* the session still works after errors *)
+  check bool "still alive" true (contains "dec1" (Shell.eval shell "map"))
+
+let test_save_and_load () =
+  let shell = ok (Shell.create ()) in
+  ignore (Shell.eval shell "map");
+  let path = Filename.temp_file "gkbms_shell" ".repo" in
+  check bool "saved" true (contains "saved" (Shell.eval shell ("save " ^ path)));
+  let shell2 = ok (Shell.create ()) in
+  check bool "loaded" true
+    (contains "1 decisions" (Shell.eval shell2 ("load " ^ path)));
+  Sys.remove path;
+  check bool "loaded state browsable" true
+    (contains "created by dec1" (Shell.eval shell2 "why InvitationRel"))
+
+let test_quit_detection () =
+  check bool "quit" true (Shell.is_quit "quit");
+  check bool "exit" true (Shell.is_quit " EXIT ");
+  check bool "not quit" false (Shell.is_quit "map")
+
+let suite =
+  [
+    ("session runs the storyline", `Quick, test_session_runs_the_storyline);
+    ("browsing commands", `Quick, test_browsing_commands);
+    ("ask and derive", `Quick, test_ask_and_derive);
+    ("generic run command", `Quick, test_run_generic_decision);
+    ("error recovery", `Quick, test_error_recovery);
+    ("save and load", `Quick, test_save_and_load);
+    ("quit detection", `Quick, test_quit_detection);
+  ]

@@ -1,0 +1,281 @@
+open Kernel
+open Store
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let sym = Symbol.intern
+
+let mk ?(time = Time.always) id source label dest =
+  Prop.make ~time ~id:(sym id) ~source:(sym source) ~label:(sym label)
+    ~dest:(sym dest) ()
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let ids props =
+  List.sort String.compare
+    (List.map (fun (p : Prop.t) -> Symbol.name p.id) props)
+
+let with_backends f =
+  List.iter (fun backend -> f (Base.create ~backend ())) [ `Mem; `Log ]
+
+let test_insert_find () =
+  with_backends (fun base ->
+      ok (Base.insert base (mk "s1" "Invitation" "isa" "Paper"));
+      check bool "mem" true (Base.mem base (sym "s1"));
+      match Base.find base (sym "s1") with
+      | Some p -> check bool "found" true (Symbol.equal p.Prop.source (sym "Invitation"))
+      | None -> Alcotest.fail "not found")
+
+let test_duplicate_rejected () =
+  with_backends (fun base ->
+      ok (Base.insert base (mk "d1" "a" "l" "b"));
+      match Base.insert base (mk "d1" "c" "l" "d") with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "duplicate id accepted")
+
+let test_remove () =
+  with_backends (fun base ->
+      ok (Base.insert base (mk "r1" "a" "l" "b"));
+      let removed = ok (Base.remove base (sym "r1")) in
+      check bool "removed prop returned" true (Symbol.equal removed.Prop.id (sym "r1"));
+      check bool "gone" false (Base.mem base (sym "r1"));
+      match Base.remove base (sym "r1") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "double remove accepted")
+
+let populate base =
+  ok (Base.insert base (mk "p1" "Invitation" "isa" "Paper"));
+  ok (Base.insert base (mk "p2" "Minutes" "isa" "Paper"));
+  ok (Base.insert base (mk "p3" "Invitation" "attribute" "sender"));
+  ok (Base.insert base (mk "p4" "Paper" "isa" "Document"))
+
+let test_indexes () =
+  with_backends (fun base ->
+      populate base;
+      check Alcotest.(list string) "by_source"
+        [ "p1"; "p3" ]
+        (ids (Base.by_source base (sym "Invitation")));
+      check Alcotest.(list string) "by_source_label" [ "p1" ]
+        (ids (Base.by_source_label base (sym "Invitation") (sym "isa")));
+      check Alcotest.(list string) "by_dest" [ "p1"; "p2" ]
+        (ids (Base.by_dest base (sym "Paper")));
+      check Alcotest.(list string) "by_label" [ "p1"; "p2"; "p4" ]
+        (ids (Base.by_label base (sym "isa")));
+      check Alcotest.(list string) "links"
+        [ "p1" ]
+        (ids
+           (Base.links base ~source:(sym "Invitation") ~label:(sym "isa")
+              ~dest:(sym "Paper"))))
+
+let test_indexes_after_remove () =
+  with_backends (fun base ->
+      populate base;
+      ignore (ok (Base.remove base (sym "p1")));
+      check Alcotest.(list string) "source index updated" [ "p3" ]
+        (ids (Base.by_source base (sym "Invitation")));
+      check Alcotest.(list string) "dest index updated" [ "p2" ]
+        (ids (Base.by_dest base (sym "Paper"))))
+
+let test_query_pattern () =
+  with_backends (fun base ->
+      populate base;
+      ok
+        (Base.insert base
+           (mk ~time:(Time.between 5 9) "p5" "Invitation" "isa" "Document"));
+      check Alcotest.(list string) "query source+label"
+        [ "p1"; "p5" ]
+        (ids (Base.query ~source:(sym "Invitation") ~label:(sym "isa") base));
+      check Alcotest.(list string) "query with valid_at"
+        [ "p1" ]
+        (ids
+           (Base.query ~source:(sym "Invitation") ~label:(sym "isa")
+              ~valid_at:2 base));
+      check int "query all" 5 (List.length (Base.query base)))
+
+let test_cardinal_and_fold () =
+  with_backends (fun base ->
+      populate base;
+      check int "cardinal" 4 (Base.cardinal base);
+      check int "fold counts" 4 (Base.fold base (fun acc _ -> acc + 1) 0))
+
+let test_tx_commit () =
+  with_backends (fun base ->
+      populate base;
+      Base.begin_tx base;
+      ok (Base.insert base (mk "t1" "x" "l" "y"));
+      ok (Base.commit base);
+      check bool "committed survives" true (Base.mem base (sym "t1")))
+
+let test_tx_rollback () =
+  with_backends (fun base ->
+      populate base;
+      Base.begin_tx base;
+      ok (Base.insert base (mk "t2" "x" "l" "y"));
+      ignore (ok (Base.remove base (sym "p1")));
+      ok (Base.rollback base);
+      check bool "insert undone" false (Base.mem base (sym "t2"));
+      check bool "remove undone" true (Base.mem base (sym "p1"));
+      check int "cardinality restored" 4 (Base.cardinal base))
+
+let test_tx_nested () =
+  with_backends (fun base ->
+      Base.begin_tx base;
+      ok (Base.insert base (mk "n1" "a" "l" "b"));
+      Base.begin_tx base;
+      ok (Base.insert base (mk "n2" "a" "l" "b"));
+      ok (Base.rollback base);
+      check bool "inner rolled back" false (Base.mem base (sym "n2"));
+      check bool "outer kept" true (Base.mem base (sym "n1"));
+      ok (Base.commit base);
+      check int "depth zero" 0 (Base.tx_depth base))
+
+let test_tx_nested_outer_rollback () =
+  with_backends (fun base ->
+      Base.begin_tx base;
+      ok (Base.insert base (mk "o1" "a" "l" "b"));
+      Base.begin_tx base;
+      ok (Base.insert base (mk "o2" "a" "l" "b"));
+      ok (Base.commit base);
+      ok (Base.rollback base);
+      check bool "nested commit undone by outer rollback" false
+        (Base.mem base (sym "o2"));
+      check bool "outer insert undone" false (Base.mem base (sym "o1")))
+
+let test_tx_errors () =
+  with_backends (fun base ->
+      (match Base.commit base with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "commit without tx");
+      match Base.rollback base with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "rollback without tx")
+
+let test_with_tx () =
+  with_backends (fun base ->
+      let r =
+        Base.with_tx base (fun () ->
+            ok (Base.insert base (mk "w1" "a" "l" "b"));
+            Ok 42)
+      in
+      check int "with_tx result" 42 (ok r);
+      check bool "kept" true (Base.mem base (sym "w1"));
+      let r2 : (unit, string) result =
+        Base.with_tx base (fun () ->
+            ok (Base.insert base (mk "w2" "a" "l" "b"));
+            Error "boom")
+      in
+      (match r2 with Error "boom" -> () | _ -> Alcotest.fail "error passed through");
+      check bool "rolled back" false (Base.mem base (sym "w2")))
+
+let test_on_change () =
+  with_backends (fun base ->
+      let events = ref [] in
+      Base.on_change base (fun c -> events := c :: !events);
+      ok (Base.insert base (mk "c1" "a" "l" "b"));
+      ignore (ok (Base.remove base (sym "c1")));
+      check int "two events" 2 (List.length !events);
+      match !events with
+      | [ Base.Removed _; Base.Added _ ] -> ()
+      | _ -> Alcotest.fail "unexpected event order")
+
+let test_persistence_roundtrip () =
+  let base = Base.create () in
+  populate base;
+  ok
+    (Base.insert base
+       (mk ~time:(Time.named "version17" 1 8) "p9" "In vitation\ttab"
+          "weird\nlabel" "Paper"));
+  let text = Base.to_serialized base in
+  let base' = ok (Base.of_serialized text) in
+  check int "same cardinality" (Base.cardinal base) (Base.cardinal base');
+  List.iter
+    (fun (p : Prop.t) ->
+      match Base.find base' p.id with
+      | Some q -> check bool (Symbol.name p.id) true (Prop.equal p q)
+      | None -> Alcotest.failf "missing %s" (Symbol.name p.id))
+    (Base.to_list base)
+
+let test_persistence_rejects_garbage () =
+  match Base.of_serialized "not a proposition line" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+(* qcheck: random insert/remove sequences keep indexes consistent with a
+   model list *)
+let prop_store_model =
+  QCheck.Test.make ~name:"store agrees with model list" ~count:100
+    QCheck.(list (pair (int_range 0 20) bool))
+    (fun ops ->
+      let base = Base.create () in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun i (k, ins) ->
+          let id = "q" ^ string_of_int k in
+          if ins then begin
+            let p = mk id ("src" ^ string_of_int (k mod 3)) "lab" "dst" in
+            match Base.insert base p with
+            | Ok () ->
+              if Hashtbl.mem model id then
+                QCheck.Test.fail_reportf "dup accepted at step %d" i
+              else Hashtbl.add model id p
+            | Error _ ->
+              if not (Hashtbl.mem model id) then
+                QCheck.Test.fail_reportf "fresh insert rejected at step %d" i
+          end
+          else
+            match Base.remove base (sym id) with
+            | Ok _ ->
+              if not (Hashtbl.mem model id) then
+                QCheck.Test.fail_reportf "phantom remove at step %d" i
+              else Hashtbl.remove model id
+            | Error _ ->
+              if Hashtbl.mem model id then
+                QCheck.Test.fail_reportf "remove failed at step %d" i)
+        ops;
+      Base.cardinal base = Hashtbl.length model
+      && Hashtbl.fold (fun id _ acc -> acc && Base.mem base (sym id)) model true)
+
+let prop_rollback_restores =
+  QCheck.Test.make ~name:"rollback restores exact state" ~count:60
+    QCheck.(pair (list (int_range 0 15)) (list (int_range 0 15)))
+    (fun (before, inside) ->
+      let base = Base.create () in
+      List.iter
+        (fun k ->
+          ignore (Base.insert base (mk ("b" ^ string_of_int k) "s" "l" "d")))
+        before;
+      let canon s = List.sort String.compare (String.split_on_char '\n' s) in
+      let snapshot = canon (Base.to_serialized base) in
+      Base.begin_tx base;
+      List.iter
+        (fun k ->
+          ignore (Base.insert base (mk ("i" ^ string_of_int k) "s" "l" "d"));
+          ignore (Base.remove base (sym ("b" ^ string_of_int k))))
+        inside;
+      (match Base.rollback base with Ok () -> () | Error _ -> ());
+      snapshot = canon (Base.to_serialized base))
+
+let suite =
+  [
+    ("insert and find", `Quick, test_insert_find);
+    ("duplicate rejected", `Quick, test_duplicate_rejected);
+    ("remove", `Quick, test_remove);
+    ("indexes", `Quick, test_indexes);
+    ("indexes after remove", `Quick, test_indexes_after_remove);
+    ("query pattern", `Quick, test_query_pattern);
+    ("cardinal and fold", `Quick, test_cardinal_and_fold);
+    ("tx commit", `Quick, test_tx_commit);
+    ("tx rollback", `Quick, test_tx_rollback);
+    ("tx nested", `Quick, test_tx_nested);
+    ("tx nested outer rollback", `Quick, test_tx_nested_outer_rollback);
+    ("tx errors", `Quick, test_tx_errors);
+    ("with_tx", `Quick, test_with_tx);
+    ("on_change", `Quick, test_on_change);
+    ("persistence roundtrip", `Quick, test_persistence_roundtrip);
+    ("persistence rejects garbage", `Quick, test_persistence_rejects_garbage);
+    QCheck_alcotest.to_alcotest prop_store_model;
+    QCheck_alcotest.to_alcotest prop_rollback_restores;
+  ]
