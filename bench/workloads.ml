@@ -144,6 +144,34 @@ let chain_program n =
             Term.Pos (Term.atom "path" [ Term.var "Z"; Term.var "Y" ]) ]));
   d
 
+(* Datalog program: transitive closure over [segments] disjoint chains
+   of [len] edges each — [segments * len] edge facts with a closure of
+   [segments * len * (len + 1) / 2] path tuples, big enough to make a
+   from-scratch solve expensive while a single-edge delta stays tiny. *)
+let segmented_chain_program ~segments ~len =
+  let d = Logic.Datalog.create () in
+  for s = 0 to segments - 1 do
+    for i = 0 to len - 1 do
+      ignore
+        (Logic.Datalog.add_fact d
+           (Term.atom "edge"
+              [ Term.sym (Printf.sprintf "s%d_%d" s i);
+                Term.sym (Printf.sprintf "s%d_%d" s (i + 1)) ]))
+    done
+  done;
+  ignore
+    (Logic.Datalog.add_clause d
+       (Term.clause
+          (Term.atom "path" [ Term.var "X"; Term.var "Y" ])
+          [ Term.Pos (Term.atom "edge" [ Term.var "X"; Term.var "Y" ]) ]));
+  ignore
+    (Logic.Datalog.add_clause d
+       (Term.clause
+          (Term.atom "path" [ Term.var "X"; Term.var "Y" ])
+          [ Term.Pos (Term.atom "edge" [ Term.var "X"; Term.var "Z" ]);
+            Term.Pos (Term.atom "path" [ Term.var "Z"; Term.var "Y" ]) ]));
+  d
+
 (* Allen network: a chain of intervals, each before-or-meets the next,
    with a few long-range constraints to give propagation work. *)
 let allen_chain n =

@@ -244,7 +244,9 @@ let check_delta kb changes =
 
 let watch kb =
   let batch = ref [] in
-  Base.on_change (Kb.base kb) (fun c -> batch := c :: !batch);
+  ignore
+    (Base.on_change (Kb.base kb) (fun c -> batch := c :: !batch)
+      : Base.subscription);
   fun () ->
     let changes = List.rev !batch in
     batch := [];

@@ -5,11 +5,28 @@ module Formula = Logic.Formula
 module Datalog = Logic.Datalog
 module Prover = Logic.Prover
 
+(* Memoized transitive-closure caches over the isa/instanceof graph.
+   Entries are invalidated selectively by the base-change listener
+   installed in [create]; steady-state classification queries are then
+   O(1) table lookups. *)
+type cache = {
+  isa_up : Symbol.t list Symbol.Tbl.t;  (** isa_closure *)
+  isa_down : Symbol.t list Symbol.Tbl.t;  (** isa_subs_closure *)
+  all_classes : Symbol.t list Symbol.Tbl.t;  (** all_classes_of *)
+  all_instances : Symbol.t list Symbol.Tbl.t;  (** all_instances_of *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type cache_stats = { hits : int; misses : int; invalidations : int }
+
 type t = {
   base : Base.t;
   mutable rules : (Symbol.t * Term.clause) list;  (** newest first *)
   constraint_defs : Formula.t Symbol.Tbl.t;  (** constraint object -> formula *)
   mutable behaviour_defs : (Symbol.t * string * (t -> Prop.id -> unit)) list;
+  cache : cache;
 }
 
 let base t = t.base
@@ -48,27 +65,103 @@ let closure next start =
   visit start;
   Symbol.Set.elements !seen
 
-let isa_closure t x = closure (fun y -> dests_by t y Axioms.isa) x
+let memo t tbl x compute =
+  match Symbol.Tbl.find_opt tbl x with
+  | Some v ->
+    t.cache.hits <- t.cache.hits + 1;
+    v
+  | None ->
+    t.cache.misses <- t.cache.misses + 1;
+    let v = compute x in
+    Symbol.Tbl.replace tbl x v;
+    v
 
-let isa_subs_closure t x = closure (fun y -> sources_by t y Axioms.isa) x
+let isa_closure t x =
+  memo t t.cache.isa_up x (closure (fun y -> dests_by t y Axioms.isa))
+
+let isa_subs_closure t x =
+  memo t t.cache.isa_down x (closure (fun y -> sources_by t y Axioms.isa))
 
 let all_classes_of t x =
-  let direct = classes_of t x in
-  let inherited = List.concat_map (fun c -> isa_closure t c) direct in
-  (* keep explicit classes first: they are the most specific *)
-  let seen = ref Symbol.Set.empty in
-  List.filter
-    (fun c ->
-      if Symbol.Set.mem c !seen then false
-      else begin
-        seen := Symbol.Set.add c !seen;
-        true
-      end)
-    (direct @ inherited)
+  memo t t.cache.all_classes x (fun x ->
+      let direct = classes_of t x in
+      let inherited = List.concat_map (fun c -> isa_closure t c) direct in
+      (* keep explicit classes first: they are the most specific *)
+      let seen = ref Symbol.Set.empty in
+      List.filter
+        (fun c ->
+          if Symbol.Set.mem c !seen then false
+          else begin
+            seen := Symbol.Set.add c !seen;
+            true
+          end)
+        (direct @ inherited))
 
 let all_instances_of t c =
-  let classes = c :: isa_subs_closure t c in
-  List.sort_uniq Symbol.compare (List.concat_map (fun c -> instances_of t c) classes)
+  memo t t.cache.all_instances c (fun c ->
+      let classes = c :: isa_subs_closure t c in
+      List.sort_uniq Symbol.compare
+        (List.concat_map (fun c -> instances_of t c) classes))
+
+(* Selective invalidation ------------------------------------------------ *)
+
+let cache_drop t tbl key =
+  if Symbol.Tbl.mem tbl key then begin
+    Symbol.Tbl.remove tbl key;
+    t.cache.invalidations <- t.cache.invalidations + 1
+  end
+
+(* Drop every entry whose memoized closure mentions [s] (plus the entry
+   of [s] itself): exactly the entries a change at [s] can reach. *)
+let cache_drop_mentioning t tbl s =
+  let stale =
+    Symbol.Tbl.fold
+      (fun k v acc ->
+        if Symbol.equal k s || List.exists (Symbol.equal s) v then k :: acc
+        else acc)
+      tbl []
+  in
+  List.iter (fun k -> cache_drop t tbl k) stale
+
+let invalidate_for_change t change =
+  let p = match change with Base.Added p | Base.Removed p -> p in
+  let c = t.cache in
+  if Prop.is_individual p then begin
+    (* an object appearing or disappearing only touches its own entries *)
+    cache_drop t c.isa_up p.id;
+    cache_drop t c.isa_down p.id;
+    cache_drop t c.all_classes p.id;
+    cache_drop t c.all_instances p.id
+  end
+  else if Symbol.equal p.label Axioms.isa then begin
+    (* an isa edge source -> dest changes the up-closure of everything
+       below the source and the down-closure of everything above the
+       dest.  Up-closure entries reaching [source] (and class sets
+       mentioning it) are stale; refresh them before using isa_closure
+       to locate the classes whose instance sets changed. *)
+    cache_drop_mentioning t c.isa_up p.source;
+    cache_drop_mentioning t c.all_classes p.source;
+    cache_drop_mentioning t c.isa_down p.dest;
+    List.iter
+      (fun cls -> cache_drop t c.all_instances cls)
+      (p.dest :: isa_closure t p.dest)
+  end
+  else if Symbol.equal p.label Axioms.instanceof then begin
+    (* source gained/lost a class: its class set and the instance sets
+       of the class and its generalizations are stale *)
+    cache_drop t c.all_classes p.source;
+    List.iter
+      (fun cls -> cache_drop t c.all_instances cls)
+      (p.dest :: isa_closure t p.dest)
+  end
+(* attribute and other link propositions do not affect the closures *)
+
+let cache_stats t =
+  {
+    hits = t.cache.hits;
+    misses = t.cache.misses;
+    invalidations = t.cache.invalidations;
+  }
 
 let is_instance t ~inst ~cls =
   List.exists (Symbol.equal cls) (all_classes_of t inst)
@@ -465,8 +558,23 @@ let create ?backend () =
       rules = [];
       constraint_defs = Symbol.Tbl.create 32;
       behaviour_defs = [];
+      cache =
+        {
+          isa_up = Symbol.Tbl.create 256;
+          isa_down = Symbol.Tbl.create 256;
+          all_classes = Symbol.Tbl.create 256;
+          all_instances = Symbol.Tbl.create 256;
+          hits = 0;
+          misses = 0;
+          invalidations = 0;
+        };
     }
   in
+  (* keep the closure caches consistent with every base change,
+     including those replayed by transaction rollback *)
+  ignore
+    (Base.on_change base (fun change -> invalidate_for_change t change)
+      : Base.subscription);
   List.iter
     (fun p ->
       match Base.insert base p with

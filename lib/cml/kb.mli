@@ -78,6 +78,14 @@ val isa_closure : t -> Prop.id -> Prop.id list
 val is_instance : t -> inst:Prop.id -> cls:Prop.id -> bool
 (** Classification including inheritance. *)
 
+type cache_stats = { hits : int; misses : int; invalidations : int }
+
+val cache_stats : t -> cache_stats
+(** Counters for the memoized isa/instanceof closure caches behind
+    {!isa_closure}, {!all_classes_of} and friends.  The caches subscribe
+    to base changes and invalidate only the affected entries, so
+    steady-state classification queries are O(1). *)
+
 val attributes : t -> ?category:string -> Prop.id -> Prop.t list
 (** Attribute propositions leaving the object (non-reserved labels),
     optionally restricted to instances of the named attribute category. *)

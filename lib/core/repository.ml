@@ -70,8 +70,10 @@ let create ?(install_metamodel = true) () =
       decision_justs = Symbol.Tbl.create 64;
     }
   in
-  Store.Base.on_change (Kb.base kb) (fun c ->
-      t.change_batch <- c :: t.change_batch);
+  ignore
+    (Store.Base.on_change (Kb.base kb) (fun c ->
+         t.change_batch <- c :: t.change_batch)
+      : Store.Base.subscription);
   t
 
 let kb t = t.kb

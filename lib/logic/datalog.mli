@@ -17,7 +17,16 @@ val create : unit -> t
 val copy : t -> t
 
 val add_fact : t -> Term.atom -> (unit, string) result
-(** Ground atoms only.  Duplicate facts are ignored. *)
+(** Ground atoms only.  Duplicate facts are ignored.  On a solved,
+    negation-free engine the new fact is propagated with one semi-naive
+    delta round and the engine stays solved; otherwise the
+    materialization is invalidated. *)
+
+val remove_fact : t -> Term.atom -> (unit, string) result
+(** Ground atoms only.  Removing an absent fact is a no-op.  On a
+    solved, negation-free engine derived consequences are retracted by
+    delete-rederive (DRed) per stratum and the engine stays solved;
+    otherwise the materialization is invalidated. *)
 
 val add_clause : t -> Term.clause -> (unit, string) result
 (** Rejects unsafe clauses (see {!Term.clause_safe}) and clauses whose
@@ -58,3 +67,22 @@ val derived_count : t -> int
 
 val invalidate : t -> unit
 (** Drop materialized results (forces the next [solve] to recompute). *)
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  full_solves : int;  (** complete from-scratch materializations *)
+  incr_inserts : int;  (** fact insertions absorbed by a delta round *)
+  incr_deletes : int;  (** fact deletions absorbed by delete-rederive *)
+  fallbacks : int;  (** updates on a solved engine that invalidated *)
+  delta_rounds : int;  (** semi-naive / DRed rounds run incrementally *)
+  delta_tuples : int;  (** tuples moved by incremental propagation *)
+  index_hits : int;  (** bound-first-argument indexed lookups *)
+  index_misses : int;  (** full-relation scans *)
+}
+
+val stats : t -> stats
+(** Counters since creation (or the last {!reset_stats}); [copy] starts
+    from zero. *)
+
+val reset_stats : t -> unit

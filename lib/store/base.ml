@@ -6,12 +6,18 @@ type change = Added of Prop.t | Removed of Prop.t
 (* Undo entries record how to revert an applied change. *)
 type undo = Undo_insert of Prop.id | Undo_remove of Prop.t
 
+type subscription = int
+
 type t = {
   impl : Storage.impl;
   mutable undo : undo list;  (** most recent first; only while tx open *)
   mutable marks : int list;  (** lengths of [undo] at open savepoints *)
   mutable undo_len : int;
-  mutable listeners : (change -> unit) list;
+  mutable listeners : (subscription * (change -> unit)) list;
+      (** newest first: registration is O(1) *)
+  mutable notify_cache : (change -> unit) array option;
+      (** registration-order snapshot, rebuilt lazily after (un)subscribe *)
+  mutable next_sub : int;
 }
 
 let make_impl : backend -> Storage.impl = function
@@ -20,7 +26,7 @@ let make_impl : backend -> Storage.impl = function
 
 let create ?(backend = `Mem) () =
   { impl = make_impl backend; undo = []; marks = []; undo_len = 0;
-    listeners = [] }
+    listeners = []; notify_cache = None; next_sub = 0 }
 
 let backend_name t =
   let (Storage.Impl ((module S), _)) = t.impl in
@@ -33,8 +39,27 @@ let clear t =
   t.marks <- [];
   t.undo_len <- 0
 
-let notify t change = List.iter (fun f -> f change) t.listeners
-let on_change t f = t.listeners <- t.listeners @ [ f ]
+let notify t change =
+  let fs =
+    match t.notify_cache with
+    | Some fs -> fs
+    | None ->
+      let fs = Array.of_list (List.rev_map snd t.listeners) in
+      t.notify_cache <- Some fs;
+      fs
+  in
+  Array.iter (fun f -> f change) fs
+
+let on_change t f =
+  let id = t.next_sub in
+  t.next_sub <- id + 1;
+  t.listeners <- (id, f) :: t.listeners;
+  t.notify_cache <- None;
+  id
+
+let off_change t id =
+  t.listeners <- List.filter (fun (id', _) -> id' <> id) t.listeners;
+  t.notify_cache <- None
 
 let in_tx t = t.marks <> []
 

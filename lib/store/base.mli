@@ -26,9 +26,15 @@ val insert : t -> Prop.t -> (unit, string) result
 val remove : t -> Prop.id -> (Prop.t, string) result
 (** Fails if no proposition with this id exists. *)
 
-val on_change : t -> (change -> unit) -> unit
+type subscription
+
+val on_change : t -> (change -> unit) -> subscription
 (** Register a listener called after every successful insert/remove,
-    including those replayed by a rollback. *)
+    including those replayed by a rollback.  Listeners fire in
+    registration order; registration is O(1). *)
+
+val off_change : t -> subscription -> unit
+(** Unregister a listener.  Unknown ids are ignored. *)
 
 (** {1 Retrieval} *)
 

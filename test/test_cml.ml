@@ -442,6 +442,77 @@ let test_model_configure_project () =
        (fun (p : Prop.t) -> Symbol.equal p.dest (sym "Paper"))
        (Store.Base.by_source projected (sym "Invitation")))
 
+(* closure caches ----------------------------------------------------------- *)
+
+let test_closure_cache_hits () =
+  let kb = document_kb () in
+  ignore (Kb.all_classes_of kb (sym "Invitation"));
+  let before = (Kb.cache_stats kb).Kb.hits in
+  ignore (Kb.all_classes_of kb (sym "Invitation"));
+  ignore (Kb.isa_closure kb (sym "Invitation"));
+  ignore (Kb.isa_closure kb (sym "Invitation"));
+  check bool "steady-state queries are cache hits" true
+    ((Kb.cache_stats kb).Kb.hits > before)
+
+let test_closure_cache_invalidation () =
+  let kb = document_kb () in
+  (* warm every cache *)
+  check Alcotest.(list string) "closure before"
+    [ "Document"; "Paper" ]
+    (names (Kb.isa_closure kb (sym "Invitation")));
+  ignore (Kb.all_instances_of kb (sym "Document"));
+  (* grow the hierarchy above Document: cached closures must follow *)
+  ignore (ok (Kb.declare kb "Artifact"));
+  ignore (ok (Kb.add_isa kb ~sub:"Document" ~super:"Artifact"));
+  check Alcotest.(list string) "closure sees new super"
+    [ "Artifact"; "Document"; "Paper" ]
+    (names (Kb.isa_closure kb (sym "Invitation")));
+  check Alcotest.(list string) "instances inherited up"
+    (names (Kb.all_instances_of kb (sym "Document")))
+    (names (Kb.all_instances_of kb (sym "Artifact")));
+  (* retract the new edge again *)
+  let link =
+    List.find
+      (fun (p : Prop.t) -> Symbol.equal p.dest (sym "Artifact"))
+      (Store.Base.by_source_label (Kb.base kb) (sym "Document") (sym "isa"))
+  in
+  ignore (ok (Kb.remove_proposition kb link.Prop.id));
+  check Alcotest.(list string) "closure shrinks after removal"
+    [ "Document"; "Paper" ]
+    (names (Kb.isa_closure kb (sym "Invitation")));
+  check bool "entries were invalidated" true
+    ((Kb.cache_stats kb).Kb.invalidations > 0)
+
+let test_closure_cache_instanceof_invalidation () =
+  let kb = document_kb () in
+  ignore (ok (Kb.declare kb "doc1"));
+  ignore (Kb.all_classes_of kb (sym "doc1"));
+  ignore (Kb.all_instances_of kb (sym "Document"));
+  ignore (ok (Kb.add_instanceof kb ~inst:"doc1" ~cls:"Invitation"));
+  check bool "new class visible through inheritance" true
+    (Kb.is_instance kb ~inst:(sym "doc1") ~cls:(sym "Document"));
+  check bool "instance listed transitively" true
+    (List.exists (Symbol.equal (sym "doc1"))
+       (Kb.all_instances_of kb (sym "Document")))
+
+let test_closure_cache_rollback () =
+  let kb = document_kb () in
+  let base = Kb.base kb in
+  let before = names (Kb.isa_closure kb (sym "Invitation")) in
+  let r : (unit, string) result =
+    Store.Base.with_tx base (fun () ->
+        ignore (ok (Kb.declare kb "Artifact"));
+        ignore (ok (Kb.add_isa kb ~sub:"Document" ~super:"Artifact"));
+        (* query inside the transaction so the cache picks up the edge *)
+        check bool "closure inside tx sees Artifact" true
+          (List.exists (Symbol.equal (sym "Artifact"))
+             (Kb.isa_closure kb (sym "Invitation")));
+        Error "abort")
+  in
+  (match r with Error "abort" -> () | _ -> Alcotest.fail "tx not aborted");
+  check Alcotest.(list string) "rollback replay restored the cache" before
+    (names (Kb.isa_closure kb (sym "Invitation")))
+
 (* display ------------------------------------------------------------------ *)
 
 let contains needle hay =
@@ -513,6 +584,11 @@ let suite =
     ("consistency incremental agrees", `Quick, test_consistency_incremental_agrees);
     ("consistency incremental empty delta", `Quick,
      test_consistency_incremental_empty_delta);
+    ("closure cache hits", `Quick, test_closure_cache_hits);
+    ("closure cache invalidation", `Quick, test_closure_cache_invalidation);
+    ("closure cache instanceof invalidation", `Quick,
+     test_closure_cache_instanceof_invalidation);
+    ("closure cache rollback", `Quick, test_closure_cache_rollback);
     ("model basics", `Quick, test_model_basics);
     ("model includes and sharing", `Quick, test_model_includes_and_sharing);
     ("model configure and project", `Quick, test_model_configure_project);

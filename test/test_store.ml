@@ -173,13 +173,94 @@ let test_with_tx () =
 let test_on_change () =
   with_backends (fun base ->
       let events = ref [] in
-      Base.on_change base (fun c -> events := c :: !events);
+      ignore (Base.on_change base (fun c -> events := c :: !events));
       ok (Base.insert base (mk "c1" "a" "l" "b"));
       ignore (ok (Base.remove base (sym "c1")));
       check int "two events" 2 (List.length !events);
       match !events with
       | [ Base.Removed _; Base.Added _ ] -> ()
       | _ -> Alcotest.fail "unexpected event order")
+
+let test_off_change () =
+  with_backends (fun base ->
+      let a = ref 0 and b = ref 0 in
+      let sub = Base.on_change base (fun _ -> incr a) in
+      ignore (Base.on_change base (fun _ -> incr b));
+      ok (Base.insert base (mk "u1" "a" "l" "b"));
+      Base.off_change base sub;
+      ok (Base.insert base (mk "u2" "a" "l" "b"));
+      check int "unsubscribed listener stopped" 1 !a;
+      check int "other listener still fires" 2 !b;
+      (* unknown ids are ignored *)
+      Base.off_change base sub)
+
+let test_rollback_reemits_changes () =
+  with_backends (fun base ->
+      populate base;
+      let events = ref [] in
+      ignore (Base.on_change base (fun c -> events := c :: !events));
+      Base.begin_tx base;
+      ok (Base.insert base (mk "t9" "x" "l" "y"));
+      ignore (ok (Base.remove base (sym "p1")));
+      events := [];
+      ok (Base.rollback base);
+      (* undo happens in reverse order: re-add p1, then drop t9 *)
+      match List.rev !events with
+      | [ Base.Added p; Base.Removed q ] ->
+        check bool "re-added p1" true (Symbol.equal p.Prop.id (sym "p1"));
+        check bool "removed t9" true (Symbol.equal q.Prop.id (sym "t9"))
+      | _ -> Alcotest.fail "rollback did not re-emit both changes")
+
+let test_with_tx_exception_reemits () =
+  with_backends (fun base ->
+      populate base;
+      let events = ref [] in
+      ignore (Base.on_change base (fun c -> events := c :: !events));
+      (try
+         ignore
+           (Base.with_tx base (fun () ->
+                ok (Base.insert base (mk "e1" "x" "l" "y"));
+                failwith "boom"))
+       with Failure _ -> ());
+      check bool "rolled back" false (Base.mem base (sym "e1"));
+      match !events with
+      | [ Base.Removed p; Base.Added q ] ->
+        check bool "same prop removed" true (Symbol.equal p.Prop.id (sym "e1"));
+        check bool "same prop added" true (Symbol.equal q.Prop.id (sym "e1"))
+      | _ -> Alcotest.fail "exception rollback did not replay the undo")
+
+let test_nested_rollback_reemits () =
+  with_backends (fun base ->
+      let events = ref [] in
+      ignore (Base.on_change base (fun c -> events := c :: !events));
+      Base.begin_tx base;
+      ok (Base.insert base (mk "s1" "a" "l" "b"));
+      Base.begin_tx base;
+      ok (Base.insert base (mk "s2" "a" "l" "b"));
+      events := [];
+      ok (Base.rollback base);
+      (* only the savepoint's changes are replayed *)
+      (match !events with
+      | [ Base.Removed p ] ->
+        check bool "inner insert undone" true (Symbol.equal p.Prop.id (sym "s2"))
+      | _ -> Alcotest.fail "savepoint rollback should emit exactly one event");
+      check bool "outer insert intact" true (Base.mem base (sym "s1"));
+      ok (Base.commit base))
+
+let test_query_valid_at () =
+  with_backends (fun base ->
+      ok (Base.insert base (mk ~time:(Time.between 0 4) "v1" "a" "l" "b"));
+      ok (Base.insert base (mk ~time:(Time.between 5 9) "v2" "a" "l" "b"));
+      ok (Base.insert base (mk "v3" "a" "l" "b"));
+      check Alcotest.(list string) "valid at 2" [ "v1"; "v3" ]
+        (ids (Base.query ~valid_at:2 base));
+      check Alcotest.(list string) "valid at 7" [ "v2"; "v3" ]
+        (ids (Base.query ~valid_at:7 base));
+      check Alcotest.(list string) "valid at 100" [ "v3" ]
+        (ids (Base.query ~valid_at:100 base));
+      check Alcotest.(list string) "valid_at composes with dest index"
+        [ "v1"; "v3" ]
+        (ids (Base.query ~dest:(sym "b") ~valid_at:0 base)))
 
 let test_persistence_roundtrip () =
   let base = Base.create () in
@@ -274,6 +355,11 @@ let suite =
     ("tx errors", `Quick, test_tx_errors);
     ("with_tx", `Quick, test_with_tx);
     ("on_change", `Quick, test_on_change);
+    ("off_change", `Quick, test_off_change);
+    ("rollback re-emits changes", `Quick, test_rollback_reemits_changes);
+    ("with_tx exception re-emits", `Quick, test_with_tx_exception_reemits);
+    ("nested rollback re-emits", `Quick, test_nested_rollback_reemits);
+    ("query valid_at", `Quick, test_query_valid_at);
     ("persistence roundtrip", `Quick, test_persistence_roundtrip);
     ("persistence rejects garbage", `Quick, test_persistence_rejects_garbage);
     QCheck_alcotest.to_alcotest prop_store_model;
