@@ -214,6 +214,21 @@ let atms_ladder n =
   done;
   t
 
+(* A repository big enough that a full snapshot visibly costs more than
+   one decision's delta: [n] text objects (each ~5 propositions). *)
+let large_repo n =
+  let repo = Repo.create () in
+  Gkbms.Mapping.register_tools repo;
+  for i = 0 to n - 1 do
+    ignore
+      (ok
+         (Repo.new_object repo
+            ~name:(Printf.sprintf "Obj%d" i)
+            ~cls:Gkbms.Metamodel.dbpl_object
+            (Repo.Text (Printf.sprintf "contents of object %d" i))))
+  done;
+  repo
+
 (* store population for the index ablation *)
 let fill_store backend n =
   let base = Store.Base.create ~backend () in

@@ -9,7 +9,9 @@
      gkbms why InvitationRel2            # explanation facility
      gkbms deps --dot                    # dependency graph as Graphviz
      gkbms config                        # fig 3-4 configuration
-     gkbms export kb.props               # persist the proposition base *)
+     gkbms export kb.props               # persist the proposition base
+     gkbms scenario --wal run.d          # journal into a write-ahead log
+     gkbms recover run.d                 # crash recovery from the WAL *)
 
 module Scn = Gkbms.Scenario
 module Repo = Gkbms.Repository
@@ -42,8 +44,14 @@ let stage_conv =
 
 let ( let* ) = Result.bind
 
-let build_state until =
+let build_state ?wal until =
   let* st = Scn.setup () in
+  let* durable =
+    match wal with
+    | None -> Ok None
+    | Some dir ->
+      Result.map Option.some (Gkbms.Durable.attach ~dir st.Scn.repo)
+  in
   let steps =
     [
       (Mapped, fun () -> Result.map ignore (Scn.map_move_down st));
@@ -64,7 +72,7 @@ let build_state until =
         if rank stage <= rank until then step () else Ok ())
       (Ok ()) steps
   in
-  Ok st
+  Ok (st, durable)
 
 let handle = function
   | Ok () -> 0
@@ -81,10 +89,16 @@ let focus_arg =
 
 (* scenario ------------------------------------------------------------- *)
 
+let wal_arg =
+  Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"DIR"
+         ~doc:"Journal the run into a crash-safe write-ahead log under \
+               $(docv) (a checkpoint snapshot plus a checksummed log of \
+               every decision's deltas); rebuild with the recover command.")
+
 let scenario_cmd =
-  let run until =
+  let run until wal =
     handle
-      (let* st = build_state until in
+      (let* st, durable = build_state ?wal until in
        let repo = st.Scn.repo in
        Format.printf "decision log:@.";
        List.iter
@@ -98,17 +112,56 @@ let scenario_cmd =
          List.iter
            (fun v -> Format.printf "%a@." Cml.Consistency.pp_violation v)
            vs);
+       (match durable with
+       | None -> ()
+       | Some d ->
+         Gkbms.Durable.sync d;
+         Format.printf "@.journaled %d WAL records (%d bytes) under %s@."
+           (Gkbms.Durable.wal_records d)
+           (Gkbms.Durable.wal_bytes d)
+           (Gkbms.Durable.dir d);
+         Gkbms.Durable.close d);
        Ok ())
   in
   Cmd.v (Cmd.info "scenario" ~doc:"Run the section-2.1 storyline.")
-    Term.(const run $ until_arg)
+    Term.(const run $ until_arg $ wal_arg)
+
+(* recover ---------------------------------------------------------------- *)
+
+let recover_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Durability directory written by scenario --wal.")
+  in
+  let run dir =
+    handle
+      (let* repo, report = Gkbms.Durable.recover ~dir () in
+       Format.printf "%a@." Gkbms.Durable.pp_report report;
+       Format.printf "@.decision log:@.";
+       List.iter
+         (fun (dec, dc) -> Format.printf "  %s : %s@." (Sym.name dec) dc)
+         (Gkbms.Navigation.browse_process repo);
+       (match Cml.Consistency.check_all (Repo.kb repo) with
+       | [] -> Format.printf "@.knowledge base is consistent.@."
+       | vs ->
+         List.iter
+           (fun v -> Format.printf "%a@." Cml.Consistency.pp_violation v)
+           vs);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild a repository from its durability directory: load the \
+             checkpoint, replay the longest valid WAL prefix, discard \
+             uncommitted decisions.")
+    Term.(const run $ dir_arg)
 
 (* focus ------------------------------------------------------------------ *)
 
 let focus_cmd =
   let run until name =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        let view = Gkbms.Navigation.focus st.Scn.repo (Sym.intern name) in
        Format.printf "%a@." Gkbms.Navigation.pp_focus view;
        Ok ())
@@ -122,7 +175,7 @@ let focus_cmd =
 let why_cmd =
   let run until name =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        Format.printf "%a@." Gkbms.Explain.pp_why
          (Gkbms.Explain.why st.Scn.repo (Sym.intern name));
        Ok ())
@@ -142,7 +195,7 @@ let deps_cmd =
   in
   let run until dot root =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        if dot then print_string (Gkbms.Depgraph.to_dot st.Scn.repo)
        else Gkbms.Depgraph.pp st.Scn.repo Format.std_formatter (Sym.intern root);
        Ok ())
@@ -156,7 +209,7 @@ let deps_cmd =
 let config_cmd =
   let run until =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        let repo = st.Scn.repo in
        let config = Gkbms.Version.configure repo ~level:Gkbms.Metamodel.dbpl_object in
        Format.printf "%a@." (Gkbms.Version.pp_configuration repo) config;
@@ -174,7 +227,7 @@ let config_cmd =
 let source_cmd =
   let run until name =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        match Repo.source_text st.Scn.repo (Sym.intern name) with
        | Some src ->
          print_endline src;
@@ -193,7 +246,7 @@ let ask_cmd =
   in
   let run until formula =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        let* f = Langs.Assertion.parse_formula formula in
        let* answer = Cml.Kb.ask (Repo.kb st.Scn.repo) f in
        Format.printf "%b@." answer;
@@ -210,7 +263,7 @@ let derive_cmd =
   in
   let run until atom =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        let* goal = Langs.Assertion.parse_atom atom in
        let* substs = Cml.Kb.derive (Repo.kb st.Scn.repo) goal in
        if substs = [] then Format.printf "no.@."
@@ -231,7 +284,7 @@ let export_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let run until file =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        let oc = open_out file in
        Store.Base.save (Cml.Kb.base (Repo.kb st.Scn.repo)) oc;
        close_out oc;
@@ -265,7 +318,7 @@ let snapshot_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
   let run until file =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        let* () = Gkbms.Persist.save_to_file st.Scn.repo file in
        Format.printf "repository snapshot written to %s@." file;
        Ok ())
@@ -278,7 +331,7 @@ let snapshot_cmd =
 let stats_cmd =
   let run until =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        let repo = st.Scn.repo in
        let base = Cml.Kb.base (Repo.kb repo) in
        Format.printf "propositions:    %d@." (Store.Base.cardinal base);
@@ -297,7 +350,7 @@ let stats_cmd =
 let audit_cmd =
   let run until =
     handle
-      (let* st = build_state until in
+      (let* st, _ = build_state until in
        let repo = st.Scn.repo in
        Format.printf "== consistency ==@.";
        (match Cml.Consistency.check_all (Repo.kb repo) with
@@ -377,7 +430,7 @@ let main =
          "A knowledge base management system for information system \
           evolution (Jarke & Rose, SIGMOD 1988).")
     [ scenario_cmd; focus_cmd; why_cmd; deps_cmd; config_cmd; source_cmd;
-      ask_cmd; derive_cmd; export_cmd; import_cmd; snapshot_cmd; audit_cmd;
-      repl_cmd; stats_cmd ]
+      ask_cmd; derive_cmd; export_cmd; import_cmd; snapshot_cmd; recover_cmd;
+      audit_cmd; repl_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -99,6 +99,7 @@ let retract repo dec ?(rationale = "") () =
           if Symbol.Set.mem input removed_set then None else Some input)
         (Decision.inputs_of repo dec)
     in
+    Repo.emit_event repo (Repo.Decision_begun Metamodel.dec_retract);
     Base.begin_tx base;
     let texts =
       List.concat_map (owned_texts repo) (decisions @ objects)
@@ -143,16 +144,20 @@ let retract repo dec ?(rationale = "") () =
         Kb.add_attribute kb ~source:dec_name ~label:"rationale" ~dest:text_name
       in
       Repo.log_decision repo (Symbol.intern dec_name);
-      Ok ()
+      Ok (Symbol.intern dec_name)
     in
     match doc_result with
     | Error e ->
       (match Base.rollback base with Ok () -> () | Error _ -> ());
+      Repo.emit_event repo (Repo.Decision_aborted e);
       Error e
-    | Ok () -> (
+    | Ok dec_id -> (
       match Base.commit base with
-      | Error e -> Error e
+      | Error e ->
+        Repo.emit_event repo (Repo.Decision_aborted e);
+        Error e
       | Ok () ->
+        Repo.emit_event repo (Repo.Decision_committed dec_id);
         Ok
           {
             retracted_decisions = List.map Symbol.name decisions;

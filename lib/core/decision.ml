@@ -164,11 +164,13 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
       else
         let* () = check_inputs repo decision_class inputs in
         ignore (Repo.drain_changes repo);
+        Repo.emit_event repo (Repo.Decision_begun decision_class);
         Store.Base.begin_tx base;
         let added_justs = ref [] in
         let rollback err =
           (match Store.Base.rollback base with Ok () -> () | Error _ -> ());
           List.iter (J.retract (Repo.jtms repo)) !added_justs;
+          Repo.emit_event repo (Repo.Decision_aborted err);
           Error err
         in
         let result =
@@ -343,7 +345,9 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
         (match result with
         | Ok executed -> (
           match Store.Base.commit base with
-          | Ok () -> Ok executed
+          | Ok () ->
+            Repo.emit_event repo (Repo.Decision_committed executed.decision);
+            Ok executed
           | Error e -> rollback e)
         | Error e -> rollback e)
 

@@ -1,0 +1,210 @@
+open Kernel
+module Repo = Repository
+module Wal = Durability.Wal
+module Journal = Durability.Journal
+
+let ( let* ) = Result.bind
+
+let wal_path dir = Filename.concat dir "wal.log"
+let checkpoint_path dir = Filename.concat dir "checkpoint.repo"
+
+type t = {
+  dir : string;
+  repo : Repo.t;
+  checkpoint_every : int;
+  fsync : bool;
+  mutable journal : Journal.t;
+  mutable event_sub : Repo.event_subscription option;
+  mutable closed : bool;
+}
+
+type report = {
+  checkpoint_loaded : bool;
+  wal_records : int;
+  replayed_ops : int;
+  recovered_decisions : string list;
+  dangling_frames : int;
+  truncated : string option;
+  valid_bytes : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>checkpoint loaded: %b@,log records: %d (%d bytes valid%s)@,\
+     store ops replayed: %d@,decisions recovered: %s@,\
+     in-flight decisions rolled back: %d@]"
+    r.checkpoint_loaded r.wal_records r.valid_bytes
+    (match r.truncated with
+    | Some why -> ", tail cut: " ^ why
+    | None -> "")
+    r.replayed_ops
+    (match r.recovered_decisions with
+    | [] -> "none"
+    | ds -> String.concat ", " ds)
+    r.dangling_frames
+
+let ensure_dir dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (dir ^ " exists and is not a directory")
+  else
+    try
+      Unix.mkdir dir 0o755;
+      Ok ()
+    with Unix.Unix_error (e, _, _) ->
+      Error (dir ^ ": " ^ Unix.error_message e)
+
+let fresh_journal ~fsync dir base =
+  let sink = Wal.file_sink ~fsync (wal_path dir) in
+  Journal.attach (Wal.writer sink) base
+
+let checkpoint t =
+  if t.closed then Error "Durable.checkpoint: handle closed"
+  else begin
+    Journal.sync t.journal;
+    let* () = Persist.save_to_file t.repo (checkpoint_path t.dir) in
+    (* the log is truncated only after the snapshot is durable; a crash
+       in between replays the (idempotent) suffix over the snapshot *)
+    let base = Cml.Kb.base (Repo.kb t.repo) in
+    Journal.detach t.journal;
+    Wal.close (Journal.writer t.journal);
+    t.journal <- fresh_journal ~fsync:t.fsync t.dir base;
+    Ok ()
+  end
+
+let maybe_checkpoint t =
+  if
+    Journal.depth t.journal = 0
+    && Wal.records_written (Journal.writer t.journal) >= t.checkpoint_every
+  then ignore (checkpoint t : (unit, string) result)
+
+let handle_event t = function
+  | Repo.Decision_begun cls -> Journal.begin_decision t.journal cls
+  | Repo.Decision_committed id ->
+    Journal.commit_decision t.journal (Symbol.name id);
+    maybe_checkpoint t
+  | Repo.Decision_aborted reason -> Journal.abort_decision t.journal reason
+  | Repo.Decision_unlogged id ->
+    Journal.note t.journal "unlog" (Symbol.name id);
+    Journal.sync t.journal
+  | Repo.Artifact_written id -> (
+    match Repo.artifact t.repo id with
+    | Some a ->
+      Journal.artifact t.journal (Symbol.name id)
+        (Sexp.to_string (Persist.sexp_of_artifact a))
+    | None -> ())
+
+let attach ?(checkpoint_every = 256) ?(fsync = false) ~dir repo =
+  let* () = ensure_dir dir in
+  let* () = Persist.save_to_file repo (checkpoint_path dir) in
+  let base = Cml.Kb.base (Repo.kb repo) in
+  let t =
+    {
+      dir;
+      repo;
+      checkpoint_every;
+      fsync;
+      journal = fresh_journal ~fsync dir base;
+      event_sub = None;
+      closed = false;
+    }
+  in
+  t.event_sub <- Some (Repo.on_event repo (fun e -> handle_event t e));
+  Ok t
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    Ok text
+  with Sys_error e -> Error e
+
+let recover ?register_tools ~dir () =
+  let cp = checkpoint_path dir in
+  let* repo, checkpoint_loaded =
+    if Sys.file_exists cp then
+      let* text = read_file cp in
+      let* repo = Persist.load_repository_raw text in
+      Ok (repo, true)
+    else Ok (Repo.create (), false)
+  in
+  let wal = wal_path dir in
+  let* report =
+    if not (Sys.file_exists wal) then
+      Ok
+        {
+          checkpoint_loaded;
+          wal_records = 0;
+          replayed_ops = 0;
+          recovered_decisions = [];
+          dangling_frames = 0;
+          truncated = None;
+          valid_bytes = 0;
+        }
+    else
+      let* scan = Wal.read_file wal in
+      let resolved = Journal.resolve scan.Wal.records in
+      let base = Cml.Kb.base (Repo.kb repo) in
+      let recovered = ref [] in
+      let failure = ref None in
+      let on_other = function
+        | Wal.Decision_commit name ->
+          let id = Symbol.intern name in
+          (* a decision already in the checkpoint's log is a replayed
+             pre-checkpoint suffix record — skip it *)
+          if not (List.exists (Symbol.equal id) (Repo.decision_log repo))
+          then begin
+            Repo.log_decision repo id;
+            recovered := name :: !recovered
+          end
+        | Wal.Artifact (name, text) -> (
+          match Result.bind (Sexp.parse text) Persist.artifact_of_sexp with
+          | Ok a -> Repo.set_artifact repo (Symbol.intern name) a
+          | Error e ->
+            if !failure = None then
+              failure := Some (Printf.sprintf "artifact %s: %s" name e))
+        | Wal.Note ("unlog", name) ->
+          Repo.unlog_decision repo (Symbol.intern name)
+        | Wal.Note _ | Wal.Put _ | Wal.Tomb _ | Wal.Decision_begin _
+        | Wal.Decision_abort _ ->
+          ()
+      in
+      let* replayed_ops = Journal.replay_into ~on_other base resolved in
+      let* () = match !failure with Some e -> Error e | None -> Ok () in
+      Ok
+        {
+          checkpoint_loaded;
+          wal_records = List.length scan.Wal.records;
+          replayed_ops;
+          recovered_decisions = List.rev !recovered;
+          dangling_frames = resolved.Journal.dangling;
+          truncated = scan.Wal.truncated;
+          valid_bytes = scan.Wal.valid_bytes;
+        }
+  in
+  ignore (Repo.drain_changes repo : Store.Base.change list);
+  Persist.finalize ?register_tools repo;
+  Ok (repo, report)
+
+let open_ ?register_tools ?checkpoint_every ?fsync ~dir () =
+  let* repo, report = recover ?register_tools ~dir () in
+  let* t = attach ?checkpoint_every ?fsync ~dir repo in
+  Ok (t, report)
+
+let repo t = t.repo
+let dir t = t.dir
+let sync t = Journal.sync t.journal
+let wal_records t = Wal.records_written (Journal.writer t.journal)
+let wal_bytes t = Wal.bytes_written (Journal.writer t.journal)
+
+let close t =
+  if not t.closed then begin
+    (match t.event_sub with
+    | Some s -> Repo.off_event t.repo s
+    | None -> ());
+    Journal.detach t.journal;
+    Wal.close (Journal.writer t.journal);
+    t.closed <- true
+  end

@@ -1,0 +1,74 @@
+(** WAL-backed durability for a whole repository.
+
+    An attached repository journals every proposition delta (through
+    {!Store.Base.on_change}), every artifact write and every decision
+    boundary (through {!Repository.on_event}) into a checksummed
+    write-ahead log, so committing a decision costs O(delta) instead of
+    the O(repository) of a full {!Persist} snapshot.  The on-disk layout
+    is a directory holding [checkpoint.repo] (an atomic {!Persist}
+    snapshot) and [wal.log] (the suffix of work since that snapshot).
+
+    Recovery ({!recover} / {!open_}) loads the checkpoint, replays the
+    longest valid log prefix, discards deltas of decisions that never
+    committed, and finalizes (tools, counter, reason maintenance) once
+    over the merged state.  {!open_} then writes a fresh checkpoint and
+    starts a new log, so a recovered session is immediately durable
+    again. *)
+
+type t
+
+type report = {
+  checkpoint_loaded : bool;
+  wal_records : int;  (** valid records scanned from the log *)
+  replayed_ops : int;  (** store operations applied during replay *)
+  recovered_decisions : string list;
+      (** decisions committed by the log suffix, chronological *)
+  dangling_frames : int;
+      (** decisions in progress at the crash, rolled back *)
+  truncated : string option;
+      (** why the log tail was cut (torn write, checksum mismatch…) *)
+  valid_bytes : int;  (** length of the surviving log prefix *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val wal_path : string -> string
+val checkpoint_path : string -> string
+
+val attach :
+  ?checkpoint_every:int -> ?fsync:bool -> dir:string -> Repository.t ->
+  (t, string) result
+(** Make a live repository durable under [dir]: write an initial
+    checkpoint, open a fresh log and subscribe to the delta and event
+    feeds.  A checkpoint is taken automatically after
+    [checkpoint_every] log records (default 256, measured at decision
+    commit); [fsync] (default false) forces data to the device on every
+    decision commit rather than only into the OS. *)
+
+val recover :
+  ?register_tools:(Repository.t -> unit) -> dir:string -> unit ->
+  (Repository.t * report, string) result
+(** Rebuild the repository state from [dir] without attaching. *)
+
+val open_ :
+  ?register_tools:(Repository.t -> unit) -> ?checkpoint_every:int ->
+  ?fsync:bool -> dir:string -> unit -> (t * report, string) result
+(** {!recover}, then {!attach} the recovered repository: checkpoint the
+    merged state and start a fresh log. *)
+
+val repo : t -> Repository.t
+val dir : t -> string
+
+val checkpoint : t -> (unit, string) result
+(** Snapshot now and truncate the log.  Order is crash-safe: the log is
+    synced first, the snapshot is written atomically, and only then is
+    the log truncated — a crash between the two replays the (idempotent)
+    suffix over the new checkpoint. *)
+
+val sync : t -> unit
+val wal_records : t -> int
+val wal_bytes : t -> int
+
+val close : t -> unit
+(** Detach from the repository's feeds and close the log.  The
+    repository itself stays usable (but no longer journaled). *)

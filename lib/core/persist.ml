@@ -397,7 +397,7 @@ let save_repository repo =
          kv "counter"
            (S.Atom (string_of_int (List.length (Repo.decision_log repo)))) ])
 
-let load_repository ?(register_tools = Mapping.register_tools) text =
+let load_repository_raw text =
   let* sexp = S.parse text in
   let* header =
     match sexp with
@@ -444,6 +444,9 @@ let load_repository ?(register_tools = Mapping.register_tools) text =
         Ok ())
       (Ok ()) log_items
   in
+  Ok repo
+
+let finalize ?(register_tools = Mapping.register_tools) repo =
   (* tools are code, re-registered after the snapshot so their KB
      records (already in the snapshot) are not duplicated *)
   register_tools repo;
@@ -453,16 +456,26 @@ let load_repository ?(register_tools = Mapping.register_tools) text =
     if Cml.Kb.exists (Repo.kb repo) candidate then bump () else ()
   in
   bump ();
-  Decision.rebuild_jtms repo;
+  Decision.rebuild_jtms repo
+
+let load_repository ?register_tools text =
+  let* repo = load_repository_raw text in
+  finalize ?register_tools repo;
   Ok repo
 
 let save_to_file repo path =
+  (* temp file in the same directory + rename, so a crash mid-write can
+     never leave a torn snapshot behind *)
+  let tmp = path ^ ".tmp" in
   try
-    let oc = open_out path in
+    let oc = open_out tmp in
     output_string oc (save_repository repo);
     close_out oc;
+    Sys.rename tmp path;
     Ok ()
-  with Sys_error e -> Error e
+  with Sys_error e ->
+    (try if Sys.file_exists tmp then Sys.remove tmp with Sys_error _ -> ());
+    Error e
 
 let load_from_file ?register_tools path =
   try

@@ -17,7 +17,21 @@ val load_repository :
     and cannot be persisted; pass [register_tools] (defaults to
     {!Mapping.register_tools}) to re-register them. *)
 
+val load_repository_raw : string -> (Repository.t, string) result
+(** Decode a snapshot without finalizing: no tools registered, decision
+    counter and reason maintenance untouched.  The durability layer
+    replays a WAL suffix on the raw repository before {!finalize} — the
+    JTMS is rebuilt once, from the merged state. *)
+
+val finalize : ?register_tools:(Repository.t -> unit) -> Repository.t -> unit
+(** Re-register tools, re-align the decision counter and rebuild the
+    reason-maintenance mirror on a raw-loaded repository. *)
+
 val save_to_file : Repository.t -> string -> (unit, string) result
+(** Atomic: writes a temp file in the target directory, then renames.
+
+    {!load_from_file} is its inverse. *)
+
 val load_from_file :
   ?register_tools:(Repository.t -> unit) -> string ->
   (Repository.t, string) result

@@ -30,6 +30,15 @@ let pp_artifact ppf = function
 
 type output = { role : string; obj : Prop.id; replaces : Prop.id option }
 
+type event =
+  | Decision_begun of string
+  | Decision_committed of Prop.id
+  | Decision_aborted of string
+  | Decision_unlogged of Prop.id
+  | Artifact_written of Prop.id
+
+type event_subscription = int
+
 type t = {
   kb : Kb.t;
   jtms : Tms.Jtms.t;
@@ -40,6 +49,9 @@ type t = {
   mutable change_batch : Store.Base.change list;  (** reverse order *)
   decision_justs : Tms.Jtms.justification list Symbol.Tbl.t;
       (** JTMS justifications installed by each decision instance *)
+  mutable event_listeners : (event_subscription * (event -> unit)) list;
+      (** newest first *)
+  mutable next_event_sub : int;
 }
 
 and tool = {
@@ -68,6 +80,8 @@ let create ?(install_metamodel = true) () =
       decision_counter = 0;
       change_batch = [];
       decision_justs = Symbol.Tbl.create 64;
+      event_listeners = [];
+      next_event_sub = 0;
     }
   in
   ignore
@@ -78,6 +92,18 @@ let create ?(install_metamodel = true) () =
 
 let kb t = t.kb
 let jtms t = t.jtms
+
+let emit_event t e =
+  List.iter (fun (_, f) -> f e) (List.rev t.event_listeners)
+
+let on_event t f =
+  let id = t.next_event_sub in
+  t.next_event_sub <- id + 1;
+  t.event_listeners <- (id, f) :: t.event_listeners;
+  id
+
+let off_event t id =
+  t.event_listeners <- List.filter (fun (id', _) -> id' <> id) t.event_listeners
 
 let ( let* ) = Result.bind
 
@@ -95,6 +121,10 @@ let artifact_default_name = function
 
 let render artifact = Format.asprintf "%a" pp_artifact artifact
 
+let set_artifact t id a =
+  Symbol.Tbl.replace t.artifacts id a;
+  emit_event t (Artifact_written id)
+
 let new_object t ?name ?replaces ~cls artifact =
   let name = match name with Some n -> n | None -> artifact_default_name artifact in
   if Kb.exists t.kb name then
@@ -102,14 +132,14 @@ let new_object t ?name ?replaces ~cls artifact =
   else
     let* id = Kb.declare t.kb name in
     let* _ = Kb.add_instanceof t.kb ~inst:name ~cls in
-    Symbol.Tbl.replace t.artifacts id artifact;
+    set_artifact t id artifact;
     (* attach the rendered source via SOURCE *)
     let text_name = name ^ "!src" in
     let* _ = Kb.declare t.kb text_name in
     let* _ =
       Kb.add_instanceof t.kb ~inst:text_name ~cls:Metamodel.text_object
     in
-    Symbol.Tbl.replace t.artifacts (Symbol.intern text_name) (Text (render artifact));
+    set_artifact t (Symbol.intern text_name) (Text (render artifact));
     let* _ =
       Kb.add_attribute t.kb ~category:Metamodel.source_cat ~source:name
         ~label:Metamodel.source_cat ~dest:text_name
@@ -127,7 +157,6 @@ let new_object t ?name ?replaces ~cls artifact =
     Ok id
 
 let artifact t id = Symbol.Tbl.find_opt t.artifacts id
-let set_artifact t id a = Symbol.Tbl.replace t.artifacts id a
 
 let source_text t id =
   match Kb.attribute_values t.kb id Metamodel.source_cat with
@@ -206,7 +235,8 @@ let tools_for t decision_class =
 let log_decision t id = t.log <- id :: t.log
 
 let unlog_decision t id =
-  t.log <- List.filter (fun d -> not (Symbol.equal d id)) t.log
+  t.log <- List.filter (fun d -> not (Symbol.equal d id)) t.log;
+  emit_event t (Decision_unlogged id)
 
 let decision_log t = List.rev t.log
 

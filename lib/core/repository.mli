@@ -30,6 +30,24 @@ type output = {
 
 type t
 
+(** Repository-level events, mirrored by the durability layer into the
+    write-ahead log.  Store-level deltas flow separately through
+    {!Store.Base.on_change}; these carry the decision boundaries and the
+    artifact-store writes that the proposition feed cannot see. *)
+type event =
+  | Decision_begun of string  (** decision class, before any delta *)
+  | Decision_committed of Prop.id  (** decision instance, after commit *)
+  | Decision_aborted of string  (** reason *)
+  | Decision_unlogged of Prop.id  (** decision retracted from the log *)
+  | Artifact_written of Prop.id  (** artifact store updated for this id *)
+
+type event_subscription
+
+val on_event : t -> (event -> unit) -> event_subscription
+val off_event : t -> event_subscription -> unit
+val emit_event : t -> event -> unit
+(** Exposed for the decision executor; not for general use. *)
+
 (** Tools assist the user in executing design decisions (§2.2). *)
 type tool = {
   tool_name : string;

@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    Used to checksum every WAL record so recovery can distinguish a
+    torn or bit-rotted tail from valid data.  Self-contained: the
+    container has no zlib binding, and the WAL must not depend on one. *)
+
+type t = int32
+(** A running checksum in its public (post-inversion) form. *)
+
+val empty : t
+(** Checksum of the empty string. *)
+
+val update : t -> string -> int -> int -> t
+(** [update crc s pos len] extends [crc] with [len] bytes of [s]
+    starting at [pos]. *)
+
+val of_string : string -> t
+val to_hex : t -> string

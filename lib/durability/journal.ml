@@ -1,0 +1,124 @@
+open Kernel
+
+type t = {
+  w : Wal.writer;
+  base : Store.Base.t;
+  sub : Store.Base.subscription;
+  mutable open_frames : int;
+}
+
+let attach w base =
+  let sub =
+    Store.Base.on_change base (function
+      | Store.Base.Added p -> Wal.append w (Wal.Put p)
+      | Store.Base.Removed p -> Wal.append w (Wal.Tomb p.Prop.id))
+  in
+  { w; base; sub; open_frames = 0 }
+
+let detach t = Store.Base.off_change t.base t.sub
+let writer t = t.w
+let depth t = t.open_frames
+
+let begin_decision t name =
+  t.open_frames <- t.open_frames + 1;
+  Wal.append t.w (Wal.Decision_begin name)
+
+let commit_decision t name =
+  if t.open_frames > 0 then t.open_frames <- t.open_frames - 1;
+  Wal.append t.w (Wal.Decision_commit name);
+  (* the commit record is the durability point *)
+  Wal.sync t.w
+
+let abort_decision t reason =
+  if t.open_frames > 0 then t.open_frames <- t.open_frames - 1;
+  Wal.append t.w (Wal.Decision_abort reason)
+
+let artifact t name text = Wal.append t.w (Wal.Artifact (name, text))
+let note t k v = Wal.append t.w (Wal.Note (k, v))
+let sync t = Wal.sync t.w
+
+(* ---------------- recovery ---------------- *)
+
+type resolved = {
+  ops : Wal.record list;
+  decisions : string list;
+  aborted : string list;
+  dangling : int;
+}
+
+(* A frame accumulates its records (reversed) and the names of nested
+   decisions already committed into it (reversed).  Only a frame that
+   commits with no enclosing frame flushes to the durable stream. *)
+let resolve records =
+  let committed = ref [] (* reversed op stream *) in
+  let decisions = ref [] (* reversed *) in
+  let aborted = ref [] in
+  let frames = ref [] (* (ops rev, decs rev) stack, innermost first *) in
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Decision_begin _ -> frames := ([], []) :: !frames
+      | Wal.Decision_commit name -> (
+        match !frames with
+        | [] ->
+          (* commit without a begin in the valid prefix: keep the
+             decision, it has no staged deltas *)
+          committed := r :: !committed;
+          decisions := name :: !decisions
+        | (ops, decs) :: rest -> (
+          match rest with
+          | [] ->
+            committed := (r :: ops) @ !committed;
+            decisions := (name :: decs) @ !decisions;
+            frames := []
+          | (pops, pdecs) :: rest' ->
+            frames := ((r :: ops) @ pops, (name :: decs) @ pdecs) :: rest'))
+      | Wal.Decision_abort reason -> (
+        aborted := reason :: !aborted;
+        match !frames with [] -> () | _ :: rest -> frames := rest)
+      | Wal.Put _ | Wal.Tomb _ | Wal.Artifact _ | Wal.Note _ -> (
+        match !frames with
+        | [] -> committed := r :: !committed
+        | (ops, decs) :: rest -> frames := (r :: ops, decs) :: rest))
+    records;
+  {
+    ops = List.rev !committed;
+    decisions = List.rev !decisions;
+    aborted = List.rev !aborted;
+    dangling = List.length !frames;
+  }
+
+let replay_into ?(on_other = fun _ -> ()) base resolved =
+  let applied = ref 0 in
+  let rec loop = function
+    | [] -> Ok !applied
+    | Wal.Put p :: rest -> (
+      let store_it () =
+        match Store.Base.insert base p with
+        | Ok () ->
+          incr applied;
+          loop rest
+        | Error e -> Error ("replay: " ^ e)
+      in
+      match Store.Base.find base p.Prop.id with
+      | None -> store_it ()
+      | Some q when Prop.equal q p -> loop rest (* idempotent re-apply *)
+      | Some _ -> (
+        match Store.Base.remove base p.Prop.id with
+        | Ok _ -> store_it ()
+        | Error e -> Error ("replay: " ^ e)))
+    | Wal.Tomb id :: rest ->
+      if Store.Base.mem base id then (
+        match Store.Base.remove base id with
+        | Ok _ ->
+          incr applied;
+          loop rest
+        | Error e -> Error ("replay: " ^ e))
+      else loop rest
+    | (Wal.Decision_begin _ | Wal.Decision_abort _) :: rest ->
+      loop rest (* cannot appear in a resolved stream; ignore *)
+    | (Wal.Decision_commit _ | Wal.Artifact _ | Wal.Note _) as r :: rest ->
+      on_other r;
+      loop rest
+  in
+  loop resolved.ops

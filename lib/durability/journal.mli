@@ -1,0 +1,62 @@
+(** Store-level journaling and recovery semantics.
+
+    {!attach} subscribes to a proposition base's change feed and
+    streams every delta into a {!Wal.writer}; callers bracket decision
+    (transaction) boundaries with {!begin_decision} /
+    {!commit_decision} / {!abort_decision}.  The commit record is the
+    durability point: it is synced, and recovery only applies a
+    decision's deltas when its commit record survives.
+
+    {!resolve} turns a scanned record prefix into the committed
+    operation stream: records inside an aborted frame, or inside a
+    frame still open when the log ends (a crash mid-decision), are
+    discarded; a nested frame commits into its parent and becomes
+    durable only when the outermost frame commits — the paper's
+    decisions run as nested transactions. *)
+
+type t
+
+val attach : Wal.writer -> Store.Base.t -> t
+(** Start journaling the base's change feed. *)
+
+val detach : t -> unit
+(** Stop journaling (unsubscribes; the writer stays open). *)
+
+val writer : t -> Wal.writer
+val depth : t -> int
+(** Currently open decision frames. *)
+
+val begin_decision : t -> string -> unit
+val commit_decision : t -> string -> unit
+(** Appends the commit record and syncs the log. *)
+
+val abort_decision : t -> string -> unit
+val artifact : t -> string -> string -> unit
+val note : t -> string -> string -> unit
+val sync : t -> unit
+
+(** {1 Recovery} *)
+
+type resolved = {
+  ops : Wal.record list;
+      (** committed [Put]/[Tomb]/[Artifact]/[Note] stream, log order;
+          commits are inlined as [Decision_commit] markers so callers
+          see deltas and decision boundaries interleaved *)
+  decisions : string list;  (** committed decisions, chronological *)
+  aborted : string list;  (** decisions whose abort record was found *)
+  dangling : int;
+      (** frames still open at the end of the log — crash victims whose
+          deltas were discarded *)
+}
+
+val resolve : Wal.record list -> resolved
+
+val replay_into :
+  ?on_other:(Wal.record -> unit) -> Store.Base.t -> resolved ->
+  (int, string) result
+(** Apply the committed [Put]/[Tomb] stream to a base, returning the
+    number of applied store operations.  Replay is idempotent so a
+    crash between checkpoint and log truncation stays safe: a [Put]
+    whose identical proposition is already present is skipped (a
+    differing one is replaced), and a [Tomb] for an absent id is
+    skipped.  Non-store records are passed to [on_other] in order. *)

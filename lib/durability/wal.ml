@@ -1,0 +1,268 @@
+open Kernel
+
+type record =
+  | Put of Prop.t
+  | Tomb of Prop.id
+  | Decision_begin of string
+  | Decision_commit of string
+  | Decision_abort of string
+  | Artifact of string * string
+  | Note of string * string
+
+let magic = "GKBWAL1\n"
+
+(* A record payload larger than this is taken as corruption, not data:
+   it bounds what a flipped bit in a length field can make us read. *)
+let max_payload = 1 lsl 26
+
+(* ---------------- sinks ---------------- *)
+
+type sink = {
+  write : string -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+let file_sink ?(append = false) ?(fsync = false) path =
+  let flags =
+    if append then [ Open_wronly; Open_append; Open_creat; Open_binary ]
+    else [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  {
+    write = (fun s -> output_string oc s);
+    sync =
+      (fun () ->
+        flush oc;
+        if fsync then
+          try Unix.fsync (Unix.descr_of_out_channel oc)
+          with Unix.Unix_error _ -> ());
+    close = (fun () -> close_out oc);
+  }
+
+let buffer_sink buf =
+  {
+    write = Buffer.add_string buf;
+    sync = (fun () -> ());
+    close = (fun () -> ());
+  }
+
+(* ---------------- payload encoding ---------------- *)
+
+let add_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let add_str buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let encode r =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Put p ->
+    Buffer.add_char buf 'P';
+    add_str buf (Symbol.name p.Prop.id);
+    add_str buf (Symbol.name p.Prop.source);
+    add_str buf (Symbol.name p.Prop.label);
+    add_str buf (Symbol.name p.Prop.dest);
+    add_str buf (Time.to_string p.Prop.time);
+    add_str buf (string_of_int p.Prop.belief)
+  | Tomb id ->
+    Buffer.add_char buf 'T';
+    add_str buf (Symbol.name id)
+  | Decision_begin s ->
+    Buffer.add_char buf 'B';
+    add_str buf s
+  | Decision_commit s ->
+    Buffer.add_char buf 'C';
+    add_str buf s
+  | Decision_abort s ->
+    Buffer.add_char buf 'A';
+    add_str buf s
+  | Artifact (name, text) ->
+    Buffer.add_char buf 'R';
+    add_str buf name;
+    add_str buf text
+  | Note (k, v) ->
+    Buffer.add_char buf 'N';
+    add_str buf k;
+    add_str buf v);
+  Buffer.contents buf
+
+let read_u32 s pos =
+  if pos + 4 > String.length s then Error "short u32"
+  else
+    Ok
+      (Char.code s.[pos]
+      lor (Char.code s.[pos + 1] lsl 8)
+      lor (Char.code s.[pos + 2] lsl 16)
+      lor (Char.code s.[pos + 3] lsl 24))
+
+let ( let* ) = Result.bind
+
+let read_str s pos =
+  let* len = read_u32 s pos in
+  if len < 0 || pos + 4 + len > String.length s then Error "short string"
+  else Ok (String.sub s (pos + 4) len, pos + 4 + len)
+
+let decode payload =
+  if payload = "" then Error "empty payload"
+  else
+    let tag = payload.[0] in
+    let one k =
+      let* s, pos = read_str payload 1 in
+      if pos <> String.length payload then Error "trailing bytes" else Ok (k s)
+    in
+    let two k =
+      let* a, pos = read_str payload 1 in
+      let* b, pos = read_str payload pos in
+      if pos <> String.length payload then Error "trailing bytes"
+      else Ok (k a b)
+    in
+    match tag with
+    | 'P' ->
+      let* id, pos = read_str payload 1 in
+      let* source, pos = read_str payload pos in
+      let* label, pos = read_str payload pos in
+      let* dest, pos = read_str payload pos in
+      let* time, pos = read_str payload pos in
+      let* belief, pos = read_str payload pos in
+      if pos <> String.length payload then Error "trailing bytes"
+      else
+        let* time = Time.of_string time in
+        let* belief =
+          match int_of_string_opt belief with
+          | Some b -> Ok b
+          | None -> Error "bad belief time"
+        in
+        Ok
+          (Put
+             (Prop.make ~time ~belief ~id:(Symbol.intern id)
+                ~source:(Symbol.intern source) ~label:(Symbol.intern label)
+                ~dest:(Symbol.intern dest) ()))
+    | 'T' -> one (fun id -> Tomb (Symbol.intern id))
+    | 'B' -> one (fun s -> Decision_begin s)
+    | 'C' -> one (fun s -> Decision_commit s)
+    | 'A' -> one (fun s -> Decision_abort s)
+    | 'R' -> two (fun name text -> Artifact (name, text))
+    | 'N' -> two (fun k v -> Note (k, v))
+    | c -> Error (Printf.sprintf "unknown record tag %C" c)
+
+let frame r =
+  let payload = encode r in
+  let buf = Buffer.create (String.length payload + 8) in
+  add_u32 buf (String.length payload);
+  add_u32 buf (Int32.to_int (Crc32.of_string payload) land 0xffffffff);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ---------------- writer ---------------- *)
+
+type writer = {
+  sink : sink;
+  mutable bytes : int;
+  mutable records : int;
+  mutable closed : bool;
+}
+
+let writer ?(header = true) sink =
+  let w = { sink; bytes = 0; records = 0; closed = false } in
+  if header then begin
+    sink.write magic;
+    w.bytes <- String.length magic
+  end;
+  w
+
+let append w r =
+  if w.closed then invalid_arg "Wal.append: writer closed";
+  let framed = frame r in
+  w.sink.write framed;
+  w.bytes <- w.bytes + String.length framed;
+  w.records <- w.records + 1
+
+let sync w = w.sink.sync ()
+
+let close w =
+  if not w.closed then begin
+    w.sink.sync ();
+    w.sink.close ();
+    w.closed <- true
+  end
+
+let bytes_written w = w.bytes
+let records_written w = w.records
+
+(* ---------------- recovery scan ---------------- *)
+
+type scan_result = {
+  records : record list;
+  valid_bytes : int;
+  truncated : string option;
+}
+
+let scan data =
+  let n = String.length data in
+  let hn = String.length magic in
+  if n < hn || String.sub data 0 hn <> magic then
+    { records = []; valid_bytes = 0; truncated = Some "bad or missing header" }
+  else begin
+    let records = ref [] in
+    let pos = ref hn in
+    let stop = ref None in
+    (try
+       while !pos < n do
+         let at = !pos in
+         match read_u32 data at with
+         | Error _ ->
+           stop := Some "torn length field";
+           raise Exit
+         | Ok len ->
+           if len < 0 || len > max_payload then begin
+             stop := Some (Printf.sprintf "implausible record length %d" len);
+             raise Exit
+           end
+           else begin
+             match read_u32 data (at + 4) with
+             | Error _ ->
+               stop := Some "torn checksum field";
+               raise Exit
+             | Ok crc ->
+               if at + 8 + len > n then begin
+                 stop := Some "torn record payload";
+                 raise Exit
+               end
+               else begin
+                 let payload = String.sub data (at + 8) len in
+                 let actual =
+                   Int32.to_int (Crc32.of_string payload) land 0xffffffff
+                 in
+                 if actual <> crc then begin
+                   stop := Some "checksum mismatch";
+                   raise Exit
+                 end
+                 else
+                   match decode payload with
+                   | Error e ->
+                     stop := Some ("undecodable payload: " ^ e);
+                     raise Exit
+                   | Ok r ->
+                     records := r :: !records;
+                     pos := at + 8 + len
+               end
+           end
+       done
+     with Exit -> ());
+    { records = List.rev !records; valid_bytes = !pos; truncated = !stop }
+  end
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    Ok (scan data)
+  with Sys_error e -> Error e

@@ -1,0 +1,89 @@
+(** The write-ahead log: binary, length-prefixed, CRC-32-checksummed
+    record framing.
+
+    Layout: an 8-byte magic header, then a sequence of frames
+    [u32le payload-length | u32le crc32(payload) | payload].  A record
+    is valid only if its full frame is present and the checksum
+    matches; {!scan} returns the longest valid prefix and the byte
+    offset at which replay must stop, so a crash mid-write (torn tail)
+    or a flipped bit never corrupts the records before it.
+
+    Records carry proposition-base deltas ([Put]/[Tomb], the
+    {!Store.Base.on_change} feed) plus repository-level events
+    (decision boundaries, artifact writes), making a decision commit
+    O(delta) where a snapshot is O(repository). *)
+
+open Kernel
+
+type record =
+  | Put of Prop.t  (** a proposition was inserted *)
+  | Tomb of Prop.id  (** a proposition was removed *)
+  | Decision_begin of string  (** decision class or tag *)
+  | Decision_commit of string  (** committed decision instance id *)
+  | Decision_abort of string  (** reason *)
+  | Artifact of string * string  (** object name, rendered artifact sexp *)
+  | Note of string * string  (** generic repository event, key/value *)
+
+val magic : string
+(** The 8-byte file header. *)
+
+(** {1 Sinks}
+
+    A sink is where framed bytes go; the fault-injection harness
+    ({!Fault}) wraps one to simulate crashes. *)
+
+type sink = {
+  write : string -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+val file_sink : ?append:bool -> ?fsync:bool -> string -> sink
+(** Write to a file.  [sync] flushes the channel and, when [fsync] is
+    set, forces the bytes to disk.  [append] (default false) reopens an
+    existing log without truncating it. *)
+
+val buffer_sink : Buffer.t -> sink
+(** In-memory sink (tests and fault injection). *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : ?header:bool -> sink -> writer
+(** Frame records into the sink.  [header] (default true) emits the
+    magic bytes first; pass false when appending to an existing log. *)
+
+val append : writer -> record -> unit
+val sync : writer -> unit
+val close : writer -> unit
+val bytes_written : writer -> int
+(** Total bytes pushed to the sink, header included. *)
+
+val records_written : writer -> int
+
+(** {1 Encoding (exposed for tests)} *)
+
+val encode : record -> string
+(** The payload bytes of one record, without framing. *)
+
+val decode : string -> (record, string) result
+val frame : record -> string
+(** A fully framed record: length, checksum, payload. *)
+
+(** {1 Recovery scan} *)
+
+type scan_result = {
+  records : record list;  (** the longest valid prefix, in log order *)
+  valid_bytes : int;  (** replay boundary: end of the last valid frame *)
+  truncated : string option;
+      (** [None] on a clean end-of-log; [Some reason] when a torn or
+          corrupt tail was cut at [valid_bytes] *)
+}
+
+val scan : string -> scan_result
+(** Scan raw log bytes (header included).  Never raises: any framing
+    violation — bad magic, impossible length, short frame, checksum
+    mismatch, undecodable payload — truncates the log there. *)
+
+val read_file : string -> (scan_result, string) result

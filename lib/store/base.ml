@@ -1,6 +1,6 @@
 open Kernel
 
-type backend = [ `Mem | `Log ]
+type backend = [ `Mem | `Log | `Log_nocompact ]
 type change = Added of Prop.t | Removed of Prop.t
 
 (* Undo entries record how to revert an applied change. *)
@@ -23,6 +23,8 @@ type t = {
 let make_impl : backend -> Storage.impl = function
   | `Mem -> Storage.Impl ((module Mem_store), Mem_store.create ())
   | `Log -> Storage.Impl ((module Log_store), Log_store.create ())
+  | `Log_nocompact ->
+    Storage.Impl ((module Log_store), Log_store.create_uncompacted ())
 
 let create ?(backend = `Mem) () =
   { impl = make_impl backend; undo = []; marks = []; undo_len = 0;

@@ -10,7 +10,9 @@ open Kernel
 
 type t
 
-type backend = [ `Mem | `Log ]
+type backend = [ `Mem | `Log | `Log_nocompact ]
+(** [`Log_nocompact] is the append-only representation with automatic
+    tombstone compaction disabled — the raw journal, kept for benches. *)
 
 type change = Added of Prop.t | Removed of Prop.t
 

@@ -1,10 +1,12 @@
 (** Append-only physical representation.
 
     Propositions live in a growable array in insertion order; removal
-    appends a tombstone.  Lookups other than by id are linear scans.
-    This deliberately index-free representation is the baseline of the
-    store index ablation bench (DESIGN.md §5) and doubles as a compact
-    journal for snapshotting. *)
+    appends a tombstone.  An id→offset table gives O(1) lookup by id;
+    pattern retrieval is still a linear scan.  When more than half the
+    log is dead weight (tombstones and superseded entries) it is
+    compacted in place — {!create_uncompacted} disables that, keeping
+    the raw journal for the store index ablation bench (DESIGN.md §5)
+    and for snapshotting. *)
 
 open Kernel
 
@@ -13,15 +15,28 @@ type entry = Put of Prop.t | Tomb of Prop.id
 type t = {
   mutable log : entry array;
   mutable len : int;
-  live : unit Symbol.Tbl.t;  (** ids currently present *)
+  live : int Symbol.Tbl.t;  (** id → offset of its live [Put] *)
+  mutable dead : int;  (** entries not the live [Put] of any id *)
+  compaction : bool;
 }
 
 let name = "log"
 
-let create () = { log = Array.make 256 (Tomb (Symbol.intern "")); len = 0; live = Symbol.Tbl.create 256 }
+let make compaction =
+  {
+    log = Array.make 256 (Tomb (Symbol.intern ""));
+    len = 0;
+    live = Symbol.Tbl.create 256;
+    dead = 0;
+    compaction;
+  }
+
+let create () = make true
+let create_uncompacted () = make false
 
 let clear t =
   t.len <- 0;
+  t.dead <- 0;
   Symbol.Tbl.reset t.live
 
 let append t e =
@@ -35,26 +50,36 @@ let append t e =
 
 let mem t id = Symbol.Tbl.mem t.live id
 
+(* Keep live entries in insertion order, rewriting their offsets. *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    match t.log.(i) with
+    | Put p when Symbol.Tbl.find_opt t.live p.Prop.id = Some i ->
+      t.log.(!j) <- t.log.(i);
+      Symbol.Tbl.replace t.live p.Prop.id !j;
+      incr j
+    | Put _ | Tomb _ -> ()
+  done;
+  t.len <- !j;
+  t.dead <- 0
+
+let maybe_compact t =
+  if t.compaction && t.len >= 32 && t.dead > t.len / 2 then compact t
+
 let insert t (p : Prop.t) =
   if mem t p.id then false
   else begin
+    Symbol.Tbl.replace t.live p.id t.len;
     append t (Put p);
-    Symbol.Tbl.add t.live p.id ();
     true
   end
 
-let scan_find t id =
-  (* latest Put wins; only called when [id] is live *)
-  let rec loop i =
-    if i < 0 then None
-    else
-      match t.log.(i) with
-      | Put p when Symbol.equal p.Prop.id id -> Some p
-      | Put _ | Tomb _ -> loop (i - 1)
-  in
-  loop (t.len - 1)
-
-let find t id = if mem t id then scan_find t id else None
+let find t id =
+  match Symbol.Tbl.find_opt t.live id with
+  | Some off -> (
+    match t.log.(off) with Put p -> Some p | Tomb _ -> None)
+  | None -> None
 
 let remove t id =
   match find t id with
@@ -62,6 +87,9 @@ let remove t id =
   | Some p ->
     append t (Tomb id);
     Symbol.Tbl.remove t.live id;
+    (* the orphaned Put and the tombstone itself are both dead now *)
+    t.dead <- t.dead + 2;
+    maybe_compact t;
     Some p
 
 let fold_live t f acc =
@@ -69,7 +97,8 @@ let fold_live t f acc =
     if i >= t.len then acc
     else
       match t.log.(i) with
-      | Put p when mem t p.Prop.id -> loop (i + 1) (f acc p)
+      | Put p when Symbol.Tbl.find_opt t.live p.Prop.id = Some i ->
+        loop (i + 1) (f acc p)
       | Put _ | Tomb _ -> loop (i + 1) acc
   in
   loop 0 acc
@@ -85,3 +114,7 @@ let by_dest t y = select t (fun p -> Symbol.equal p.Prop.dest y)
 let by_label t l = select t (fun p -> Symbol.equal p.Prop.label l)
 let iter t f = ignore (fold_live t (fun () p -> f p) ())
 let cardinal t = Symbol.Tbl.length t.live
+
+let physical_length t = t.len
+(** Entries in the journal including dead weight (exposed for tests and
+    the compaction bench). *)

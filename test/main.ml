@@ -17,6 +17,7 @@ let () =
       ("requirements", Test_requirements.suite);
       ("context", Test_context.suite);
       ("persist", Test_persist.suite);
+      ("durability", Test_durability.suite);
       ("methodology", Test_methodology.suite);
       ("properties", Test_properties.suite);
       ("integration", Test_integration.suite);

@@ -1,0 +1,528 @@
+open Kernel
+module Crc32 = Durability.Crc32
+module Wal = Durability.Wal
+module Fault = Durability.Fault
+module Journal = Durability.Journal
+module Repo = Gkbms.Repository
+module Scn = Gkbms.Scenario
+module Durable = Gkbms.Durable
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+let sym = Symbol.intern
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let mk ?(time = Time.always) id source label dest =
+  Prop.make ~time ~id:(sym id) ~source:(sym source) ~label:(sym label)
+    ~dest:(sym dest) ()
+
+let canon base =
+  List.sort compare (String.split_on_char '\n' (Store.Base.to_serialized base))
+
+let encoded rs = List.map Wal.encode rs
+
+(* crc32 ------------------------------------------------------------------ *)
+
+let test_crc_vectors () =
+  check string "check value" "cbf43926" (Crc32.to_hex (Crc32.of_string "123456789"));
+  check string "empty" "00000000" (Crc32.to_hex (Crc32.of_string ""));
+  check string "single byte" "d202ef8d" (Crc32.to_hex (Crc32.of_string "\x00"))
+
+let test_crc_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let whole = Crc32.of_string s in
+  let split =
+    Crc32.update (Crc32.update Crc32.empty s 0 10) s 10 (String.length s - 10)
+  in
+  check string "incremental = whole" (Crc32.to_hex whole) (Crc32.to_hex split)
+
+(* framing ---------------------------------------------------------------- *)
+
+let sample_records =
+  [
+    Wal.Put (mk "p1" "Invitation" "isa" "Paper");
+    Wal.Put (mk ~time:(Time.between 3 9) "p2" "weird id\twith\ttabs" "l" "d");
+    Wal.Tomb (sym "p1");
+    Wal.Decision_begin "DecMapMoveDown";
+    Wal.Decision_commit "dec1";
+    Wal.Decision_abort "tool failed";
+    Wal.Artifact ("obj", "(text \"multi\nline\")");
+    Wal.Note ("unlog", "dec1");
+  ]
+
+let write_sample () =
+  let buf = Buffer.create 256 in
+  let w = Wal.writer (Wal.buffer_sink buf) in
+  List.iter (Wal.append w) sample_records;
+  (Buffer.contents buf, Wal.bytes_written w)
+
+let test_roundtrip () =
+  let data, bytes = write_sample () in
+  check int "bytes accounted" bytes (String.length data);
+  let scan = Wal.scan data in
+  check bool "clean tail" true (scan.Wal.truncated = None);
+  check int "all bytes valid" (String.length data) scan.Wal.valid_bytes;
+  check Alcotest.(list Alcotest.string) "records survive"
+    (encoded sample_records)
+    (encoded scan.Wal.records)
+
+let test_codec_rejects_garbage () =
+  (match Wal.decode "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty payload decoded");
+  (match Wal.decode "Zjunk" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag decoded");
+  match Wal.decode (Wal.encode (Wal.Decision_commit "x") ^ "extra") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+
+let test_torn_tail () =
+  let data, _ = write_sample () in
+  let cut = String.sub data 0 (String.length data - 3) in
+  let scan = Wal.scan cut in
+  check bool "tail reported" true (scan.Wal.truncated <> None);
+  check Alcotest.(list Alcotest.string) "all but last survive"
+    (encoded
+       (List.filteri
+          (fun i _ -> i < List.length sample_records - 1)
+          sample_records))
+    (encoded scan.Wal.records);
+  (* replay boundary sits exactly after the last full frame *)
+  check bool "valid prefix rescans clean" true
+    ((Wal.scan (String.sub cut 0 scan.Wal.valid_bytes)).Wal.truncated = None)
+
+let test_bit_flip_detected () =
+  let data, _ = write_sample () in
+  (* flip one payload bit in the middle of the log *)
+  let off = String.length data / 2 in
+  let corrupted =
+    Fault.corrupt (Fault.script ~flips:[ (off, 3) ] ()) data
+  in
+  let scan = Wal.scan corrupted in
+  check bool "corruption reported" true (scan.Wal.truncated <> None);
+  check bool "valid prefix shorter" true (scan.Wal.valid_bytes < String.length data);
+  (* the surviving records are a prefix of the originals *)
+  List.iteri
+    (fun i r ->
+      check string
+        (Printf.sprintf "record %d intact" i)
+        (Wal.encode (List.nth sample_records i))
+        (Wal.encode r))
+    scan.Wal.records
+
+let test_bad_header () =
+  let scan = Wal.scan "NOTAWAL0rest" in
+  check bool "rejected" true (scan.Wal.truncated <> None);
+  check int "nothing valid" 0 scan.Wal.valid_bytes
+
+let test_implausible_length () =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf Wal.magic;
+  (* a length field claiming 2^31 bytes *)
+  Buffer.add_string buf "\xff\xff\xff\x7f\x00\x00\x00\x00payload";
+  let scan = Wal.scan (Buffer.contents buf) in
+  check bool "cut at bad length" true (scan.Wal.truncated <> None);
+  check int "only header valid" (String.length Wal.magic) scan.Wal.valid_bytes
+
+(* fault sink ------------------------------------------------------------- *)
+
+let test_fault_sink_crash () =
+  let inner = Buffer.create 64 in
+  let sink =
+    Fault.wrap
+      (Fault.script ~crash_after:20 ~drop_syncs:true ())
+      (Wal.buffer_sink inner)
+  in
+  let w = Wal.writer sink in
+  List.iter (Wal.append w) sample_records;
+  Wal.sync w;
+  check int "everything past the crash point is lost" 20 (Buffer.length inner);
+  let full, _ = write_sample () in
+  check string "prefix is what a crash would leave" (String.sub full 0 20)
+    (Buffer.contents inner)
+
+(* frame resolution ------------------------------------------------------- *)
+
+let put id = Wal.Put (mk id "s" "l" "d")
+
+let test_resolve_commit_and_abort () =
+  let r =
+    Journal.resolve
+      [
+        put "a";
+        Wal.Decision_begin "D1";
+        put "b";
+        Wal.Decision_commit "dec1";
+        Wal.Decision_begin "D2";
+        put "c";
+        Wal.Decision_abort "failed";
+        Wal.Decision_begin "D3";
+        put "d";
+      ]
+  in
+  check Alcotest.(list Alcotest.string) "committed decisions" [ "dec1" ]
+    r.Journal.decisions;
+  check Alcotest.(list Alcotest.string) "aborted" [ "failed" ] r.Journal.aborted;
+  check int "dangling frame" 1 r.Journal.dangling;
+  (* ops: the unframed put, then the committed frame; c and d discarded *)
+  check Alcotest.(list Alcotest.string) "committed ops"
+    (encoded [ put "a"; put "b"; Wal.Decision_commit "dec1" ])
+    (encoded r.Journal.ops)
+
+let test_resolve_nested () =
+  let r =
+    Journal.resolve
+      [
+        Wal.Decision_begin "outer";
+        put "a";
+        Wal.Decision_begin "inner";
+        put "b";
+        Wal.Decision_commit "dec-in";
+        put "c";
+        Wal.Decision_commit "dec-out";
+      ]
+  in
+  check Alcotest.(list Alcotest.string) "inner commits with outer"
+    [ "dec-in"; "dec-out" ] r.Journal.decisions;
+  check Alcotest.(list Alcotest.string) "ops in log order"
+    (encoded
+       [ put "a"; put "b"; Wal.Decision_commit "dec-in"; put "c";
+         Wal.Decision_commit "dec-out" ])
+    (encoded r.Journal.ops)
+
+let test_resolve_nested_dangling_outer () =
+  let r =
+    Journal.resolve
+      [
+        Wal.Decision_begin "outer";
+        Wal.Decision_begin "inner";
+        put "b";
+        Wal.Decision_commit "dec-in";
+      ]
+  in
+  (* the inner commit is staged in the outer frame, which never commits *)
+  check Alcotest.(list Alcotest.string) "nothing durable" [] r.Journal.decisions;
+  check int "outer dangles" 1 r.Journal.dangling;
+  check int "no ops" 0 (List.length r.Journal.ops)
+
+let test_replay_idempotent () =
+  let resolved =
+    Journal.resolve
+      [ put "a"; put "b"; Wal.Tomb (sym "b"); Wal.Tomb (sym "zz") ]
+  in
+  let base = Store.Base.create () in
+  let n1 = ok (Journal.replay_into base resolved) in
+  check int "tomb of absent id skipped" 3 n1;
+  let snapshot = canon base in
+  (* replaying the same stream again must be a no-op *)
+  let n2 = ok (Journal.replay_into base resolved) in
+  check int "second replay applies only the remove+reinsert pair" 2 n2;
+  check bool "state unchanged" true (canon base = snapshot)
+
+(* differential crash-recovery property ----------------------------------- *)
+
+(* Drive a store + journal through random operations with nested decision
+   frames (mirroring Decision.execute: rollback re-emits compensating
+   deltas into the open frame), recording a watermark of the durable
+   state at every frame-depth-0 point.  Then crash at a random byte
+   (optionally flipping a bit inside the kept prefix), recover, and
+   require the recovered store and decision list to equal the greatest
+   watermark at or below the surviving log prefix. *)
+
+type watermark = { wm_bytes : int; wm_state : string list; wm_decs : string list }
+
+let run_random_ops ops =
+  let buf = Buffer.create 1024 in
+  let w = Wal.writer (Wal.buffer_sink buf) in
+  let base = Store.Base.create () in
+  let journal = Journal.attach w base in
+  let committed = ref [] (* chronological *) in
+  let frames = ref [] (* (name, inner committed chronological) stack *) in
+  let wms = ref [ { wm_bytes = 0; wm_state = canon base; wm_decs = [] } ] in
+  let watermark () =
+    if Journal.depth journal = 0 then
+      wms :=
+        {
+          wm_bytes = Wal.bytes_written w;
+          wm_state = canon base;
+          wm_decs = !committed;
+        }
+        :: !wms
+  in
+  let ctr = ref 0 in
+  List.iter
+    (fun n ->
+      (match n mod 100 with
+      | op when op < 45 ->
+        let id = "x" ^ string_of_int (n mod 17) in
+        ignore (Store.Base.insert base (mk id ("s" ^ string_of_int (n mod 3)) "l" "d"))
+      | op when op < 70 ->
+        ignore (Store.Base.remove base (sym ("x" ^ string_of_int (n mod 17))))
+      | op when op < 80 ->
+        if Journal.depth journal < 3 then begin
+          incr ctr;
+          let name = "dec" ^ string_of_int !ctr in
+          Journal.begin_decision journal name;
+          Store.Base.begin_tx base;
+          frames := (name, []) :: !frames
+        end
+      | op when op < 93 -> (
+        match !frames with
+        | [] -> ()
+        | (name, inner) :: rest ->
+          ignore (Store.Base.commit base);
+          Journal.commit_decision journal name;
+          (match rest with
+          | [] -> committed := !committed @ inner @ [ name ]
+          | (pname, pinner) :: rest' ->
+            frames := (pname, pinner @ inner @ [ name ]) :: rest');
+          (match rest with [] -> frames := [] | _ -> ()))
+      | _ -> (
+        match !frames with
+        | [] -> ()
+        | (_, _) :: rest ->
+          (* rollback re-emits compensations into the open frame *)
+          ignore (Store.Base.rollback base);
+          Journal.abort_decision journal "aborted";
+          frames := rest));
+      watermark ())
+    ops;
+  (Buffer.contents buf, List.rev !wms)
+
+let check_crash data wms ~crash ~flip =
+  let flips = match flip with None -> [] | Some f -> [ f ] in
+  let corrupted = Fault.corrupt (Fault.script ~crash_after:crash ~flips ()) data in
+  let scan = Wal.scan corrupted in
+  let resolved = Journal.resolve scan.Wal.records in
+  let base = Store.Base.create () in
+  match Journal.replay_into base resolved with
+  | Error e -> QCheck.Test.fail_reportf "replay failed: %s" e
+  | Ok _ ->
+    let expected =
+      List.fold_left
+        (fun best wm -> if wm.wm_bytes <= scan.Wal.valid_bytes then wm else best)
+        (List.hd wms) wms
+    in
+    if canon base <> expected.wm_state then
+      QCheck.Test.fail_reportf
+        "state mismatch at crash=%d valid=%d: got %d lines, want %d" crash
+        scan.Wal.valid_bytes
+        (List.length (canon base))
+        (List.length expected.wm_state)
+    else if resolved.Journal.decisions <> expected.wm_decs then
+      QCheck.Test.fail_reportf
+        "decision list mismatch at crash=%d: got [%s], want [%s]" crash
+        (String.concat ";" resolved.Journal.decisions)
+        (String.concat ";" expected.wm_decs)
+    else true
+
+let ops_gen = QCheck.(list_of_size (Gen.int_range 5 60) (int_range 0 9999))
+
+let prop_crash_recovery_torn =
+  QCheck.Test.make ~name:"recovery = committed prefix (torn tail)" ~count:400
+    QCheck.(pair ops_gen (int_range 0 99999))
+    (fun (ops, seed) ->
+      let data, wms = run_random_ops ops in
+      let crash = seed mod (String.length data + 1) in
+      check_crash data wms ~crash ~flip:None)
+
+let prop_crash_recovery_bitflip =
+  QCheck.Test.make ~name:"recovery = committed prefix (bit flip)" ~count:200
+    QCheck.(triple ops_gen (int_range 0 99999) (pair (int_range 0 99999) (int_range 0 7)))
+    (fun (ops, seed, (off_seed, bit)) ->
+      let data, wms = run_random_ops ops in
+      let crash = seed mod (String.length data + 1) in
+      let flip = if crash = 0 then None else Some (off_seed mod crash, bit) in
+      check_crash data wms ~crash ~flip)
+
+(* whole-repository durability -------------------------------------------- *)
+
+let temp_dir () =
+  let d = Filename.temp_file "gkbms-wal" "" in
+  Sys.remove d;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_durable_roundtrip () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.setup ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  ignore (ok (Scn.map_move_down st));
+  ignore (ok (Scn.normalize_invitations st));
+  Durable.close d;
+  let repo2, report = ok (Durable.recover ~dir ()) in
+  check bool "checkpoint loaded" true report.Durable.checkpoint_loaded;
+  check Alcotest.(list Alcotest.string) "both decisions recovered"
+    (List.map Symbol.name (Repo.decision_log st.Scn.repo))
+    (List.map Symbol.name (Repo.decision_log repo2));
+  check Alcotest.(list Alcotest.string) "same propositions"
+    (canon (Cml.Kb.base (Repo.kb st.Scn.repo)))
+    (canon (Cml.Kb.base (Repo.kb repo2)));
+  (* artifacts replayed from the log, not just the checkpoint *)
+  List.iter
+    (fun obj ->
+      check bool (Symbol.name obj ^ " artifact recovered") true
+        (Repo.source_text st.Scn.repo obj = Repo.source_text repo2 obj))
+    (Repo.all_design_objects st.Scn.repo)
+
+let test_durable_crash_prefix () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.setup ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  ignore (ok (Scn.map_move_down st));
+  let state_after_first = canon (Cml.Kb.base (Repo.kb st.Scn.repo)) in
+  ignore (ok (Scn.normalize_invitations st));
+  Durable.close d;
+  (* crash mid-commit of the second decision: tear its commit record *)
+  let wal = Durable.wal_path dir in
+  let ic = open_in_bin wal in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let last_commit_off =
+    List.fold_left
+      (fun (off, found) r ->
+        let next = off + String.length (Wal.frame r) in
+        match r with
+        | Wal.Decision_commit _ -> (next, Some off)
+        | _ -> (next, found))
+      (String.length Wal.magic, None)
+      (Wal.scan data).Wal.records
+    |> snd |> Option.get
+  in
+  let oc = open_out_bin wal in
+  output_string oc (String.sub data 0 (last_commit_off + 3));
+  close_out oc;
+  let repo2, report = ok (Durable.recover ~dir ()) in
+  check bool "tail was cut" true (report.Durable.truncated <> None);
+  check Alcotest.(list Alcotest.string) "first decision survives" [ "dec1" ]
+    (List.map Symbol.name (Repo.decision_log repo2));
+  (* the torn second decision left no partial state: its frame dangled *)
+  check int "in-flight decision rolled back" 1 report.Durable.dangling_frames;
+  check Alcotest.(list Alcotest.string) "state is the committed prefix"
+    state_after_first
+    (canon (Cml.Kb.base (Repo.kb repo2)))
+
+let test_durable_open_continues () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.setup ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  ignore (ok (Scn.map_move_down st));
+  let rel = st.Scn.invitation_rel in
+  Durable.close d;
+  (* reopen: recover, re-checkpoint, and keep working durably *)
+  let d2, _report = ok (Durable.open_ ~dir ()) in
+  let repo2 = Durable.repo d2 in
+  let executed =
+    ok
+      (Gkbms.Decision.execute repo2
+         ~decision_class:Gkbms.Metamodel.dec_manual_edit
+         ~tool:Gkbms.Mapping.editor_tool
+         ~inputs:[ ("object", rel) ]
+         ~params:[ ("text", "patched after recovery") ]
+         ())
+  in
+  Durable.close d2;
+  let repo3, _ = ok (Durable.recover ~dir ()) in
+  check int "both generations of decisions" 2
+    (List.length (Repo.decision_log repo3));
+  check bool "second-generation decision present" true
+    (List.exists
+       (Symbol.equal executed.Gkbms.Decision.decision)
+       (Repo.decision_log repo3))
+
+let test_durable_aborted_not_resurrected () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.setup ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  ignore (ok (Scn.map_move_down st));
+  (* a failing decision: the editor aborts without its text parameter,
+     after the frame has opened *)
+  (match
+     Gkbms.Decision.execute st.Scn.repo
+       ~decision_class:Gkbms.Metamodel.dec_manual_edit
+       ~tool:Gkbms.Mapping.editor_tool
+       ~inputs:[ ("object", st.Scn.invitation_rel) ]
+       ~params:[] ()
+   with
+  | Ok _ -> ()
+  | Error _ -> ());
+  Durable.close d;
+  let repo2, _report = ok (Durable.recover ~dir ()) in
+  check Alcotest.(list Alcotest.string) "recovered log = live log"
+    (List.map Symbol.name (Repo.decision_log st.Scn.repo))
+    (List.map Symbol.name (Repo.decision_log repo2));
+  check Alcotest.(list Alcotest.string) "recovered state = live state"
+    (canon (Cml.Kb.base (Repo.kb st.Scn.repo)))
+    (canon (Cml.Kb.base (Repo.kb repo2)))
+
+let test_durable_checkpoint_truncates () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.setup ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  ignore (ok (Scn.map_move_down st));
+  check bool "log grew" true (Durable.wal_records d > 0);
+  ok (Durable.checkpoint d);
+  check int "log truncated" 0 (Durable.wal_records d);
+  ignore (ok (Scn.normalize_invitations st));
+  Durable.close d;
+  let repo2, report = ok (Durable.recover ~dir ()) in
+  check bool "suffix replayed over checkpoint" true
+    (report.Durable.replayed_ops > 0);
+  check Alcotest.(list Alcotest.string) "nothing lost"
+    (List.map Symbol.name (Repo.decision_log st.Scn.repo))
+    (List.map Symbol.name (Repo.decision_log repo2))
+
+let test_durable_retraction_survives () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.run_through_conflict ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  ignore (ok (Scn.resolve_conflict st));
+  Durable.close d;
+  let repo2, _ = ok (Durable.recover ~dir ()) in
+  check Alcotest.(list Alcotest.string) "retraction survives recovery"
+    (List.map Symbol.name (Repo.decision_log st.Scn.repo))
+    (List.map Symbol.name (Repo.decision_log repo2))
+
+let suite =
+  [
+    ("crc32 vectors", `Quick, test_crc_vectors);
+    ("crc32 incremental", `Quick, test_crc_incremental);
+    ("frame roundtrip", `Quick, test_roundtrip);
+    ("codec rejects garbage", `Quick, test_codec_rejects_garbage);
+    ("torn tail truncated", `Quick, test_torn_tail);
+    ("bit flip detected", `Quick, test_bit_flip_detected);
+    ("bad header rejected", `Quick, test_bad_header);
+    ("implausible length rejected", `Quick, test_implausible_length);
+    ("fault sink drops bytes at crash point", `Quick, test_fault_sink_crash);
+    ("resolve commit and abort", `Quick, test_resolve_commit_and_abort);
+    ("resolve nested frames", `Quick, test_resolve_nested);
+    ("resolve dangling outer frame", `Quick, test_resolve_nested_dangling_outer);
+    ("replay idempotent", `Quick, test_replay_idempotent);
+    QCheck_alcotest.to_alcotest prop_crash_recovery_torn;
+    QCheck_alcotest.to_alcotest prop_crash_recovery_bitflip;
+    ("durable repository roundtrip", `Quick, test_durable_roundtrip);
+    ("durable crash keeps committed prefix", `Quick, test_durable_crash_prefix);
+    ("durable reopen continues", `Quick, test_durable_open_continues);
+    ("aborted decision not resurrected", `Quick, test_durable_aborted_not_resurrected);
+    ("checkpoint truncates log", `Quick, test_durable_checkpoint_truncates);
+    ("retraction survives recovery", `Quick, test_durable_retraction_survives);
+  ]

@@ -186,6 +186,44 @@ let test_file_roundtrip () =
   Sys.remove path;
   check int "one decision" 1 (List.length (Repo.decision_log repo2))
 
+(* qcheck: snapshots round-trip on randomized repositories — a random
+   chain of manual edits over the scenario baseline *)
+let canon repo =
+  List.sort compare
+    (String.split_on_char '\n'
+       (Store.Base.to_serialized (Cml.Kb.base (Repo.kb repo))))
+
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot roundtrips on random repositories" ~count:10
+    QCheck.(list_of_size (Gen.int_range 0 4) (pair (int_range 0 999) bool))
+    (fun edits ->
+      let st = ok (Scn.setup ()) in
+      let target = ref st.Scn.design_doc in
+      List.iter
+        (fun (n, chain) ->
+          let executed =
+            ok
+              (Gkbms.Decision.execute st.Scn.repo
+                 ~decision_class:Gkbms.Metamodel.dec_manual_edit
+                 ~tool:Gkbms.Mapping.editor_tool
+                 ~inputs:[ ("object", !target) ]
+                 ~params:[ ("text", Printf.sprintf "edit #%d\n\ttabbed" n) ]
+                 ())
+          in
+          (* sometimes keep editing the new version, sometimes branch *)
+          if chain then
+            match List.assoc_opt "edited" executed.Gkbms.Decision.outputs with
+            | Some v -> target := v
+            | None -> ())
+        edits;
+      let repo2 = ok (P.load_repository (P.save_repository st.Scn.repo)) in
+      canon st.Scn.repo = canon repo2
+      && List.map Symbol.name (Repo.decision_log st.Scn.repo)
+         = List.map Symbol.name (Repo.decision_log repo2)
+      && List.for_all
+           (fun obj -> Repo.source_text st.Scn.repo obj = Repo.source_text repo2 obj)
+           (Repo.all_design_objects st.Scn.repo))
+
 let suite =
   [
     ("sexp roundtrip", `Quick, test_sexp_roundtrip);
@@ -198,4 +236,5 @@ let suite =
     ("loaded repository continues", `Quick, test_loaded_repo_continues);
     ("snapshot rejects garbage", `Quick, test_snapshot_rejects_garbage);
     ("file roundtrip", `Quick, test_file_roundtrip);
+    QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
   ]

@@ -19,7 +19,9 @@ let ids props =
     (List.map (fun (p : Prop.t) -> Symbol.name p.id) props)
 
 let with_backends f =
-  List.iter (fun backend -> f (Base.create ~backend ())) [ `Mem; `Log ]
+  List.iter
+    (fun backend -> f (Base.create ~backend ()))
+    [ `Mem; `Log; `Log_nocompact ]
 
 let test_insert_find () =
   with_backends (fun base ->
@@ -339,6 +341,44 @@ let prop_rollback_restores =
       (match Base.rollback base with Ok () -> () | Error _ -> ());
       snapshot = canon (Base.to_serialized base))
 
+(* qcheck: every backend is observationally identical under random
+   insert/remove/clear sequences *)
+let prop_backends_agree =
+  QCheck.Test.make ~name:"mem, log and nocompact backends agree" ~count:200
+    QCheck.(list (int_range 0 9999))
+    (fun ops ->
+      let bases =
+        List.map
+          (fun backend -> Base.create ~backend ())
+          [ `Mem; `Log; `Log_nocompact ]
+      in
+      List.iter
+        (fun n ->
+          let id = "q" ^ string_of_int (n mod 16) in
+          let apply base =
+            match n mod 100 with
+            | op when op < 55 ->
+              ignore
+                (Base.insert base
+                   (mk id ("src" ^ string_of_int (n mod 4)) "lab" "dst"))
+            | op when op < 97 -> ignore (Base.remove base (sym id))
+            | _ -> Base.clear base
+          in
+          List.iter apply bases)
+        ops;
+      let canon base =
+        List.sort compare (String.split_on_char '\n' (Base.to_serialized base))
+      in
+      let views base =
+        ( canon base,
+          Base.cardinal base,
+          ids (Base.by_source base (sym "src1")),
+          ids (Base.by_label base (sym "lab")) )
+      in
+      match List.map views bases with
+      | [ m; l; ln ] -> m = l && m = ln
+      | _ -> false)
+
 let suite =
   [
     ("insert and find", `Quick, test_insert_find);
@@ -364,4 +404,5 @@ let suite =
     ("persistence rejects garbage", `Quick, test_persistence_rejects_garbage);
     QCheck_alcotest.to_alcotest prop_store_model;
     QCheck_alcotest.to_alcotest prop_rollback_restores;
+    QCheck_alcotest.to_alcotest prop_backends_agree;
   ]
