@@ -360,6 +360,144 @@ let shape_e17_durability () =
      mid-history checkpoint replays only the log suffix of a rewrite-heavy\n\
      history and beats replaying the full log from the initial snapshot.\n"
 
+(* E18 exercises the concurrent server across domains, so it is timed
+   manually: each connection (client loop + its server handler thread)
+   lives in its own domain, giving real parallelism for the lock-free
+   cached-read path while Shell evaluation stays serialized. *)
+let shape_e18_server () =
+  section "E18: concurrent server — read scaling, response cache, writes";
+  let cores = Domain.recommended_domain_count () in
+  let build_daemon ?(cache = true) ~docs () =
+    let st = ok (Gkbms.Scenario.setup ()) in
+    ignore (ok (Gkbms.Scenario.map_move_down st));
+    ignore (ok (Gkbms.Scenario.normalize_invitations st));
+    ignore (ok (Gkbms.Scenario.substitute_key st));
+    let repo = st.Gkbms.Scenario.repo in
+    for i = 0 to docs - 1 do
+      ignore
+        (ok
+           (Repo.new_object repo
+              ~name:(Printf.sprintf "E18Doc%d" i)
+              ~cls:Gkbms.Metamodel.dbpl_object (Repo.Text "v0")))
+    done;
+    let config = { Server.Daemon.default_config with cache } in
+    Server.Daemon.create ~config repo
+  in
+  (* one connection served end-to-end inside the calling domain *)
+  let session daemon f =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let handler =
+      Thread.create
+        (fun () -> Server.Daemon.handle daemon (Server.Protocol.fd_transport b))
+        ()
+    in
+    let client = Server.Client.of_transport (Server.Protocol.fd_transport a) in
+    f client;
+    Server.Client.close client;
+    Thread.join handler
+  in
+  let request client line =
+    match Server.Client.request client line with
+    | Ok s -> s
+    | Error e -> failwith (Printf.sprintf "E18: %s failed: %s" line e)
+  in
+  let read_lines =
+    [| "stats"; "unmapped"; "focus InvitationRel2"; "check"; "help" |]
+  in
+  let read_op client k =
+    ignore (request client read_lines.(k mod Array.length read_lines))
+  in
+  (* an edit names its successor in the response; track the version tip *)
+  let write_op tip client k =
+    let resp =
+      request client
+        (Printf.sprintf "run DecManualEdit Editor object=%s text=w%d" !tip k)
+    in
+    match String.rindex_opt resp '>' with
+    | Some i when i + 1 < String.length resp ->
+      tip := String.trim (String.sub resp (i + 1) (String.length resp - i - 1))
+    | _ -> ()
+  in
+  let timed_fanout daemon ~clients per_client =
+    let t0 = Unix.gettimeofday () in
+    let doms =
+      List.init clients (fun ci ->
+          Domain.spawn (fun () -> session daemon (per_client ci)))
+    in
+    List.iter Domain.join doms;
+    Unix.gettimeofday () -. t0
+  in
+  let hit_rate daemon =
+    match Server.Daemon.cache_stats daemon with
+    | Some cs ->
+      let total = cs.Server.Cache.hits + cs.Server.Cache.misses in
+      if total = 0 then 0.
+      else float_of_int cs.Server.Cache.hits /. float_of_int total
+    | None -> 0.
+  in
+  (* --- read-only scaling ------------------------------------------- *)
+  let read_ops = 4000 in
+  let read_run ?cache clients =
+    let daemon = build_daemon ?cache ~docs:0 () in
+    let dt =
+      timed_fanout daemon ~clients (fun _ci client ->
+          for k = 1 to read_ops do
+            read_op client k
+          done)
+    in
+    (float_of_int (clients * read_ops) /. dt, hit_rate daemon)
+  in
+  Printf.printf "cores available: %d\n" cores;
+  let r1, _ = read_run 1 in
+  let r2, _ = read_run 2 in
+  let r4, hits4 = read_run 4 in
+  let r4_nocache, _ = read_run ~cache:false 4 in
+  Printf.printf
+    "read-only (ops/s): 1 client %8.0f | 2 clients %8.0f | 4 clients %8.0f\n\
+     scaling 4v1: %.2fx; cache hit rate at 4 clients: %.3f\n\
+     4 clients with cache disabled: %8.0f ops/s (%.2fx slower)\n"
+    r1 r2 r4 (r4 /. r1) hits4 r4_nocache (r4 /. r4_nocache);
+  metric_i "e18_cores" cores;
+  metric_f "e18_read_ops_r1" r1;
+  metric_f "e18_read_ops_r2" r2;
+  metric_f "e18_read_ops_r4" r4;
+  metric_f "e18_read_scaling_4v1" (r4 /. r1);
+  metric_f "e18_cache_hit_rate" hits4;
+  metric_f "e18_read_ops_r4_nocache" r4_nocache;
+  (* --- write-heavy: serialized decision commits --------------------- *)
+  let write_clients = 2 and write_ops = 120 in
+  let daemon = build_daemon ~docs:write_clients () in
+  let dt =
+    timed_fanout daemon ~clients:write_clients (fun ci client ->
+        let tip = ref (Printf.sprintf "E18Doc%d" ci) in
+        for k = 1 to write_ops do
+          write_op tip client k
+        done)
+  in
+  let w = float_of_int (write_clients * write_ops) /. dt in
+  Printf.printf "write-heavy (%d clients, own version chains): %8.0f ops/s\n"
+    write_clients w;
+  metric_f "e18_write_ops_per_s" w;
+  (* --- mixed 80/20 -------------------------------------------------- *)
+  let mixed_clients = 4 and mixed_ops = 400 in
+  let daemon = build_daemon ~docs:mixed_clients () in
+  let dt =
+    timed_fanout daemon ~clients:mixed_clients (fun ci client ->
+        let tip = ref (Printf.sprintf "E18Doc%d" ci) in
+        for k = 1 to mixed_ops do
+          if k mod 5 = 0 then write_op tip client k else read_op client k
+        done)
+  in
+  let m = float_of_int (mixed_clients * mixed_ops) /. dt in
+  Printf.printf
+    "mixed 80/20 (%d clients): %8.0f ops/s; cache hit rate %.3f\n\
+     expected shape: cached reads bypass both the repository lock and the\n\
+     shell, so read throughput scales with client count (given cores) while\n\
+     writes serialize in decision-log order and invalidate by version.\n"
+    mixed_clients m (hit_rate daemon);
+  metric_f "e18_mixed_ops_per_s" m;
+  metric_f "e18_mixed_hit_rate" (hit_rate daemon)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                             *)
 (* ------------------------------------------------------------------ *)
@@ -576,6 +714,7 @@ let run_benches () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let shapes_only = List.mem "shapes" args in
+  let server_only = List.mem "server" args in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> Some path
@@ -584,18 +723,22 @@ let () =
     in
     find args
   in
-  shape_e1_menu ();
-  shape_e2_mapping_strategies ();
-  shape_e4_selective_backtracking ();
-  shape_e8_configuration ();
-  shape_e9_deduction ();
-  shape_e10_consistency ();
-  shape_e16_incremental_maintenance ();
-  shape_e17_durability ();
-  if not shapes_only then begin
-    bench_e4_manual ();
-    setup_benches ();
-    run_benches ()
+  if server_only then shape_e18_server ()
+  else begin
+    shape_e1_menu ();
+    shape_e2_mapping_strategies ();
+    shape_e4_selective_backtracking ();
+    shape_e8_configuration ();
+    shape_e9_deduction ();
+    shape_e10_consistency ();
+    shape_e16_incremental_maintenance ();
+    shape_e17_durability ();
+    if not shapes_only then begin
+      shape_e18_server ();
+      bench_e4_manual ();
+      setup_benches ();
+      run_benches ()
+    end
   end;
   Option.iter write_json json_path;
   Printf.printf "\ndone.\n"

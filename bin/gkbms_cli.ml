@@ -398,6 +398,110 @@ let audit_cmd =
        ~doc:"Consistency, methodology, obligations, support and contexts.")
     Term.(const run $ until_arg)
 
+(* serve / client -------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET"
+         ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Disable the version-keyed response cache.")
+  in
+  let idle =
+    Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Disconnect sessions idle longer than $(docv) seconds.")
+  in
+  let run until wal socket no_cache idle =
+    handle
+      (let* st, _ = build_state until in
+       let config =
+         { Server.Daemon.default_config with
+           cache = not no_cache;
+           idle_timeout = idle;
+         }
+       in
+       let daemon = Server.Daemon.create ~config st.Scn.repo in
+       let* () =
+         match wal with
+         | None -> Ok ()
+         | Some dir -> Server.Daemon.attach_wal daemon ~dir
+       in
+       let stop_handler _ = Server.Daemon.stop daemon in
+       Sys.set_signal Sys.sigint (Sys.Signal_handle stop_handler);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_handler);
+       Format.printf "gkbms server listening on %s (cache %s%s)@." socket
+         (if no_cache then "off" else "on")
+         (match wal with None -> "" | Some dir -> ", wal " ^ dir);
+       let* () = Server.Daemon.listen daemon ~path:socket in
+       Server.Daemon.stop daemon;
+       Format.printf "server stopped.@.";
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the scenario repository to concurrent clients over a \
+             Unix-domain socket (reads run concurrently, writes serialize \
+             in decision-log order; with --wal every committed decision is \
+             journaled before the response is sent).")
+    Term.(const run $ until_arg $ wal_arg $ socket_arg $ no_cache $ idle)
+
+let client_cmd =
+  let exec_args =
+    Arg.(value & opt_all string [] & info [ "e"; "exec" ] ~docv:"CMD"
+           ~doc:"Send $(docv) and print the response (repeatable).")
+  in
+  let script_arg =
+    Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE"
+           ~doc:"Send each non-empty line of $(docv) in order.")
+  in
+  let run socket cmds script =
+    match Server.Client.connect_unix socket with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok client ->
+      let failed = ref false in
+      let send line =
+        match Server.Client.request client line with
+        | Ok payload -> if payload <> "" then Format.printf "%s@." payload
+        | Error payload ->
+          failed := true;
+          Format.printf "%s@." payload
+      in
+      let script_lines =
+        match script with
+        | None -> []
+        | Some file ->
+          In_channel.with_open_text file In_channel.input_lines
+          |> List.filter (fun l -> String.trim l <> "")
+      in
+      (match cmds @ script_lines with
+      | [] ->
+        (* interactive *)
+        let rec loop () =
+          Format.printf "gkbms> %!";
+          match In_channel.input_line stdin with
+          | None -> ()
+          | Some line when String.trim line = "" -> loop ()
+          | Some line when Gkbms.Shell.is_quit line -> ()
+          | Some line ->
+            send line;
+            loop ()
+        in
+        loop ()
+      | lines -> List.iter send lines);
+      Server.Client.close client;
+      if !failed then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Connect to a running gkbms server.  With -e or --script, send \
+             the given commands and exit non-zero if any response is an \
+             error; otherwise read commands interactively.")
+    Term.(const run $ socket_arg $ exec_args $ script_arg)
+
 let repl_cmd =
   let run () =
     match Gkbms.Shell.create () with
@@ -431,6 +535,6 @@ let main =
           evolution (Jarke & Rose, SIGMOD 1988).")
     [ scenario_cmd; focus_cmd; why_cmd; deps_cmd; config_cmd; source_cmd;
       ask_cmd; derive_cmd; export_cmd; import_cmd; snapshot_cmd; recover_cmd;
-      audit_cmd; repl_cmd; stats_cmd ]
+      audit_cmd; repl_cmd; stats_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main)

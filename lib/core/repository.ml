@@ -52,6 +52,10 @@ type t = {
   mutable event_listeners : (event_subscription * (event -> unit)) list;
       (** newest first *)
   mutable next_event_sub : int;
+  version : int Atomic.t;
+      (** data-version counter: bumped on every committed, retracted or
+          artifact-writing event; atomic so the server's cached-read path
+          can poll it without holding the repository lock *)
 }
 
 and tool = {
@@ -82,6 +86,7 @@ let create ?(install_metamodel = true) () =
       decision_justs = Symbol.Tbl.create 64;
       event_listeners = [];
       next_event_sub = 0;
+      version = Atomic.make 0;
     }
   in
   ignore
@@ -94,7 +99,13 @@ let kb t = t.kb
 let jtms t = t.jtms
 
 let emit_event t e =
+  (match e with
+  | Decision_committed _ | Decision_unlogged _ | Artifact_written _ ->
+    Atomic.incr t.version
+  | Decision_begun _ | Decision_aborted _ -> ());
   List.iter (fun (_, f) -> f e) (List.rev t.event_listeners)
+
+let version t = Atomic.get t.version
 
 let on_event t f =
   let id = t.next_event_sub in
@@ -104,6 +115,8 @@ let on_event t f =
 
 let off_event t id =
   t.event_listeners <- List.filter (fun (id', _) -> id' <> id) t.event_listeners
+
+let event_listener_count t = List.length t.event_listeners
 
 let ( let* ) = Result.bind
 

@@ -44,9 +44,24 @@ type event =
 type event_subscription
 
 val on_event : t -> (event -> unit) -> event_subscription
+
 val off_event : t -> event_subscription -> unit
+(** Unsubscribe (symmetric with {!Store.Base.off_change}); unknown ids
+    are ignored.  Server sessions detach their listeners here on
+    disconnect so closures are not leaked. *)
+
+val event_listener_count : t -> int
+(** Number of live event listeners (exposed for leak tests). *)
+
 val emit_event : t -> event -> unit
 (** Exposed for the decision executor; not for general use. *)
+
+val version : t -> int
+(** Monotonic data-version counter: bumped on [Decision_committed],
+    [Decision_unlogged] and [Artifact_written] events.  Reads are atomic
+    and lock-free, so a server can key a response cache on it — any
+    committed decision moves the version and thereby invalidates cached
+    responses exactly once. *)
 
 (** Tools assist the user in executing design decisions (§2.2). *)
 type tool = {

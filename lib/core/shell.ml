@@ -1,28 +1,41 @@
 open Kernel
 module Repo = Repository
 
-type t = { mutable state : Scenario.state }
+type t = {
+  mutable state : Scenario.state;
+  mutable cursor : Prop.id option;
+      (** per-session browsing focus (fig 2-1's focus object) *)
+  mutable config_level : string;
+      (** per-session configuration level for [config] *)
+  shared : bool;
+      (** session on a repository shared with other sessions: commands
+          that would swap the repository out from under them ([load])
+          are refused *)
+}
+
+let make ?(shared = false) state =
+  { state; cursor = None; config_level = Metamodel.dbpl_object; shared }
 
 let create () =
   match Scenario.setup () with
-  | Ok state -> Ok { state }
+  | Ok state -> Ok (make state)
   | Error e -> Error e
 
-let of_repository repo =
+let scenario_state repo =
   {
-    state =
-      {
-        Scenario.repo;
-        design_doc = Symbol.intern "MeetingDocuments";
-        papers = Symbol.intern "Papers";
-        invitations = Symbol.intern "Invitations";
-        invitation_rel = Symbol.intern "InvitationRel";
-        mapping_dec = None;
-        normalize_dec = None;
-        key_dec = None;
-        minutes_dec = None;
-      };
+    Scenario.repo;
+    design_doc = Symbol.intern "MeetingDocuments";
+    papers = Symbol.intern "Papers";
+    invitations = Symbol.intern "Invitations";
+    invitation_rel = Symbol.intern "InvitationRel";
+    mapping_dec = None;
+    normalize_dec = None;
+    key_dec = None;
+    minutes_dec = None;
   }
+
+let of_repository repo = make (scenario_state repo)
+let session repo = make ~shared:true (scenario_state repo)
 
 let repository t = t.state.Scenario.repo
 
@@ -32,12 +45,14 @@ let is_quit line =
   | _ -> false
 
 let help_text =
-  "commands: help stats unmapped focus OBJ menu OBJ run CLASS TOOL \
+  "commands: help stats unmapped focus [OBJ] menu [OBJ] run CLASS TOOL \
    ROLE=OBJ.. [K=V..]\n\
-  \          map normalize key minutes resolve why OBJ history OBJ source \
-   OBJ\n\
-  \          deps [OBJ] config check ask FORMULA derive ATOM save FILE \
-   load FILE quit"
+  \          map normalize key minutes resolve why [OBJ] history [OBJ] \
+   source [OBJ]\n\
+  \          deps [OBJ] config [LEVEL] check ask FORMULA derive ATOM \
+   save FILE load FILE quit\n\
+  \          (focus OBJ sets this session's cursor; menu/why/history/source \
+   then default to it)"
 
 let words line =
   List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
@@ -52,6 +67,26 @@ let render_result name = function
          (List.map (fun (_, o) -> Symbol.name o) executed.Decision.outputs))
   | Error e -> "error: " ^ e
 
+(* The scenario shortcuts track "the current version of the invitation
+   relation" in per-session state; on a shared repository another
+   session may have advanced the version chain since, so re-resolve the
+   chain's tip before acting on it. *)
+let refresh_invitation_rel t =
+  let st = t.state in
+  let repo = st.Scenario.repo in
+  match List.rev (Version.version_chain repo st.Scenario.invitation_rel) with
+  | tip :: _ -> st.Scenario.invitation_rel <- tip
+  | [] -> ()
+
+(* resolve an optional operand against the session cursor *)
+let with_target t operand k =
+  match operand with
+  | Some name -> k (Symbol.intern name)
+  | None -> (
+    match t.cursor with
+    | Some obj -> k obj
+    | None -> "error: no focus set (use 'focus OBJECT' first)")
+
 let eval t line =
   let repo = t.state.Scenario.repo in
   match words line with
@@ -65,16 +100,23 @@ let eval t line =
   | [ "unmapped" ] ->
     String.concat ", "
       (List.map Symbol.name (Navigation.unmapped_objects repo))
+  | [ "focus" ] ->
+    with_target t None (fun obj ->
+        fmt "%a" Navigation.pp_focus (Navigation.focus repo obj))
   | [ "focus"; name ] ->
-    fmt "%a" Navigation.pp_focus (Navigation.focus repo (Symbol.intern name))
-  | [ "menu"; name ] ->
-    String.concat "\n"
-      (List.map
-         (fun (e : Decision.menu_entry) ->
-           Printf.sprintf "%s (role %s) via %s" e.Decision.decision_class
-             e.Decision.role
-             (String.concat ", " e.Decision.tools))
-         (Decision.applicable repo (Symbol.intern name)))
+    let obj = Symbol.intern name in
+    t.cursor <- Some obj;
+    fmt "%a" Navigation.pp_focus (Navigation.focus repo obj)
+  | [ "menu" ] | [ "menu"; _ ] ->
+    let operand = match words line with [ _; n ] -> Some n | _ -> None in
+    with_target t operand (fun obj ->
+        String.concat "\n"
+          (List.map
+             (fun (e : Decision.menu_entry) ->
+               Printf.sprintf "%s (role %s) via %s" e.Decision.decision_class
+                 e.Decision.role
+                 (String.concat ", " e.Decision.tools))
+             (Decision.applicable repo obj)))
   | "run" :: dc :: tool :: rest ->
     let bindings =
       List.filter_map
@@ -95,32 +137,43 @@ let eval t line =
          ~rationale:("shell: " ^ line) ())
   | [ "map" ] -> render_result "map" (Scenario.map_move_down t.state)
   | [ "normalize" ] ->
+    refresh_invitation_rel t;
     render_result "normalize" (Scenario.normalize_invitations t.state)
-  | [ "key" ] -> render_result "key" (Scenario.substitute_key t.state)
+  | [ "key" ] ->
+    refresh_invitation_rel t;
+    render_result "key" (Scenario.substitute_key t.state)
   | [ "minutes" ] -> render_result "minutes" (Scenario.introduce_minutes t.state)
   | [ "resolve" ] -> (
     match Scenario.resolve_conflict t.state with
     | Ok report -> fmt "%a" Backtrack.pp_report report
     | Error e -> "error: " ^ e)
-  | [ "why"; name ] ->
-    fmt "%a" Explain.pp_why (Explain.why repo (Symbol.intern name))
-  | [ "history"; name ] ->
-    String.concat "\n"
-      (List.map
-         (fun (v, dec, belief) ->
-           Printf.sprintf "%s (decision %s, learnt at t=%d)" (Symbol.name v)
-             (match dec with Some d -> Symbol.name d | None -> "-")
-             belief)
-         (Navigation.history_of repo (Symbol.intern name)))
-  | [ "source"; name ] -> (
-    match Repo.source_text repo (Symbol.intern name) with
-    | Some src -> src
-    | None -> "error: no source recorded for " ^ name)
+  | [ "why" ] | [ "why"; _ ] ->
+    let operand = match words line with [ _; n ] -> Some n | _ -> None in
+    with_target t operand (fun obj -> fmt "%a" Explain.pp_why (Explain.why repo obj))
+  | [ "history" ] | [ "history"; _ ] ->
+    let operand = match words line with [ _; n ] -> Some n | _ -> None in
+    with_target t operand (fun obj ->
+        String.concat "\n"
+          (List.map
+             (fun (v, dec, belief) ->
+               Printf.sprintf "%s (decision %s, learnt at t=%d)" (Symbol.name v)
+                 (match dec with Some d -> Symbol.name d | None -> "-")
+                 belief)
+             (Navigation.history_of repo obj)))
+  | [ "source" ] | [ "source"; _ ] -> (
+    let operand = match words line with [ _; n ] -> Some n | _ -> None in
+    with_target t operand (fun obj ->
+        match Repo.source_text repo obj with
+        | Some src -> src
+        | None -> "error: no source recorded for " ^ Symbol.name obj))
   | [ "deps" ] -> fmt "%a" (fun ppf () -> Depgraph.pp repo ppf t.state.Scenario.papers) ()
   | [ "deps"; name ] ->
     fmt "%a" (fun ppf () -> Depgraph.pp repo ppf (Symbol.intern name)) ()
-  | [ "config" ] -> (
-    let config = Version.configure repo ~level:Metamodel.dbpl_object in
+  | [ "config" ] | [ "config"; _ ] -> (
+    (match words line with
+    | [ _; level ] -> t.config_level <- level
+    | _ -> ());
+    let config = Version.configure repo ~level:t.config_level in
     match Version.to_dbpl_module repo config ~name:"Configured" with
     | Ok m -> fmt "%a@.@.%a" (Version.pp_configuration repo) config Langs.Dbpl.pp_module m
     | Error e -> fmt "%a@.error: %s" (Version.pp_configuration repo) config e)
@@ -170,10 +223,15 @@ let eval t line =
     | Ok () -> "saved to " ^ file
     | Error e -> "error: " ^ e)
   | [ "load"; file ] -> (
-    match Persist.load_from_file file with
-    | Ok repo' ->
-      t.state <- (of_repository repo').state;
-      Printf.sprintf "loaded %s: %d decisions" file
-        (List.length (Repo.decision_log repo'))
-    | Error e -> "error: " ^ e)
+    if t.shared then
+      "error: load is unavailable in a shared session (the repository is \
+       shared with other clients)"
+    else
+      match Persist.load_from_file file with
+      | Ok repo' ->
+        t.state <- scenario_state repo';
+        t.cursor <- None;
+        Printf.sprintf "loaded %s: %d decisions" file
+          (List.length (Repo.decision_log repo'))
+      | Error e -> "error: " ^ e)
   | cmd :: _ -> "error: unknown command " ^ cmd ^ " (try 'help')"

@@ -3,7 +3,16 @@
     is).  A line-oriented command interpreter over one repository,
     driving the same focusing / menu / decision / browsing operations as
     the window tools; every command returns text, and errors never
-    destroy the session state.  [bin/gkbms repl] wires it to stdin. *)
+    destroy the session state.  [bin/gkbms repl] wires it to stdin; the
+    server ({!Server.Daemon}) wraps one shell per connected client.
+
+    All dialog state — the browsing cursor set by [focus], the
+    configuration level set by [config LEVEL], the scenario shortcut
+    bookkeeping — is *per session*, never per repository: several shells
+    over the same repository (as under the concurrent server) do not see
+    each other's cursors, and the shortcuts re-resolve version chains so
+    a version created by another session is picked up rather than
+    overwritten. *)
 
 type t
 
@@ -14,6 +23,11 @@ val create : unit -> (t, string) result
 val of_repository : Repository.t -> t
 (** Drive an existing repository (e.g. one loaded from a snapshot). *)
 
+val session : Repository.t -> t
+(** A session on a repository *shared* with other sessions (the server
+    case): like {!of_repository}, but commands that would swap the
+    repository out from under the other sessions ([load]) are refused. *)
+
 val repository : t -> Repository.t
 
 val eval : t -> string -> string
@@ -23,19 +37,19 @@ val eval : t -> string -> string
 help                       this list
 stats                      KB statistics
 unmapped                   TaxisDL classes not yet mapped (fig 2-1)
-focus OBJECT               focus view: classes, menu, directions
-menu OBJECT                applicable decision classes and tools
+focus [OBJECT]             focus view; with OBJECT, sets this session's cursor
+menu [OBJECT]              applicable decision classes (default: the cursor)
 run CLASS TOOL ROLE=OBJ... [KEY=VALUE...]   execute a decision
 map | normalize | key | minutes | resolve   scenario shortcuts
-why OBJECT                 explanation chain
-history OBJECT             version history
-source OBJECT              code frame
+why [OBJECT]               explanation chain (default: the cursor)
+history [OBJECT]           version history (default: the cursor)
+source [OBJECT]            code frame (default: the cursor)
 deps [OBJECT]              dependency graph (ASCII)
-config                     current DBPL configuration
+config [LEVEL]             DBPL configuration; LEVEL sets the session's level
 check                      consistency + methodology + support audit
 ask FORMULA                evaluate a closed assertion
 derive ATOM                query the deductive view
-save FILE / load FILE      snapshot the repository
+save FILE / load FILE      snapshot the repository (load refused when shared)
 v} *)
 
 val is_quit : string -> bool

@@ -1,0 +1,59 @@
+type 'a t = {
+  m : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity < 1";
+  {
+    m = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let put t x =
+  Mutex.lock t.m;
+  while Queue.length t.q >= t.capacity && not t.closed do
+    Condition.wait t.not_full t.m
+  done;
+  let accepted = not t.closed in
+  if accepted then (
+    Queue.push x t.q;
+    Condition.signal t.not_empty);
+  Mutex.unlock t.m;
+  accepted
+
+let take t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.not_empty t.m
+  done;
+  let item =
+    if Queue.is_empty t.q then None
+    else (
+      let x = Queue.pop t.q in
+      Condition.signal t.not_full;
+      Some x)
+  in
+  Mutex.unlock t.m;
+  item
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.not_full;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.m
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n

@@ -1,0 +1,20 @@
+(** A bounded blocking queue: the per-session request queue.
+
+    Producers block when the queue is full (backpressure toward the
+    socket instead of unbounded buffering); consumers block when it is
+    empty.  Closing wakes everybody: pending items still drain, further
+    puts are refused. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val put : 'a t -> 'a -> bool
+(** Block while full; [false] if the queue was closed instead. *)
+
+val take : 'a t -> 'a option
+(** Block while empty; [None] once the queue is closed and drained. *)
+
+val close : 'a t -> unit
+val length : 'a t -> int

@@ -1,0 +1,79 @@
+type t = {
+  m : Mutex.t;
+  tbl : (string, string) Hashtbl.t;
+  capacity : int;
+  mutable generation : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 256;
+    capacity;
+    generation = -1;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+(* under [t.m]: advance the table to [version] (generations only move
+   forward; a caller still holding an older version just misses) *)
+let roll t version =
+  if version > t.generation then (
+    if Hashtbl.length t.tbl > 0 then (
+      Hashtbl.reset t.tbl;
+      t.invalidations <- t.invalidations + 1);
+    t.generation <- version)
+
+let find t ~version line =
+  Mutex.lock t.m;
+  roll t version;
+  let r =
+    if version = t.generation then Hashtbl.find_opt t.tbl line else None
+  in
+  (match r with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  Mutex.unlock t.m;
+  r
+
+let store t ~version line response =
+  Mutex.lock t.m;
+  roll t version;
+  (* a response computed at an older generation is already stale *)
+  if version = t.generation then (
+    if Hashtbl.length t.tbl >= t.capacity then (
+      Hashtbl.reset t.tbl;
+      t.evictions <- t.evictions + 1);
+    Hashtbl.replace t.tbl line response);
+  Mutex.unlock t.m
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+  entries : int;
+  generation : int;
+}
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      invalidations = t.invalidations;
+      evictions = t.evictions;
+      entries = Hashtbl.length t.tbl;
+      generation = t.generation;
+    }
+  in
+  Mutex.unlock t.m;
+  s

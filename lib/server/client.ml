@@ -1,0 +1,45 @@
+type t = {
+  transport : Protocol.transport;
+  reader : Protocol.reader;
+  mutable next_id : int;
+}
+
+let of_transport transport =
+  { transport; reader = Protocol.reader transport; next_id = 1 }
+
+let connect_unix path =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e);
+    fd
+  with
+  | fd -> Ok (of_transport (Protocol.fd_transport fd))
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message err))
+
+let request t line =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match Protocol.write_frame t.transport (Protocol.Request { id; line }) with
+  | exception e -> Error ("transport: " ^ Printexc.to_string e)
+  | _n -> (
+    match Protocol.next_frame t.reader with
+    | Ok (Protocol.Response r) when r.Protocol.id = id ->
+      if r.Protocol.ok then Ok r.Protocol.payload else Error r.Protocol.payload
+    | Ok (Protocol.Response r) ->
+      Error
+        (Printf.sprintf "protocol: response id %d does not match request %d"
+           r.Protocol.id id)
+    | Ok (Protocol.Request _) -> Error "protocol: unexpected request frame"
+    | Error `Eof -> Error "transport: connection closed"
+    | Error (`Corrupt reason) -> Error ("protocol: " ^ reason))
+
+let close t =
+  (try
+     ignore (Protocol.write_frame t.transport (Protocol.Request { id = 0; line = "quit" }))
+   with _ -> ());
+  t.transport.Protocol.close ()

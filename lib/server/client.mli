@@ -1,0 +1,16 @@
+(** The blocking client library: one request in flight at a time,
+    request ids checked against response ids.  Works over a Unix-domain
+    socket ({!connect_unix}) or any {!Protocol.transport} (the loopback
+    pair from {!Daemon.connect}). *)
+
+type t
+
+val of_transport : Protocol.transport -> t
+val connect_unix : string -> (t, string) result
+
+val request : t -> string -> (string, string) result
+(** Send one command line, block for its response.  [Ok payload] on a
+    successful response, [Error payload] when the server reports an
+    error, [Error _] on transport failure or id mismatch. *)
+
+val close : t -> unit

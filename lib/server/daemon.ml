@@ -1,0 +1,298 @@
+module Repo = Gkbms.Repository
+
+type config = {
+  cache : bool;
+  cache_capacity : int;
+  idle_timeout : float option;
+  queue_limit : int;
+  wal_fsync : bool;
+}
+
+let default_config =
+  {
+    cache = true;
+    cache_capacity = 4096;
+    idle_timeout = None;
+    queue_limit = 64;
+    wal_fsync = false;
+  }
+
+type t = {
+  repo : Repo.t;
+  config : config;
+  scheduler : Scheduler.t;
+  cache : Cache.t option;
+  metrics : Metrics.t;
+  eval_m : Mutex.t;
+      (** even read commands mutate KB-internal memo caches, so actual
+          shell evaluation is mutually exclusive; concurrency comes from
+          cache hits served outside this mutex *)
+  m : Mutex.t;  (** sessions / lifecycle *)
+  sessions : (int, Session.t) Hashtbl.t;
+  mutable next_sid : int;
+  mutable durable : Gkbms.Durable.t option;
+  mutable listen_fd : Unix.file_descr option;
+  mutable stopping : bool;
+  mutable reaper : Thread.t option;
+  mutable workers : Thread.t list;  (** threads spawned by [connect]/[listen] *)
+}
+
+let create ?(config = default_config) repo =
+  {
+    repo;
+    config;
+    scheduler = Scheduler.create ();
+    cache =
+      (if config.cache then Some (Cache.create ~capacity:config.cache_capacity ())
+       else None);
+    metrics = Metrics.create ();
+    eval_m = Mutex.create ();
+    m = Mutex.create ();
+    sessions = Hashtbl.create 16;
+    next_sid = 0;
+    durable = None;
+    listen_fd = None;
+    stopping = false;
+    reaper = None;
+    workers = [];
+  }
+
+let repo t = t.repo
+let metrics t = Metrics.snapshot t.metrics
+let cache_stats t = Option.map Cache.stats t.cache
+let scheduler_stats t = Scheduler.stats t.scheduler
+
+let session_count t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.sessions in
+  Mutex.unlock t.m;
+  n
+
+let attach_wal t ~dir =
+  match t.durable with
+  | Some _ -> Error "a WAL is already attached"
+  | None -> (
+    match Gkbms.Durable.attach ~fsync:t.config.wal_fsync ~dir t.repo with
+    | Ok d ->
+      t.durable <- Some d;
+      Ok ()
+    | Error e -> Error e)
+
+let metrics_text t =
+  let b = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer b in
+  Format.fprintf ppf "%a@." Metrics.pp_snapshot (Metrics.snapshot t.metrics);
+  let s = Scheduler.stats t.scheduler in
+  Format.fprintf ppf "scheduler: %d reads, %d writes, peak %d concurrent readers@."
+    s.Scheduler.reads s.Scheduler.writes s.Scheduler.peak_readers;
+  (match t.cache with
+  | None -> Format.fprintf ppf "cache: disabled@."
+  | Some c ->
+    let cs = Cache.stats c in
+    Format.fprintf ppf
+      "cache: %d hits, %d misses, %d invalidations, %d evictions, %d entries \
+       (generation %d)@."
+      cs.Cache.hits cs.Cache.misses cs.Cache.invalidations cs.Cache.evictions
+      cs.Cache.entries cs.Cache.generation);
+  Format.fprintf ppf "repository version: %d; sessions live: %d"
+    (Repo.version t.repo) (session_count t);
+  Format.pp_print_flush ppf ();
+  Buffer.contents b
+
+(* request execution --------------------------------------------------- *)
+
+let is_error payload =
+  String.length payload >= 6 && String.sub payload 0 6 = "error:"
+
+let eval_under_lock t session line =
+  Mutex.lock t.eval_m;
+  let out =
+    try Gkbms.Shell.eval (Session.shell session) line
+    with e -> "error: internal: " ^ Printexc.to_string e
+  in
+  Mutex.unlock t.eval_m;
+  out
+
+let command_label line =
+  let line = String.trim line in
+  if line = "" then "<empty>"
+  else
+    match String.index_opt line ' ' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+
+let process t session (req : Protocol.request) : Protocol.response =
+  let line = String.trim req.Protocol.line in
+  let t0 = Unix.gettimeofday () in
+  let finish payload =
+    let ok = not (is_error payload) in
+    Metrics.record t.metrics ~cmd:(command_label line) ~ok
+      ~seconds:(Unix.gettimeofday () -. t0);
+    { Protocol.id = req.Protocol.id; ok; payload }
+  in
+  match line with
+  | "metrics" -> finish (metrics_text t)
+  | "news" -> finish (Session.take_news session)
+  | "ping" -> finish "pong"
+  | "version" -> finish (string_of_int (Repo.version t.repo))
+  | line when Gkbms.Shell.is_quit line -> finish "bye"
+  | line -> (
+    match Scheduler.classify line with
+    | `Write ->
+      finish
+        (Scheduler.write t.scheduler (fun () ->
+             let out = eval_under_lock t session line in
+             (* make the decision durable before answering the client *)
+             Option.iter Gkbms.Durable.sync t.durable;
+             out))
+    | `Read -> (
+      match t.cache with
+      | Some cache when Scheduler.cacheable line -> (
+        (* fast path: no repository lock, just the version counter *)
+        match Cache.find cache ~version:(Repo.version t.repo) line with
+        | Some payload -> finish payload
+        | None ->
+          finish
+            (Scheduler.read t.scheduler (fun () ->
+                 (* writers are excluded, so the version is pinned *)
+                 let v = Repo.version t.repo in
+                 let out = eval_under_lock t session line in
+                 Cache.store cache ~version:v line out;
+                 out)))
+      | _ ->
+        finish
+          (Scheduler.read t.scheduler (fun () -> eval_under_lock t session line))
+      ))
+
+(* connection lifecycle ------------------------------------------------ *)
+
+let reaper_loop t timeout =
+  let interval = Float.min 0.5 (timeout /. 4.) in
+  let continue_ = ref true in
+  while !continue_ do
+    Thread.delay interval;
+    Mutex.lock t.m;
+    let stop = t.stopping in
+    let idle =
+      if stop then []
+      else
+        Hashtbl.fold
+          (fun _ s acc ->
+            if Unix.gettimeofday () -. Session.last_active s > timeout then
+              s :: acc
+            else acc)
+          t.sessions []
+    in
+    Mutex.unlock t.m;
+    if stop then continue_ := false else List.iter Session.shutdown idle
+  done
+
+let ensure_reaper t =
+  match (t.config.idle_timeout, t.reaper) with
+  | Some timeout, None -> t.reaper <- Some (Thread.create (reaper_loop t) timeout)
+  | _ -> ()
+
+let handle t transport =
+  let session =
+    Mutex.lock t.m;
+    let sid = t.next_sid in
+    t.next_sid <- sid + 1;
+    let s =
+      Session.create ~sid ~queue_limit:t.config.queue_limit ~repo:t.repo
+        ~transport
+    in
+    Hashtbl.replace t.sessions sid s;
+    ensure_reaper t;
+    Mutex.unlock t.m;
+    s
+  in
+  Metrics.session_opened t.metrics;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      Hashtbl.remove t.sessions (Session.sid session);
+      Mutex.unlock t.m;
+      Metrics.session_closed t.metrics)
+    (fun () ->
+      Session.run session ~process:(process t)
+        ~on_bytes:(fun ~incoming ~outgoing ->
+          Metrics.add_bytes t.metrics ~incoming ~outgoing)
+        ~on_protocol_error:(fun _reason -> Metrics.protocol_error t.metrics))
+
+let register_worker t th =
+  Mutex.lock t.m;
+  t.workers <- th :: t.workers;
+  Mutex.unlock t.m
+
+let connect t =
+  let client_end, server_end = Protocol.loopback () in
+  register_worker t (Thread.create (fun () -> handle t server_end) ());
+  client_end
+
+let listen t ~path =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try if Sys.file_exists path then Unix.unlink path with _ -> ());
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "cannot listen on %s: %s" path (Unix.error_message err))
+  | fd ->
+    Mutex.lock t.m;
+    t.listen_fd <- Some fd;
+    Mutex.unlock t.m;
+    let rec accept_loop () =
+      let stop =
+        Mutex.lock t.m;
+        let s = t.stopping in
+        Mutex.unlock t.m;
+        s
+      in
+      if not stop then (
+        match Unix.accept fd with
+        | conn, _ ->
+          register_worker t
+            (Thread.create (fun () -> handle t (Protocol.fd_transport conn)) ());
+          accept_loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | exception Unix.Unix_error _ ->
+          (* listener closed by [stop] *)
+          ())
+    in
+    accept_loop ();
+    (try Unix.unlink path with _ -> ());
+    Ok ()
+
+let stop t =
+  Mutex.lock t.m;
+  let already = t.stopping in
+  t.stopping <- true;
+  let fd = t.listen_fd in
+  t.listen_fd <- None;
+  let sessions = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.m;
+  if not already then (
+    (match fd with
+    | Some fd ->
+      (* shutdown, not just close: close alone does not wake a thread
+         blocked in accept(2) on Linux *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+      (try Unix.close fd with _ -> ())
+    | None -> ());
+    List.iter Session.shutdown sessions;
+    List.iter (fun th -> try Thread.join th with _ -> ()) workers;
+    (match t.reaper with
+    | Some th ->
+      (try Thread.join th with _ -> ());
+      t.reaper <- None
+    | None -> ());
+    match t.durable with
+    | Some d ->
+      Gkbms.Durable.close d;
+      t.durable <- None
+    | None -> ())

@@ -1,0 +1,62 @@
+(** The concurrent GKBMS server.
+
+    One shared repository, many client sessions (§2's group decision
+    setting).  Each connection gets a {!Session} wrapping its own
+    {!Gkbms.Shell}; commands are classified by the {!Scheduler} — reads
+    run under the shared lock (and, for deterministic read commands,
+    through the version-keyed {!Cache}), writes serialize under the
+    exclusive lock in decision-log order and, when a WAL is attached
+    ({!attach_wal}), are synced into the journal before the response is
+    sent.  {!Metrics} observes everything and is exposed through the
+    [metrics] protocol command.
+
+    Protocol-level commands handled before the shell: [metrics] (the
+    server report), [news] (decisions committed since this client last
+    polled), [version] (the repository data-version), [ping]. *)
+
+type config = {
+  cache : bool;  (** serve deterministic reads from the response cache *)
+  cache_capacity : int;
+  idle_timeout : float option;
+      (** disconnect sessions idle longer than this many seconds *)
+  queue_limit : int;  (** per-session request queue bound *)
+  wal_fsync : bool;  (** fsync (not just flush) the WAL on each write *)
+}
+
+val default_config : config
+(** cache on, capacity 4096, no idle timeout, queue limit 64, no fsync. *)
+
+type t
+
+val create : ?config:config -> Gkbms.Repository.t -> t
+val repo : t -> Gkbms.Repository.t
+
+val attach_wal : t -> dir:string -> (unit, string) result
+(** Journal the shared repository under [dir] via {!Gkbms.Durable}; every
+    write command syncs the log before its response is sent, so a
+    [kill -9] loses at most the in-flight uncommitted decision and
+    [gkbms recover] restores exactly the committed prefix. *)
+
+val handle : t -> Protocol.transport -> unit
+(** Serve one connection to completion in the calling thread (spawn a
+    thread or domain per connection around this). *)
+
+val connect : t -> Protocol.transport
+(** In-process client: a loopback transport pair whose server end is
+    served on a fresh thread; returns the client end. *)
+
+val listen : t -> path:string -> (unit, string) result
+(** Bind a Unix-domain socket at [path] (replacing a stale file) and
+    accept connections until {!stop}, one thread per connection.  Blocks
+    the calling thread. *)
+
+val stop : t -> unit
+(** Stop listening, shut every live session down, wait for them to
+    drain, and close the WAL if attached.  Idempotent. *)
+
+val session_count : t -> int
+val metrics : t -> Metrics.snapshot
+val cache_stats : t -> Cache.stats option
+val scheduler_stats : t -> Scheduler.stats
+val metrics_text : t -> string
+(** The rendering served by the [metrics] protocol command. *)

@@ -1,0 +1,158 @@
+(* latency histogram: bucket i counts requests with latency in
+   [2^(i-1), 2^i) microseconds (bucket 0: < 1us); the last bucket is the
+   overflow.  22 buckets reach ~2 seconds. *)
+let buckets = 22
+
+type per_command = {
+  mutable calls : int;
+  mutable errors : int;
+  mutable total_us : float;
+  hist : int array;
+}
+
+type t = {
+  m : Mutex.t;
+  commands : (string, per_command) Hashtbl.t;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable sessions_opened : int;
+  mutable sessions_closed : int;
+  mutable protocol_errors : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    commands = Hashtbl.create 32;
+    bytes_in = 0;
+    bytes_out = 0;
+    sessions_opened = 0;
+    sessions_closed = 0;
+    protocol_errors = 0;
+  }
+
+let bucket_of_us us =
+  let rec go i bound =
+    if i >= buckets - 1 || us < bound then i else go (i + 1) (bound *. 2.)
+  in
+  go 0 1.
+
+let bucket_upper_us i = Float.of_int (1 lsl i)
+
+let record t ~cmd ~ok ~seconds =
+  let us = seconds *. 1e6 in
+  Mutex.lock t.m;
+  let pc =
+    match Hashtbl.find_opt t.commands cmd with
+    | Some pc -> pc
+    | None ->
+      let pc = { calls = 0; errors = 0; total_us = 0.; hist = Array.make buckets 0 } in
+      Hashtbl.add t.commands cmd pc;
+      pc
+  in
+  pc.calls <- pc.calls + 1;
+  if not ok then pc.errors <- pc.errors + 1;
+  pc.total_us <- pc.total_us +. us;
+  let b = bucket_of_us us in
+  pc.hist.(b) <- pc.hist.(b) + 1;
+  Mutex.unlock t.m
+
+let add_bytes t ~incoming ~outgoing =
+  Mutex.lock t.m;
+  t.bytes_in <- t.bytes_in + incoming;
+  t.bytes_out <- t.bytes_out + outgoing;
+  Mutex.unlock t.m
+
+let session_opened t =
+  Mutex.lock t.m;
+  t.sessions_opened <- t.sessions_opened + 1;
+  Mutex.unlock t.m
+
+let session_closed t =
+  Mutex.lock t.m;
+  t.sessions_closed <- t.sessions_closed + 1;
+  Mutex.unlock t.m
+
+let protocol_error t =
+  Mutex.lock t.m;
+  t.protocol_errors <- t.protocol_errors + 1;
+  Mutex.unlock t.m
+
+type command_snapshot = {
+  cmd : string;
+  calls : int;
+  errors : int;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+}
+
+type snapshot = {
+  commands : command_snapshot list;
+  total_calls : int;
+  total_errors : int;
+  bytes_in : int;
+  bytes_out : int;
+  sessions_opened : int;
+  sessions_closed : int;
+  protocol_errors : int;
+}
+
+let percentile hist calls q =
+  (* upper bound of the bucket holding the q-quantile observation *)
+  let target = Float.to_int (ceil (q *. Float.of_int calls)) in
+  let target = max 1 target in
+  let rec go i seen =
+    if i >= buckets then bucket_upper_us (buckets - 1)
+    else
+      let seen = seen + hist.(i) in
+      if seen >= target then bucket_upper_us i else go (i + 1) seen
+  in
+  go 0 0
+
+let snapshot t =
+  Mutex.lock t.m;
+  let commands =
+    Hashtbl.fold
+      (fun cmd (pc : per_command) acc ->
+        {
+          cmd;
+          calls = pc.calls;
+          errors = pc.errors;
+          mean_us = (if pc.calls = 0 then 0. else pc.total_us /. Float.of_int pc.calls);
+          p50_us = percentile pc.hist pc.calls 0.5;
+          p99_us = percentile pc.hist pc.calls 0.99;
+        }
+        :: acc)
+      t.commands []
+    |> List.sort (fun a b -> String.compare a.cmd b.cmd)
+  in
+  let s =
+    {
+      commands;
+      total_calls = List.fold_left (fun a c -> a + c.calls) 0 commands;
+      total_errors = List.fold_left (fun a c -> a + c.errors) 0 commands;
+      bytes_in = t.bytes_in;
+      bytes_out = t.bytes_out;
+      sessions_opened = t.sessions_opened;
+      sessions_closed = t.sessions_closed;
+      protocol_errors = t.protocol_errors;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let pp_snapshot ppf s =
+  let pf fmt = Format.fprintf ppf fmt in
+  pf "@[<v>";
+  pf "%-12s %8s %7s %10s %10s %10s@," "command" "calls" "errors" "mean_us"
+    "p50_us" "p99_us";
+  List.iter
+    (fun c ->
+      pf "%-12s %8d %7d %10.1f %10.0f %10.0f@," c.cmd c.calls c.errors
+        c.mean_us c.p50_us c.p99_us)
+    s.commands;
+  pf "requests: %d (%d errors); bytes in/out: %d/%d; sessions: %d opened, %d closed; protocol errors: %d"
+    s.total_calls s.total_errors s.bytes_in s.bytes_out s.sessions_opened
+    s.sessions_closed s.protocol_errors;
+  pf "@]"

@@ -1,0 +1,42 @@
+(** Server observability: per-command call/error counts, latency
+    histograms (power-of-two microsecond buckets), byte counters and
+    session counters.  Updates are O(1) integer work under one mutex so
+    the hot (cached-read) path stays cheap; the [metrics] protocol
+    command renders a {!snapshot}. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> cmd:string -> ok:bool -> seconds:float -> unit
+(** Account one completed request for command [cmd]. *)
+
+val add_bytes : t -> incoming:int -> outgoing:int -> unit
+val session_opened : t -> unit
+val session_closed : t -> unit
+val protocol_error : t -> unit
+
+(** {1 Snapshots} *)
+
+type command_snapshot = {
+  cmd : string;
+  calls : int;
+  errors : int;
+  mean_us : float;
+  p50_us : float;  (** bucket upper bounds, so approximate *)
+  p99_us : float;
+}
+
+type snapshot = {
+  commands : command_snapshot list;  (** sorted by command name *)
+  total_calls : int;
+  total_errors : int;
+  bytes_in : int;
+  bytes_out : int;
+  sessions_opened : int;
+  sessions_closed : int;
+  protocol_errors : int;
+}
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,235 @@
+type request = { id : int; line : string }
+type response = { id : int; ok : bool; payload : string }
+type frame = Request of request | Response of response
+
+let max_frame = 16 * 1024 * 1024
+
+(* force the (lazy) CRC table once, on the main domain at program start,
+   so concurrent first use from several domains cannot race the thunk *)
+let () = ignore (Durability.Crc32.of_string "gkbms")
+
+(* a peer that disconnects mid-response must surface as EPIPE (handled
+   per-session), not kill the whole server *)
+let () = try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ()
+
+let u32le_to_bytes b pos v = Bytes.set_int32_le b pos (Int32.of_int v)
+
+let u32le_of_string s pos =
+  (* lengths and ids are non-negative and < 2^31 in practice *)
+  Int32.to_int (String.get_int32_le s pos) land 0xffffffff
+
+let payload_of = function
+  | Request { id; line } ->
+    let b = Bytes.create (5 + String.length line) in
+    Bytes.set b 0 'Q';
+    u32le_to_bytes b 1 id;
+    Bytes.blit_string line 0 b 5 (String.length line);
+    Bytes.unsafe_to_string b
+  | Response { id; ok; payload } ->
+    let b = Bytes.create (6 + String.length payload) in
+    Bytes.set b 0 'R';
+    u32le_to_bytes b 1 id;
+    Bytes.set b 5 (if ok then '\000' else '\001');
+    Bytes.blit_string payload 0 b 6 (String.length payload);
+    Bytes.unsafe_to_string b
+
+let decode_payload s =
+  let len = String.length s in
+  if len < 5 then Error "payload too short"
+  else
+    let id = u32le_of_string s 1 in
+    match s.[0] with
+    | 'Q' -> Ok (Request { id; line = String.sub s 5 (len - 5) })
+    | 'R' when len >= 6 ->
+      Ok
+        (Response
+           { id; ok = s.[5] = '\000'; payload = String.sub s 6 (len - 6) })
+    | c -> Error (Printf.sprintf "unknown frame tag %C" c)
+
+let encode frame =
+  let payload = payload_of frame in
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  u32le_to_bytes b 0 n;
+  Bytes.set_int32_le b 4 (Durability.Crc32.of_string payload);
+  Bytes.blit_string payload 0 b 8 n;
+  Bytes.unsafe_to_string b
+
+(* transports ---------------------------------------------------------- *)
+
+type transport = {
+  read : bytes -> int -> int -> int;
+  write : string -> unit;
+  shutdown : unit -> unit;
+  close : unit -> unit;
+}
+
+let fd_transport fd =
+  let closed = ref false in
+  let close_m = Mutex.create () in
+  let rec read b pos len =
+    match Unix.read fd b pos len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read b pos len
+    | exception Unix.Unix_error _ -> 0
+  in
+  let write s =
+    let rec loop pos =
+      if pos < String.length s then
+        let n = Unix.write_substring fd s pos (String.length s - pos) in
+        loop (pos + n)
+    in
+    loop 0
+  in
+  let shutdown () = try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> () in
+  let close () =
+    Mutex.lock close_m;
+    let was = !closed in
+    closed := true;
+    Mutex.unlock close_m;
+    if not was then (
+      shutdown ();
+      try Unix.close fd with _ -> ())
+  in
+  { read; write; shutdown; close }
+
+(* one direction of a loopback connection: a growable byte queue *)
+type chan = {
+  m : Mutex.t;
+  c : Condition.t;
+  buf : Buffer.t;
+  mutable off : int;  (** read offset into [buf] *)
+  mutable chan_closed : bool;
+}
+
+let chan () =
+  {
+    m = Mutex.create ();
+    c = Condition.create ();
+    buf = Buffer.create 256;
+    off = 0;
+    chan_closed = false;
+  }
+
+let chan_read ch b pos len =
+  Mutex.lock ch.m;
+  while Buffer.length ch.buf - ch.off = 0 && not ch.chan_closed do
+    Condition.wait ch.c ch.m
+  done;
+  let avail = Buffer.length ch.buf - ch.off in
+  let n = min len avail in
+  if n > 0 then (
+    Buffer.blit ch.buf ch.off b pos n;
+    ch.off <- ch.off + n;
+    if ch.off = Buffer.length ch.buf then (
+      Buffer.clear ch.buf;
+      ch.off <- 0));
+  Mutex.unlock ch.m;
+  n
+
+let chan_write ch s =
+  Mutex.lock ch.m;
+  if not ch.chan_closed then (
+    Buffer.add_string ch.buf s;
+    Condition.broadcast ch.c);
+  Mutex.unlock ch.m
+
+let chan_close ch =
+  Mutex.lock ch.m;
+  ch.chan_closed <- true;
+  Condition.broadcast ch.c;
+  Mutex.unlock ch.m
+
+let loopback () =
+  let c2s = chan () and s2c = chan () in
+  let shutdown () =
+    chan_close c2s;
+    chan_close s2c
+  in
+  let client =
+    {
+      read = chan_read s2c;
+      write = chan_write c2s;
+      shutdown;
+      close = shutdown;
+    }
+  and server =
+    {
+      read = chan_read c2s;
+      write = chan_write s2c;
+      shutdown;
+      close = shutdown;
+    }
+  in
+  (client, server)
+
+(* framed reading ------------------------------------------------------ *)
+
+type reader = {
+  tr : transport;
+  pending : Buffer.t;
+  mutable roff : int;
+  chunk : bytes;
+  mutable consumed : int;
+}
+
+let reader tr =
+  { tr; pending = Buffer.create 512; roff = 0; chunk = Bytes.create 4096; consumed = 0 }
+
+let bytes_consumed r = r.consumed
+
+let available r = Buffer.length r.pending - r.roff
+
+let compact r =
+  if r.roff > 0 && r.roff = Buffer.length r.pending then (
+    Buffer.clear r.pending;
+    r.roff <- 0)
+
+(* pull more bytes; false on end of stream *)
+let refill r =
+  let n = r.tr.read r.chunk 0 (Bytes.length r.chunk) in
+  if n = 0 then false
+  else (
+    Buffer.add_subbytes r.pending r.chunk 0 n;
+    r.consumed <- r.consumed + n;
+    true)
+
+let peek r pos = Buffer.nth r.pending (r.roff + pos)
+
+let sub r pos len =
+  Buffer.sub r.pending (r.roff + pos) len
+
+let u32le_at r pos =
+  Char.code (peek r pos)
+  lor (Char.code (peek r (pos + 1)) lsl 8)
+  lor (Char.code (peek r (pos + 2)) lsl 16)
+  lor (Char.code (peek r (pos + 3)) lsl 24)
+
+let rec next_frame r =
+  if available r < 8 then
+    if refill r then next_frame r
+    else if available r = 0 then Error `Eof
+    else Error (`Corrupt "end of stream inside a frame header")
+  else
+    let len = u32le_at r 0 in
+    if len > max_frame then
+      Error (`Corrupt (Printf.sprintf "frame length %d exceeds limit" len))
+    else if available r < 8 + len then
+      if refill r then next_frame r
+      else Error (`Corrupt "end of stream inside a frame payload")
+    else
+      let crc = Int32.of_int (u32le_at r 4) in
+      let payload = sub r 8 len in
+      r.roff <- r.roff + 8 + len;
+      compact r;
+      if Durability.Crc32.of_string payload <> crc then
+        Error (`Corrupt "checksum mismatch")
+      else
+        match decode_payload payload with
+        | Ok f -> Ok f
+        | Error e -> Error (`Corrupt e)
+
+let write_frame tr frame =
+  let s = encode frame in
+  tr.write s;
+  String.length s

@@ -1,0 +1,95 @@
+type t = {
+  m : Mutex.t;
+  readers_turn : Condition.t;
+  writers_turn : Condition.t;
+  mutable active_readers : int;
+  mutable writer_active : bool;
+  mutable waiting_writers : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable peak_readers : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    readers_turn = Condition.create ();
+    writers_turn = Condition.create ();
+    active_readers = 0;
+    writer_active = false;
+    waiting_writers = 0;
+    reads = 0;
+    writes = 0;
+    peak_readers = 0;
+  }
+
+let read t f =
+  Mutex.lock t.m;
+  while t.writer_active || t.waiting_writers > 0 do
+    Condition.wait t.readers_turn t.m
+  done;
+  t.active_readers <- t.active_readers + 1;
+  if t.active_readers > t.peak_readers then t.peak_readers <- t.active_readers;
+  Mutex.unlock t.m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.active_readers <- t.active_readers - 1;
+      t.reads <- t.reads + 1;
+      if t.active_readers = 0 then Condition.signal t.writers_turn;
+      Mutex.unlock t.m)
+    f
+
+let write t f =
+  Mutex.lock t.m;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer_active || t.active_readers > 0 do
+    Condition.wait t.writers_turn t.m
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer_active <- true;
+  Mutex.unlock t.m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.writer_active <- false;
+      t.writes <- t.writes + 1;
+      (* wake the next writer if any, else the readers *)
+      if t.waiting_writers > 0 then Condition.signal t.writers_turn
+      else Condition.broadcast t.readers_turn;
+      Mutex.unlock t.m)
+    f
+
+type stats = { reads : int; writes : int; peak_readers : int }
+
+let stats t =
+  Mutex.lock t.m;
+  let s = { reads = t.reads; writes = t.writes; peak_readers = t.peak_readers } in
+  Mutex.unlock t.m;
+  s
+
+(* classification ------------------------------------------------------ *)
+
+let first_word line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let has_operand line =
+  let line = String.trim line in
+  String.contains line ' '
+
+let classify line =
+  match first_word line with
+  | "run" | "map" | "normalize" | "key" | "minutes" | "resolve" | "load" ->
+    `Write
+  | _ -> `Read
+
+let cacheable line =
+  match first_word line with
+  | "help" | "stats" | "unmapped" | "check" | "ask" | "derive" -> true
+  (* browsing commands are cacheable only in their explicit-operand form:
+     without an operand they read the session cursor *)
+  | "menu" | "why" | "history" | "source" | "deps" -> has_operand line
+  | _ -> false

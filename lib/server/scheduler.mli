@@ -1,0 +1,45 @@
+(** The read/write scheduler.
+
+    Commands are classified by their first word: reads ([ask], [derive],
+    [focus], [stats], …) run concurrently under the shared side of a
+    writer-preferring readers-writer lock, while writes ([run], [map],
+    [resolve], …) serialize on the exclusive side — one writer at a
+    time, no readers in flight, matching the decision log's total order
+    (and, when a WAL is attached, the journal's).
+
+    Note the KB's internal memo caches mean even "read" commands mutate
+    engine state, so the server additionally serializes actual command
+    evaluation ({!Daemon}); the shared mode is what lets *cached*
+    responses be served in parallel and is where the read throughput
+    scaling comes from. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run under the shared lock.  Blocks while a writer is active or
+    waiting (writer preference avoids writer starvation). *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** Run under the exclusive lock. *)
+
+type stats = {
+  reads : int;  (** completed shared sections *)
+  writes : int;  (** completed exclusive sections *)
+  peak_readers : int;  (** most shared sections ever in flight at once *)
+}
+
+val stats : t -> stats
+
+(** {1 Command classification} *)
+
+val classify : string -> [ `Read | `Write ]
+(** By first word; unknown commands classify as reads (the shell answers
+    them with an error without touching the repository). *)
+
+val cacheable : string -> bool
+(** Deterministic, session-independent read commands whose response may
+    be served from the version-keyed cache.  Commands that read or set
+    per-session state ([focus], [config], cursor-relative browsing) and
+    commands with side effects ([save]) are excluded. *)

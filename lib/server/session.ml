@@ -1,0 +1,117 @@
+module Repo = Gkbms.Repository
+
+type t = {
+  sid : int;
+  shell : Gkbms.Shell.t;
+  transport : Protocol.transport;
+  queue : Protocol.request Bqueue.t;
+  repo : Repo.t;
+  sub : Repo.event_subscription;
+  news_m : Mutex.t;
+  mutable news : string list;  (** newest first; pre-rendered strings *)
+  mutable last_active : float;
+}
+
+let sid t = t.sid
+let shell t = t.shell
+let last_active t = t.last_active
+let queue_length t = Bqueue.length t.queue
+
+let create ~sid ~queue_limit ~repo ~transport =
+  let news_m = Mutex.create () in
+  let t_ref = ref None in
+  (* the listener runs inside a writer's commit, i.e. under the
+     scheduler's exclusive lock, so Symbol.name is safe here; only
+     strings cross into the session *)
+  let listen event =
+    let line =
+      match event with
+      | Repo.Decision_committed id -> Some ("committed " ^ Kernel.Symbol.name id)
+      | Repo.Decision_unlogged id -> Some ("retracted " ^ Kernel.Symbol.name id)
+      | Repo.Decision_begun _ | Repo.Decision_aborted _
+      | Repo.Artifact_written _ -> None
+    in
+    match (line, !t_ref) with
+    | Some line, Some t ->
+      Mutex.lock t.news_m;
+      t.news <- line :: t.news;
+      Mutex.unlock t.news_m
+    | _ -> ()
+  in
+  let sub = Repo.on_event repo listen in
+  let t =
+    {
+      sid;
+      shell = Gkbms.Shell.session repo;
+      transport;
+      queue = Bqueue.create ~capacity:queue_limit;
+      repo;
+      sub;
+      news_m;
+      news = [];
+      last_active = Unix.gettimeofday ();
+    }
+  in
+  t_ref := Some t;
+  t
+
+let take_news t =
+  Mutex.lock t.news_m;
+  let news = List.rev t.news in
+  t.news <- [];
+  Mutex.unlock t.news_m;
+  match news with [] -> "no news." | lines -> String.concat "\n" lines
+
+let shutdown t = t.transport.Protocol.shutdown ()
+
+let detach t =
+  Repo.off_event t.repo t.sub;
+  t.transport.Protocol.close ()
+
+let run t ~process ~on_bytes ~on_protocol_error =
+  let executor =
+    Thread.create
+      (fun () ->
+        let continue_ = ref true in
+        while !continue_ do
+          match Bqueue.take t.queue with
+          | None -> continue_ := false
+          | Some req ->
+            let resp = process t req in
+            (try
+               let n =
+                 Protocol.write_frame t.transport (Protocol.Response resp)
+               in
+               on_bytes ~incoming:0 ~outgoing:n
+             with _ ->
+               (* peer gone mid-response: stop executing *)
+               Bqueue.close t.queue);
+            if Gkbms.Shell.is_quit req.Protocol.line then (
+              Bqueue.close t.queue;
+              (* wake the receiver blocked on the transport *)
+              t.transport.Protocol.shutdown ())
+        done)
+      ()
+  in
+  let reader = Protocol.reader t.transport in
+  let last_consumed = ref 0 in
+  let receiving = ref true in
+  while !receiving do
+    (match Protocol.next_frame reader with
+    | Ok (Protocol.Request req) ->
+      t.last_active <- Unix.gettimeofday ();
+      let consumed = Protocol.bytes_consumed reader in
+      on_bytes ~incoming:(consumed - !last_consumed) ~outgoing:0;
+      last_consumed := consumed;
+      if not (Bqueue.put t.queue req) then receiving := false
+    | Ok (Protocol.Response _) ->
+      on_protocol_error "unexpected response frame from client";
+      receiving := false
+    | Error `Eof -> receiving := false
+    | Error (`Corrupt reason) ->
+      on_protocol_error reason;
+      receiving := false)
+  done;
+  Bqueue.close t.queue;
+  Thread.join executor;
+  detach t

@@ -1,0 +1,38 @@
+(** A per-connection session: one {!Gkbms.Shell} over the shared
+    repository, a bounded request queue fed by a receiver loop, an
+    executor thread draining it, and an event listener collecting
+    decisions committed by *any* session since this client last polled
+    ([news] — the paper's §2 group setting, where designers working on
+    one shared KB see each other's decisions land).
+
+    The listener is detached with {!Gkbms.Repository.off_event} when the
+    connection ends, so a disconnecting client leaks no closure. *)
+
+type t
+
+val sid : t -> int
+val shell : t -> Gkbms.Shell.t
+val last_active : t -> float
+val queue_length : t -> int
+
+val create :
+  sid:int -> queue_limit:int -> repo:Gkbms.Repository.t ->
+  transport:Protocol.transport -> t
+
+val take_news : t -> string
+(** Render and clear the decisions committed since the last poll. *)
+
+val shutdown : t -> unit
+(** Wake the receiver with end-of-stream (idle reaper / server stop). *)
+
+val run :
+  t ->
+  process:(t -> Protocol.request -> Protocol.response) ->
+  on_bytes:(incoming:int -> outgoing:int -> unit) ->
+  on_protocol_error:(string -> unit) ->
+  unit
+(** Serve the connection to completion: receive frames into the queue
+    (blocking when it is full — backpressure), execute them in order on
+    the executor thread, write responses back.  Returns once the peer
+    disconnects, sends [quit], or the transport is shut down; the event
+    listener is detached and the transport closed before returning. *)

@@ -23,5 +23,6 @@ let () =
       ("integration", Test_integration.suite);
       ("negotiation", Test_negotiation.suite);
       ("shell", Test_shell.suite);
+      ("server", Test_server.suite);
       ("coverage", Test_coverage.suite);
     ]

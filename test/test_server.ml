@@ -1,0 +1,520 @@
+(* The concurrent GKBMS server: wire protocol, sessions, scheduler,
+   version-keyed cache, and the concurrency differential test (N clients
+   against the server must equal a sequential Shell replay). *)
+
+module Protocol = Server.Protocol
+module Daemon = Server.Daemon
+module Client = Server.Client
+module Repo = Gkbms.Repository
+module Sym = Kernel.Symbol
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let req_ok client line =
+  match Client.request client line with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "request %S failed: %s" line e
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec loop i = i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1)) in
+  loop 0
+
+(* a scenario repository advanced to the keyed stage, plus seed docs *)
+let keyed_repo ?(docs = 0) () =
+  let st = ok (Gkbms.Scenario.setup ()) in
+  ignore (ok (Gkbms.Scenario.map_move_down st));
+  ignore (ok (Gkbms.Scenario.normalize_invitations st));
+  ignore (ok (Gkbms.Scenario.substitute_key st));
+  let repo = st.Gkbms.Scenario.repo in
+  for i = 0 to docs - 1 do
+    ignore
+      (ok
+         (Repo.new_object repo
+            ~name:(Printf.sprintf "Doc%d" i)
+            ~cls:Gkbms.Metamodel.dbpl_object (Repo.Text "v0")))
+  done;
+  repo
+
+(* protocol ------------------------------------------------------------- *)
+
+let roundtrip frame =
+  let client, server = Protocol.loopback () in
+  ignore (Protocol.write_frame client frame);
+  let r = Protocol.reader server in
+  match Protocol.next_frame r with
+  | Ok f -> f
+  | Error `Eof -> Alcotest.fail "unexpected eof"
+  | Error (`Corrupt e) -> Alcotest.failf "unexpected corruption: %s" e
+
+let test_protocol_roundtrip () =
+  (match roundtrip (Protocol.Request { id = 42; line = "focus Papers" }) with
+  | Protocol.Request r ->
+    check int "id" 42 r.Protocol.id;
+    check string "line" "focus Papers" r.Protocol.line
+  | _ -> Alcotest.fail "wrong frame kind");
+  match
+    roundtrip (Protocol.Response { id = 7; ok = false; payload = "error: x" })
+  with
+  | Protocol.Response r ->
+    check int "id" 7 r.Protocol.id;
+    check bool "ok" false r.Protocol.ok;
+    check string "payload" "error: x" r.Protocol.payload
+  | _ -> Alcotest.fail "wrong frame kind"
+
+let test_protocol_pipelined_and_partial () =
+  let client, server = Protocol.loopback () in
+  let wire =
+    Protocol.encode (Protocol.Request { id = 1; line = "a" })
+    ^ Protocol.encode (Protocol.Request { id = 2; line = "b" })
+  in
+  (* deliver byte by byte: the reader must reassemble frames *)
+  String.iter (fun c -> client.Protocol.write (String.make 1 c)) wire;
+  let r = Protocol.reader server in
+  (match Protocol.next_frame r with
+  | Ok (Protocol.Request q) -> check int "first" 1 q.Protocol.id
+  | _ -> Alcotest.fail "first frame");
+  (match Protocol.next_frame r with
+  | Ok (Protocol.Request q) -> check int "second" 2 q.Protocol.id
+  | _ -> Alcotest.fail "second frame");
+  check int "consumed everything" (String.length wire) (Protocol.bytes_consumed r)
+
+let test_protocol_corruption () =
+  let client, server = Protocol.loopback () in
+  let wire =
+    Bytes.of_string (Protocol.encode (Protocol.Request { id = 3; line = "stats" }))
+  in
+  (* flip a payload byte: the CRC must catch it *)
+  let last = Bytes.length wire - 1 in
+  Bytes.set wire last (Char.chr (Char.code (Bytes.get wire last) lxor 0xff));
+  client.Protocol.write (Bytes.to_string wire);
+  client.Protocol.close ();
+  let r = Protocol.reader server in
+  (match Protocol.next_frame r with
+  | Error (`Corrupt reason) -> check bool "checksum" true (contains "checksum" reason)
+  | _ -> Alcotest.fail "corruption undetected");
+  (* truncated frame *)
+  let client, server = Protocol.loopback () in
+  let wire = Protocol.encode (Protocol.Request { id = 4; line = "stats" }) in
+  client.Protocol.write (String.sub wire 0 (String.length wire - 2));
+  client.Protocol.close ();
+  let r = Protocol.reader server in
+  match Protocol.next_frame r with
+  | Error (`Corrupt _) -> ()
+  | _ -> Alcotest.fail "truncation undetected"
+
+(* bounded queue --------------------------------------------------------- *)
+
+let test_bqueue () =
+  let q = Server.Bqueue.create ~capacity:2 in
+  check bool "put 1" true (Server.Bqueue.put q 1);
+  check bool "put 2" true (Server.Bqueue.put q 2);
+  check int "length" 2 (Server.Bqueue.length q);
+  (* a put beyond capacity blocks until a take frees a slot *)
+  let t = Thread.create (fun () -> ignore (Server.Bqueue.put q 3)) () in
+  Thread.delay 0.02;
+  check int "still full" 2 (Server.Bqueue.length q);
+  check bool "fifo" true (Server.Bqueue.take q = Some 1);
+  Thread.join t;
+  check bool "fifo 2" true (Server.Bqueue.take q = Some 2);
+  check bool "fifo 3" true (Server.Bqueue.take q = Some 3);
+  Server.Bqueue.close q;
+  check bool "closed take" true (Server.Bqueue.take q = None);
+  check bool "closed put" false (Server.Bqueue.put q 4)
+
+(* scheduler ------------------------------------------------------------- *)
+
+let test_scheduler_classify () =
+  List.iter
+    (fun line -> check bool line true (Server.Scheduler.classify line = `Write))
+    [ "run DecNormalize Normalizer relation=X"; "map"; "normalize"; "key";
+      "minutes"; "resolve"; "load f" ];
+  List.iter
+    (fun line -> check bool line true (Server.Scheduler.classify line = `Read))
+    [ "stats"; "focus Papers"; "why X"; "check"; "ask p"; "metrics" ];
+  (* cursor-relative forms depend on session state: not cacheable *)
+  check bool "why X cacheable" true (Server.Scheduler.cacheable "why X");
+  check bool "bare why not cacheable" false (Server.Scheduler.cacheable "why");
+  check bool "stats cacheable" true (Server.Scheduler.cacheable "stats");
+  (* focus sets the session cursor — a side effect a cache hit would skip *)
+  check bool "focus not cacheable" false (Server.Scheduler.cacheable "focus X");
+  check bool "news not cacheable" false (Server.Scheduler.cacheable "news")
+
+let test_scheduler_rw_exclusion () =
+  let s = Server.Scheduler.create () in
+  let m = Mutex.create () and c = Condition.create () in
+  let readers_in = ref 0 and release = ref false in
+  let reader () =
+    Server.Scheduler.read s (fun () ->
+        Mutex.lock m;
+        incr readers_in;
+        Condition.broadcast c;
+        while not !release do
+          Condition.wait c m
+        done;
+        Mutex.unlock m)
+  in
+  let t1 = Thread.create reader () and t2 = Thread.create reader () in
+  Mutex.lock m;
+  while !readers_in < 2 do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  (* both readers are inside the read lock simultaneously *)
+  let wrote = ref false in
+  let w =
+    Thread.create (fun () -> Server.Scheduler.write s (fun () -> wrote := true)) ()
+  in
+  Thread.delay 0.02;
+  check bool "writer excluded while readers hold the lock" false !wrote;
+  Mutex.lock m;
+  release := true;
+  Condition.broadcast c;
+  Mutex.unlock m;
+  Thread.join t1;
+  Thread.join t2;
+  Thread.join w;
+  check bool "writer ran after readers left" true !wrote;
+  let st = Server.Scheduler.stats s in
+  check int "reads" 2 st.Server.Scheduler.reads;
+  check int "writes" 1 st.Server.Scheduler.writes;
+  check bool "peak readers" true (st.Server.Scheduler.peak_readers >= 2)
+
+(* cache ----------------------------------------------------------------- *)
+
+let test_cache_versioning () =
+  let c = Server.Cache.create ~capacity:8 () in
+  check bool "miss" true (Server.Cache.find c ~version:1 "stats" = None);
+  Server.Cache.store c ~version:1 "stats" "s1";
+  check bool "hit" true (Server.Cache.find c ~version:1 "stats" = Some "s1");
+  (* a newer version invalidates the whole generation *)
+  check bool "newer version misses" true (Server.Cache.find c ~version:2 "stats" = None);
+  check bool "old entry gone" true (Server.Cache.find c ~version:2 "stats" = None);
+  Server.Cache.store c ~version:2 "stats" "s2";
+  check bool "new generation hit" true
+    (Server.Cache.find c ~version:2 "stats" = Some "s2");
+  (* a stale computation must not be stored over a newer generation *)
+  Server.Cache.store c ~version:1 "stats" "stale";
+  check bool "stale store dropped" true
+    (Server.Cache.find c ~version:2 "stats" = Some "s2");
+  let st = Server.Cache.stats c in
+  check bool "invalidations counted" true (st.Server.Cache.invalidations >= 1);
+  check bool "hits counted" true (st.Server.Cache.hits >= 2)
+
+let test_cache_capacity () =
+  let c = Server.Cache.create ~capacity:2 () in
+  Server.Cache.store c ~version:1 "a" "1";
+  Server.Cache.store c ~version:1 "b" "2";
+  Server.Cache.store c ~version:1 "c" "3";
+  let st = Server.Cache.stats c in
+  check bool "bounded" true (st.Server.Cache.entries <= 2);
+  check bool "eviction counted" true (st.Server.Cache.evictions >= 1)
+
+(* metrics ---------------------------------------------------------------- *)
+
+let test_metrics () =
+  let m = Server.Metrics.create () in
+  Server.Metrics.record m ~cmd:"stats" ~ok:true ~seconds:0.001;
+  Server.Metrics.record m ~cmd:"stats" ~ok:false ~seconds:0.002;
+  Server.Metrics.record m ~cmd:"run" ~ok:true ~seconds:0.1;
+  Server.Metrics.add_bytes m ~incoming:10 ~outgoing:20;
+  Server.Metrics.session_opened m;
+  let s = Server.Metrics.snapshot m in
+  check int "total" 3 s.Server.Metrics.total_calls;
+  check int "errors" 1 s.Server.Metrics.total_errors;
+  check int "bytes in" 10 s.Server.Metrics.bytes_in;
+  check int "commands" 2 (List.length s.Server.Metrics.commands);
+  let stats_cmd = List.find (fun c -> c.Server.Metrics.cmd = "stats") s.Server.Metrics.commands in
+  check int "stats calls" 2 stats_cmd.Server.Metrics.calls;
+  check bool "p99 >= p50" true
+    (stats_cmd.Server.Metrics.p99_us >= stats_cmd.Server.Metrics.p50_us);
+  check bool "mean in range" true
+    (stats_cmd.Server.Metrics.mean_us > 500. && stats_cmd.Server.Metrics.mean_us < 5000.)
+
+(* end-to-end over the in-process loopback -------------------------------- *)
+
+let test_loopback_session () =
+  let repo = keyed_repo ~docs:1 () in
+  let daemon = Daemon.create repo in
+  let client = Client.of_transport (Daemon.connect daemon) in
+  check string "ping" "pong" (req_ok client "ping");
+  check bool "stats" true (contains "propositions" (req_ok client "stats"));
+  let v0 = int_of_string (req_ok client "version") in
+  (* a cacheable read twice: second one must hit *)
+  ignore (req_ok client "stats");
+  ignore (req_ok client "stats");
+  let cs = Option.get (Daemon.cache_stats daemon) in
+  check bool "cache hits" true (cs.Server.Cache.hits >= 1);
+  (* a write bumps the version and lands in the news feed *)
+  let out = req_ok client "run DecManualEdit Editor object=Doc0 text=v1" in
+  check bool "write ok" true (contains "run executed" out);
+  let v1 = int_of_string (req_ok client "version") in
+  check bool "version bumped" true (v1 > v0);
+  check bool "news" true (contains "committed" (req_ok client "news"));
+  check string "news drained" "no news." (req_ok client "news");
+  (* errors come back as error responses, not disconnects *)
+  (match Client.request client "frobnicate" with
+  | Error e -> check bool "error payload" true (contains "unknown command" e)
+  | Ok _ -> Alcotest.fail "expected an error response");
+  let m = req_ok client "metrics" in
+  check bool "metrics has commands" true (contains "ping" m);
+  check bool "metrics has cache" true (contains "cache:" m);
+  Client.close client;
+  (* the session drains and deregisters *)
+  let rec wait n =
+    if n > 0 && Daemon.session_count daemon > 0 then (
+      Thread.delay 0.01;
+      wait (n - 1))
+  in
+  wait 100;
+  check int "sessions drained" 0 (Daemon.session_count daemon);
+  Daemon.stop daemon
+
+let test_session_listener_leak () =
+  let repo = keyed_repo () in
+  let before = Repo.event_listener_count repo in
+  let daemon = Daemon.create repo in
+  let clients =
+    List.init 3 (fun _ -> Client.of_transport (Daemon.connect daemon))
+  in
+  List.iter (fun c -> ignore (req_ok c "ping")) clients;
+  check bool "listeners attached" true (Repo.event_listener_count repo > before);
+  List.iter Client.close clients;
+  Daemon.stop daemon;
+  (* off_event ran for every session: no leaked subscriptions *)
+  check int "listeners detached" before (Repo.event_listener_count repo)
+
+let test_idle_timeout () =
+  let repo = keyed_repo () in
+  let daemon =
+    Daemon.create
+      ~config:{ Daemon.default_config with idle_timeout = Some 0.05 }
+      repo
+  in
+  let client = Client.of_transport (Daemon.connect daemon) in
+  check string "alive" "pong" (req_ok client "ping");
+  let rec wait n =
+    if n > 0 && Daemon.session_count daemon > 0 then (
+      Thread.delay 0.05;
+      wait (n - 1))
+  in
+  wait 40;
+  check int "idle session reaped" 0 (Daemon.session_count daemon);
+  (match Client.request client "ping" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "request succeeded on a reaped session");
+  Daemon.stop daemon
+
+let test_abrupt_disconnect () =
+  let repo = keyed_repo () in
+  let daemon = Daemon.create repo in
+  let transport = Daemon.connect daemon in
+  ignore (Protocol.write_frame transport (Protocol.Request { id = 1; line = "stats" }));
+  (* drop the connection without a quit *)
+  transport.Protocol.close ();
+  let rec wait n =
+    if n > 0 && Daemon.session_count daemon > 0 then (
+      Thread.delay 0.01;
+      wait (n - 1))
+  in
+  wait 100;
+  check int "session cleaned up" 0 (Daemon.session_count daemon);
+  (* the server still accepts new sessions *)
+  let client = Client.of_transport (Daemon.connect daemon) in
+  check string "still serving" "pong" (req_ok client "ping");
+  Client.close client;
+  Daemon.stop daemon
+
+(* end-to-end over a real Unix-domain socket ------------------------------ *)
+
+let test_unix_socket () =
+  let repo = keyed_repo ~docs:1 () in
+  let daemon = Daemon.create repo in
+  let path = Filename.temp_file "gkbms_srv" ".sock" in
+  Sys.remove path;
+  let listener =
+    Thread.create (fun () -> ignore (Daemon.listen daemon ~path)) ()
+  in
+  let rec wait_sock n =
+    if n > 0 && not (Sys.file_exists path) then (
+      Thread.delay 0.01;
+      wait_sock (n - 1))
+  in
+  wait_sock 200;
+  let client = ok (Client.connect_unix path) in
+  check string "ping over socket" "pong" (req_ok client "ping");
+  check bool "write over socket" true
+    (contains "run executed" (req_ok client "run DecManualEdit Editor object=Doc0 text=v1"));
+  Client.close client;
+  Daemon.stop daemon;
+  Thread.join listener;
+  check bool "socket unlinked" false (Sys.file_exists path)
+
+(* WAL-backed server ------------------------------------------------------ *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_wal_recovery () =
+  let dir = Filename.temp_file "gkbms_srv_wal" "" in
+  Sys.remove dir;
+  let repo = keyed_repo ~docs:1 () in
+  let decisions_before = List.length (Repo.decision_log repo) in
+  let daemon = Daemon.create repo in
+  ok (Daemon.attach_wal daemon ~dir);
+  let client = Client.of_transport (Daemon.connect daemon) in
+  check bool "journaled write" true
+    (contains "run executed" (req_ok client "run DecManualEdit Editor object=Doc0 text=v1"));
+  (* the WAL is synced before the response, so the decision is already
+     durable here even if the process dies without Daemon.stop *)
+  let recovered, _report = ok (Gkbms.Durable.recover ~dir ()) in
+  check int "committed decision recovered without shutdown"
+    (decisions_before + 1)
+    (List.length (Repo.decision_log recovered));
+  Client.close client;
+  Daemon.stop daemon;
+  rm_rf dir
+
+(* the concurrency differential test -------------------------------------- *)
+
+(* normalize generated names (fresh proposition ids, decision counters)
+   that legitimately differ between two runs with the same history *)
+let normalize_name n =
+  let numeric_suffix prefix =
+    String.length n > String.length prefix
+    && String.sub n 0 (String.length prefix) = prefix
+    && String.for_all
+         (fun c -> c >= '0' && c <= '9')
+         (String.sub n (String.length prefix) (String.length n - String.length prefix))
+  in
+  if numeric_suffix "p" then "_p"
+  else if numeric_suffix "dec" then "_dec"
+  else n
+
+let digest repo ~docs =
+  let base = Cml.Kb.base (Repo.kb repo) in
+  let triples =
+    Store.Base.fold base
+      (fun acc p ->
+        (normalize_name (Sym.name p.Kernel.Prop.source),
+         normalize_name (Sym.name p.Kernel.Prop.label),
+         normalize_name (Sym.name p.Kernel.Prop.dest))
+        :: acc)
+      []
+    |> List.sort compare
+  in
+  let decision_classes =
+    List.map (fun (_, dc) -> dc) (Gkbms.Navigation.browse_process repo)
+  in
+  let chains =
+    List.init docs (fun i ->
+        List.map Sym.name
+          (Gkbms.Version.version_chain repo (Sym.intern (Printf.sprintf "Doc%d" i))))
+  in
+  let tips =
+    List.init docs (fun i ->
+        match
+          List.rev
+            (Gkbms.Version.version_chain repo (Sym.intern (Printf.sprintf "Doc%d" i)))
+        with
+        | tip :: _ -> Option.value ~default:"" (Repo.source_text repo tip)
+        | [] -> "")
+  in
+  let unsupported =
+    List.map Sym.name (Gkbms.Backtrack.unsupported_objects repo)
+    |> List.sort compare
+  in
+  (triples, decision_classes, chains, tips, unsupported)
+
+let differential ~cache () =
+  let docs = 3 in
+  let repo = keyed_repo ~docs () in
+  let daemon =
+    Daemon.create ~config:{ Daemon.default_config with cache } repo
+  in
+  let reads =
+    [| "stats"; "check"; "focus InvitationRel3"; "derive in(InvitationRel, ?C)" |]
+  in
+  (* commuting writes: each client grows its own document's version chain *)
+  let client_thread ci =
+    let client = Client.of_transport (Daemon.connect daemon) in
+    let tip = ref (Printf.sprintf "Doc%d" ci) in
+    for k = 1 to 4 do
+      ignore (req_ok client reads.((ci + k) mod Array.length reads));
+      let resp =
+        req_ok client
+          (Printf.sprintf "run DecManualEdit Editor object=%s text=c%dk%d" !tip ci k)
+      in
+      (match String.rindex_opt resp '>' with
+      | Some i when i + 1 < String.length resp ->
+        tip := String.trim (String.sub resp (i + 1) (String.length resp - i - 1))
+      | _ -> Alcotest.failf "unparseable run response: %s" resp);
+      ignore (req_ok client reads.(k mod Array.length reads))
+    done;
+    Client.close client
+  in
+  let threads = List.init docs (fun ci -> Thread.create client_thread ci) in
+  List.iter Thread.join threads;
+  Daemon.stop daemon;
+  (* recover the server's commit order from the decision rationales and
+     replay it sequentially through a plain Shell on an identical seed *)
+  let shell_lines =
+    List.filter_map
+      (fun dec ->
+        match Gkbms.Decision.rationale_of repo dec with
+        | Some r when String.length r > 7 && String.sub r 0 7 = "shell: " ->
+          Some (String.sub r 7 (String.length r - 7))
+        | _ -> None)
+      (Repo.decision_log repo)
+  in
+  check int "server committed all writes" (docs * 4) (List.length shell_lines);
+  let repo_seq = keyed_repo ~docs () in
+  let shell = Gkbms.Shell.of_repository repo_seq in
+  List.iter
+    (fun line ->
+      let out = Gkbms.Shell.eval shell line in
+      if contains "error" out then
+        Alcotest.failf "sequential replay failed on %S: %s" line out)
+    shell_lines;
+  let d_server = digest repo ~docs and d_seq = digest repo_seq ~docs in
+  let t1, dc1, ch1, tip1, u1 = d_server and t2, dc2, ch2, tip2, u2 = d_seq in
+  check int "same proposition count" (List.length t2) (List.length t1);
+  check bool "same proposition triples" true (t1 = t2);
+  check bool "same decision classes" true (dc1 = dc2);
+  check bool "same version chains" true (ch1 = ch2);
+  check bool "same artifact tips" true (tip1 = tip2);
+  check bool "same unsupported objects" true (u1 = u2)
+
+let test_differential_cached () = differential ~cache:true ()
+let test_differential_uncached () = differential ~cache:false ()
+
+let suite =
+  [
+    ("protocol roundtrip", `Quick, test_protocol_roundtrip);
+    ("protocol pipelined and partial frames", `Quick, test_protocol_pipelined_and_partial);
+    ("protocol corruption detected", `Quick, test_protocol_corruption);
+    ("bounded queue", `Quick, test_bqueue);
+    ("scheduler classification", `Quick, test_scheduler_classify);
+    ("scheduler read/write exclusion", `Quick, test_scheduler_rw_exclusion);
+    ("cache version keying", `Quick, test_cache_versioning);
+    ("cache capacity bound", `Quick, test_cache_capacity);
+    ("metrics accounting", `Quick, test_metrics);
+    ("loopback end-to-end session", `Quick, test_loopback_session);
+    ("sessions detach event listeners", `Quick, test_session_listener_leak);
+    ("idle sessions are reaped", `Quick, test_idle_timeout);
+    ("abrupt disconnect cleans up", `Quick, test_abrupt_disconnect);
+    ("unix socket end-to-end", `Quick, test_unix_socket);
+    ("wal synced before response", `Quick, test_wal_recovery);
+    ("differential: concurrent = sequential (cache on)", `Quick, test_differential_cached);
+    ("differential: concurrent = sequential (cache off)", `Quick, test_differential_uncached);
+  ]

@@ -90,6 +90,132 @@ let test_quit_detection () =
   check bool "exit" true (Shell.is_quit " EXIT ");
   check bool "not quit" false (Shell.is_quit "map")
 
+(* two sessions on one repository: browsing state must not bleed over *)
+let test_per_session_cursor () =
+  let st = ok (Gkbms.Scenario.setup ()) in
+  let repo = st.Gkbms.Scenario.repo in
+  let a = Shell.session repo and b = Shell.session repo in
+  ignore (Shell.eval a "map");
+  ignore (Shell.eval a "focus InvitationRel");
+  check bool "a has a cursor" true
+    (contains "created by dec1" (Shell.eval a "why"));
+  check bool "b has no cursor" true
+    (contains "no focus set" (Shell.eval b "why"));
+  ignore (Shell.eval b "focus Papers");
+  check bool "b cursor independent" true
+    (contains "focus: Papers" (Shell.eval b "focus"));
+  check bool "a cursor unchanged" true
+    (contains "focus: InvitationRel" (Shell.eval a "focus"))
+
+let test_per_session_config_level () =
+  let st = ok (Gkbms.Scenario.setup ()) in
+  let repo = st.Gkbms.Scenario.repo in
+  let a = Shell.session repo and b = Shell.session repo in
+  ignore (Shell.eval a "map");
+  let a_config = Shell.eval a "config" in
+  (* b switches its configuration level; a's view must be unaffected *)
+  ignore (Shell.eval b "config NoSuchLevel");
+  check Alcotest.string "a config level untouched by b" a_config
+    (Shell.eval a "config")
+
+(* the scenario shortcuts must see versions created by other sessions *)
+let test_cross_session_version_advance () =
+  let st = ok (Gkbms.Scenario.setup ()) in
+  let repo = st.Gkbms.Scenario.repo in
+  let a = Shell.session repo and b = Shell.session repo in
+  check bool "a maps" true (contains "dec1" (Shell.eval a "map"));
+  check bool "a normalizes" true
+    (contains "InvitationRel2" (Shell.eval a "normalize"));
+  (* b never saw InvitationRel2 being created, but key must target it *)
+  check bool "b keys the latest version" true
+    (contains "InvitationRel3" (Shell.eval b "key"))
+
+let test_shared_session_refuses_load () =
+  let st = ok (Gkbms.Scenario.setup ()) in
+  let shell = Shell.session st.Gkbms.Scenario.repo in
+  check bool "load refused" true
+    (contains "shared session" (Shell.eval shell "load /tmp/nonexistent.repo"));
+  (* a private shell still loads (see save-and-load above) *)
+  check bool "map still works" true (contains "dec1" (Shell.eval shell "map"))
+
+(* golden transcript: the whole storyline through the dialog manager.
+   why/history are excluded (they print belief times from the global
+   clock), and config is excluded (its member order depends on global
+   symbol-table state); everything here depends only on repository
+   content. *)
+let golden_script =
+  [
+    "help"; "unmapped"; "map"; "focus InvitationRel"; "menu"; "source";
+    "normalize"; "key"; "check"; "minutes"; "check"; "resolve";
+    "deps Papers"; "ask forall x/Normalized_DBPL_Rel in(?x, DBPL_Rel)";
+    "derive in(MinuteRel, ?C)"; "stats";
+  ]
+
+let transcript () =
+  let shell = ok (Shell.create ()) in
+  String.concat ""
+    (List.map
+       (fun line ->
+         let out = Shell.eval shell line in
+         Printf.sprintf "gkbms> %s\n%s\n" line out)
+       golden_script)
+
+(* comma-separated listings (configuration members, unmapped objects)
+   are rendered in symbol-table order, which depends on how many symbols
+   the process interned before this test ran; compare them as sets *)
+let normalize_transcript s =
+  let sort_csv s =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.sort compare
+    |> String.concat ", "
+  in
+  let normalize_line line =
+    if not (String.contains line ',') then line
+    else
+      match String.index_opt line ':' with
+      | Some i ->
+        (* keep the "members:"-style label, sort the list after it *)
+        String.sub line 0 (i + 1)
+        ^ " "
+        ^ sort_csv (String.sub line (i + 1) (String.length line - i - 1))
+      | None -> sort_csv line
+  in
+  String.split_on_char '\n' s
+  |> List.map normalize_line
+  |> String.concat "\n"
+
+let test_golden_transcript () =
+  let got = transcript () in
+  match Sys.getenv_opt "GKBMS_GOLDEN_REGEN" with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc got;
+    close_out oc
+  | None ->
+    let golden =
+      (* dune runtest runs in test/, dune exec in the project root *)
+      List.find_opt Sys.file_exists
+        [ "shell_session.golden"; "test/shell_session.golden" ]
+      |> Option.value ~default:"shell_session.golden"
+    in
+    let want = In_channel.with_open_text golden In_channel.input_all in
+    if normalize_transcript got <> normalize_transcript want then begin
+      (* show the first diverging line to make failures diagnosable *)
+      let gl = String.split_on_char '\n' (normalize_transcript got)
+      and wl = String.split_on_char '\n' (normalize_transcript want) in
+      let rec first_diff i = function
+        | g :: gs, w :: ws ->
+          if g = w then first_diff (i + 1) (gs, ws)
+          else Alcotest.failf "transcript line %d differs:\n  got:  %s\n  want: %s" i g w
+        | g :: _, [] -> Alcotest.failf "transcript longer at line %d: %s" i g
+        | [], w :: _ -> Alcotest.failf "transcript shorter at line %d: %s" i w
+        | [], [] -> ()
+      in
+      first_diff 1 (gl, wl);
+      Alcotest.fail "transcript differs"
+    end
+
 let suite =
   [
     ("session runs the storyline", `Quick, test_session_runs_the_storyline);
@@ -99,4 +225,9 @@ let suite =
     ("error recovery", `Quick, test_error_recovery);
     ("save and load", `Quick, test_save_and_load);
     ("quit detection", `Quick, test_quit_detection);
+    ("per-session cursor", `Quick, test_per_session_cursor);
+    ("per-session config level", `Quick, test_per_session_config_level);
+    ("cross-session version advance", `Quick, test_cross_session_version_advance);
+    ("shared session refuses load", `Quick, test_shared_session_refuses_load);
+    ("golden transcript", `Quick, test_golden_transcript);
   ]
