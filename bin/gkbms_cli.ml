@@ -328,8 +328,35 @@ let snapshot_cmd =
        ~doc:"Persist the whole repository (KB + artifacts + history).")
     Term.(const run $ until_arg $ file)
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let stats_cmd =
-  let run until =
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Also print the process-wide metrics registry snapshot.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the registry snapshot to $(docv) as JSON.")
+  in
+  let prom_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Write the registry snapshot to $(docv) in Prometheus text \
+             exposition format.")
+  in
+  let run until metrics json prom =
     handle
       (let* st, _ = build_state until in
        let repo = st.Scn.repo in
@@ -342,10 +369,67 @@ let stats_cmd =
        Format.printf "unmapped:        %s@."
          (String.concat ", "
             (List.map Sym.name (Gkbms.Navigation.unmapped_objects repo)));
+       let samples = Obs.Registry.snapshot Obs.Registry.default in
+       if metrics then
+         Format.printf "-- registry --@.%a@." Obs.Export.pp_samples samples;
+       Option.iter
+         (fun f ->
+           write_file f (Obs.Export.json samples);
+           Format.printf "registry JSON written to %s@." f)
+         json;
+       Option.iter
+         (fun f ->
+           write_file f (Obs.Export.prometheus samples);
+           Format.printf "registry Prometheus text written to %s@." f)
+         prom;
        Ok ())
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Knowledge base statistics.")
-    Term.(const run $ until_arg)
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Knowledge base statistics; with $(b,--metrics)/$(b,--json)/\
+          $(b,--prom), the live observability registry.")
+    Term.(const run $ until_arg $ metrics_flag $ json_file $ prom_file)
+
+let trace_cmd =
+  let slow_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-op threshold in milliseconds; root spans at least this \
+             long enter the slow-op log (0 captures everything).")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the captured span trees to $(docv) as JSON.")
+  in
+  let run until slow_ms json =
+    handle
+      (Obs.Trace.set_slow_threshold_s (slow_ms /. 1e3);
+       Obs.Trace.set_enabled true;
+       let* _ = build_state until in
+       Obs.Trace.set_enabled false;
+       let spans = Obs.Trace.slow () in
+       Format.printf "%d slow operation(s) over %gms:@." (List.length spans)
+         slow_ms;
+       Format.printf "%a@." Obs.Export.pp_spans spans;
+       Option.iter
+         (fun f ->
+           write_file f (Obs.Export.spans_json spans);
+           Format.printf "span trees written to %s@." f)
+         json;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the scenario with tracing on and print the slow-op log's span \
+          trees.")
+    Term.(const run $ until_arg $ slow_ms $ json_file)
 
 let audit_cmd =
   let run until =
@@ -535,6 +619,6 @@ let main =
           evolution (Jarke & Rose, SIGMOD 1988).")
     [ scenario_cmd; focus_cmd; why_cmd; deps_cmd; config_cmd; source_cmd;
       ask_cmd; derive_cmd; export_cmd; import_cmd; snapshot_cmd; recover_cmd;
-      audit_cmd; repl_cmd; stats_cmd; serve_cmd; client_cmd ]
+      audit_cmd; repl_cmd; stats_cmd; trace_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main)

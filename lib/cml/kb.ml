@@ -65,13 +65,27 @@ let closure next start =
   visit start;
   Symbol.Set.elements !seen
 
+let g_cache_hits =
+  Obs.Registry.counter Obs.Registry.default "gkbms_kb_cache_hits_total"
+    ~help:"KB closure cache hits"
+
+let g_cache_misses =
+  Obs.Registry.counter Obs.Registry.default "gkbms_kb_cache_misses_total"
+    ~help:"KB closure cache misses"
+
+let g_cache_invalidations =
+  Obs.Registry.counter Obs.Registry.default "gkbms_kb_cache_invalidations_total"
+    ~help:"KB closure cache entries dropped by selective invalidation"
+
 let memo t tbl x compute =
   match Symbol.Tbl.find_opt tbl x with
   | Some v ->
     t.cache.hits <- t.cache.hits + 1;
+    Obs.Registry.Counter.inc g_cache_hits;
     v
   | None ->
     t.cache.misses <- t.cache.misses + 1;
+    Obs.Registry.Counter.inc g_cache_misses;
     let v = compute x in
     Symbol.Tbl.replace tbl x v;
     v
@@ -108,7 +122,8 @@ let all_instances_of t c =
 let cache_drop t tbl key =
   if Symbol.Tbl.mem tbl key then begin
     Symbol.Tbl.remove tbl key;
-    t.cache.invalidations <- t.cache.invalidations + 1
+    t.cache.invalidations <- t.cache.invalidations + 1;
+    Obs.Registry.Counter.inc g_cache_invalidations
   end
 
 (* Drop every entry whose memoized closure mentions [s] (plus the entry

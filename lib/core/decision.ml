@@ -144,6 +144,9 @@ let attach_text repo ~owner ~label ~suffix text =
 
 let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
     ?(assumptions = []) ?(asserts = []) () =
+  Obs.Trace.with_span "decision.execute"
+    ~attrs:[ ("class", decision_class); ("tool", tool) ]
+  @@ fun () ->
   let kb = Repo.kb repo in
   let base = Kb.base kb in
   if not (Kb.exists kb decision_class) then
@@ -174,7 +177,10 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
           Error err
         in
         let result =
-          let* outputs = tool_spec.run repo ~inputs ~params in
+          let* outputs =
+            Obs.Trace.with_span "decision.tool_run" (fun () ->
+                tool_spec.run repo ~inputs ~params)
+          in
           let* () = check_outputs repo decision_class outputs in
           (* the decision instance and its links *)
           let dec_name = Repo.fresh_decision_id repo in
@@ -326,7 +332,10 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
           in
           (* set-oriented consistency check over the delta *)
           let delta = Repo.drain_changes repo in
-          match Cml.Consistency.check_delta kb delta with
+          match
+            Obs.Trace.with_span "decision.consistency_check" (fun () ->
+                Cml.Consistency.check_delta kb delta)
+          with
           | [] ->
             Repo.log_decision repo dec_id;
             Repo.record_justifications repo dec_id !added_justs;
@@ -344,7 +353,10 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
         in
         (match result with
         | Ok executed -> (
-          match Store.Base.commit base with
+          match
+            Obs.Trace.with_span "decision.commit" (fun () ->
+                Store.Base.commit base)
+          with
           | Ok () ->
             Repo.emit_event repo (Repo.Decision_committed executed.decision);
             Ok executed

@@ -58,9 +58,19 @@ let fresh_journal ~fsync dir base =
   let sink = Wal.file_sink ~fsync (wal_path dir) in
   Journal.attach (Wal.writer sink) base
 
+let g_checkpoints =
+  Obs.Registry.counter Obs.Registry.default "gkbms_checkpoints_total"
+    ~help:"Durable snapshots taken (WAL truncations)"
+
+let g_checkpoint_us =
+  Obs.Registry.histogram Obs.Registry.default "gkbms_checkpoint_us"
+    ~help:"Checkpoint duration: sync, snapshot write and log rotation"
+
 let checkpoint t =
   if t.closed then Error "Durable.checkpoint: handle closed"
-  else begin
+  else
+    Obs.Trace.with_span "durable.checkpoint" @@ fun () ->
+    let t0 = Obs.Runtime.now_s () in
     Journal.sync t.journal;
     let* () = Persist.save_to_file t.repo (checkpoint_path t.dir) in
     (* the log is truncated only after the snapshot is durable; a crash
@@ -69,8 +79,9 @@ let checkpoint t =
     Journal.detach t.journal;
     Wal.close (Journal.writer t.journal);
     t.journal <- fresh_journal ~fsync:t.fsync t.dir base;
+    Obs.Registry.Counter.inc g_checkpoints;
+    Obs.Histogram.observe g_checkpoint_us ((Obs.Runtime.now_s () -. t0) *. 1e6);
     Ok ()
-  end
 
 let maybe_checkpoint t =
   if

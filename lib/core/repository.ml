@@ -98,11 +98,24 @@ let create ?(install_metamodel = true) () =
 let kb t = t.kb
 let jtms t = t.jtms
 
+let event_counter name help = Obs.Registry.counter Obs.Registry.default name ~help
+let g_begun = event_counter "gkbms_decisions_begun_total" "Decision executions started"
+let g_committed = event_counter "gkbms_decisions_committed_total" "Decisions committed"
+let g_aborted = event_counter "gkbms_decisions_aborted_total" "Decisions aborted"
+let g_unlogged = event_counter "gkbms_decisions_unlogged_total" "Decisions unlogged (history rewound)"
+let g_artifacts = event_counter "gkbms_artifacts_written_total" "Design artifacts written"
+
 let emit_event t e =
   (match e with
   | Decision_committed _ | Decision_unlogged _ | Artifact_written _ ->
     Atomic.incr t.version
   | Decision_begun _ | Decision_aborted _ -> ());
+  (match e with
+  | Decision_begun _ -> Obs.Registry.Counter.inc g_begun
+  | Decision_committed _ -> Obs.Registry.Counter.inc g_committed
+  | Decision_aborted _ -> Obs.Registry.Counter.inc g_aborted
+  | Decision_unlogged _ -> Obs.Registry.Counter.inc g_unlogged
+  | Artifact_written _ -> Obs.Registry.Counter.inc g_artifacts);
   List.iter (fun (_, f) -> f e) (List.rev t.event_listeners)
 
 let version t = Atomic.get t.version

@@ -88,6 +88,7 @@ let with_target t operand k =
     | None -> "error: no focus set (use 'focus OBJECT' first)")
 
 let eval t line =
+  Obs.Trace.with_span "shell.eval" ~attrs:[ ("cmd", line) ] @@ fun () ->
   let repo = t.state.Scenario.repo in
   match words line with
   | [] -> ""

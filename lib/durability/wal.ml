@@ -23,20 +23,36 @@ type sink = {
   close : unit -> unit;
 }
 
+let g_appends =
+  Obs.Registry.counter Obs.Registry.default "gkbms_wal_appends_total"
+    ~help:"WAL records appended"
+
+let g_append_bytes =
+  Obs.Registry.counter Obs.Registry.default "gkbms_wal_append_bytes_total"
+    ~help:"Framed bytes appended to the WAL"
+
+let sync_hist fsync =
+  Obs.Registry.histogram Obs.Registry.default "gkbms_wal_sync_us"
+    ~labels:[ ("fsync", if fsync then "true" else "false") ]
+    ~help:"WAL sink sync latency (flush, plus fsync when enabled)"
+
 let file_sink ?(append = false) ?(fsync = false) path =
   let flags =
     if append then [ Open_wronly; Open_append; Open_creat; Open_binary ]
     else [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
   in
   let oc = open_out_gen flags 0o644 path in
+  let hist = sync_hist fsync in
   {
     write = (fun s -> output_string oc s);
     sync =
       (fun () ->
+        let t0 = Obs.Runtime.now_s () in
         flush oc;
-        if fsync then
-          try Unix.fsync (Unix.descr_of_out_channel oc)
-          with Unix.Unix_error _ -> ());
+        (if fsync then
+           try Unix.fsync (Unix.descr_of_out_channel oc)
+           with Unix.Unix_error _ -> ());
+        Obs.Histogram.observe hist ((Obs.Runtime.now_s () -. t0) *. 1e6));
     close = (fun () -> close_out oc);
   }
 
@@ -181,7 +197,9 @@ let append w r =
   let framed = frame r in
   w.sink.write framed;
   w.bytes <- w.bytes + String.length framed;
-  w.records <- w.records + 1
+  w.records <- w.records + 1;
+  Obs.Registry.Counter.inc g_appends;
+  Obs.Registry.Counter.inc g_append_bytes ~by:(String.length framed)
 
 let sync w = w.sink.sync ()
 

@@ -109,7 +109,65 @@ type t = {
   mutable nonmonotone_cache : bool option;  (** any negated literal? *)
   mutable strata_cache : Symbol.t list list option;  (** set by [solve] *)
   counters : counters;
+  pub : counters;  (** values already flushed to the global registry *)
 }
+
+(* Process-wide registry series.  Hot paths bump only the engine-local
+   [counters] record; [publish] flushes the diff vs. [pub] at public
+   operation boundaries so per-lookup work stays a plain field update. *)
+let reg = Obs.Registry.default
+
+let g_full_solves =
+  Obs.Registry.counter reg "gkbms_datalog_full_solves_total"
+    ~help:"Complete from-scratch datalog materializations"
+
+let g_incr_inserts =
+  Obs.Registry.counter reg "gkbms_datalog_incr_inserts_total"
+    ~help:"Fact insertions absorbed by a delta round"
+
+let g_incr_deletes =
+  Obs.Registry.counter reg "gkbms_datalog_incr_deletes_total"
+    ~help:"Fact deletions absorbed by delete-rederive"
+
+let g_fallbacks =
+  Obs.Registry.counter reg "gkbms_datalog_fallbacks_total"
+    ~help:"Updates that invalidated instead of patching incrementally"
+
+let g_delta_rounds =
+  Obs.Registry.counter reg "gkbms_datalog_delta_rounds_total"
+    ~help:"Semi-naive / DRed rounds run incrementally"
+
+let g_delta_tuples =
+  Obs.Registry.counter reg "gkbms_datalog_delta_tuples_total"
+    ~help:"Tuples moved by incremental propagation"
+
+let g_index_hits =
+  Obs.Registry.counter reg "gkbms_datalog_index_hits_total"
+    ~help:"Bound-first-argument indexed lookups"
+
+let g_index_misses =
+  Obs.Registry.counter reg "gkbms_datalog_index_misses_total"
+    ~help:"Full-relation scans"
+
+let publish t =
+  let c = t.counters and p = t.pub in
+  let flush g cur last = if cur > last then Obs.Registry.Counter.inc ~by:(cur - last) g in
+  flush g_full_solves c.c_full_solves p.c_full_solves;
+  flush g_incr_inserts c.c_incr_inserts p.c_incr_inserts;
+  flush g_incr_deletes c.c_incr_deletes p.c_incr_deletes;
+  flush g_fallbacks c.c_fallbacks p.c_fallbacks;
+  flush g_delta_rounds c.c_delta_rounds p.c_delta_rounds;
+  flush g_delta_tuples c.c_delta_tuples p.c_delta_tuples;
+  flush g_index_hits c.c_index_hits p.c_index_hits;
+  flush g_index_misses c.c_index_misses p.c_index_misses;
+  p.c_full_solves <- c.c_full_solves;
+  p.c_incr_inserts <- c.c_incr_inserts;
+  p.c_incr_deletes <- c.c_incr_deletes;
+  p.c_fallbacks <- c.c_fallbacks;
+  p.c_delta_rounds <- c.c_delta_rounds;
+  p.c_delta_tuples <- c.c_delta_tuples;
+  p.c_index_hits <- c.c_index_hits;
+  p.c_index_misses <- c.c_index_misses
 
 let fresh_counters () =
   {
@@ -134,6 +192,7 @@ let create () =
     nonmonotone_cache = None;
     strata_cache = None;
     counters = fresh_counters ();
+    pub = fresh_counters ();
   }
 
 let stats t =
@@ -150,15 +209,19 @@ let stats t =
   }
 
 let reset_stats t =
-  let c = t.counters in
-  c.c_full_solves <- 0;
-  c.c_incr_inserts <- 0;
-  c.c_incr_deletes <- 0;
-  c.c_fallbacks <- 0;
-  c.c_delta_rounds <- 0;
-  c.c_delta_tuples <- 0;
-  c.c_index_hits <- 0;
-  c.c_index_misses <- 0
+  publish t;
+  let zero c =
+    c.c_full_solves <- 0;
+    c.c_incr_inserts <- 0;
+    c.c_incr_deletes <- 0;
+    c.c_fallbacks <- 0;
+    c.c_delta_rounds <- 0;
+    c.c_delta_tuples <- 0;
+    c.c_index_hits <- 0;
+    c.c_index_misses <- 0
+  in
+  zero t.counters;
+  zero t.pub
 
 let copy t =
   let dup_sets tbl =
@@ -181,6 +244,7 @@ let copy t =
     nonmonotone_cache = t.nonmonotone_cache;
     strata_cache = t.strata_cache;
     counters = fresh_counters ();
+    pub = fresh_counters ();
   }
 
 let set_of tbl p =
@@ -564,21 +628,26 @@ let invalidate t =
 let solve ?(strategy = `Seminaive) t =
   if t.solved then Ok ()
   else
-    match stratify t with
-    | Error e -> Error e
-    | Ok strata ->
-      Symbol.Tbl.reset t.derived;
-      List.iter
-        (fun stratum_preds ->
-          let stratum_rules = stratum_rules_of t stratum_preds in
-          match strategy with
-          | `Naive -> eval_stratum_naive t stratum_rules
-          | `Seminaive -> eval_stratum_seminaive t stratum_preds stratum_rules)
-        strata;
-      t.strata_cache <- Some strata;
-      t.solved <- true;
-      t.counters.c_full_solves <- t.counters.c_full_solves + 1;
-      Ok ()
+    let r =
+      match stratify t with
+      | Error e -> Error e
+      | Ok strata ->
+        Symbol.Tbl.reset t.derived;
+        List.iter
+          (fun stratum_preds ->
+            let stratum_rules = stratum_rules_of t stratum_preds in
+            match strategy with
+            | `Naive -> eval_stratum_naive t stratum_rules
+            | `Seminaive ->
+              eval_stratum_seminaive t stratum_preds stratum_rules)
+          strata;
+        t.strata_cache <- Some strata;
+        t.solved <- true;
+        t.counters.c_full_solves <- t.counters.c_full_solves + 1;
+        Ok ()
+    in
+    publish t;
+    r
 
 (* Incremental insertion ------------------------------------------------- *)
 
@@ -641,6 +710,7 @@ let add_fact t (a : Term.atom) =
         t.counters.c_fallbacks <- t.counters.c_fallbacks + 1;
         t.solved <- false
       | false, _ -> ());
+      publish t;
       Ok ()
     end
   end
@@ -760,6 +830,7 @@ let remove_fact t (a : Term.atom) =
           t.counters.c_fallbacks <- t.counters.c_fallbacks + 1;
           t.solved <- false
         | false, _ -> ()));
+    publish t;
     Ok ()
   end
 
@@ -783,7 +854,10 @@ let match_atom t (a : Term.atom) subst =
 let query ?strategy t a =
   match solve ?strategy t with
   | Error e -> Error e
-  | Ok () -> Ok (match_atom t a Term.Subst.empty)
+  | Ok () ->
+    let r = match_atom t a Term.Subst.empty in
+    publish t;
+    Ok r
 
 let derived_count t =
   Symbol.Tbl.fold (fun _ s acc -> acc + Relation.cardinal s) t.derived 0

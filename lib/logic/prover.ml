@@ -19,8 +19,30 @@ type t = {
   active : unit Atom_tbl.t;  (** canonical subgoals under evaluation *)
   mutable dirty : bool;  (** a goal was activated mid-fixpoint *)
   stats : stats;
+  pub : stats;  (** values already flushed to the global registry *)
   mutable fresh : int;
 }
+
+let g_resolutions =
+  Obs.Registry.counter Obs.Registry.default "gkbms_prover_resolutions_total"
+    ~help:"SLD / tabled resolution steps"
+
+let g_lemma_hits =
+  Obs.Registry.counter Obs.Registry.default "gkbms_prover_lemma_hits_total"
+    ~help:"Subgoal answers served from the lemma table"
+
+(* Resolution counting sits on the unification hot path, so the engine
+   bumps plain record fields and the diff is flushed here, at the end of
+   each public [solve]/[prove]. *)
+let publish t =
+  if t.stats.resolutions > t.pub.resolutions then
+    Obs.Registry.Counter.inc g_resolutions
+      ~by:(t.stats.resolutions - t.pub.resolutions);
+  if t.stats.lemma_hits > t.pub.lemma_hits then
+    Obs.Registry.Counter.inc g_lemma_hits
+      ~by:(t.stats.lemma_hits - t.pub.lemma_hits);
+  t.pub.resolutions <- t.stats.resolutions;
+  t.pub.lemma_hits <- t.stats.lemma_hits
 
 let make ?(tabling = true) ?(max_depth = 512) program =
   let idb =
@@ -37,10 +59,27 @@ let make ?(tabling = true) ?(max_depth = 512) program =
     active = Atom_tbl.create 256;
     dirty = false;
     stats = { resolutions = 0; lemma_hits = 0 };
+    pub = { resolutions = 0; lemma_hits = 0 };
     fresh = 0;
   }
 
-let stats t = t.stats
+(* A snapshot, not the live record: handing out the internal mutable
+   record would let two provers (or a caller) alias each other's
+   counters — the copy-derived prover bug. *)
+let stats t =
+  { resolutions = t.stats.resolutions; lemma_hits = t.stats.lemma_hits }
+
+let copy t =
+  let table = Atom_tbl.create (Atom_tbl.length t.table) in
+  Atom_tbl.iter (fun g set -> Atom_tbl.add table g (Hashtbl.copy set)) t.table;
+  {
+    t with
+    table;
+    active = Atom_tbl.copy t.active;
+    stats = { resolutions = t.stats.resolutions; lemma_hits = t.stats.lemma_hits };
+    pub = { resolutions = t.stats.resolutions; lemma_hits = t.stats.lemma_hits };
+  }
+
 let lemma_count t = Atom_tbl.length t.table
 
 let clear_lemmas t =
@@ -335,6 +374,8 @@ let solve t goal_atoms =
       !acc
     end
   in
-  dedup_substs (List.map (restrict_to_goal_vars goal_atoms) raw)
+  let r = dedup_substs (List.map (restrict_to_goal_vars goal_atoms) raw) in
+  publish t;
+  r
 
 let prove t goal_atoms = solve t goal_atoms <> []

@@ -1,0 +1,230 @@
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON numbers must be finite; counters/sums always are, but a gauge
+   could in principle be set to inf/nan by a bug — render as 0. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+
+(* ---------------- Prometheus text format ---------------- *)
+
+let sane_char ~first ~allow_colon c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | ':' -> allow_colon
+  | '0' .. '9' -> not first
+  | _ -> false
+
+let sanitize ~allow_colon name =
+  if name = "" then "_"
+  else
+    String.mapi
+      (fun i c -> if sane_char ~first:(i = 0) ~allow_colon c then c else '_')
+      name
+
+let metric_name = sanitize ~allow_colon:true
+let label_name = sanitize ~allow_colon:false
+
+let label_value_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (label_name k) (label_value_escape v))
+           labels)
+    ^ "}"
+
+let prom_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prom_type = function
+  | Registry.Counter_v _ -> "counter"
+  | Registry.Gauge_v _ -> "gauge"
+  | Registry.Histogram_v _ -> "histogram"
+
+let prometheus samples =
+  let b = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Registry.sample) ->
+      let name = metric_name s.name in
+      if not (Hashtbl.mem seen_header name) then begin
+        Hashtbl.add seen_header name ();
+        if s.help <> "" then
+          Buffer.add_string b
+            (Printf.sprintf "# HELP %s %s\n" name
+               (String.map (fun c -> if c = '\n' then ' ' else c) s.help));
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" name (prom_type s.value))
+      end;
+      match s.value with
+      | Registry.Counter_v v ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" name (render_labels s.labels) v)
+      | Registry.Gauge_v v ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" name (render_labels s.labels)
+             (prom_number v))
+      | Registry.Histogram_v h ->
+        let n = Array.length h.Histogram.counts in
+        let cum = ref 0 in
+        for i = 0 to n - 1 do
+          cum := !cum + h.Histogram.counts.(i);
+          let le =
+            if i = n - 1 then "+Inf" else prom_number (Histogram.bucket_upper i)
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (render_labels (s.labels @ [ ("le", le) ]))
+               !cum)
+        done;
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" name (render_labels s.labels)
+             (prom_number h.Histogram.total_sum));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" name (render_labels s.labels)
+             h.Histogram.total))
+    samples;
+  Buffer.contents b
+
+(* ---------------- JSON ---------------- *)
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+let json_sample (s : Registry.sample) =
+  let base =
+    Printf.sprintf "\"name\":\"%s\",\"type\":\"%s\",\"labels\":%s"
+      (json_escape s.name) (prom_type s.value) (json_labels s.labels)
+  in
+  match s.value with
+  | Registry.Counter_v v -> Printf.sprintf "{%s,\"value\":%d}" base v
+  | Registry.Gauge_v v -> Printf.sprintf "{%s,\"value\":%s}" base (json_float v)
+  | Registry.Histogram_v h ->
+    let n = Array.length h.Histogram.counts in
+    let cum = ref 0 in
+    let buckets =
+      List.init n (fun i ->
+          cum := !cum + h.Histogram.counts.(i);
+          let le =
+            if i = n - 1 then "\"+Inf\""
+            else json_float (Histogram.bucket_upper i)
+          in
+          Printf.sprintf "{\"le\":%s,\"count\":%d}" le !cum)
+    in
+    Printf.sprintf
+      "{%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p99\":%s,\"buckets\":[%s]}"
+      base h.Histogram.total
+      (json_float h.Histogram.total_sum)
+      (json_float h.Histogram.minimum)
+      (json_float h.Histogram.maximum)
+      (json_float (Histogram.percentile_of_snapshot h 0.5))
+      (json_float (Histogram.percentile_of_snapshot h 0.99))
+      (String.concat "," buckets)
+
+let json samples =
+  "{\"metrics\":[\n"
+  ^ String.concat ",\n" (List.map json_sample samples)
+  ^ "\n]}\n"
+
+(* ---------------- human-readable ---------------- *)
+
+let pp_samples ppf samples =
+  let pf fmt = Format.fprintf ppf fmt in
+  pf "@[<v>";
+  List.iter
+    (fun (s : Registry.sample) ->
+      let label_str =
+        match s.labels with
+        | [] -> ""
+        | ls ->
+          "{"
+          ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+          ^ "}"
+      in
+      match s.value with
+      | Registry.Counter_v v -> pf "%-52s %12d@," (s.name ^ label_str) v
+      | Registry.Gauge_v v -> pf "%-52s %12.3f@," (s.name ^ label_str) v
+      | Registry.Histogram_v h ->
+        let mean =
+          if h.Histogram.total = 0 then 0.
+          else h.Histogram.total_sum /. Float.of_int h.Histogram.total
+        in
+        pf "%-52s %12d  mean %.1f  p50 %.0f  p99 %.0f  max %.0f@,"
+          (s.name ^ label_str) h.Histogram.total mean
+          (Histogram.percentile_of_snapshot h 0.5)
+          (Histogram.percentile_of_snapshot h 0.99)
+          h.Histogram.maximum)
+    samples;
+  pf "@]"
+
+(* ---------------- spans ---------------- *)
+
+let span_us (sp : Trace.span) = sp.Trace.duration_s *. 1e6
+
+let rec span_json (sp : Trace.span) =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"start_s\":%s,\"duration_us\":%s,\"attrs\":%s,\"children\":[%s]}"
+    (json_escape sp.Trace.span_name)
+    (json_float sp.Trace.start_s)
+    (json_float (span_us sp))
+    (json_labels (List.rev sp.Trace.attrs))
+    (String.concat "," (List.map span_json (Trace.children sp)))
+
+let spans_json spans =
+  "{\"spans\":[\n" ^ String.concat ",\n" (List.map span_json spans) ^ "\n]}\n"
+
+let pp_span ppf sp =
+  let rec go indent (sp : Trace.span) =
+    Format.fprintf ppf "%s%s  %.0fus%s@,"
+      (String.make indent ' ')
+      sp.Trace.span_name (span_us sp)
+      (String.concat ""
+         (List.map
+            (fun (k, v) -> Printf.sprintf "  %s=%s" k v)
+            (List.rev sp.Trace.attrs)));
+    List.iter (go (indent + 2)) (Trace.children sp)
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 sp;
+  Format.fprintf ppf "@]"
+
+let pp_spans ppf spans =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun sp -> Format.fprintf ppf "%a@," pp_span sp) spans;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** Snapshot exporters: Prometheus text exposition, JSON, and
+    human-readable tables for registries and span trees. *)
+
+val json_escape : string -> string
+(** The JSON string-literal body for [s] (no surrounding quotes). *)
+
+(** {1 Metrics} *)
+
+val prometheus : Registry.sample list -> string
+(** Prometheus text exposition format (version 0.0.4): [# HELP] /
+    [# TYPE] headers once per metric name, one
+    [name{label="value"} number] line per series; histograms render as
+    cumulative [_bucket{le="..."}] series plus [_sum] and [_count].
+    Metric and label names are sanitized to the Prometheus charset,
+    label values are backslash-escaped. *)
+
+val json : Registry.sample list -> string
+(** [{"metrics": [{"name", "type", "labels", ...value fields}]}]; a
+    histogram carries count/sum/min/max and its cumulative buckets
+    (upper bound [le], the overflow bucket as ["+Inf"]). *)
+
+val pp_samples : Format.formatter -> Registry.sample list -> unit
+(** Human-readable table: one line per counter/gauge, histograms with
+    count/mean/p50/p99/max. *)
+
+(** {1 Spans} *)
+
+val span_json : Trace.span -> string
+val spans_json : Trace.span list -> string
+
+val pp_span : Format.formatter -> Trace.span -> unit
+(** Indented tree, one span per line:
+    [name  1234us  key=value ...]. *)
+
+val pp_spans : Format.formatter -> Trace.span list -> unit

@@ -1,0 +1,92 @@
+type t = {
+  m : Mutex.t;
+  counts : int array;
+  mutable total : int;
+  mutable total_sum : float;
+  mutable minimum : float;
+  mutable maximum : float;
+}
+
+let create ?(buckets = 22) () =
+  if buckets < 2 then invalid_arg "Histogram.create: need at least 2 buckets";
+  {
+    m = Mutex.create ();
+    counts = Array.make buckets 0;
+    total = 0;
+    total_sum = 0.;
+    minimum = 0.;
+    maximum = 0.;
+  }
+
+let bucket_upper i = Float.of_int (1 lsl i)
+
+let bucket_of buckets v =
+  let rec go i bound =
+    if i >= buckets - 1 || v < bound then i else go (i + 1) (bound *. 2.)
+  in
+  go 0 1.
+
+let observe t v =
+  if Runtime.enabled () then begin
+    Mutex.lock t.m;
+    let b = bucket_of (Array.length t.counts) v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    if t.total = 0 then begin
+      t.minimum <- v;
+      t.maximum <- v
+    end
+    else begin
+      if v < t.minimum then t.minimum <- v;
+      if v > t.maximum then t.maximum <- v
+    end;
+    t.total <- t.total + 1;
+    t.total_sum <- t.total_sum +. v;
+    Mutex.unlock t.m
+  end
+
+let count t = t.total
+let sum t = t.total_sum
+
+type snapshot = {
+  counts : int array;
+  total : int;
+  total_sum : float;
+  minimum : float;
+  maximum : float;
+}
+
+let snapshot t =
+  Mutex.lock t.m;
+  let s =
+    {
+      counts = Array.copy t.counts;
+      total = t.total;
+      total_sum = t.total_sum;
+      minimum = t.minimum;
+      maximum = t.maximum;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let percentile_of_snapshot (s : snapshot) q =
+  if s.total = 0 then 0.
+  else if q <= 0. then s.minimum
+  else if q >= 1. then s.maximum
+  else begin
+    let buckets = Array.length s.counts in
+    let target = Float.to_int (ceil (q *. Float.of_int s.total)) in
+    let target = max 1 (min s.total target) in
+    (* the overflow bucket has no finite upper bound: report the
+       observed maximum instead *)
+    let rec go i seen =
+      if i >= buckets - 1 then s.maximum
+      else
+        let seen = seen + s.counts.(i) in
+        if seen >= target then bucket_upper i else go (i + 1) seen
+    in
+    let raw = go 0 0 in
+    Float.max s.minimum (Float.min s.maximum raw)
+  end
+
+let percentile t q = percentile_of_snapshot (snapshot t) q

@@ -1,0 +1,47 @@
+(** Power-of-two latency/size histograms.
+
+    Bucket [i] counts observations in [[2^(i-1), 2^i)] (bucket 0 holds
+    everything below 1); the last bucket is the overflow.  This is the
+    histogram the server's per-command latency metrics always used,
+    generalized: any non-negative magnitude works (microseconds, bytes,
+    tuple counts), the unit is the caller's convention.  Observation is
+    O(#buckets) integer work under one per-histogram mutex, so hot
+    paths stay cheap; {!percentile} answers quantile queries from the
+    bucket counts, clamped to the observed min/max so estimates never
+    leave the data range. *)
+
+type t
+
+val create : ?buckets:int -> unit -> t
+(** [buckets] (default 22, reaching ~2·10^6 before overflow) must be at
+    least 2. *)
+
+val observe : t -> float -> unit
+(** Record one observation.  Negative values count into bucket 0.
+    No-op while {!Runtime.enabled} is off. *)
+
+val count : t -> int
+val sum : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t q] for [q] in [0,1]: the upper bound of the bucket
+    holding the [q]-quantile observation, clamped into
+    [[min observed, max observed]] — so it is monotone in [q], equals
+    the observed extremes at [q <= 0] / [q >= 1], and overflow-bucket
+    observations report the true maximum rather than infinity.
+    Returns 0 on an empty histogram. *)
+
+val bucket_upper : int -> float
+(** Upper bound of bucket [i] ([2^i]); the overflow bucket has no
+    finite bound — exporters render it as [+Inf]. *)
+
+type snapshot = {
+  counts : int array;  (** per-bucket counts; last entry is overflow *)
+  total : int;
+  total_sum : float;
+  minimum : float;  (** 0 when empty *)
+  maximum : float;  (** 0 when empty *)
+}
+
+val snapshot : t -> snapshot
+val percentile_of_snapshot : snapshot -> float -> float

@@ -1,0 +1,4 @@
+let flag = Atomic.make true
+let set_enabled b = Atomic.set flag b
+let enabled () = Atomic.get flag
+let now_s () = Unix.gettimeofday ()

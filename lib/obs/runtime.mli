@@ -1,0 +1,17 @@
+(** Process-wide observability switches and clock.
+
+    [enabled] gates every metric update ({!Registry.Counter.inc},
+    {!Registry.Gauge.set}, {!Histogram.observe}): when off, updates are
+    a single atomic load and branch.  It exists so the instrumentation
+    overhead itself can be measured (bench E19) and so batch jobs can
+    opt out entirely; tracing has its own, separate switch
+    ({!Trace.set_enabled}) because spans are much more expensive than
+    counters and default to off. *)
+
+val set_enabled : bool -> unit
+(** Master switch for metric updates (default on). *)
+
+val enabled : unit -> bool
+
+val now_s : unit -> float
+(** Wall-clock seconds (the span and latency time base). *)

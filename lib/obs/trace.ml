@@ -1,0 +1,128 @@
+type span = {
+  span_name : string;
+  mutable attrs : (string * string) list;
+  start_s : float;
+  mutable duration_s : float;
+  mutable subspans : span list;
+}
+
+let children sp = List.rev sp.subspans
+
+let flag = Atomic.make false
+let set_enabled b = Atomic.set flag b
+let enabled () = Atomic.get flag
+
+let threshold = Atomic.make 0.1
+let set_slow_threshold_s s = Atomic.set threshold s
+let slow_threshold_s () = Atomic.get threshold
+
+(* Recorder state: per-thread stacks of open spans plus the two rings.
+   The mutex guards the stack table and the rings; an individual
+   thread's stack ref is only ever mutated by that thread. *)
+let m = Mutex.create ()
+let stacks : (int, span list ref) Hashtbl.t = Hashtbl.create 16
+let recent_cap = ref 64
+let slow_cap = ref 32
+let recent_ring : span list ref = ref []  (* newest first, <= !recent_cap *)
+let recent_len = ref 0
+let slow_ring : span list ref = ref []
+let slow_len = ref 0
+
+let truncate n l =
+  let rec go i = function
+    | [] -> []
+    | _ when i = n -> []
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  go 0 l
+
+let set_capacity ~recent ~slow =
+  Mutex.lock m;
+  recent_cap := max 1 recent;
+  slow_cap := max 1 slow;
+  recent_ring := truncate !recent_cap !recent_ring;
+  recent_len := List.length !recent_ring;
+  slow_ring := truncate !slow_cap !slow_ring;
+  slow_len := List.length !slow_ring;
+  Mutex.unlock m
+
+let push ring len cap sp =
+  ring := sp :: !ring;
+  if !len >= cap then ring := truncate cap !ring else incr len
+
+let stack_of_self () =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock m;
+  let st =
+    match Hashtbl.find_opt stacks id with
+    | Some st -> st
+    | None ->
+      let st = ref [] in
+      Hashtbl.add stacks id st;
+      st
+  in
+  Mutex.unlock m;
+  st
+
+let record_root sp =
+  Mutex.lock m;
+  push recent_ring recent_len !recent_cap sp;
+  if sp.duration_s >= Atomic.get threshold then
+    push slow_ring slow_len !slow_cap sp;
+  Mutex.unlock m
+
+let finish st sp =
+  sp.duration_s <- Runtime.now_s () -. sp.start_s;
+  (* defensive: unwind past spans a nested exception may have left open *)
+  let rec pop = function
+    | top :: rest when top != sp -> pop rest
+    | _ :: rest -> rest
+    | [] -> []
+  in
+  st := pop !st;
+  match !st with
+  | parent :: _ -> parent.subspans <- sp :: parent.subspans
+  | [] -> record_root sp
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get flag) then f ()
+  else begin
+    let sp =
+      {
+        span_name = name;
+        attrs;
+        start_s = Runtime.now_s ();
+        duration_s = -1.;
+        subspans = [];
+      }
+    in
+    let st = stack_of_self () in
+    st := sp :: !st;
+    Fun.protect ~finally:(fun () -> finish st sp) f
+  end
+
+let add_attr k v =
+  if Atomic.get flag then
+    match !(stack_of_self ()) with
+    | sp :: _ -> sp.attrs <- (k, v) :: sp.attrs
+    | [] -> ()
+
+let recent () =
+  Mutex.lock m;
+  let r = !recent_ring in
+  Mutex.unlock m;
+  r
+
+let slow () =
+  Mutex.lock m;
+  let r = !slow_ring in
+  Mutex.unlock m;
+  r
+
+let clear () =
+  Mutex.lock m;
+  recent_ring := [];
+  recent_len := 0;
+  slow_ring := [];
+  slow_len := 0;
+  Mutex.unlock m

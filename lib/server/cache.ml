@@ -1,3 +1,19 @@
+let cache_counter name help =
+  Obs.Registry.counter Obs.Registry.default name ~help
+
+let g_hits = cache_counter "gkbms_server_cache_hits_total" "Response cache hits"
+
+let g_misses =
+  cache_counter "gkbms_server_cache_misses_total" "Response cache misses"
+
+let g_invalidations =
+  cache_counter "gkbms_server_cache_invalidations_total"
+    "Response cache flushes on repository version change"
+
+let g_evictions =
+  cache_counter "gkbms_server_cache_evictions_total"
+    "Response cache flushes on capacity overflow"
+
 type t = {
   m : Mutex.t;
   tbl : (string, string) Hashtbl.t;
@@ -28,7 +44,8 @@ let roll t version =
   if version > t.generation then (
     if Hashtbl.length t.tbl > 0 then (
       Hashtbl.reset t.tbl;
-      t.invalidations <- t.invalidations + 1);
+      t.invalidations <- t.invalidations + 1;
+      Obs.Registry.Counter.inc g_invalidations);
     t.generation <- version)
 
 let find t ~version line =
@@ -38,8 +55,12 @@ let find t ~version line =
     if version = t.generation then Hashtbl.find_opt t.tbl line else None
   in
   (match r with
-  | Some _ -> t.hits <- t.hits + 1
-  | None -> t.misses <- t.misses + 1);
+  | Some _ ->
+    t.hits <- t.hits + 1;
+    Obs.Registry.Counter.inc g_hits
+  | None ->
+    t.misses <- t.misses + 1;
+    Obs.Registry.Counter.inc g_misses);
   Mutex.unlock t.m;
   r
 
@@ -50,7 +71,8 @@ let store t ~version line response =
   if version = t.generation then (
     if Hashtbl.length t.tbl >= t.capacity then (
       Hashtbl.reset t.tbl;
-      t.evictions <- t.evictions + 1);
+      t.evictions <- t.evictions + 1;
+      Obs.Registry.Counter.inc g_evictions);
     Hashtbl.replace t.tbl line response);
   Mutex.unlock t.m
 

@@ -45,7 +45,7 @@ let create ?(config = default_config) repo =
     cache =
       (if config.cache then Some (Cache.create ~capacity:config.cache_capacity ())
        else None);
-    metrics = Metrics.create ();
+    metrics = Metrics.create ~registry:Obs.Registry.default ();
     eval_m = Mutex.create ();
     m = Mutex.create ();
     sessions = Hashtbl.create 16;
@@ -94,8 +94,11 @@ let metrics_text t =
        (generation %d)@."
       cs.Cache.hits cs.Cache.misses cs.Cache.invalidations cs.Cache.evictions
       cs.Cache.entries cs.Cache.generation);
-  Format.fprintf ppf "repository version: %d; sessions live: %d"
+  Format.fprintf ppf "repository version: %d; sessions live: %d@."
     (Repo.version t.repo) (session_count t);
+  Format.fprintf ppf "-- registry --@.%a"
+    Obs.Export.pp_samples
+    (Obs.Registry.snapshot (Metrics.registry t.metrics));
   Format.pp_print_flush ppf ();
   Buffer.contents b
 
@@ -121,8 +124,32 @@ let command_label line =
     | Some i -> String.sub line 0 i
     | None -> line
 
+let trace_command t = function
+  | [ "on" ] ->
+    Obs.Trace.set_enabled true;
+    "tracing on"
+  | [ "off" ] ->
+    Obs.Trace.set_enabled false;
+    "tracing off"
+  | [ "slow"; ms ] -> (
+    match float_of_string_opt ms with
+    | Some ms when ms >= 0. ->
+      Obs.Trace.set_slow_threshold_s (ms /. 1e3);
+      Printf.sprintf "slow threshold %gms" ms
+    | _ -> "error: trace slow expects a non-negative number (milliseconds)")
+  | [ "dump" ] -> Obs.Export.spans_json (Obs.Trace.slow ())
+  | [ "dump"; "recent" ] -> Obs.Export.spans_json (Obs.Trace.recent ())
+  | [ "clear" ] ->
+    Obs.Trace.clear ();
+    "trace buffers cleared"
+  | _ ->
+    ignore t;
+    "error: usage: trace on|off|slow MS|dump [recent]|clear"
+
 let process t session (req : Protocol.request) : Protocol.response =
   let line = String.trim req.Protocol.line in
+  Obs.Trace.with_span "server.request" ~attrs:[ ("cmd", command_label line) ]
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let finish payload =
     let ok = not (is_error payload) in
@@ -132,9 +159,22 @@ let process t session (req : Protocol.request) : Protocol.response =
   in
   match line with
   | "metrics" -> finish (metrics_text t)
+  | "metrics json" ->
+    finish (Obs.Export.json (Obs.Registry.snapshot (Metrics.registry t.metrics)))
+  | "metrics prom" ->
+    finish
+      (Obs.Export.prometheus (Obs.Registry.snapshot (Metrics.registry t.metrics)))
   | "news" -> finish (Session.take_news session)
   | "ping" -> finish "pong"
   | "version" -> finish (string_of_int (Repo.version t.repo))
+  | line when String.length line >= 5 && String.sub line 0 5 = "trace" ->
+    let args =
+      List.filter
+        (fun w -> w <> "")
+        (String.split_on_char ' '
+           (String.sub line 5 (String.length line - 5)))
+    in
+    finish (trace_command t args)
   | line when Gkbms.Shell.is_quit line -> finish "bye"
   | line -> (
     match Scheduler.classify line with

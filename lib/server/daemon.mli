@@ -11,8 +11,12 @@
     [metrics] protocol command.
 
     Protocol-level commands handled before the shell: [metrics] (the
-    server report), [news] (decisions committed since this client last
-    polled), [version] (the repository data-version), [ping]. *)
+    server report; [metrics json] / [metrics prom] render the shared
+    {!Obs.Registry.default} snapshot instead), [trace on|off],
+    [trace slow MS], [trace dump [recent]], [trace clear] (the
+    process-wide {!Obs.Trace} recorder; [dump] answers span trees as
+    JSON), [news] (decisions committed since this client last polled),
+    [version] (the repository data-version), [ping]. *)
 
 type config = {
   cache : bool;  (** serve deterministic reads from the response cache *)

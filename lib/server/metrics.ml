@@ -1,82 +1,83 @@
-(* latency histogram: bucket i counts requests with latency in
-   [2^(i-1), 2^i) microseconds (bucket 0: < 1us); the last bucket is the
-   overflow.  22 buckets reach ~2 seconds. *)
-let buckets = 22
+(* Server metrics, backed by the shared Obs registry.  Every value the
+   old ad-hoc implementation kept (per-command calls/errors/latency
+   histogram, byte and session counters) is now a registered series, so
+   the same numbers surface both through the wire-compatible [snapshot]
+   below and through any registry exporter (Prometheus, JSON).  The
+   daemon passes [Obs.Registry.default] to join the process-wide view;
+   a bare [create ()] uses a private registry, keeping instances
+   independent. *)
 
-type per_command = {
-  mutable calls : int;
-  mutable errors : int;
-  mutable total_us : float;
-  hist : int array;
-}
+type per_command = { errors : Obs.Registry.Counter.t; hist : Obs.Histogram.t }
 
 type t = {
-  m : Mutex.t;
+  registry : Obs.Registry.t;
+  m : Mutex.t;  (** guards [commands] *)
   commands : (string, per_command) Hashtbl.t;
-  mutable bytes_in : int;
-  mutable bytes_out : int;
-  mutable sessions_opened : int;
-  mutable sessions_closed : int;
-  mutable protocol_errors : int;
+  bytes_in : Obs.Registry.Counter.t;
+  bytes_out : Obs.Registry.Counter.t;
+  sessions_opened : Obs.Registry.Counter.t;
+  sessions_closed : Obs.Registry.Counter.t;
+  protocol_errors : Obs.Registry.Counter.t;
 }
 
-let create () =
+let create ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Obs.Registry.create ()
+  in
+  let counter name help = Obs.Registry.counter registry name ~help in
   {
+    registry;
     m = Mutex.create ();
     commands = Hashtbl.create 32;
-    bytes_in = 0;
-    bytes_out = 0;
-    sessions_opened = 0;
-    sessions_closed = 0;
-    protocol_errors = 0;
+    bytes_in = counter "gkbms_server_bytes_in_total" "Request bytes received";
+    bytes_out = counter "gkbms_server_bytes_out_total" "Response bytes sent";
+    sessions_opened =
+      counter "gkbms_server_sessions_opened_total" "Client sessions opened";
+    sessions_closed =
+      counter "gkbms_server_sessions_closed_total" "Client sessions closed";
+    protocol_errors =
+      counter "gkbms_server_protocol_errors_total" "Malformed frames seen";
   }
 
-let bucket_of_us us =
-  let rec go i bound =
-    if i >= buckets - 1 || us < bound then i else go (i + 1) (bound *. 2.)
-  in
-  go 0 1.
+let registry t = t.registry
 
-let bucket_upper_us i = Float.of_int (1 lsl i)
-
-let record t ~cmd ~ok ~seconds =
-  let us = seconds *. 1e6 in
+let per_command t cmd =
   Mutex.lock t.m;
   let pc =
     match Hashtbl.find_opt t.commands cmd with
     | Some pc -> pc
     | None ->
-      let pc = { calls = 0; errors = 0; total_us = 0.; hist = Array.make buckets 0 } in
+      let labels = [ ("cmd", cmd) ] in
+      let pc =
+        {
+          errors =
+            Obs.Registry.counter t.registry ~labels
+              "gkbms_server_command_errors_total"
+              ~help:"Requests answered with an error, per command";
+          hist =
+            Obs.Registry.histogram t.registry ~labels
+              "gkbms_server_command_us"
+              ~help:"Request latency in microseconds, per command";
+        }
+      in
       Hashtbl.add t.commands cmd pc;
       pc
   in
-  pc.calls <- pc.calls + 1;
-  if not ok then pc.errors <- pc.errors + 1;
-  pc.total_us <- pc.total_us +. us;
-  let b = bucket_of_us us in
-  pc.hist.(b) <- pc.hist.(b) + 1;
-  Mutex.unlock t.m
+  Mutex.unlock t.m;
+  pc
+
+let record t ~cmd ~ok ~seconds =
+  let pc = per_command t cmd in
+  Obs.Histogram.observe pc.hist (seconds *. 1e6);
+  if not ok then Obs.Registry.Counter.inc pc.errors
 
 let add_bytes t ~incoming ~outgoing =
-  Mutex.lock t.m;
-  t.bytes_in <- t.bytes_in + incoming;
-  t.bytes_out <- t.bytes_out + outgoing;
-  Mutex.unlock t.m
+  Obs.Registry.Counter.inc t.bytes_in ~by:incoming;
+  Obs.Registry.Counter.inc t.bytes_out ~by:outgoing
 
-let session_opened t =
-  Mutex.lock t.m;
-  t.sessions_opened <- t.sessions_opened + 1;
-  Mutex.unlock t.m
-
-let session_closed t =
-  Mutex.lock t.m;
-  t.sessions_closed <- t.sessions_closed + 1;
-  Mutex.unlock t.m
-
-let protocol_error t =
-  Mutex.lock t.m;
-  t.protocol_errors <- t.protocol_errors + 1;
-  Mutex.unlock t.m
+let session_opened t = Obs.Registry.Counter.inc t.sessions_opened
+let session_closed t = Obs.Registry.Counter.inc t.sessions_closed
+let protocol_error t = Obs.Registry.Counter.inc t.protocol_errors
 
 type command_snapshot = {
   cmd : string;
@@ -98,49 +99,38 @@ type snapshot = {
   protocol_errors : int;
 }
 
-let percentile hist calls q =
-  (* upper bound of the bucket holding the q-quantile observation *)
-  let target = Float.to_int (ceil (q *. Float.of_int calls)) in
-  let target = max 1 target in
-  let rec go i seen =
-    if i >= buckets then bucket_upper_us (buckets - 1)
-    else
-      let seen = seen + hist.(i) in
-      if seen >= target then bucket_upper_us i else go (i + 1) seen
-  in
-  go 0 0
-
 let snapshot t =
   Mutex.lock t.m;
+  let named = Hashtbl.fold (fun cmd pc acc -> (cmd, pc) :: acc) t.commands [] in
+  Mutex.unlock t.m;
   let commands =
-    Hashtbl.fold
-      (fun cmd (pc : per_command) acc ->
+    List.map
+      (fun (cmd, pc) ->
+        let h = Obs.Histogram.snapshot pc.hist in
         {
           cmd;
-          calls = pc.calls;
-          errors = pc.errors;
-          mean_us = (if pc.calls = 0 then 0. else pc.total_us /. Float.of_int pc.calls);
-          p50_us = percentile pc.hist pc.calls 0.5;
-          p99_us = percentile pc.hist pc.calls 0.99;
-        }
-        :: acc)
-      t.commands []
+          calls = h.Obs.Histogram.total;
+          errors = Obs.Registry.Counter.get pc.errors;
+          mean_us =
+            (if h.Obs.Histogram.total = 0 then 0.
+             else
+               h.Obs.Histogram.total_sum /. Float.of_int h.Obs.Histogram.total);
+          p50_us = Obs.Histogram.percentile_of_snapshot h 0.5;
+          p99_us = Obs.Histogram.percentile_of_snapshot h 0.99;
+        })
+      named
     |> List.sort (fun a b -> String.compare a.cmd b.cmd)
   in
-  let s =
-    {
-      commands;
-      total_calls = List.fold_left (fun a c -> a + c.calls) 0 commands;
-      total_errors = List.fold_left (fun a c -> a + c.errors) 0 commands;
-      bytes_in = t.bytes_in;
-      bytes_out = t.bytes_out;
-      sessions_opened = t.sessions_opened;
-      sessions_closed = t.sessions_closed;
-      protocol_errors = t.protocol_errors;
-    }
-  in
-  Mutex.unlock t.m;
-  s
+  {
+    commands;
+    total_calls = List.fold_left (fun a c -> a + c.calls) 0 commands;
+    total_errors = List.fold_left (fun a c -> a + c.errors) 0 commands;
+    bytes_in = Obs.Registry.Counter.get t.bytes_in;
+    bytes_out = Obs.Registry.Counter.get t.bytes_out;
+    sessions_opened = Obs.Registry.Counter.get t.sessions_opened;
+    sessions_closed = Obs.Registry.Counter.get t.sessions_closed;
+    protocol_errors = Obs.Registry.Counter.get t.protocol_errors;
+  }
 
 let pp_snapshot ppf s =
   let pf fmt = Format.fprintf ppf fmt in

@@ -1,12 +1,18 @@
 (** Server observability: per-command call/error counts, latency
     histograms (power-of-two microsecond buckets), byte counters and
-    session counters.  Updates are O(1) integer work under one mutex so
-    the hot (cached-read) path stays cheap; the [metrics] protocol
-    command renders a {!snapshot}. *)
+    session counters, all stored as series in an {!Obs.Registry.t}.
+    Updates stay O(1) integer work so the hot (cached-read) path stays
+    cheap; the [metrics] protocol command renders a {!snapshot}, and
+    the same series are visible through the registry's exporters. *)
 
 type t
 
-val create : unit -> t
+val create : ?registry:Obs.Registry.t -> unit -> t
+(** Metrics backed by [registry] (default: a fresh private registry,
+    so separate instances never share counts).  The daemon passes
+    {!Obs.Registry.default} to publish into the process-wide view. *)
+
+val registry : t -> Obs.Registry.t
 
 val record : t -> cmd:string -> ok:bool -> seconds:float -> unit
 (** Account one completed request for command [cmd]. *)
@@ -23,7 +29,8 @@ type command_snapshot = {
   calls : int;
   errors : int;
   mean_us : float;
-  p50_us : float;  (** bucket upper bounds, so approximate *)
+  p50_us : float;
+  (** bucket upper bounds clamped to the observed range, so approximate *)
   p99_us : float;
 }
 

@@ -25,4 +25,5 @@ let () =
       ("shell", Test_shell.suite);
       ("server", Test_server.suite);
       ("coverage", Test_coverage.suite);
+      ("obs", Test_obs.suite);
     ]

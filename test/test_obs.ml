@@ -1,0 +1,536 @@
+(* The observability layer: histogram percentile laws (QCheck),
+   registry registration semantics, exporter formats (a Prometheus
+   line-grammar check and a minimal JSON parser), span recording, and
+   the cross-layer wiring — a deliberately slowed decision commit must
+   land its full span tree in the slow-op log. *)
+
+module H = Obs.Histogram
+module Reg = Obs.Registry
+module Trace = Obs.Trace
+module Export = Obs.Export
+module Repo = Gkbms.Repository
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* ---------------- histogram percentiles (properties) ---------------- *)
+
+(* values spanning below-1, the middle buckets and the overflow bucket *)
+let gen_values =
+  QCheck.(
+    list_of_size (Gen.int_range 1 60)
+      (map (fun (mag, frac) -> Float.of_int mag +. frac)
+         (pair (int_range 0 10_000_000) (float_range 0. 1.))))
+
+let hist_of values =
+  let h = H.create () in
+  List.iter (H.observe h) values;
+  h
+
+let qs = [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ]
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentile is monotone in q" ~count:100
+    gen_values (fun values ->
+      let h = hist_of values in
+      let ps = List.map (H.percentile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono ps)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"histogram percentile stays within observed range"
+    ~count:100 gen_values (fun values ->
+      let h = hist_of values in
+      let lo = List.fold_left Float.min Float.infinity values in
+      let hi = List.fold_left Float.max Float.neg_infinity values in
+      List.for_all
+        (fun q ->
+          let p = H.percentile h q in
+          lo <= p && p <= hi)
+        qs)
+
+let test_percentile_overflow () =
+  (* all mass in the overflow bucket: percentiles must report observed
+     values, never the (infinite) bucket bound *)
+  let h = H.create ~buckets:4 () in
+  List.iter (H.observe h) [ 100.; 200.; 400. ];
+  check (Alcotest.float 0.001) "p100 = max" 400. (H.percentile h 1.);
+  check (Alcotest.float 0.001) "p0 = min" 100. (H.percentile h 0.);
+  check bool "p50 within range" true
+    (H.percentile h 0.5 >= 100. && H.percentile h 0.5 <= 400.);
+  let empty = H.create () in
+  check (Alcotest.float 0.001) "empty histogram" 0. (H.percentile empty 0.5)
+
+(* ---------------- registry ---------------- *)
+
+let test_registry_idempotent () =
+  let r = Reg.create () in
+  let c1 = Reg.counter r "reqs_total" in
+  let c2 = Reg.counter r "reqs_total" in
+  Reg.Counter.inc c1;
+  Reg.Counter.inc c2 ~by:2;
+  check int "same underlying counter" 3 (Reg.Counter.get c1);
+  (* distinct label sets are distinct series *)
+  let la = Reg.counter r "labeled" ~labels:[ ("k", "a") ] in
+  let lb = Reg.counter r "labeled" ~labels:[ ("k", "b") ] in
+  Reg.Counter.inc la;
+  check int "labels split series" 0 (Reg.Counter.get lb);
+  check bool "kind mismatch rejected" true
+    (try
+       ignore (Reg.gauge r "reqs_total");
+       false
+     with Invalid_argument _ -> true);
+  let samples = Reg.snapshot r in
+  check int "three series" 3 (List.length samples);
+  match Reg.find r "reqs_total" with
+  | Some { Reg.value = Reg.Counter_v 3; _ } -> ()
+  | _ -> Alcotest.fail "find lost the counter value"
+
+let test_registry_disable () =
+  let r = Reg.create () in
+  let c = Reg.counter r "gated" in
+  Obs.Runtime.set_enabled false;
+  Reg.Counter.inc c;
+  Obs.Runtime.set_enabled true;
+  check int "no count while disabled" 0 (Reg.Counter.get c);
+  Reg.Counter.inc c;
+  check int "counts once re-enabled" 1 (Reg.Counter.get c)
+
+(* ---------------- Prometheus exposition grammar ---------------- *)
+
+let is_name_char ~first c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | '0' .. '9' -> not first
+  | _ -> false
+
+let valid_name s =
+  s <> ""
+  && String.length s > 0
+  && is_name_char ~first:true s.[0]
+  && String.for_all (fun c -> is_name_char ~first:false c) s
+
+(* one sample line: name[{k="v",...}] SPACE value *)
+let check_sample_line line =
+  let metric, value =
+    match String.rindex_opt line ' ' with
+    | Some i ->
+      ( String.sub line 0 i,
+        String.sub line (i + 1) (String.length line - i - 1) )
+    | None -> Alcotest.failf "no value separator in %S" line
+  in
+  (match float_of_string_opt value with
+  | Some _ -> ()
+  | None -> Alcotest.failf "unparseable value %S in %S" value line);
+  let name, labels =
+    match String.index_opt metric '{' with
+    | None -> (metric, None)
+    | Some i ->
+      if metric.[String.length metric - 1] <> '}' then
+        Alcotest.failf "unterminated label set in %S" line;
+      ( String.sub metric 0 i,
+        Some (String.sub metric (i + 1) (String.length metric - i - 2)) )
+  in
+  if not (valid_name name) then Alcotest.failf "bad metric name %S" name;
+  match labels with
+  | None -> ()
+  | Some body ->
+    (* k="v" pairs; values may contain escaped quotes *)
+    let n = String.length body in
+    let rec pair i =
+      let rec name_end j =
+        if j < n && is_name_char ~first:(j = i) body.[j] then name_end (j + 1)
+        else j
+      in
+      let e = name_end i in
+      if e = i || e + 1 >= n || body.[e] <> '=' || body.[e + 1] <> '"' then
+        Alcotest.failf "bad label pair at %d in %S" i body;
+      let rec value_end j =
+        if j >= n then Alcotest.failf "unterminated label value in %S" body
+        else if body.[j] = '\\' then value_end (j + 2)
+        else if body.[j] = '"' then j
+        else value_end (j + 1)
+      in
+      let v = value_end (e + 2) in
+      if v + 1 < n then
+        if body.[v + 1] = ',' then pair (v + 2)
+        else Alcotest.failf "junk after label value in %S" body
+    in
+    pair 0
+
+let sample_registry () =
+  let r = Reg.create () in
+  let c =
+    Reg.counter r "gkbms_decisions_committed_total" ~help:"Decisions committed"
+  in
+  Reg.Counter.inc c ~by:5;
+  let g = Reg.gauge r "queue_depth" in
+  Reg.Gauge.set g 2.5;
+  let h =
+    Reg.histogram r "latency_us" ~buckets:6
+      ~labels:[ ("cmd", "weird \"quoted\"\nname") ]
+  in
+  List.iter (H.observe h) [ 0.5; 3.; 900.; 1e9 ];
+  r
+
+let test_prometheus_format () =
+  let text = Export.prometheus (Reg.snapshot (sample_registry ())) in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  let seen_type = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      if String.length line >= 2 && String.sub line 0 2 = "# " then begin
+        match String.split_on_char ' ' line with
+        | "#" :: ("HELP" | "TYPE") :: name :: _ when valid_name name ->
+          if contains line "# TYPE" then begin
+            if Hashtbl.mem seen_type name then
+              Alcotest.failf "duplicate TYPE for %s" name;
+            Hashtbl.add seen_type name ()
+          end
+        | _ -> Alcotest.failf "bad comment line %S" line
+      end
+      else check_sample_line line)
+    lines;
+  check bool "counter line" true
+    (contains text "gkbms_decisions_committed_total 5");
+  check bool "help text" true
+    (contains text "# HELP gkbms_decisions_committed_total Decisions committed");
+  check bool "histogram type" true (contains text "# TYPE latency_us histogram");
+  check bool "overflow bucket" true (contains text "le=\"+Inf\"");
+  check bool "count series" true (contains text "latency_us_count");
+  check bool "escaped label value" true (contains text "weird \\\"quoted\\\"\\nname");
+  (* cumulative buckets: last le count equals _count *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if contains l "latency_us_bucket" then
+          String.rindex_opt l ' '
+          |> Option.map (fun i ->
+                 int_of_string
+                   (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      lines
+  in
+  check bool "buckets cumulative" true
+    (List.for_all2 ( <= )
+       (List.filteri (fun i _ -> i < List.length bucket_counts - 1) bucket_counts)
+       (List.tl bucket_counts));
+  check int "last bucket is total" 4 (List.nth bucket_counts (List.length bucket_counts - 1))
+
+(* ---------------- minimal JSON validation ---------------- *)
+
+(* a tiny recursive-descent syntax check: values, objects, arrays,
+   strings with escapes, numbers; enough to prove the exporter emits
+   well-formed JSON *)
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "invalid JSON at %d: %s" !pos msg in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t')
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected %c" c)
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else if s.[!pos] = '\\' then begin
+        pos := !pos + 2;
+        go ()
+      end
+      else if s.[!pos] = '"' then incr pos
+      else begin
+        incr pos;
+        go ()
+      end
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some _ -> ()
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> string_lit ()
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then incr pos
+      else
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          if peek () = Some ',' then begin
+            incr pos;
+            members ()
+          end
+          else expect '}'
+        in
+        members ()
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then incr pos
+      else
+        let rec elements () =
+          value ();
+          skip_ws ();
+          if peek () = Some ',' then begin
+            incr pos;
+            elements ()
+          end
+          else expect ']'
+        in
+        elements ()
+    | Some _ -> number ()
+    | None -> fail "unexpected end"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let test_json_export () =
+  let json = Export.json (Reg.snapshot (sample_registry ())) in
+  validate_json json;
+  check bool "counter name survives" true
+    (contains json "\"gkbms_decisions_committed_total\"");
+  check bool "label value escaped" true
+    (contains json "weird \\\"quoted\\\"\\nname");
+  check bool "overflow le" true (contains json "\"le\":\"+Inf\"");
+  check bool "histogram count" true (contains json "\"count\":4")
+
+(* ---------------- tracing ---------------- *)
+
+let test_span_nesting () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Trace.set_slow_threshold_s 10.;
+  let r =
+    Trace.with_span "outer" ~attrs:[ ("k", "v") ] (fun () ->
+        Trace.with_span "inner" (fun () -> 7) + 1)
+  in
+  Trace.set_enabled false;
+  check int "result through spans" 8 r;
+  match Trace.recent () with
+  | root :: _ ->
+    check Alcotest.string "root name" "outer" root.Trace.span_name;
+    check bool "duration set" true (root.Trace.duration_s >= 0.);
+    (match Trace.children root with
+    | [ child ] -> check Alcotest.string "child name" "inner" child.Trace.span_name
+    | l -> Alcotest.failf "expected 1 child, got %d" (List.length l))
+  | [] -> Alcotest.fail "no root span recorded"
+
+let test_span_exception_safety () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Trace.set_slow_threshold_s 10.;
+  (try Trace.with_span "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  (* the raising span was closed and recorded; a following span must be
+     a fresh root, not a child of the broken one *)
+  Trace.with_span "after" (fun () -> ());
+  Trace.set_enabled false;
+  let names = List.map (fun s -> s.Trace.span_name) (Trace.recent ()) in
+  check (Alcotest.list Alcotest.string) "both roots recorded"
+    [ "after"; "boom" ] names
+
+let test_span_capacity () =
+  Trace.clear ();
+  Trace.set_capacity ~recent:3 ~slow:2;
+  Trace.set_enabled true;
+  Trace.set_slow_threshold_s 0.;
+  for i = 1 to 5 do
+    Trace.with_span (Printf.sprintf "op%d" i) (fun () -> ())
+  done;
+  Trace.set_enabled false;
+  check int "recent bounded" 3 (List.length (Trace.recent ()));
+  check int "slow bounded" 2 (List.length (Trace.slow ()));
+  check Alcotest.string "newest kept" "op5"
+    (List.hd (Trace.recent ())).Trace.span_name;
+  Trace.set_capacity ~recent:64 ~slow:32;
+  Trace.set_slow_threshold_s 0.1;
+  Trace.clear ()
+
+let test_span_json () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Trace.set_slow_threshold_s 10.;
+  Trace.with_span "root" ~attrs:[ ("cmd", "run \"x\"") ] (fun () ->
+      Trace.with_span "leaf" (fun () -> ()));
+  Trace.set_enabled false;
+  let json = Export.spans_json (Trace.recent ()) in
+  validate_json json;
+  check bool "nested child serialized" true (contains json "\"leaf\"");
+  check bool "attr escaped" true (contains json "run \\\"x\\\"")
+
+(* ---------------- prover copy regression ---------------- *)
+
+let test_prover_copy_stats_independent () =
+  let d = Logic.Datalog.create () in
+  let atom p args = Logic.Term.atom p args in
+  List.iter
+    (fun (x, y) ->
+      ok
+        (Logic.Datalog.add_fact d
+           (atom "edge" [ Logic.Term.sym x; Logic.Term.sym y ])))
+    [ ("a", "b"); ("b", "c"); ("c", "d") ];
+  ok
+    (Logic.Datalog.add_clause d
+       (Logic.Term.clause
+          (atom "path" [ Logic.Term.var "X"; Logic.Term.var "Y" ])
+          [ Logic.Term.Pos (atom "edge" [ Logic.Term.var "X"; Logic.Term.var "Y" ]) ]));
+  ok
+    (Logic.Datalog.add_clause d
+       (Logic.Term.clause
+          (atom "path" [ Logic.Term.var "X"; Logic.Term.var "Z" ])
+          [
+            Logic.Term.Pos (atom "edge" [ Logic.Term.var "X"; Logic.Term.var "Y" ]);
+            Logic.Term.Pos (atom "path" [ Logic.Term.var "Y"; Logic.Term.var "Z" ]);
+          ]));
+  let p = Logic.Prover.make d in
+  ignore
+    (Logic.Prover.solve p
+       [ atom "path" [ Logic.Term.sym "a"; Logic.Term.var "Y" ] ]);
+  let before = (Logic.Prover.stats p).Logic.Prover.resolutions in
+  check bool "original did work" true (before > 0);
+  (* a snapshot, not the live record *)
+  let snap = Logic.Prover.stats p in
+  snap.Logic.Prover.resolutions <- 12345;
+  check int "mutating a snapshot does not reach the prover" before
+    (Logic.Prover.stats p).Logic.Prover.resolutions;
+  (* work in a copy is invisible to the original *)
+  let q = Logic.Prover.copy p in
+  Logic.Prover.clear_lemmas q;
+  ignore
+    (Logic.Prover.solve q
+       [ atom "path" [ Logic.Term.sym "b"; Logic.Term.var "Y" ] ]);
+  check int "copy's work does not leak into the original" before
+    (Logic.Prover.stats p).Logic.Prover.resolutions;
+  check bool "copy accumulated beyond the fork point" true
+    ((Logic.Prover.stats q).Logic.Prover.resolutions > before)
+
+(* ---------------- cross-layer: slow decision in the slow-op log ------ *)
+
+let test_slow_decision_in_slow_log () =
+  let repo = Repo.create () in
+  Gkbms.Mapping.register_tools repo;
+  Repo.register_tool repo
+    {
+      Repo.tool_name = "SlowEditor";
+      executes = Gkbms.Metamodel.dec_manual_edit;
+      automation = `Manual;
+      guarantees = [];
+      run =
+        (fun repo ~inputs ~params ->
+          Unix.sleepf 0.03;
+          match
+            (List.assoc_opt "object" inputs, List.assoc_opt "text" params)
+          with
+          | Some obj, Some text ->
+            Result.bind
+              (Repo.new_object repo ~name:"SlowDoc_v2" ~replaces:obj
+                 ~cls:Gkbms.Metamodel.dbpl_object (Repo.Text text))
+              (fun id ->
+                Ok [ { Repo.role = "edited"; obj = id; replaces = Some obj } ])
+          | _ -> Error "need object/text");
+    };
+  let doc =
+    ok
+      (Repo.new_object repo ~name:"SlowDoc" ~cls:Gkbms.Metamodel.dbpl_object
+         (Repo.Text "v0"))
+  in
+  Trace.clear ();
+  Trace.set_slow_threshold_s 0.01;
+  Trace.set_enabled true;
+  let before =
+    match Reg.find Reg.default "gkbms_decisions_committed_total" with
+    | Some { Reg.value = Reg.Counter_v v; _ } -> v
+    | _ -> 0
+  in
+  ignore
+    (ok
+       (Gkbms.Decision.execute repo
+          ~decision_class:Gkbms.Metamodel.dec_manual_edit ~tool:"SlowEditor"
+          ~inputs:[ ("object", doc) ]
+          ~params:[ ("text", "v1") ]
+          ()));
+  Trace.set_enabled false;
+  Trace.set_slow_threshold_s 0.1;
+  (* the sentinel counter moved *)
+  (match Reg.find Reg.default "gkbms_decisions_committed_total" with
+  | Some { Reg.value = Reg.Counter_v v; _ } ->
+    check int "decision counted in the shared registry" (before + 1) v
+  | _ -> Alcotest.fail "sentinel counter missing");
+  (* and the slow-op log holds the decision's full span tree *)
+  match
+    List.find_opt
+      (fun s -> s.Trace.span_name = "decision.execute")
+      (Trace.slow ())
+  with
+  | None -> Alcotest.fail "slowed decision.execute not in the slow-op log"
+  | Some sp ->
+    check bool "slow span is actually slow" true (sp.Trace.duration_s >= 0.01);
+    check bool "tool attr captured" true
+      (List.mem ("tool", "SlowEditor") sp.Trace.attrs);
+    let children = List.map (fun c -> c.Trace.span_name) (Trace.children sp) in
+    check bool "tool_run child present" true
+      (List.mem "decision.tool_run" children);
+    check bool "consistency child present" true
+      (List.mem "decision.consistency_check" children);
+    check bool "commit child present" true (List.mem "decision.commit" children)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_percentile_bounded;
+    ("percentile overflow and empty", `Quick, test_percentile_overflow);
+    ("registry registration idempotent", `Quick, test_registry_idempotent);
+    ("registry gated by runtime flag", `Quick, test_registry_disable);
+    ("prometheus exposition grammar", `Quick, test_prometheus_format);
+    ("json export well-formed", `Quick, test_json_export);
+    ("span nesting", `Quick, test_span_nesting);
+    ("span exception safety", `Quick, test_span_exception_safety);
+    ("span ring capacity", `Quick, test_span_capacity);
+    ("span tree json", `Quick, test_span_json);
+    ("prover copy stats independent", `Quick, test_prover_copy_stats_independent);
+    ("slow decision commit traced", `Quick, test_slow_decision_in_slow_log);
+  ]
