@@ -497,13 +497,19 @@ let serve_cmd =
     Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SECONDS"
            ~doc:"Disconnect sessions idle longer than $(docv) seconds.")
   in
-  let run until wal socket no_cache idle =
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Evaluate read commands on $(docv) OCaml domains (writes \
+                 stay single-domain, in decision-log order).  Default 1.")
+  in
+  let run until wal socket no_cache idle domains =
     handle
       (let* st, _ = build_state until in
        let config =
          { Server.Daemon.default_config with
            cache = not no_cache;
            idle_timeout = idle;
+           domains = max 1 domains;
          }
        in
        let daemon = Server.Daemon.create ~config st.Scn.repo in
@@ -515,8 +521,9 @@ let serve_cmd =
        let stop_handler _ = Server.Daemon.stop daemon in
        Sys.set_signal Sys.sigint (Sys.Signal_handle stop_handler);
        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_handler);
-       Format.printf "gkbms server listening on %s (cache %s%s)@." socket
+       Format.printf "gkbms server listening on %s (cache %s%s%s)@." socket
          (if no_cache then "off" else "on")
+         (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
          (match wal with None -> "" | Some dir -> ", wal " ^ dir);
        let* () = Server.Daemon.listen daemon ~path:socket in
        Server.Daemon.stop daemon;
@@ -529,7 +536,7 @@ let serve_cmd =
              Unix-domain socket (reads run concurrently, writes serialize \
              in decision-log order; with --wal every committed decision is \
              journaled before the response is sent).")
-    Term.(const run $ until_arg $ wal_arg $ socket_arg $ no_cache $ idle)
+    Term.(const run $ until_arg $ wal_arg $ socket_arg $ no_cache $ idle $ domains)
 
 let client_cmd =
   let exec_args =

@@ -8,8 +8,15 @@ module Prover = Logic.Prover
 (* Memoized transitive-closure caches over the isa/instanceof graph.
    Entries are invalidated selectively by the base-change listener
    installed in [create]; steady-state classification queries are then
-   O(1) table lookups. *)
+   O(1) table lookups.
+
+   [m] guards the four tables and the counters: parallel consistency
+   checking calls the closure queries from several pool domains at
+   once.  Closures are computed *outside* the lock (they recurse back
+   into [memo]); a race can at worst compute the same deterministic
+   closure twice. *)
 type cache = {
+  m : Mutex.t;
   isa_up : Symbol.t list Symbol.Tbl.t;  (** isa_closure *)
   isa_down : Symbol.t list Symbol.Tbl.t;  (** isa_subs_closure *)
   all_classes : Symbol.t list Symbol.Tbl.t;  (** all_classes_of *)
@@ -78,16 +85,22 @@ let g_cache_invalidations =
     ~help:"KB closure cache entries dropped by selective invalidation"
 
 let memo t tbl x compute =
+  let c = t.cache in
+  Mutex.lock c.m;
   match Symbol.Tbl.find_opt tbl x with
   | Some v ->
-    t.cache.hits <- t.cache.hits + 1;
+    c.hits <- c.hits + 1;
+    Mutex.unlock c.m;
     Obs.Registry.Counter.inc g_cache_hits;
     v
   | None ->
-    t.cache.misses <- t.cache.misses + 1;
+    c.misses <- c.misses + 1;
+    Mutex.unlock c.m;
     Obs.Registry.Counter.inc g_cache_misses;
     let v = compute x in
+    Mutex.lock c.m;
     Symbol.Tbl.replace tbl x v;
+    Mutex.unlock c.m;
     v
 
 let isa_closure t x =
@@ -119,16 +132,22 @@ let all_instances_of t c =
 
 (* Selective invalidation ------------------------------------------------ *)
 
-let cache_drop t tbl key =
+let cache_drop_unlocked t tbl key =
   if Symbol.Tbl.mem tbl key then begin
     Symbol.Tbl.remove tbl key;
     t.cache.invalidations <- t.cache.invalidations + 1;
     Obs.Registry.Counter.inc g_cache_invalidations
   end
 
+let cache_drop t tbl key =
+  Mutex.lock t.cache.m;
+  cache_drop_unlocked t tbl key;
+  Mutex.unlock t.cache.m
+
 (* Drop every entry whose memoized closure mentions [s] (plus the entry
    of [s] itself): exactly the entries a change at [s] can reach. *)
 let cache_drop_mentioning t tbl s =
+  Mutex.lock t.cache.m;
   let stale =
     Symbol.Tbl.fold
       (fun k v acc ->
@@ -136,7 +155,8 @@ let cache_drop_mentioning t tbl s =
         else acc)
       tbl []
   in
-  List.iter (fun k -> cache_drop t tbl k) stale
+  List.iter (fun k -> cache_drop_unlocked t tbl k) stale;
+  Mutex.unlock t.cache.m
 
 let invalidate_for_change t change =
   let p = match change with Base.Added p | Base.Removed p -> p in
@@ -172,11 +192,16 @@ let invalidate_for_change t change =
 (* attribute and other link propositions do not affect the closures *)
 
 let cache_stats t =
-  {
-    hits = t.cache.hits;
-    misses = t.cache.misses;
-    invalidations = t.cache.invalidations;
-  }
+  Mutex.lock t.cache.m;
+  let s =
+    {
+      hits = t.cache.hits;
+      misses = t.cache.misses;
+      invalidations = t.cache.invalidations;
+    }
+  in
+  Mutex.unlock t.cache.m;
+  s
 
 let is_instance t ~inst ~cls =
   List.exists (Symbol.equal cls) (all_classes_of t inst)
@@ -575,6 +600,7 @@ let create ?backend () =
       behaviour_defs = [];
       cache =
         {
+          m = Mutex.create ();
           isa_up = Symbol.Tbl.create 256;
           isa_down = Symbol.Tbl.create 256;
           all_classes = Symbol.Tbl.create 256;

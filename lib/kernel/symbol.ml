@@ -1,30 +1,102 @@
 type t = int
 
-let table : (string, int) Hashtbl.t = Hashtbl.create 4096
-let names : string array ref = ref (Array.make 4096 "")
-let next = ref 0
+(* Interning must be domain-safe: the par pool evaluates Datalog rule
+   bodies and consistency checks on several domains, and every one of
+   them interns and resolves symbols.  The hot path — looking up an
+   already-interned string — is lock-free: an open-addressed table of
+   atomic slots, published as a whole through [table] so it can be
+   resized.  Inserts take [write_m], re-probe, and only then allocate a
+   fresh id.  Slots are only ever written under the mutex; readers see
+   a slot either empty (and fall through to the locked slow path) or
+   fully published.
+
+   Publication order matters for [name]: the string is stored into the
+   names array (and the grown array is published through [names])
+   *before* the slot for the new id becomes visible, so any domain that
+   can observe an id can also resolve it. *)
+
+type table = { mask : int; slots : (string * int) option Atomic.t array }
+
+let mk_table cap =
+  { mask = cap - 1; slots = Array.init cap (fun _ -> Atomic.make None) }
+
+let table = Atomic.make (mk_table 4096)
+let names : string array Atomic.t = Atomic.make (Array.make 4096 "")
+let next = Atomic.make 0
+let write_m = Mutex.create ()
+
+(* linear probing; [None] means [s] was not yet published in [tbl] *)
+let probe tbl s =
+  let rec go j idx =
+    match Atomic.get tbl.slots.(idx) with
+    | Some (s', i) when String.equal s' s -> Some i
+    | Some _ -> if j = tbl.mask then None else go (j + 1) ((idx + 1) land tbl.mask)
+    | None -> None
+  in
+  go 0 (Hashtbl.hash s land tbl.mask)
+
+(* writers only (under [write_m]) *)
+let insert tbl s i =
+  let rec go idx =
+    match Atomic.get tbl.slots.(idx) with
+    | None -> Atomic.set tbl.slots.(idx) (Some (s, i))
+    | Some _ -> go ((idx + 1) land tbl.mask)
+  in
+  go (Hashtbl.hash s land tbl.mask)
+
+(* build the doubled table offline, publish it in one atomic store *)
+let resize () =
+  let old = Atomic.get table in
+  let fresh = mk_table (2 * (old.mask + 1)) in
+  Array.iter
+    (fun slot ->
+      match Atomic.get slot with
+      | Some (s, i) -> insert fresh s i
+      | None -> ())
+    old.slots;
+  Atomic.set table fresh
+
+let intern_slow s =
+  Mutex.lock write_m;
+  let i =
+    match probe (Atomic.get table) s with
+    | Some i -> i (* another domain interned [s] since our fast path *)
+    | None ->
+      let i = Atomic.get next in
+      let arr = Atomic.get names in
+      (if i >= Array.length arr then begin
+         let bigger = Array.make (2 * Array.length arr) "" in
+         Array.blit arr 0 bigger 0 (Array.length arr);
+         bigger.(i) <- s;
+         Atomic.set names bigger
+       end
+       else arr.(i) <- s);
+      let tbl = Atomic.get table in
+      (* keep occupancy under half so probes stay short and always
+         terminate on an empty slot *)
+      let tbl =
+        if 2 * (i + 1) > tbl.mask + 1 then begin
+          resize ();
+          Atomic.get table
+        end
+        else tbl
+      in
+      insert tbl s i;
+      Atomic.set next (i + 1);
+      i
+  in
+  Mutex.unlock write_m;
+  i
 
 let intern s =
-  match Hashtbl.find_opt table s with
-  | Some i -> i
-  | None ->
-    let i = !next in
-    incr next;
-    if i >= Array.length !names then begin
-      let bigger = Array.make (2 * Array.length !names) "" in
-      Array.blit !names 0 bigger 0 (Array.length !names);
-      names := bigger
-    end;
-    !names.(i) <- s;
-    Hashtbl.add table s i;
-    i
+  match probe (Atomic.get table) s with Some i -> i | None -> intern_slow s
 
-let name i = !names.(i)
+let name i = (Atomic.get names).(i)
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 let hash (i : t) = i
 let to_int i = i
-let count () = !next
+let count () = Atomic.get next
 let pp ppf i = Format.pp_print_string ppf (name i)
 
 module Tbl = Hashtbl.Make (struct

@@ -621,11 +621,84 @@ let eval_stratum_seminaive t stratum_preds stratum_rules =
     delta := next
   done
 
+(* Parallel semi-naive: the per-(rule, focus) delta joins of one round
+   are independent reads, so they run on pool domains against a shim of
+   [t] (shared fact/derived tables, private counters); each job returns
+   its head tuples and the coordinator merges them into [t.derived] and
+   the next delta sequentially, in job order.  Compared to the
+   sequential loop above, a rule no longer sees tuples derived by
+   earlier rules of the *same* round — those tuples are in the round's
+   delta, and every same-stratum body position is a recursive focus, so
+   the next round derives exactly the missed consequences: the fixpoint
+   is identical, at worst one extra round.  Negated predicates are in
+   lower (complete) strata by stratification, so deferral never changes
+   a negation's outcome.  External relations must be safe to call from
+   several domains (the Cml bridge reads only the store). *)
+let eval_stratum_seminaive_par ~pool t stratum_preds stratum_rules =
+  let in_stratum p = List.exists (Symbol.equal p) stratum_preds in
+  let shim () = { t with counters = fresh_counters (); pub = fresh_counters () } in
+  let absorb (c : counters) =
+    t.counters.c_index_hits <- t.counters.c_index_hits + c.c_index_hits;
+    t.counters.c_index_misses <- t.counters.c_index_misses + c.c_index_misses
+  in
+  let merge delta results =
+    List.iter
+      (fun (p, tups, ctrs) ->
+        absorb ctrs;
+        List.iter
+          (fun tup ->
+            if Relation.add (set_of t.derived p) tup then
+              ignore (Relation.add (delta_set delta p) tup))
+          tups)
+      results
+  in
+  let delta = ref (delta_create ()) in
+  Par.Pool.map_list ~pool
+    (fun (c : Term.clause) ->
+      let sh = shim () in
+      let substs = eval_body sh (full_lookup sh) c.body in
+      (c.head.pred, head_tuples c substs, sh.counters))
+    stratum_rules
+  |> merge !delta;
+  let jobs =
+    List.concat_map
+      (fun (c : Term.clause) ->
+        positive_positions c
+        |> List.filter (fun (_, p) -> in_stratum p)
+        |> List.map (fun (focus, _) -> (c, focus)))
+      stratum_rules
+  in
+  while delta_nonempty !delta do
+    let d = !delta in
+    let results =
+      Par.Pool.map_list ~pool
+        (fun ((c : Term.clause), focus) ->
+          let sh = shim () in
+          let lookup idx p pattern =
+            if idx = 0 then delta_lookup sh d p pattern
+            else candidates sh p pattern
+          in
+          let substs = eval_body sh lookup (focused_body c focus) in
+          (c.head.pred, head_tuples c substs, sh.counters))
+        jobs
+    in
+    let next = delta_create () in
+    merge next results;
+    delta := next
+  done
+
 let invalidate t =
   Symbol.Tbl.reset t.derived;
   t.solved <- false
 
-let solve ?(strategy = `Seminaive) t =
+let solve ?(strategy = `Seminaive) ?pool t =
+  (* the parallel path only engages on a real multi-domain pool from
+     outside a pool task; otherwise the pre-parallel code runs verbatim *)
+  let pool =
+    match pool with
+    | Some p when Par.Pool.size p > 1 && not (Par.Pool.in_worker ()) -> Some p
+    | Some _ | None -> None
+  in
   if t.solved then Ok ()
   else
     let r =
@@ -636,9 +709,11 @@ let solve ?(strategy = `Seminaive) t =
         List.iter
           (fun stratum_preds ->
             let stratum_rules = stratum_rules_of t stratum_preds in
-            match strategy with
-            | `Naive -> eval_stratum_naive t stratum_rules
-            | `Seminaive ->
+            match (strategy, pool) with
+            | `Naive, _ -> eval_stratum_naive t stratum_rules
+            | `Seminaive, Some pool ->
+              eval_stratum_seminaive_par ~pool t stratum_preds stratum_rules
+            | `Seminaive, None ->
               eval_stratum_seminaive t stratum_preds stratum_rules)
           strata;
         t.strata_cache <- Some strata;
@@ -851,8 +926,8 @@ let match_atom t (a : Term.atom) subst =
   let pattern = Array.map (Term.Subst.apply subst) a.args in
   match_against (candidates t a.pred pattern) a subst []
 
-let query ?strategy t a =
-  match solve ?strategy t with
+let query ?strategy ?pool t a =
+  match solve ?strategy ?pool t with
   | Error e -> Error e
   | Ok () ->
     let r = match_atom t a Term.Subst.empty in

@@ -45,9 +45,17 @@ val stratify : t -> (Symbol.t list list, string) result
 (** Strata of intensional predicates, lowest first.  [Error] if a
     negation occurs in a recursive cycle. *)
 
-val solve : ?strategy:strategy -> t -> (unit, string) result
+val solve : ?strategy:strategy -> ?pool:Par.Pool.t -> t -> (unit, string) result
 (** Materialize all intensional predicates (bottom-up).  Idempotent until
-    the next [add_fact]/[add_clause]. *)
+    the next [add_fact]/[add_clause].
+
+    With [?pool] (of size > 1) the per-rule delta joins of each
+    semi-naive round are evaluated on the pool's domains; derived
+    tuples are still merged into the tables sequentially by the
+    caller's domain, and the materialized result is the same fixpoint.
+    External relations are then called from several domains and must be
+    read-only or otherwise domain-safe.  Without a pool (or with a
+    sequential one) the evaluation is exactly the single-domain code. *)
 
 val facts_of : t -> Symbol.t -> Term.t list list
 (** All currently materialized (or stored extensional) tuples of a
@@ -59,7 +67,12 @@ val match_atom : t -> Term.atom -> Term.Subst.t -> Term.Subst.t list
 (** All extensions of the substitution matching the atom against stored
     facts, materialized facts and external relations. *)
 
-val query : ?strategy:strategy -> t -> Term.atom -> (Term.Subst.t list, string) result
+val query :
+  ?strategy:strategy ->
+  ?pool:Par.Pool.t ->
+  t ->
+  Term.atom ->
+  (Term.Subst.t list, string) result
 (** [solve] then [match_atom] with the empty substitution. *)
 
 val derived_count : t -> int

@@ -18,9 +18,11 @@ let slow_threshold_s () = Atomic.get threshold
 
 (* Recorder state: per-thread stacks of open spans plus the two rings.
    The mutex guards the stack table and the rings; an individual
-   thread's stack ref is only ever mutated by that thread. *)
+   thread's stack ref is only ever mutated by that thread.  Thread ids
+   are only unique within a domain, so stacks are keyed by
+   (domain, thread) — pool workers each get their own stack. *)
 let m = Mutex.create ()
-let stacks : (int, span list ref) Hashtbl.t = Hashtbl.create 16
+let stacks : (int * int, span list ref) Hashtbl.t = Hashtbl.create 16
 let recent_cap = ref 64
 let slow_cap = ref 32
 let recent_ring : span list ref = ref []  (* newest first, <= !recent_cap *)
@@ -51,7 +53,7 @@ let push ring len cap sp =
   if !len >= cap then ring := truncate cap !ring else incr len
 
 let stack_of_self () =
-  let id = Thread.id (Thread.self ()) in
+  let id = ((Domain.self () :> int), Thread.id (Thread.self ())) in
   Mutex.lock m;
   let st =
     match Hashtbl.find_opt stacks id with

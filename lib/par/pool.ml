@@ -1,0 +1,288 @@
+(* See pool.mli.  One shared FIFO of thunks, workers blocked on a
+   condition variable; parallel iterations self-schedule over an atomic
+   chunk counter, so a slow chunk never leaves the other domains idle
+   behind a static partition. *)
+
+type job = unit -> unit
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  total : int;  (* domains incl. the caller; 1 = sequential *)
+  mutable workers : unit Domain.t list;
+  mutable spawned : bool;
+  mutable stopping : bool;
+  tasks : int Atomic.t;
+  steals : int Atomic.t;
+}
+
+(* registry series ----------------------------------------------------- *)
+
+let reg = Obs.Registry.default
+
+let g_tasks =
+  Obs.Registry.counter reg "gkbms_par_pool_tasks_total"
+    ~help:"Chunks and submissions executed by the domain pool"
+
+let g_steals =
+  Obs.Registry.counter reg "gkbms_par_pool_steals_total"
+    ~help:"Pool chunks that ran on a different domain than static \
+           partitioning would have picked"
+
+let g_domains =
+  Obs.Registry.gauge reg "gkbms_par_pool_domains"
+    ~help:"Size of the default domain pool (including the caller)"
+
+let h_map_us =
+  Obs.Registry.histogram reg "gkbms_par_map_array_us"
+    ~help:"Wall-clock latency of Pool.map_array calls in microseconds"
+
+(* worker identity ------------------------------------------------------ *)
+
+(* [worker_state] is (in_task, worker_id): [in_task] marks code running
+   inside a pool task on any domain (including the caller while it
+   helps), so nested parallel entry points degrade to sequential;
+   [worker_id] is the spawn index of a pool worker, [-1] elsewhere. *)
+let worker_state : (bool ref * int ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref false, ref (-1)))
+
+let in_worker () =
+  let in_task, _ = Domain.DLS.get worker_state in
+  !in_task
+
+let self_id () =
+  let _, id = Domain.DLS.get worker_state in
+  !id
+
+(* marks the dynamic extent of a task; tasks never leak exceptions *)
+let in_task f =
+  let flag, _ = Domain.DLS.get worker_state in
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
+let worker_loop t wid () =
+  let in_task_flag, id = Domain.DLS.get worker_state in
+  ignore in_task_flag;
+  id := wid;
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.m
+    done;
+    let job = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+    Mutex.unlock t.m;
+    match job with
+    | Some job -> job ()
+    | None -> continue_ := false (* stopping and drained *)
+  done
+
+(* forward-declared so [create] can register exit cleanup *)
+let shutdown_ref = ref (fun (_ : t) -> ())
+
+let create ~domains =
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      total = max 1 domains;
+      workers = [];
+      spawned = false;
+      stopping = false;
+      tasks = Atomic.make 0;
+      steals = Atomic.make 0;
+    }
+  in
+  (* workers block on a condition variable: wake and join them on
+     process exit, or the runtime would wait on them forever *)
+  if t.total > 1 then at_exit (fun () -> !shutdown_ref t);
+  t
+
+let size t = t.total
+
+let ensure_spawned t =
+  if not t.spawned then begin
+    Mutex.lock t.m;
+    if (not t.spawned) && not t.stopping then begin
+      t.workers <-
+        List.init (t.total - 1) (fun wid -> Domain.spawn (worker_loop t wid));
+      t.spawned <- true
+    end;
+    Mutex.unlock t.m
+  end
+
+let enqueue t job =
+  Mutex.lock t.m;
+  Queue.add job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.m
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.stopping in
+  t.stopping <- true;
+  let workers = t.workers in
+  t.workers <- [];
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  if not already then List.iter Domain.join workers
+
+let () = shutdown_ref := shutdown
+
+(* default pool --------------------------------------------------------- *)
+
+let default_size () =
+  match Sys.getenv_opt "GKBMS_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_m = Mutex.create ()
+let default_ref = ref None
+
+let default () =
+  Mutex.lock default_m;
+  let p =
+    match !default_ref with
+    | Some p -> p
+    | None ->
+      let p = create ~domains:(default_size ()) in
+      default_ref := Some p;
+      Obs.Registry.Gauge.set g_domains (Float.of_int p.total);
+      p
+  in
+  Mutex.unlock default_m;
+  p
+
+(* parallel iteration --------------------------------------------------- *)
+
+let reraise (e, bt) = Printexc.raise_with_backtrace e bt
+
+(* Distribute [nchunks] chunk indices over the pool (caller included)
+   via an atomic counter; [exec lo hi] runs one chunk.  Returns after
+   every chunk has settled; re-raises the first chunk's exception. *)
+let drive t ~nchunks exec =
+  ensure_spawned t;
+  let next = Atomic.make 0 in
+  let bm = Mutex.create () in
+  let bc = Condition.create () in
+  let remaining = ref nchunks in
+  let errors = Array.make nchunks None in
+  let run_chunks () =
+    in_task @@ fun () ->
+    let self = self_id () in
+    let rec go () =
+      let ci = Atomic.fetch_and_add next 1 in
+      if ci < nchunks then begin
+        if self <> ci mod t.total then begin
+          Atomic.incr t.steals;
+          Obs.Registry.Counter.inc g_steals
+        end;
+        (try Obs.Trace.with_span "par.task" (fun () -> exec ci)
+         with e -> errors.(ci) <- Some (e, Printexc.get_raw_backtrace ()));
+        Mutex.lock bm;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast bc;
+        Mutex.unlock bm;
+        go ()
+      end
+    in
+    go ()
+  in
+  (* enough helpers that every worker can participate, never more than
+     there are chunks *)
+  for _ = 1 to min (t.total - 1) nchunks do
+    enqueue t run_chunks
+  done;
+  run_chunks ();
+  Mutex.lock bm;
+  while !remaining > 0 do
+    Condition.wait bc bm
+  done;
+  Mutex.unlock bm;
+  Atomic.fetch_and_add t.tasks nchunks |> ignore;
+  Obs.Registry.Counter.inc g_tasks ~by:nchunks;
+  Array.iter (function Some err -> reraise err | None -> ()) errors
+
+let chunk_bounds n nchunks ci =
+  let lo = ci * n / nchunks and hi = (ci + 1) * n / nchunks in
+  (lo, hi)
+
+let map_array ?pool f arr =
+  let n = Array.length arr in
+  match pool with
+  | None -> Array.map f arr
+  | Some t when t.total <= 1 || n <= 1 || in_worker () -> Array.map f arr
+  | Some t ->
+    let t0 = Unix.gettimeofday () in
+    let nchunks = min n (t.total * 2) in
+    let out = Array.make nchunks [||] in
+    drive t ~nchunks (fun ci ->
+        let lo, hi = chunk_bounds n nchunks ci in
+        out.(ci) <- Array.init (hi - lo) (fun k -> f arr.(lo + k)));
+    let r = Array.concat (Array.to_list out) in
+    Obs.Histogram.observe h_map_us ((Unix.gettimeofday () -. t0) *. 1e6);
+    r
+
+let map_list ?pool f l =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | l -> Array.to_list (map_array ?pool f (Array.of_list l))
+
+let parallel_for ?pool n f =
+  match pool with
+  | None -> for i = 0 to n - 1 do f i done
+  | Some t when t.total <= 1 || n <= 1 || in_worker () ->
+    for i = 0 to n - 1 do f i done
+  | Some t ->
+    let nchunks = min n (t.total * 2) in
+    drive t ~nchunks (fun ci ->
+        let lo, hi = chunk_bounds n nchunks ci in
+        for i = lo to hi - 1 do
+          f i
+        done)
+
+(* single-task submission ----------------------------------------------- *)
+
+let run t f =
+  if t.total <= 1 || in_worker () then f ()
+  else begin
+    ensure_spawned t;
+    let bm = Mutex.create () in
+    let bc = Condition.create () in
+    let result = ref None in
+    enqueue t (fun () ->
+        let r =
+          in_task @@ fun () ->
+          Obs.Trace.with_span "par.task" @@ fun () ->
+          match f () with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock bm;
+        result := Some r;
+        Condition.broadcast bc;
+        Mutex.unlock bm);
+    Mutex.lock bm;
+    while !result = None do
+      Condition.wait bc bm
+    done;
+    Mutex.unlock bm;
+    Atomic.incr t.tasks;
+    Obs.Registry.Counter.inc g_tasks;
+    match !result with
+    | Some (Ok v) -> v
+    | Some (Error err) -> reraise err
+    | None -> assert false
+  end
+
+type stats = { domains : int; tasks : int; steals : int }
+
+let stats t =
+  { domains = t.total; tasks = Atomic.get t.tasks; steals = Atomic.get t.steals }

@@ -1,0 +1,80 @@
+(** A fixed-size domain pool for data-parallel evaluation.
+
+    The GKBMS serves a group of designers; its inference engines and
+    consistency checkers are meant to run as fast as the hardware
+    allows.  This pool is the one place the system spawns OCaml 5
+    domains: hot paths hand it chunked, read-only work
+    ({!map_array} / {!parallel_for}) and merge the results sequentially
+    on the calling domain, so no shared mutable table is ever touched
+    from two domains at once (the "partition reads, merge writes
+    sequentially" rule — see DESIGN.md §8).
+
+    Built on stdlib [Domain] + [Mutex]/[Condition] only; no external
+    dependencies.  A pool of size 1 never spawns a domain and runs
+    every operation sequentially in the caller, bit-identical to the
+    pre-parallel code.  Calls made from inside a pool task also run
+    sequentially (no nested parallelism, no deadlock). *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] makes a pool that evaluates work on [domains]
+    domains in total: the calling domain plus [domains - 1] lazily
+    spawned workers.  [domains <= 1] yields a sequential pool. *)
+
+val default : unit -> t
+(** The process-wide pool, created on first use.  Its size is
+    [GKBMS_DOMAINS] when that environment variable is a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val default_size : unit -> int
+(** The size {!default} has (or would have), without forcing pool
+    creation. *)
+
+val size : t -> int
+(** Total domains used by this pool's operations, including the
+    caller; [1] means sequential. *)
+
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~pool f arr] is [Array.map f arr] with the applications
+    of [f] distributed over the pool's domains in contiguous chunks.
+    The result array is in input order.  [f] must only read shared
+    state (or write state private to the call); the caller merges.
+
+    The calling domain participates in the work.  If any application
+    raises, the first exception (in chunk order) is re-raised in the
+    caller after all chunks settle.  Without [?pool], or with a pool
+    of size 1, or when called from inside a pool task, this is
+    exactly [Array.map f arr] on the calling domain. *)
+
+val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} over a list, preserving order. *)
+
+val parallel_for : ?pool:t -> int -> (int -> unit) -> unit
+(** [parallel_for ~pool n f] runs [f 0 .. f (n-1)], distributed in
+    chunks like {!map_array}. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] executes [f ()] on one of the pool's worker domains and
+    waits for the result (exceptions re-raised in the caller).  Used
+    by the server to move read-command evaluation off the accept
+    domain.  On a sequential pool (or from inside a pool task) [f] is
+    run directly in the caller. *)
+
+val in_worker : unit -> bool
+(** [true] when the current code is executing inside a pool task (on
+    any pool) — parallel entry points use this to fall back to
+    sequential evaluation instead of deadlocking on a nested pool. *)
+
+type stats = { domains : int; tasks : int; steals : int }
+
+val stats : t -> stats
+(** [tasks] counts chunks/submissions executed; [steals] counts chunks
+    that ran on a different domain than static partitioning would have
+    assigned (a measure of how much the dynamic scheduler rebalanced). *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains.  The pool must not be used
+    afterwards.  Idempotent; every pool also shuts down automatically
+    at process exit, so callers only need this to reclaim domains
+    early. *)

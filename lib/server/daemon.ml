@@ -6,6 +6,9 @@ type config = {
   idle_timeout : float option;
   queue_limit : int;
   wal_fsync : bool;
+  domains : int;
+      (** domains for read-command evaluation; 1 = all evaluation on
+          the accept threads (pre-multicore behaviour) *)
 }
 
 let default_config =
@@ -15,6 +18,7 @@ let default_config =
     idle_timeout = None;
     queue_limit = 64;
     wal_fsync = false;
+    domains = 1;
   }
 
 type t = {
@@ -24,9 +28,14 @@ type t = {
   cache : Cache.t option;
   metrics : Metrics.t;
   eval_m : Mutex.t;
-      (** even read commands mutate KB-internal memo caches, so actual
-          shell evaluation is mutually exclusive; concurrency comes from
-          cache hits served outside this mutex *)
+      (** without a pool, even read commands mutate KB-internal memo
+          caches, so actual shell evaluation is mutually exclusive and
+          concurrency comes from cache hits served outside this mutex.
+          With [pool] present the memo caches are mutex-guarded and
+          read commands evaluate in parallel on pool domains; [eval_m]
+          then only serializes writes (which the scheduler already
+          makes exclusive). *)
+  pool : Par.Pool.t option;  (** read evaluation domains, from [config.domains] *)
   m : Mutex.t;  (** sessions / lifecycle *)
   sessions : (int, Session.t) Hashtbl.t;
   mutable next_sid : int;
@@ -47,6 +56,9 @@ let create ?(config = default_config) repo =
        else None);
     metrics = Metrics.create ~registry:Obs.Registry.default ();
     eval_m = Mutex.create ();
+    pool =
+      (if config.domains > 1 then Some (Par.Pool.create ~domains:config.domains)
+       else None);
     m = Mutex.create ();
     sessions = Hashtbl.create 16;
     next_sid = 0;
@@ -115,6 +127,21 @@ let eval_under_lock t session line =
   in
   Mutex.unlock t.eval_m;
   out
+
+(* Read-command evaluation with a pool: dispatch onto a pool domain and
+   skip [eval_m].  Safe because the surrounding [Scheduler.read]
+   excludes writers, session state is only touched by this session's
+   single in-flight request, and the shared structures reads traverse
+   (symbol table, KB closure caches, Obs) are individually
+   domain-safe.  Writes never come through here — they stay on the
+   accept thread, under [eval_m], in log order. *)
+let eval_read t session line =
+  match t.pool with
+  | Some pool ->
+    Par.Pool.run pool (fun () ->
+        try Gkbms.Shell.eval (Session.shell session) line
+        with e -> "error: internal: " ^ Printexc.to_string e)
+  | None -> eval_under_lock t session line
 
 let command_label line =
   let line = String.trim line in
@@ -196,12 +223,12 @@ let process t session (req : Protocol.request) : Protocol.response =
             (Scheduler.read t.scheduler (fun () ->
                  (* writers are excluded, so the version is pinned *)
                  let v = Repo.version t.repo in
-                 let out = eval_under_lock t session line in
+                 let out = eval_read t session line in
                  Cache.store cache ~version:v line out;
                  out)))
       | _ ->
         finish
-          (Scheduler.read t.scheduler (fun () -> eval_under_lock t session line))
+          (Scheduler.read t.scheduler (fun () -> eval_read t session line))
       ))
 
 (* connection lifecycle ------------------------------------------------ *)
@@ -331,8 +358,9 @@ let stop t =
       (try Thread.join th with _ -> ());
       t.reaper <- None
     | None -> ());
-    match t.durable with
+    (match t.durable with
     | Some d ->
       Gkbms.Durable.close d;
       t.durable <- None
-    | None -> ())
+    | None -> ());
+    Option.iter Par.Pool.shutdown t.pool)

@@ -25,10 +25,18 @@ type config = {
       (** disconnect sessions idle longer than this many seconds *)
   queue_limit : int;  (** per-session request queue bound *)
   wal_fsync : bool;  (** fsync (not just flush) the WAL on each write *)
+  domains : int;
+      (** with [domains > 1] the server owns a {!Par.Pool} of that size
+          and read-class commands evaluate on its domains (still under
+          the writer-preferring scheduler, so they never overlap a
+          write); writes stay on the accept threads, serialized in
+          decision-log order.  [1] keeps every command on the accept
+          threads under one evaluation mutex. *)
 }
 
 val default_config : config
-(** cache on, capacity 4096, no idle timeout, queue limit 64, no fsync. *)
+(** cache on, capacity 4096, no idle timeout, queue limit 64, no fsync,
+    1 domain. *)
 
 type t
 

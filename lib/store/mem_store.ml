@@ -45,10 +45,17 @@ let bucket_add tbl find add key (p : Prop.t) =
   | Some cell -> cell := p :: !cell
   | None -> add tbl key (ref [ p ])
 
-let bucket_del tbl find key (p : Prop.t) =
+let bucket_del tbl find remove key (p : Prop.t) =
   match find tbl key with
   | None -> ()
-  | Some cell -> cell := List.filter (fun q -> not (Symbol.equal q.Prop.id p.Prop.id)) !cell
+  | Some cell -> (
+    match
+      List.filter (fun q -> not (Symbol.equal q.Prop.id p.Prop.id)) !cell
+    with
+    (* drop drained buckets: churning keys must not leak [ref []]
+       cells into the index tables *)
+    | [] -> remove tbl key
+    | rest -> cell := rest)
 
 let insert t (p : Prop.t) =
   if Symbol.Tbl.mem t.by_id p.id then false
@@ -70,10 +77,11 @@ let remove t id =
   | None -> None
   | Some p ->
     Symbol.Tbl.remove t.by_id id;
-    bucket_del t.by_source Symbol.Tbl.find_opt p.source p;
-    bucket_del t.by_source_label Pair_tbl.find_opt (p.source, p.label) p;
-    bucket_del t.by_dest Symbol.Tbl.find_opt p.dest p;
-    bucket_del t.by_label Symbol.Tbl.find_opt p.label p;
+    bucket_del t.by_source Symbol.Tbl.find_opt Symbol.Tbl.remove p.source p;
+    bucket_del t.by_source_label Pair_tbl.find_opt Pair_tbl.remove
+      (p.source, p.label) p;
+    bucket_del t.by_dest Symbol.Tbl.find_opt Symbol.Tbl.remove p.dest p;
+    bucket_del t.by_label Symbol.Tbl.find_opt Symbol.Tbl.remove p.label p;
     Some p
 
 let deref = function Some cell -> !cell | None -> []

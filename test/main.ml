@@ -26,4 +26,5 @@ let () =
       ("server", Test_server.suite);
       ("coverage", Test_coverage.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

@@ -436,11 +436,11 @@ let digest repo ~docs =
   in
   (triples, decision_classes, chains, tips, unsupported)
 
-let differential ~cache () =
+let differential ?(domains = 1) ~cache () =
   let docs = 3 in
   let repo = keyed_repo ~docs () in
   let daemon =
-    Daemon.create ~config:{ Daemon.default_config with cache } repo
+    Daemon.create ~config:{ Daemon.default_config with cache; domains } repo
   in
   let reads =
     [| "stats"; "check"; "focus InvitationRel3"; "derive in(InvitationRel, ?C)" |]
@@ -497,6 +497,7 @@ let differential ~cache () =
 
 let test_differential_cached () = differential ~cache:true ()
 let test_differential_uncached () = differential ~cache:false ()
+let test_differential_domains () = differential ~domains:4 ~cache:true ()
 
 let suite =
   [
@@ -517,4 +518,5 @@ let suite =
     ("wal synced before response", `Quick, test_wal_recovery);
     ("differential: concurrent = sequential (cache on)", `Quick, test_differential_cached);
     ("differential: concurrent = sequential (cache off)", `Quick, test_differential_uncached);
+    ("differential: concurrent = sequential (4 domains)", `Quick, test_differential_domains);
   ]
