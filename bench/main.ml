@@ -710,6 +710,122 @@ let shape_e20_parallel () =
      On a single-core host every speedup sits near 1.0x by construction.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E21: the columnar arena vs the hash-indexed heap store              *)
+(* ------------------------------------------------------------------ *)
+
+(* Each (backend, size) cell runs fully sequentially — build, measure,
+   clear, compact — so one cell's garbage never charges the next cell's
+   pause numbers.  The GC cost attributable to the *store* is reported
+   as (forced-major pause with the store live) minus (the same pause
+   after [clear]): the interner retains every id string globally, and
+   the subtraction removes that shared baseline. *)
+let shape_e21_store () =
+  section "E21: columnar arena — throughput and major-GC pause vs mem";
+  let rounds = 5 in
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let timed_rounds f =
+    median
+      (Array.init rounds (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           f ();
+           Unix.gettimeofday () -. t0))
+  in
+  let major_pause () =
+    Gc.compact ();
+    timed_rounds (fun () -> Gc.major ())
+  in
+  let backend_tag = function `Mem -> "mem" | `Arena -> "arena" | _ -> "?" in
+  Printf.printf "%-9s %-7s | %-12s %-12s %-12s %-12s | %-12s\n" "n" "store"
+    "insert/s" "scan/s" "links/s" "join/s" "gc-pause";
+  (* Ids are interned up front (declaration time) and propositions then
+     arrive in an order uncorrelated with their id codes — the layout of
+     any long-lived base, where insertion history and the id space have
+     long since diverged.  [stride] is odd and not a multiple of 5, so
+     it is coprime with the power-of-ten sizes and walks all of [0,n). *)
+  let stride = 48271 in
+  let cell n backend =
+    let tag = backend_tag backend in
+    let base = Store.Base.create ~backend () in
+    for i = 0 to n - 1 do
+      ignore (Kernel.Symbol.intern (Printf.sprintf "sp%d" i))
+    done;
+    let props () = List.init n (fun j -> W.store_prop (j * stride mod n)) in
+    let t_insert =
+      (* the props list is built inside the thunk so each round inserts
+         into a cleared store; interning is warm *)
+      timed_rounds (fun () ->
+          Store.Base.clear base;
+          ignore (Store.Base.insert_batch base (props ())))
+    in
+    Gc.compact ();
+    let expect = Store.Base.cardinal base in
+    let t_scan =
+      timed_rounds (fun () ->
+          if Store.Base.fold_ids base (fun k _ -> k + 1) 0 <> expect then
+            failwith "E21: scan disagrees")
+    in
+    (* the deductive engine's EDB enumeration: all four link symbols *)
+    let src3 = Kernel.Symbol.intern "src3" in
+    let t_links =
+      timed_rounds (fun () ->
+          let k =
+            Store.Base.fold_links base
+              (fun k _ s _ _ -> if Kernel.Symbol.equal s src3 then k + 1 else k)
+              0
+          in
+          if k = 0 then failwith "E21: links scan found nothing")
+    in
+    (* index-join probe: every (source, label) bucket once *)
+    let srcs = Array.init 50 (fun i -> Kernel.Symbol.intern (Printf.sprintf "src%d" i)) in
+    let labs = Array.init 5 (fun i -> Kernel.Symbol.intern (Printf.sprintf "lab%d" i)) in
+    let join_probes = 50 * 5 in
+    let t_join =
+      timed_rounds (fun () ->
+          let k = ref 0 in
+          Array.iter
+            (fun s ->
+              Array.iter
+                (fun l ->
+                  k := !k + List.length (Store.Base.by_source_label base s l))
+                labs)
+            srcs;
+          if !k <> expect then failwith "E21: join probe disagrees")
+    in
+    let pause_live = major_pause () in
+    Store.Base.clear base;
+    let pause_cleared = major_pause () in
+    let pause = Float.max 0. (pause_live -. pause_cleared) in
+    let per_sec t = float_of_int n /. t in
+    Printf.printf
+      "%-9d %-7s | %12.0f %12.0f %12.0f %12.0f | %9.2f ms\n%!" n tag
+      (per_sec t_insert) (per_sec t_scan) (per_sec t_links)
+      (float_of_int join_probes /. t_join)
+      (pause *. 1e3);
+    metric_f (Printf.sprintf "e21_insert_per_s_%s_n%d" tag n) (per_sec t_insert);
+    metric_f (Printf.sprintf "e21_scan_per_s_%s_n%d" tag n) (per_sec t_scan);
+    metric_f (Printf.sprintf "e21_links_per_s_%s_n%d" tag n) (per_sec t_links);
+    metric_f (Printf.sprintf "e21_gc_pause_ms_%s_n%d" tag n) (pause *. 1e3);
+    (t_scan, t_links, pause)
+  in
+  List.iter
+    (fun n ->
+      let m_scan, m_links, _ = cell n `Mem in
+      let a_scan, a_links, a_pause = cell n `Arena in
+      metric_f (Printf.sprintf "e21_scan_speedup_n%d" n) (m_scan /. a_scan);
+      metric_f (Printf.sprintf "e21_links_speedup_n%d" n) (m_links /. a_links);
+      ignore a_pause)
+    [ 10_000; 100_000; 1_000_000 ];
+  Printf.printf
+    "expected shape: the arena's scans sweep contiguous integer columns, so\n\
+     full-scan and EDB (links) throughput beat the hashtable walk by >=3x at\n\
+     1M rows, and its major-GC pause attribution stays flat (KB-sized roots)\n\
+     while the heap store's grows with every stored proposition.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -928,6 +1044,7 @@ let () =
   let server_only = List.mem "server" args in
   let obs_only = List.mem "obs" args in
   let par_only = List.mem "par" args in
+  let store_only = List.mem "store" args in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> Some path
@@ -939,6 +1056,7 @@ let () =
   if server_only then shape_e18_server ()
   else if obs_only then shape_e19_observability ()
   else if par_only then shape_e20_parallel ()
+  else if store_only then shape_e21_store ()
   else begin
     shape_e1_menu ();
     shape_e2_mapping_strategies ();

@@ -124,13 +124,12 @@ let populated_kb n =
 (* Datalog program: transitive closure over a [n]-edge chain graph. *)
 let chain_program n =
   let d = Logic.Datalog.create () in
-  for i = 0 to n - 1 do
-    ignore
-      (Logic.Datalog.add_fact d
-         (Term.atom "edge"
-            [ Term.sym (Printf.sprintf "n%d" i);
-              Term.sym (Printf.sprintf "n%d" (i + 1)) ]))
-  done;
+  ignore
+    (Logic.Datalog.add_facts d
+       (List.init n (fun i ->
+            Term.atom "edge"
+              [ Term.sym (Printf.sprintf "n%d" i);
+                Term.sym (Printf.sprintf "n%d" (i + 1)) ])));
   ignore
     (Logic.Datalog.add_clause d
        (Term.clause
@@ -150,15 +149,17 @@ let chain_program n =
    from-scratch solve expensive while a single-edge delta stays tiny. *)
 let segmented_chain_program ~segments ~len =
   let d = Logic.Datalog.create () in
-  for s = 0 to segments - 1 do
-    for i = 0 to len - 1 do
-      ignore
-        (Logic.Datalog.add_fact d
-           (Term.atom "edge"
-              [ Term.sym (Printf.sprintf "s%d_%d" s i);
-                Term.sym (Printf.sprintf "s%d_%d" s (i + 1)) ]))
+  let edges = ref [] in
+  for s = segments - 1 downto 0 do
+    for i = len - 1 downto 0 do
+      edges :=
+        Term.atom "edge"
+          [ Term.sym (Printf.sprintf "s%d_%d" s i);
+            Term.sym (Printf.sprintf "s%d_%d" s (i + 1)) ]
+        :: !edges
     done
   done;
+  ignore (Logic.Datalog.add_facts d !edges);
   ignore
     (Logic.Datalog.add_clause d
        (Term.clause
@@ -230,17 +231,17 @@ let large_repo n =
   repo
 
 (* store population for the index ablation *)
+let store_prop i =
+  Kernel.Prop.make
+    ~id:(Symbol.intern (Printf.sprintf "sp%d" i))
+    ~source:(Symbol.intern (Printf.sprintf "src%d" (i mod 50)))
+    ~label:(Symbol.intern (Printf.sprintf "lab%d" (i mod 5)))
+    ~dest:(Symbol.intern (Printf.sprintf "dst%d" (i mod 20)))
+    ()
+
 let fill_store backend n =
   let base = Store.Base.create ~backend () in
   for i = 0 to n - 1 do
-    let p =
-      Kernel.Prop.make
-        ~id:(Symbol.intern (Printf.sprintf "sp%d" i))
-        ~source:(Symbol.intern (Printf.sprintf "src%d" (i mod 50)))
-        ~label:(Symbol.intern (Printf.sprintf "lab%d" (i mod 5)))
-        ~dest:(Symbol.intern (Printf.sprintf "dst%d" (i mod 20)))
-        ()
-    in
-    ignore (Store.Base.insert base p)
+    ignore (Store.Base.insert base (store_prop i))
   done;
   base

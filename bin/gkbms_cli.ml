@@ -95,8 +95,24 @@ let wal_arg =
                $(docv) (a checkpoint snapshot plus a checksummed log of \
                every decision's deltas); rebuild with the recover command.")
 
+(* Physical representation of every proposition base the command builds
+   (scenario repositories, recovery, server state).  Routed through the
+   process default so it reaches repositories created deep inside the
+   scenario and recovery machinery; GKBMS_STORE sets the same default. *)
+let store_arg =
+  Arg.(value
+       & opt (some (enum [ ("mem", `Mem); ("log", `Log); ("arena", `Arena) ]))
+           None
+       & info [ "store" ] ~docv:"BACKEND"
+           ~doc:"Proposition store backend: $(b,mem) (hash indexes, the \
+                 default), $(b,log) (append-only journal), or $(b,arena) \
+                 (columnar GC-invisible arena).  Overrides GKBMS_STORE.")
+
+let apply_store store = Option.iter Store.Base.set_default_backend store
+
 let scenario_cmd =
-  let run until wal =
+  let run until wal store =
+    apply_store store;
     handle
       (let* st, durable = build_state ?wal until in
        let repo = st.Scn.repo in
@@ -124,7 +140,7 @@ let scenario_cmd =
        Ok ())
   in
   Cmd.v (Cmd.info "scenario" ~doc:"Run the section-2.1 storyline.")
-    Term.(const run $ until_arg $ wal_arg)
+    Term.(const run $ until_arg $ wal_arg $ store_arg)
 
 (* recover ---------------------------------------------------------------- *)
 
@@ -133,7 +149,8 @@ let recover_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
            ~doc:"Durability directory written by scenario --wal.")
   in
-  let run dir =
+  let run dir store =
+    apply_store store;
     handle
       (let* repo, report = Gkbms.Durable.recover ~dir () in
        Format.printf "%a@." Gkbms.Durable.pp_report report;
@@ -154,7 +171,7 @@ let recover_cmd =
        ~doc:"Rebuild a repository from its durability directory: load the \
              checkpoint, replay the longest valid WAL prefix, discard \
              uncommitted decisions.")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ store_arg)
 
 (* focus ------------------------------------------------------------------ *)
 
@@ -502,7 +519,8 @@ let serve_cmd =
            ~doc:"Evaluate read commands on $(docv) OCaml domains (writes \
                  stay single-domain, in decision-log order).  Default 1.")
   in
-  let run until wal socket no_cache idle domains =
+  let run until wal socket no_cache idle domains store =
+    apply_store store;
     handle
       (let* st, _ = build_state until in
        let config =
@@ -536,7 +554,8 @@ let serve_cmd =
              Unix-domain socket (reads run concurrently, writes serialize \
              in decision-log order; with --wal every committed decision is \
              journaled before the response is sent).")
-    Term.(const run $ until_arg $ wal_arg $ socket_arg $ no_cache $ idle $ domains)
+    Term.(const run $ until_arg $ wal_arg $ socket_arg $ no_cache $ idle
+          $ domains $ store_arg)
 
 let client_cmd =
   let exec_args =

@@ -438,65 +438,99 @@ let match_sym pattern s =
 
 let datalog t =
   let d = Datalog.create () in
+  (* The unbound enumeration paths scan the EDB with {!Base.fold_links}
+     / {!Base.iter_by_label}: the pattern tests below need only the
+     four link symbols, so on the arena backend the scan never decodes
+     time values or allocates [Prop.t] records. *)
   let enum_props pattern =
     (* pattern: [id; source; label; dest] *)
     match pattern with
     | [ pid; psrc; plab; pdst ] ->
-      let candidates =
-        match (pid, psrc, pdst) with
-        | Term.Sym id, _, _ -> (
-          match Base.find t.base id with Some p -> [ p ] | None -> [])
-        | _, Term.Sym src, _ -> Base.by_source t.base src
-        | _, _, Term.Sym dst -> Base.by_dest t.base dst
-        | _ -> Base.to_list t.base
+      let keep_link id src lab dst =
+        match_sym pid id && match_sym psrc src && match_sym plab lab
+        && match_sym pdst dst
       in
-      List.filter_map
-        (fun (p : Prop.t) ->
-          if
-            match_sym pid p.id && match_sym psrc p.source
-            && match_sym plab p.label && match_sym pdst p.dest
-          then Some [ term_sym p.id; term_sym p.source; term_sym p.label;
-                      term_sym p.dest ]
-          else None)
-        candidates
+      let tuple id src lab dst =
+        [ term_sym id; term_sym src; term_sym lab; term_sym dst ]
+      in
+      let of_props candidates =
+        List.filter_map
+          (fun (p : Prop.t) ->
+            if keep_link p.id p.source p.label p.dest then
+              Some (tuple p.id p.source p.label p.dest)
+            else None)
+          candidates
+      in
+      (match (pid, psrc, pdst) with
+      | Term.Sym id, _, _ ->
+        of_props
+          (match Base.find t.base id with Some p -> [ p ] | None -> [])
+      | _, Term.Sym src, _ -> of_props (Base.by_source t.base src)
+      | _, _, Term.Sym dst -> of_props (Base.by_dest t.base dst)
+      | _ ->
+        List.rev
+          (Base.fold_links t.base
+             (fun acc id src lab dst ->
+               if keep_link id src lab dst then tuple id src lab dst :: acc
+               else acc)
+             []))
     | _ -> []
   in
   let enum_label label keep pattern =
     match pattern with
     | [ psrc; pdst ] ->
-      let candidates =
-        match (psrc, pdst) with
-        | Term.Sym src, _ -> Base.by_source_label t.base src label
-        | _, Term.Sym dst -> Base.by_dest t.base dst
-        | _ -> Base.by_label t.base label
+      let of_props candidates =
+        List.filter_map
+          (fun (p : Prop.t) ->
+            if
+              Symbol.equal p.label label && keep p && match_sym psrc p.source
+              && match_sym pdst p.dest
+            then Some [ term_sym p.source; term_sym p.dest ]
+            else None)
+          candidates
       in
-      List.filter_map
-        (fun (p : Prop.t) ->
-          if
-            Symbol.equal p.label label && keep p && match_sym psrc p.source
-            && match_sym pdst p.dest
-          then Some [ term_sym p.source; term_sym p.dest ]
-          else None)
-        candidates
+      (match (psrc, pdst) with
+      | Term.Sym src, _ -> of_props (Base.by_source_label t.base src label)
+      | _, Term.Sym dst -> of_props (Base.by_dest t.base dst)
+      | _ ->
+        let acc = ref [] in
+        Base.iter_by_label t.base label (fun (p : Prop.t) ->
+            if keep p && match_sym psrc p.source && match_sym pdst p.dest
+            then acc := [ term_sym p.source; term_sym p.dest ] :: !acc);
+        List.rev !acc)
     | _ -> []
   in
   let enum_attr pattern =
     match pattern with
     | [ psrc; plab; pdst ] ->
-      let candidates =
-        match (psrc, pdst) with
-        | Term.Sym src, _ -> Base.by_source t.base src
-        | _, Term.Sym dst -> Base.by_dest t.base dst
-        | _ -> Base.to_list t.base
+      (* attribute-ness is decidable from the link symbols alone:
+         individual markers have id = source = label = dest, and the
+         reserved labels are a fixed symbol set *)
+      let keep_link id src lab dst =
+        (not (Symbol.equal src id && Symbol.equal dst id
+              && Symbol.equal lab id))
+        && (not (Axioms.is_reserved_label lab))
+        && match_sym psrc src && match_sym plab lab && match_sym pdst dst
       in
-      List.filter_map
-        (fun (p : Prop.t) ->
-          if
-            is_attribute_prop p && match_sym psrc p.source
-            && match_sym plab p.label && match_sym pdst p.dest
-          then Some [ term_sym p.source; term_sym p.label; term_sym p.dest ]
-          else None)
-        candidates
+      let of_props candidates =
+        List.filter_map
+          (fun (p : Prop.t) ->
+            if keep_link p.id p.source p.label p.dest then
+              Some [ term_sym p.source; term_sym p.label; term_sym p.dest ]
+            else None)
+          candidates
+      in
+      (match (psrc, pdst) with
+      | Term.Sym src, _ -> of_props (Base.by_source t.base src)
+      | _, Term.Sym dst -> of_props (Base.by_dest t.base dst)
+      | _ ->
+        List.rev
+          (Base.fold_links t.base
+             (fun acc id src lab dst ->
+               if keep_link id src lab dst then
+                 [ term_sym src; term_sym lab; term_sym dst ] :: acc
+               else acc)
+             []))
     | _ -> []
   in
   Datalog.register_external d (Symbol.intern "prop") enum_props;

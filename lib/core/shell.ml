@@ -221,7 +221,12 @@ let eval t line =
       match Cml.Kb.derive (Repo.kb repo) goal with
       | Ok [] -> "no."
       | Ok substs ->
-        String.concat "\n" (List.map (fmt "%a" Logic.Term.Subst.pp) substs)
+        (* Answer order reflects the store backend's enumeration order;
+           sort the rendered bindings so transcripts are deterministic
+           across backends. *)
+        String.concat "\n"
+          (List.sort_uniq String.compare
+             (List.map (fmt "%a" Logic.Term.Subst.pp) substs))
       | Error e -> "error: " ^ e))
   | [ "save"; file ] -> (
     match Persist.save_to_file repo file with

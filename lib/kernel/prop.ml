@@ -16,14 +16,16 @@ let make ?(time = Time.always) ?belief ~id ~source ~label ~dest () =
 let individual ?time x = make ?time ~id:x ~source:x ~label:x ~dest:x ()
 let is_individual p = p.source = p.id && p.dest = p.id && p.label = p.id
 
-let id_counter = ref 0
+(* Atomic: decisions execute on pool domains, and two domains drawing
+   the same counter value would silently alias distinct propositions. *)
+let id_counter = Atomic.make 0
 
 let fresh_id ?(prefix = "p") () =
-  incr id_counter;
-  let candidate = Printf.sprintf "%s%d" prefix !id_counter in
+  let n = 1 + Atomic.fetch_and_add id_counter 1 in
+  let candidate = Printf.sprintf "%s%d" prefix n in
   Symbol.intern candidate
 
-let reset_ids () = id_counter := 0
+let reset_ids () = Atomic.set id_counter 0
 
 let equal a b =
   Symbol.equal a.id b.id

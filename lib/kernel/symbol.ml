@@ -96,6 +96,7 @@ let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 let hash (i : t) = i
 let to_int i = i
+let of_int i = i
 let count () = Atomic.get next
 let pp ppf i = Format.pp_print_string ppf (name i)
 

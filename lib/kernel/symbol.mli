@@ -20,6 +20,13 @@ val hash : t -> int
 val to_int : t -> int
 (** Stable dense integer code of the symbol (0-based, creation order). *)
 
+val of_int : int -> t
+(** Inverse of {!to_int}.  The argument must be a code previously
+    returned by [to_int] (i.e. [0 <= i < count ()]); anything else
+    yields a symbol that cannot be resolved.  The density and stability
+    of the codes is what lets columnar stores keep whole propositions
+    as rows of flat integer columns. *)
+
 val count : unit -> int
 (** Number of distinct symbols interned so far. *)
 

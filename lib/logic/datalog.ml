@@ -790,6 +790,33 @@ let add_fact t (a : Term.atom) =
     end
   end
 
+let add_facts t (atoms : Term.atom list) =
+  match List.find_opt (fun a -> not (Term.atom_ground a)) atoms with
+  | Some a -> Error (Format.asprintf "non-ground fact %a" Term.pp_atom a)
+  | None ->
+    (* Stage every new tuple first, then run ONE delta round over the
+       whole batch — loading n facts costs one propagation instead of
+       n (the semi-naive round already takes a seed list). *)
+    let seeds =
+      List.filter
+        (fun (a : Term.atom) -> Relation.add (set_of t.facts a.pred) a.args)
+        atoms
+    in
+    (if seeds <> [] then begin
+       (match (t.solved, t.strata_cache) with
+       | true, Some strata when not (nonmonotone t) ->
+         t.counters.c_incr_inserts <- t.counters.c_incr_inserts + 1;
+         propagate_insertions t
+           (List.map (fun (a : Term.atom) -> (a.pred, a.args)) seeds)
+           strata
+       | true, _ ->
+         t.counters.c_fallbacks <- t.counters.c_fallbacks + 1;
+         t.solved <- false
+       | false, _ -> ());
+       publish t
+     end);
+    Ok ()
+
 (* Incremental deletion (delete-rederive) -------------------------------- *)
 
 (* Is there still a derivation of head tuple [tup] of [p] from the

@@ -22,6 +22,12 @@ val add_fact : t -> Term.atom -> (unit, string) result
     delta round and the engine stays solved; otherwise the
     materialization is invalidated. *)
 
+val add_facts : t -> Term.atom list -> (unit, string) result
+(** Batch {!add_fact}: stages every tuple, then propagates the whole
+    batch with a single semi-naive delta round (or one invalidation).
+    Loading n facts costs one propagation instead of n.  Fails on the
+    first non-ground atom, in which case nothing is added. *)
+
 val remove_fact : t -> Term.atom -> (unit, string) result
 (** Ground atoms only.  Removing an absent fact is a no-op.  On a
     solved, negation-free engine derived consequences are retracted by

@@ -1,7 +1,30 @@
 open Kernel
 
-type backend = [ `Mem | `Log | `Log_nocompact ]
+type backend = [ `Mem | `Log | `Log_nocompact | `Arena ]
 type change = Added of Prop.t | Removed of Prop.t
+
+let backend_of_string = function
+  | "mem" -> Ok `Mem
+  | "log" -> Ok `Log
+  | "log-nocompact" -> Ok `Log_nocompact
+  | "arena" -> Ok `Arena
+  | s -> Error (Printf.sprintf "unknown store backend %S (mem|log|arena)" s)
+
+(* The process default, used wherever no explicit backend is given
+   (every [Kb.create ()] / [Repository.create ()] in the system).
+   Initialized from [GKBMS_STORE] so the whole test suite and CLI can
+   be flipped onto another physical representation without touching a
+   call site; the CLI [--store] flag overrides it per invocation. *)
+let default_backend : backend ref =
+  ref
+    (match Sys.getenv_opt "GKBMS_STORE" with
+    | Some s -> (
+      match backend_of_string (String.lowercase_ascii (String.trim s)) with
+      | Ok b -> b
+      | Error e -> invalid_arg ("GKBMS_STORE: " ^ e))
+    | None -> `Mem)
+
+let set_default_backend b = default_backend := b
 
 (* Undo entries record how to revert an applied change. *)
 type undo = Undo_insert of Prop.id | Undo_remove of Prop.t
@@ -25,8 +48,12 @@ let make_impl : backend -> Storage.impl = function
   | `Log -> Storage.Impl ((module Log_store), Log_store.create ())
   | `Log_nocompact ->
     Storage.Impl ((module Log_store), Log_store.create_uncompacted ())
+  | `Arena -> Storage.Impl ((module Arena_store), Arena_store.create ())
 
-let create ?(backend = `Mem) () =
+let create ?backend () =
+  let backend =
+    match backend with Some b -> b | None -> !default_backend
+  in
   { impl = make_impl backend; undo = []; marks = []; undo_len = 0;
     listeners = []; notify_cache = None; next_sub = 0 }
 
@@ -82,6 +109,16 @@ let insert t (p : Prop.t) =
     Error
       (Printf.sprintf "proposition id %s already present" (Symbol.name p.id))
 
+let insert_batch t ps =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  let inserted = S.insert_batch s ps in
+  List.iter
+    (fun (p : Prop.t) ->
+      push_undo t (Undo_insert p.id);
+      notify t (Added p))
+    inserted;
+  List.length inserted
+
 let remove t id =
   let (Storage.Impl ((module S), s)) = t.impl in
   match S.remove s id with
@@ -136,22 +173,39 @@ let cardinal t =
   let (Storage.Impl ((module S), s)) = t.impl in
   S.cardinal s
 
+let fold_ids t f acc =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.fold_ids s f acc
+
+let fold_links t f acc =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.fold_links s f acc
+
+let iter_by_label t l f =
+  let (Storage.Impl ((module S), s)) = t.impl in
+  S.iter_by_label s l f
+
 let query ?source ?label ?dest ?valid_at t =
-  let candidates =
+  (* [residual]: the parts of the pattern the chosen index does not
+     already guarantee.  When there is none, the indexed list is the
+     answer — no rebuild. *)
+  let candidates, residual =
     match (source, label, dest) with
-    | Some x, Some l, _ -> by_source_label t x l
-    | Some x, None, _ -> by_source t x
-    | None, _, Some y -> by_dest t y
-    | None, Some l, None -> by_label t l
-    | None, None, None -> to_list t
+    | Some x, Some l, _ -> (by_source_label t x l, dest <> None)
+    | Some x, None, _ -> (by_source t x, dest <> None)
+    | None, _, Some y -> (by_dest t y, label <> None)
+    | None, Some l, None -> (by_label t l, false)
+    | None, None, None -> (to_list t, false)
   in
-  let keep (p : Prop.t) =
-    (match source with None -> true | Some x -> Symbol.equal p.source x)
-    && (match label with None -> true | Some l -> Symbol.equal p.label l)
-    && (match dest with None -> true | Some y -> Symbol.equal p.dest y)
-    && match valid_at with None -> true | Some pt -> Time.valid_at p.time pt
-  in
-  List.filter keep candidates
+  if (not residual) && valid_at = None then candidates
+  else
+    let keep (p : Prop.t) =
+      (match source with None -> true | Some x -> Symbol.equal p.source x)
+      && (match label with None -> true | Some l -> Symbol.equal p.label l)
+      && (match dest with None -> true | Some y -> Symbol.equal p.dest y)
+      && match valid_at with None -> true | Some pt -> Time.valid_at p.time pt
+    in
+    List.filter keep candidates
 
 (* Transactions -------------------------------------------------------- *)
 
@@ -288,16 +342,42 @@ let to_serialized t =
 let of_serialized ?backend s =
   let t = create ?backend () in
   let lines = String.split_on_char '\n' s in
-  let rec loop = function
-    | [] -> Ok t
-    | "" :: rest -> loop rest
+  (* parse everything first so the storage can presize for the batch *)
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> parse acc rest
     | line :: rest -> (
       match prop_of_line line with
       | Error e -> Error e
-      | Ok p -> (
-        match insert t p with Error e -> Error e | Ok () -> loop rest))
+      | Ok p -> parse (p :: acc) rest)
   in
-  loop lines
+  match parse [] lines with
+  | Error e -> Error e
+  | Ok props -> (
+    let (Storage.Impl ((module S), st)) = t.impl in
+    (* fresh base: no listeners, no open transaction — the raw storage
+       batch path applies directly *)
+    let inserted = S.insert_batch st props in
+    if List.length inserted = List.length props then Ok t
+    else
+      (* recover the first duplicate for the error message *)
+      let seen = Symbol.Tbl.create 64 in
+      let dup =
+        List.find_opt
+          (fun (p : Prop.t) ->
+            if Symbol.Tbl.mem seen p.id then true
+            else begin
+              Symbol.Tbl.add seen p.id ();
+              false
+            end)
+          props
+      in
+      match dup with
+      | Some p ->
+        Error
+          (Printf.sprintf "proposition id %s already present"
+             (Symbol.name p.id))
+      | None -> Error "duplicate proposition id in input")
 
 let save t oc = output_string oc (to_serialized t)
 

@@ -10,13 +10,26 @@ open Kernel
 
 type t
 
-type backend = [ `Mem | `Log | `Log_nocompact ]
+type backend = [ `Mem | `Log | `Log_nocompact | `Arena ]
 (** [`Log_nocompact] is the append-only representation with automatic
-    tombstone compaction disabled — the raw journal, kept for benches. *)
+    tombstone compaction disabled — the raw journal, kept for benches.
+    [`Arena] is the columnar struct-of-arrays representation
+    ({!Arena_store}): GC-invisible rows over dense symbol codes. *)
 
 type change = Added of Prop.t | Removed of Prop.t
 
+val backend_of_string : string -> (backend, string) result
+(** Parse ["mem"], ["log"], ["log-nocompact"] or ["arena"]. *)
+
+val set_default_backend : backend -> unit
+(** Set the backend used by {!create} when none is given explicitly.
+    Initialized from the [GKBMS_STORE] environment variable ([mem] when
+    unset); the CLI [--store] flag routes through this. *)
+
 val create : ?backend:backend -> unit -> t
+(** [backend] defaults to the process default (see
+    {!set_default_backend}). *)
+
 val backend_name : t -> string
 val clear : t -> unit
 
@@ -24,6 +37,13 @@ val clear : t -> unit
 
 val insert : t -> Prop.t -> (unit, string) result
 (** Fails if a proposition with the same id exists. *)
+
+val insert_batch : t -> Prop.t list -> int
+(** Insert many propositions at once through the storage batch path
+    (the arena presizes its columns and id index); propositions whose
+    id is already present are skipped.  Change listeners and the undo
+    log see every inserted proposition, exactly as with {!insert}.
+    Returns the number inserted. *)
 
 val remove : t -> Prop.id -> (Prop.t, string) result
 (** Fails if no proposition with this id exists. *)
@@ -59,6 +79,18 @@ val iter : t -> (Prop.t -> unit) -> unit
 val fold : t -> ('a -> Prop.t -> 'a) -> 'a -> 'a
 val to_list : t -> Prop.t list
 val cardinal : t -> int
+
+val fold_ids : t -> ('a -> Prop.id -> 'a) -> 'a -> 'a
+(** Fold over all stored proposition ids without materializing the
+    propositions (on the arena: a sweep of one integer column). *)
+
+val fold_links : t -> ('a -> Prop.id -> Prop.id -> Symbol.t -> Prop.id -> 'a) -> 'a -> 'a
+(** Fold over [(id, source, label, dest)] of every proposition — the
+    EDB view the deductive engine scans — without decoding time values
+    or allocating [Prop.t] records. *)
+
+val iter_by_label : t -> Symbol.t -> (Prop.t -> unit) -> unit
+(** Iterate the label index without building an intermediate list. *)
 
 (** {1 Nested transactions} *)
 

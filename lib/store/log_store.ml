@@ -114,6 +114,17 @@ let by_dest t y = select t (fun p -> Symbol.equal p.Prop.dest y)
 let by_label t l = select t (fun p -> Symbol.equal p.Prop.label l)
 let iter t f = ignore (fold_live t (fun () p -> f p) ())
 let cardinal t = Symbol.Tbl.length t.live
+let insert_batch t ps = List.filter (fun p -> insert t p) ps
+let fold_ids t f acc = fold_live t (fun acc (p : Prop.t) -> f acc p.id) acc
+
+let fold_links t f acc =
+  fold_live t (fun acc (p : Prop.t) -> f acc p.id p.source p.label p.dest) acc
+
+let iter_by_label t l f =
+  ignore
+    (fold_live t
+       (fun () (p : Prop.t) -> if Symbol.equal p.label l then f p)
+       ())
 
 let physical_length t = t.len
 (** Entries in the journal including dead weight (exposed for tests and

@@ -93,3 +93,12 @@ let by_dest t y = deref (Symbol.Tbl.find_opt t.by_dest y)
 let by_label t l = deref (Symbol.Tbl.find_opt t.by_label l)
 let iter t f = Symbol.Tbl.iter (fun _ p -> f p) t.by_id
 let cardinal t = Symbol.Tbl.length t.by_id
+let insert_batch t ps = List.filter (fun p -> insert t p) ps
+let fold_ids t f acc = Symbol.Tbl.fold (fun id _ acc -> f acc id) t.by_id acc
+
+let fold_links t f acc =
+  Symbol.Tbl.fold
+    (fun _ (p : Prop.t) acc -> f acc p.id p.source p.label p.dest)
+    t.by_id acc
+
+let iter_by_label t l f = List.iter f (by_label t l)

@@ -4,8 +4,9 @@
     external databases) of propositions can be managed by the proposition
     base.  In its interface it exports operations for retrieving and
     creating stored propositions."  We capture that interface as a module
-    type so the proposition base can run over any representation; two are
-    provided ({!Mem_store} with hash indexes, {!Log_store} append-only). *)
+    type so the proposition base can run over any representation; three
+    are provided ({!Mem_store} with hash indexes, {!Log_store}
+    append-only, {!Arena_store} columnar struct-of-arrays). *)
 
 open Kernel
 
@@ -33,6 +34,32 @@ module type S = sig
   val by_label : t -> Symbol.t -> Prop.t list
   val iter : t -> (Prop.t -> unit) -> unit
   val cardinal : t -> int
+
+  (** {2 Batch / streaming operations}
+
+      The bulk-load and scan entry points the deductive engine and the
+      persistence layer use.  Backends are free to specialize them:
+      the columnar arena presizes its columns on [insert_batch] and
+      answers the fold variants straight off its integer columns
+      without materializing a [Prop.t] per row. *)
+
+  val insert_batch : t -> Prop.t list -> Prop.t list
+  (** Insert many propositions at once; propositions whose id is
+      already present are skipped.  Returns the propositions actually
+      inserted, in input order. *)
+
+  val fold_ids : t -> ('a -> Prop.id -> 'a) -> 'a -> 'a
+  (** Fold over the ids of all stored propositions without building
+      the propositions themselves. *)
+
+  val fold_links : t -> ('a -> Prop.id -> Prop.id -> Symbol.t -> Prop.id -> 'a) -> 'a -> 'a
+  (** Fold over the [(id, source, label, dest)] quadruple of every
+      stored proposition — the EDB view the deductive engine scans —
+      without decoding time values or allocating [Prop.t] records. *)
+
+  val iter_by_label : t -> Symbol.t -> (Prop.t -> unit) -> unit
+  (** Iterate the propositions carrying the given label (the label
+      index) without materializing an intermediate list. *)
 end
 
 type impl = Impl : (module S with type t = 'a) * 'a -> impl

@@ -1,0 +1,235 @@
+(* The columnar arena backend: differential equivalence against the
+   hash-indexed oracle ({!Store.Mem_store} behind [`Mem]), physical-row
+   bookkeeping (free list, tombstones, compaction), and multi-domain
+   read safety. *)
+
+open Kernel
+open Store
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let sym = Symbol.intern
+
+let mk ?(time = Time.always) ?(belief = 0) id source label dest =
+  Prop.make ~time ~belief ~id:(sym id) ~source:(sym source)
+    ~label:(sym label) ~dest:(sym dest) ()
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let ids props =
+  List.sort String.compare
+    (List.map (fun (p : Prop.t) -> Symbol.name p.id) props)
+
+let canon base =
+  List.sort compare (String.split_on_char '\n' (Base.to_serialized base))
+
+(* -- direct Arena_store unit tests -------------------------------------- *)
+
+let test_row_reuse () =
+  let module Ar = Arena_store in
+  let st = Ar.create () in
+  ignore (Ar.insert st (mk "w1" "a" "l" "b"));
+  ignore (Ar.insert st (mk "w2" "a" "l" "b"));
+  check int "two physical rows" 2 (Ar.physical_rows st);
+  ignore (Ar.remove st (sym "w1"));
+  (* the tombstoned row is reused before the prefix extends *)
+  ignore (Ar.insert st (mk "w3" "a" "l" "b"));
+  check int "row reused, prefix unchanged" 2 (Ar.physical_rows st);
+  check int "cardinal" 2 (Ar.cardinal st);
+  check bool "w1 gone" false (Ar.mem st (sym "w1"));
+  check bool "w3 present" true (Ar.mem st (sym "w3"))
+
+let test_chain_drain () =
+  let module Ar = Arena_store in
+  let st = Ar.create () in
+  (* fill and fully drain many distinct (source,label) chains so drained
+     hash slots are tombstoned and then reused by later inserts *)
+  for round = 0 to 3 do
+    for i = 0 to 199 do
+      let s = Printf.sprintf "ds%d" i in
+      ignore
+        (Ar.insert st
+           (mk (Printf.sprintf "dp%d_%d" round i) s "dl"
+              (Printf.sprintf "dd%d" (i mod 7))))
+    done;
+    for i = 0 to 199 do
+      ignore (Ar.remove st (sym (Printf.sprintf "dp%d_%d" round i)))
+    done;
+    check int "drained" 0 (Ar.cardinal st);
+    List.iter
+      (fun i ->
+        check int "drained source chain empty" 0
+          (List.length (Ar.by_source st (sym (Printf.sprintf "ds%d" i)))))
+      [ 0; 50; 199 ]
+  done;
+  (* free-list reuse kept the physical prefix at one round's worth *)
+  check bool "prefix stayed small" true (Ar.physical_rows st <= 200);
+  (* now grow the prefix past the compaction floor and drain most of it:
+     the arena must rebuild densely *)
+  for i = 0 to 1999 do
+    ignore (Ar.insert st (mk (Printf.sprintf "cp%d" i) "cs" "cl" "cd"))
+  done;
+  for i = 0 to 1899 do
+    ignore (Ar.remove st (sym (Printf.sprintf "cp%d" i)))
+  done;
+  check bool "compacted at least once" true (Ar.compaction_count st > 0);
+  check bool "prefix collapsed" true (Ar.physical_rows st < 1024);
+  check int "survivors intact" 100 (Ar.cardinal st);
+  check bool "survivor findable" true (Ar.mem st (sym "cp1950"))
+
+let test_named_time_roundtrip () =
+  let module Ar = Arena_store in
+  let st = Ar.create () in
+  let times =
+    [ Time.always; Time.at 7; Time.from 3; Time.between 2 9;
+      Time.named "version17" 1 8 ]
+  in
+  List.iteri
+    (fun i time ->
+      ignore (Ar.insert st (mk ~time ~belief:i (Printf.sprintf "t%d" i) "a" "l" "b")))
+    times;
+  List.iteri
+    (fun i time ->
+      match Ar.find st (sym (Printf.sprintf "t%d" i)) with
+      | Some p ->
+        check bool "time round-trips" true (Time.equal p.Prop.time time);
+        check int "belief round-trips" i p.Prop.belief
+      | None -> Alcotest.fail "missing row")
+    times
+
+let test_insert_batch_and_scans () =
+  let module Ar = Arena_store in
+  let st = Ar.create () in
+  let props =
+    List.init 500 (fun i ->
+        mk (Printf.sprintf "bb%d" i)
+          (Printf.sprintf "bs%d" (i mod 10))
+          "blab"
+          (Printf.sprintf "bd%d" (i mod 3)))
+  in
+  let inserted = Ar.insert_batch st (props @ [ List.hd props ]) in
+  check int "batch skips the duplicate" 500 (List.length inserted);
+  check int "cardinal" 500 (Ar.cardinal st);
+  check int "fold_ids counts" 500 (Ar.fold_ids st (fun n _ -> n + 1) 0);
+  let links =
+    Ar.fold_links st
+      (fun n _ src _ _ -> if Symbol.equal src (sym "bs3") then n + 1 else n)
+      0
+  in
+  check int "fold_links filters on source" 50 links;
+  let via_iter = ref 0 in
+  Ar.iter_by_label st (sym "blab") (fun _ -> incr via_iter);
+  check int "iter_by_label walks the chain" 500 !via_iter
+
+(* -- differential: arena == mem under random interleavings --------------- *)
+
+(* Interpret each int as one operation on both bases: weighted
+   insert/remove plus transaction begin/rollback/commit, with fresh
+   symbols minted mid-run (ids cycle through a window that grows with
+   the op index, so removal churn and never-seen ids both occur). *)
+let prop_arena_matches_mem =
+  QCheck.Test.make ~name:"arena == mem under tx interleavings" ~count:150
+    QCheck.(list (int_range 0 99_999))
+    (fun ops ->
+      let mem = Base.create ~backend:`Mem () in
+      let arena = Base.create ~backend:`Arena () in
+      let step = ref 0 in
+      let apply base n =
+        let id = Printf.sprintf "aq%d" (n mod 24) in
+        match n mod 100 with
+        | op when op < 45 ->
+          ignore
+            (Base.insert base
+               (mk ~time:(Time.at (n mod 11)) ~belief:(n mod 3) id
+                  (Printf.sprintf "as%d" (n mod 6))
+                  (Printf.sprintf "al%d" (n mod 4))
+                  (Printf.sprintf "ad%d" (n mod 5))))
+        | op when op < 55 ->
+          (* a symbol interned mid-run, after both stores exist *)
+          ignore
+            (Base.insert base
+               (mk (Printf.sprintf "fresh%d_%d" !step (n mod 7))
+                  (Printf.sprintf "fs%d" !step) "al0" "ad0"))
+        | op when op < 85 -> ignore (Base.remove base (sym id))
+        | op when op < 90 -> Base.begin_tx base
+        | op when op < 95 -> ignore (Base.rollback base)
+        | _ -> ignore (Base.commit base)
+      in
+      List.iter
+        (fun n ->
+          incr step;
+          apply mem n;
+          apply arena n)
+        ops;
+      (* close any transactions left open so the views are final *)
+      let rec drain base =
+        if Base.tx_depth base > 0 then begin
+          ignore (Base.rollback base);
+          drain base
+        end
+      in
+      drain mem;
+      drain arena;
+      let views base =
+        ( canon base,
+          Base.cardinal base,
+          ids (Base.by_source base (sym "as1")),
+          ids (Base.by_source_label base (sym "as2") (sym "al1")),
+          ids (Base.by_dest base (sym "ad3")),
+          ids (Base.by_label base (sym "al2")),
+          ids (Base.query ~source:(sym "as0") ~valid_at:4 base),
+          Base.fold_ids base (fun n _ -> n + 1) 0 )
+      in
+      views mem = views arena)
+
+(* -- multi-domain reads -------------------------------------------------- *)
+
+let test_parallel_reads () =
+  (* one writer-free phase: 4 domains hammer a populated arena with
+     point lookups, index walks and column scans; every answer must
+     match the sequentially computed expectation *)
+  let base = Base.create ~backend:`Arena () in
+  let n = 5_000 in
+  ignore
+    (Base.insert_batch base
+       (List.init n (fun i ->
+            mk (Printf.sprintf "pr%d" i)
+              (Printf.sprintf "prs%d" (i mod 40))
+              (Printf.sprintf "prl%d" (i mod 8))
+              (Printf.sprintf "prd%d" (i mod 13)))));
+  let expect_src = ids (Base.by_source base (sym "prs7")) in
+  let expect_lbl = List.length (Base.by_label base (sym "prl3")) in
+  let worker seed () =
+    let errs = ref 0 in
+    for i = 0 to 999 do
+      let k = (i * seed) mod n in
+      (match Base.find base (sym (Printf.sprintf "pr%d" k)) with
+      | Some p ->
+        if not (Symbol.equal p.Prop.source (sym (Printf.sprintf "prs%d" (k mod 40))))
+        then incr errs
+      | None -> incr errs);
+      if i mod 100 = 0 then begin
+        if ids (Base.by_source base (sym "prs7")) <> expect_src then incr errs;
+        if List.length (Base.by_label base (sym "prl3")) <> expect_lbl then
+          incr errs;
+        if Base.fold_ids base (fun n _ -> n + 1) 0 <> n then incr errs
+      end
+    done;
+    !errs
+  in
+  let domains = List.init 4 (fun k -> Domain.spawn (worker (k + 1))) in
+  let errs = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  check int "no read anomalies across 4 domains" 0 errs
+
+let suite =
+  [
+    ("arena row reuse", `Quick, test_row_reuse);
+    ("arena chain drain and compaction", `Quick, test_chain_drain);
+    ("arena named-time roundtrip", `Quick, test_named_time_roundtrip);
+    ("arena insert_batch and scans", `Quick, test_insert_batch_and_scans);
+    QCheck_alcotest.to_alcotest prop_arena_matches_mem;
+    ("arena 4-domain concurrent reads", `Quick, test_parallel_reads);
+  ]

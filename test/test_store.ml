@@ -21,7 +21,7 @@ let ids props =
 let with_backends f =
   List.iter
     (fun backend -> f (Base.create ~backend ()))
-    [ `Mem; `Log; `Log_nocompact ]
+    [ `Mem; `Log; `Log_nocompact; `Arena ]
 
 let test_insert_find () =
   with_backends (fun base ->
@@ -344,13 +344,14 @@ let prop_rollback_restores =
 (* qcheck: every backend is observationally identical under random
    insert/remove/clear sequences *)
 let prop_backends_agree =
-  QCheck.Test.make ~name:"mem, log and nocompact backends agree" ~count:200
+  QCheck.Test.make ~name:"mem, log, nocompact and arena backends agree"
+    ~count:200
     QCheck.(list (int_range 0 9999))
     (fun ops ->
       let bases =
         List.map
           (fun backend -> Base.create ~backend ())
-          [ `Mem; `Log; `Log_nocompact ]
+          [ `Mem; `Log; `Log_nocompact; `Arena ]
       in
       List.iter
         (fun n ->
@@ -376,8 +377,8 @@ let prop_backends_agree =
           ids (Base.by_label base (sym "lab")) )
       in
       match List.map views bases with
-      | [ m; l; ln ] -> m = l && m = ln
-      | _ -> false)
+      | m :: rest -> List.for_all (fun v -> v = m) rest
+      | [] -> false)
 
 let suite =
   [
