@@ -825,6 +825,183 @@ let shape_e21_store () =
      1M rows, and its major-GC pause attribution stays flat (KB-sized roots)\n\
      while the heap store's grows with every stored proposition.\n"
 
+(* E22: replicated reads.  A leader daemon ships committed WAL decision
+   frames to followers, each serving reads from its own repository at
+   its applied version.  With the response cache disabled every read
+   evaluates in the shell, which serializes per daemon — so aggregate
+   read throughput is expected to scale with the number of replicas the
+   reader pool fans out over, while writes stay on the leader.  The lag
+   phase measures read-your-writes freshness: after each leader commit,
+   how long until a follower's applied (epoch, version) token covers
+   it. *)
+let shape_e22_replication () =
+  section "E22: replication — read fan-out across followers, session lag";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "cores available: %d%s\n" cores
+    (if cores < 4 then " (read fan-out cannot scale without cores)" else "");
+  let temp_dir () =
+    let d = Filename.temp_file "gkbms-e22" "" in
+    Sys.remove d;
+    d
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let config = { Server.Daemon.default_config with Server.Daemon.cache = false } in
+  let build_leader dir =
+    let st = ok (Gkbms.Scenario.setup ()) in
+    ignore (ok (Gkbms.Scenario.map_move_down st));
+    ignore (ok (Gkbms.Scenario.normalize_invitations st));
+    ignore (ok (Gkbms.Scenario.substitute_key st));
+    let repo = st.Gkbms.Scenario.repo in
+    ignore
+      (ok
+         (Repo.new_object repo ~name:"E22Doc" ~cls:Gkbms.Metamodel.dbpl_object
+            (Repo.Text "v0")));
+    let daemon = Server.Daemon.create ~config repo in
+    ok (Server.Daemon.attach_wal daemon ~dir);
+    ignore (ok (Replication.Leader.attach daemon));
+    daemon
+  in
+  let connect leader () =
+    Ok (Server.Client.of_transport (Server.Daemon.connect leader))
+  in
+  let make_follower leader i =
+    let dir = temp_dir () in
+    let f =
+      ok
+        (Replication.Follower.create ~config
+           ~name:(Printf.sprintf "bench-f%d" i)
+           ~leader:"leader" ~connect:(connect leader) ~dir ())
+    in
+    ok (Replication.Follower.catch_up f);
+    (f, dir)
+  in
+  (* one connection served end-to-end inside the calling domain (E18) *)
+  let session daemon f =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let handler =
+      Thread.create
+        (fun () -> Server.Daemon.handle daemon (Server.Protocol.fd_transport b))
+        ()
+    in
+    let client = Server.Client.of_transport (Server.Protocol.fd_transport a) in
+    f client;
+    Server.Client.close client;
+    Thread.join handler
+  in
+  let request client line =
+    match Server.Client.request client line with
+    | Ok s -> s
+    | Error e -> failwith (Printf.sprintf "E22: %s failed: %s" line e)
+  in
+  let read_lines =
+    [| "stats"; "unmapped"; "focus InvitationRel2"; "check"; "help" |]
+  in
+  let readers = 6 and read_ops = 800 in
+  (* the reader pool is fixed; only the set of daemons it fans out over
+     changes, so ops/s isolates the replication win *)
+  let aggregate daemons =
+    let n = Array.length daemons in
+    let t0 = Unix.gettimeofday () in
+    let doms =
+      List.init readers (fun ri ->
+          Domain.spawn (fun () ->
+              session daemons.(ri mod n) (fun client ->
+                  for k = 1 to read_ops do
+                    ignore
+                      (request client read_lines.(k mod Array.length read_lines))
+                  done)))
+    in
+    List.iter Domain.join doms;
+    float_of_int (readers * read_ops) /. (Unix.gettimeofday () -. t0)
+  in
+  let leader_dir = temp_dir () in
+  let leader = build_leader leader_dir in
+  let f1, f1_dir = make_follower leader 1 in
+  let f2, f2_dir = make_follower leader 2 in
+  Fun.protect
+    ~finally:(fun () ->
+      Replication.Follower.stop f1;
+      Replication.Follower.stop f2;
+      Server.Daemon.stop leader;
+      List.iter rm_rf [ f1_dir; f2_dir; leader_dir ])
+  @@ fun () ->
+  let r_single = aggregate [| leader |] in
+  let r_f1 = aggregate [| leader; Replication.Follower.daemon f1 |] in
+  let r_f2 =
+    aggregate
+      [| leader;
+         Replication.Follower.daemon f1;
+         Replication.Follower.daemon f2
+      |]
+  in
+  Printf.printf
+    "uncached reads, %d reader domains (ops/s):\n\
+    \  leader only %8.0f | +1 follower %8.0f | +2 followers %8.0f\n\
+    \  scaling with 2 followers: %.2fx\n"
+    readers r_single r_f1 r_f2 (r_f2 /. r_single);
+  metric_i "e22_cores" cores;
+  metric_i "e22_readers" readers;
+  metric_f "e22_read_ops_s_single" r_single;
+  metric_f "e22_read_ops_s_f1" r_f1;
+  metric_f "e22_read_ops_s_f2" r_f2;
+  metric_f "e22_scaling_f2" (r_f2 /. r_single);
+  (* --- read-your-writes lag ----------------------------------------- *)
+  Replication.Follower.start ~wait_ms:200 f1;
+  Replication.Follower.start ~wait_ms:200 f2;
+  let writes = 40 and lag_timeout_ms = 5000 in
+  let lags = ref [] in
+  session leader (fun client ->
+      let tip = ref "E22Doc" in
+      for k = 1 to writes do
+        let resp =
+          request client
+            (Printf.sprintf "run DecManualEdit Editor object=%s text=r%d" !tip k)
+        in
+        (match String.rindex_opt resp '>' with
+        | Some i when i + 1 < String.length resp ->
+          tip :=
+            String.trim (String.sub resp (i + 1) (String.length resp - i - 1))
+        | _ -> ());
+        let epoch, version =
+          match Replication.Wire.parse_token (request client "repl token") with
+          | Ok t -> (t.Replication.Wire.t_epoch, t.Replication.Wire.t_version)
+          | Error e -> failwith e
+        in
+        List.iter
+          (fun f ->
+            let t0 = Unix.gettimeofday () in
+            if
+              Replication.Follower.wait_for f ~epoch ~version
+                ~timeout_ms:lag_timeout_ms
+            then lags := ((Unix.gettimeofday () -. t0) *. 1e3) :: !lags
+            else lags := float_of_int lag_timeout_ms :: !lags)
+          [ f1; f2 ]
+      done);
+  let samples = Array.of_list !lags in
+  Array.sort compare samples;
+  let pct p =
+    samples.(min
+               (Array.length samples - 1)
+               (int_of_float (p *. float_of_int (Array.length samples))))
+  in
+  Printf.printf
+    "read-your-writes lag over %d leader commits x 2 followers:\n\
+    \  p50 %.1f ms | p95 %.1f ms | max %.1f ms\n\
+     expected shape: each daemon serializes uncached evaluation, so fanning\n\
+     the same reader pool over leader+followers multiplies aggregate read\n\
+     throughput, and followers adopt a commit's (epoch, version) token within\n\
+     one pull round (bounded by the long-poll interval), keeping\n\
+     --min-version reads fresh.\n"
+    writes (pct 0.50) (pct 0.95) samples.(Array.length samples - 1);
+  metric_f "e22_lag_p50_ms" (pct 0.50);
+  metric_f "e22_lag_p95_ms" (pct 0.95);
+  metric_f "e22_lag_max_ms" samples.(Array.length samples - 1)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1045,6 +1222,7 @@ let () =
   let obs_only = List.mem "obs" args in
   let par_only = List.mem "par" args in
   let store_only = List.mem "store" args in
+  let repl_only = List.mem "repl" args in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> Some path
@@ -1057,6 +1235,7 @@ let () =
   else if obs_only then shape_e19_observability ()
   else if par_only then shape_e20_parallel ()
   else if store_only then shape_e21_store ()
+  else if repl_only then shape_e22_replication ()
   else begin
     shape_e1_menu ();
     shape_e2_mapping_strategies ();

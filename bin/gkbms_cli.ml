@@ -80,6 +80,11 @@ let handle = function
     Format.eprintf "error: %s@." e;
     1
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let until_arg =
   Arg.(value & opt stage_conv Resolved & info [ "until" ] ~docv:"STAGE"
          ~doc:"Run the scenario up to STAGE (setup, map, normalize, key, conflict, resolved).")
@@ -149,11 +154,22 @@ let recover_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
            ~doc:"Durability directory written by scenario --wal.")
   in
-  let run dir store =
+  let canonical_arg =
+    Arg.(value & opt (some string) None & info [ "canonical" ] ~docv:"FILE"
+           ~doc:"Also write a canonical (sorted, insertion-order independent) \
+                 repository snapshot to $(docv) — byte-comparable across \
+                 replicas, the replication convergence oracle.")
+  in
+  let run dir store canonical =
     apply_store store;
     handle
       (let* repo, report = Gkbms.Durable.recover ~dir () in
        Format.printf "%a@." Gkbms.Durable.pp_report report;
+       (match canonical with
+       | None -> ()
+       | Some file ->
+         write_file file (Gkbms.Persist.save_repository_canonical repo);
+         Format.printf "@.canonical snapshot written to %s@." file);
        Format.printf "@.decision log:@.";
        List.iter
          (fun (dec, dc) -> Format.printf "  %s : %s@." (Sym.name dec) dc)
@@ -171,7 +187,7 @@ let recover_cmd =
        ~doc:"Rebuild a repository from its durability directory: load the \
              checkpoint, replay the longest valid WAL prefix, discard \
              uncommitted decisions.")
-    Term.(const run $ dir_arg $ store_arg)
+    Term.(const run $ dir_arg $ store_arg $ canonical_arg)
 
 (* focus ------------------------------------------------------------------ *)
 
@@ -345,11 +361,6 @@ let snapshot_cmd =
        ~doc:"Persist the whole repository (KB + artifacts + history).")
     Term.(const run $ until_arg $ file)
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
 let stats_cmd =
   let metrics_flag =
     Arg.(
@@ -519,43 +530,150 @@ let serve_cmd =
            ~doc:"Evaluate read commands on $(docv) OCaml domains (writes \
                  stay single-domain, in decision-log order).  Default 1.")
   in
-  let run until wal socket no_cache idle domains store =
+  let role =
+    Arg.(value
+         & opt (enum [ ("single", `Single); ("leader", `Leader);
+                       ("follower", `Follower) ]) `Single
+         & info [ "role" ] ~docv:"ROLE"
+             ~doc:"Replication role: $(b,single) (default, no replication), \
+                   $(b,leader) (serve the repl command family so followers \
+                   can stream the WAL; requires --wal, and recovers from it \
+                   when the directory already holds a checkpoint), or \
+                   $(b,follower) (bootstrap from --follow's leader, apply \
+                   its committed decisions, serve reads only).")
+  in
+  let follow =
+    Arg.(value & opt (some string) None & info [ "follow" ] ~docv:"SOCKET"
+           ~doc:"Leader socket to replicate from (follower role).")
+  in
+  let serve_loop daemon ~socket ~banner =
+    let stop_handler _ = Server.Daemon.stop daemon in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_handler);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_handler);
+    Format.printf "%s@." banner;
+    let* () = Server.Daemon.listen daemon ~path:socket in
+    Server.Daemon.stop daemon;
+    Format.printf "server stopped.@.";
+    Ok ()
+  in
+  let run until wal socket no_cache idle domains store role follow =
     apply_store store;
+    let config =
+      { Server.Daemon.default_config with
+        cache = not no_cache;
+        idle_timeout = idle;
+        domains = max 1 domains;
+      }
+    in
+    let flags =
+      Printf.sprintf "cache %s%s%s"
+        (if no_cache then "off" else "on")
+        (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
+        (match wal with None -> "" | Some dir -> ", wal " ^ dir)
+    in
     handle
-      (let* st, _ = build_state until in
-       let config =
-         { Server.Daemon.default_config with
-           cache = not no_cache;
-           idle_timeout = idle;
-           domains = max 1 domains;
-         }
-       in
-       let daemon = Server.Daemon.create ~config st.Scn.repo in
-       let* () =
-         match wal with
-         | None -> Ok ()
-         | Some dir -> Server.Daemon.attach_wal daemon ~dir
-       in
-       let stop_handler _ = Server.Daemon.stop daemon in
-       Sys.set_signal Sys.sigint (Sys.Signal_handle stop_handler);
-       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_handler);
-       Format.printf "gkbms server listening on %s (cache %s%s%s)@." socket
-         (if no_cache then "off" else "on")
-         (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
-         (match wal with None -> "" | Some dir -> ", wal " ^ dir);
-       let* () = Server.Daemon.listen daemon ~path:socket in
-       Server.Daemon.stop daemon;
-       Format.printf "server stopped.@.";
-       Ok ())
+      (match role with
+      | `Single ->
+        let* st, _ = build_state until in
+        let daemon = Server.Daemon.create ~config st.Scn.repo in
+        let* () =
+          match wal with
+          | None -> Ok ()
+          | Some dir -> Server.Daemon.attach_wal daemon ~dir
+        in
+        serve_loop daemon ~socket
+          ~banner:
+            (Printf.sprintf "gkbms server listening on %s (%s)" socket flags)
+      | `Leader ->
+        let* dir =
+          match wal with
+          | Some d -> Ok d
+          | None -> Error "serve --role leader requires --wal DIR"
+        in
+        let* daemon =
+          if Sys.file_exists (Gkbms.Durable.checkpoint_path dir) then (
+            (* warm start: rebuild from the journal rather than replaying
+               the scenario, so a restarted leader keeps its history (and
+               its followers' generation cursors stay servable) *)
+            let* durable, report = Gkbms.Durable.open_ ~dir () in
+            Format.printf "recovered from %s:@.%a@." dir
+              Gkbms.Durable.pp_report report;
+            let daemon =
+              Server.Daemon.create ~config (Gkbms.Durable.repo durable)
+            in
+            let* () = Server.Daemon.attach_durable daemon durable in
+            Ok daemon)
+          else
+            let* st, _ = build_state until in
+            let daemon = Server.Daemon.create ~config st.Scn.repo in
+            let* () = Server.Daemon.attach_wal daemon ~dir in
+            Ok daemon
+        in
+        let* _leader = Replication.Leader.attach daemon in
+        serve_loop daemon ~socket
+          ~banner:
+            (Printf.sprintf "gkbms leader listening on %s (%s)" socket flags)
+      | `Follower ->
+        let* leader_sock =
+          match follow with
+          | Some a -> Ok a
+          | None -> Error "serve --role follower requires --follow LEADER_SOCKET"
+        in
+        let* dir =
+          match wal with
+          | Some d -> Ok d
+          | None ->
+            Error "serve --role follower requires --wal DIR (its own journal)"
+        in
+        let connect () =
+          Server.Client.connect_unix ~handshake:true leader_sock
+        in
+        (* the leader may still be starting up: retry the bootstrap *)
+        let rec create_retry n =
+          match
+            Replication.Follower.create ~config ~leader:leader_sock ~connect
+              ~dir ()
+          with
+          | Ok f -> Ok f
+          | Error e when n > 0 ->
+            Format.eprintf "waiting for leader: %s@." e;
+            Thread.delay 0.5;
+            create_retry (n - 1)
+          | Error e -> Error e
+        in
+        let* follower = create_retry 20 in
+        (* catch up before accepting clients, then keep pulling *)
+        (match Replication.Follower.catch_up follower with
+        | Ok () -> ()
+        | Error e -> Format.eprintf "initial catch-up: %s@." e);
+        Replication.Follower.start follower;
+        let daemon = Replication.Follower.daemon follower in
+        let stop_handler _ = Replication.Follower.stop follower in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop_handler);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_handler);
+        Format.printf
+          "gkbms follower listening on %s (leader %s, wal %s, applied %s)@."
+          socket leader_sock dir
+          (let e, v = Replication.Follower.applied follower in
+           Replication.Wire.format_session_token ~epoch:e ~version:v);
+        let* () = Server.Daemon.listen daemon ~path:socket in
+        Replication.Follower.stop follower;
+        Format.printf "follower stopped.@.";
+        Ok ())
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve the scenario repository to concurrent clients over a \
              Unix-domain socket (reads run concurrently, writes serialize \
              in decision-log order; with --wal every committed decision is \
-             journaled before the response is sent).")
+             journaled before the response is sent).  With --role leader \
+             the WAL is also streamed to replication followers; with \
+             --role follower --follow SOCKET this process bootstraps from \
+             the leader's checkpoint, replays its committed decisions, and \
+             serves reads at the applied version (writes are refused with \
+             a redirect).")
     Term.(const run $ until_arg $ wal_arg $ socket_arg $ no_cache $ idle
-          $ domains $ store_arg)
+          $ domains $ store_arg $ role $ follow)
 
 let client_cmd =
   let exec_args =
@@ -566,12 +684,42 @@ let client_cmd =
     Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE"
            ~doc:"Send each non-empty line of $(docv) in order.")
   in
-  let run socket cmds script =
+  let min_version_arg =
+    Arg.(value & opt (some string) None & info [ "min-version" ] ~docv:"TOKEN"
+           ~doc:"Read-your-writes: an EPOCH:VERSION session token (as \
+                 returned by $(b,repl token) on the leader after a write); \
+                 the client blocks until this server has applied at least \
+                 that state before sending any command.")
+  in
+  let run socket cmds script min_version =
     match Server.Client.connect_unix socket with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
     | Ok client ->
+      let barrier_failed =
+        match min_version with
+        | None -> false
+        | Some token -> (
+          match Replication.Wire.parse_session_token token with
+          | Error e ->
+            Format.eprintf "error: %s@." e;
+            true
+          | Ok (epoch, version) -> (
+            match
+              Server.Client.request client
+                (Printf.sprintf "wait %d %d" epoch version)
+            with
+            | Ok _ -> false
+            | Error e ->
+              Format.eprintf "error: %s@." e;
+              true))
+      in
+      if barrier_failed then begin
+        Server.Client.close client;
+        1
+      end
+      else
       let failed = ref false in
       let send line =
         match Server.Client.request client line with
@@ -609,8 +757,10 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Connect to a running gkbms server.  With -e or --script, send \
              the given commands and exit non-zero if any response is an \
-             error; otherwise read commands interactively.")
-    Term.(const run $ socket_arg $ exec_args $ script_arg)
+             error; otherwise read commands interactively.  With \
+             --min-version, first block until the server (typically a \
+             replication follower) has applied the given session token.")
+    Term.(const run $ socket_arg $ exec_args $ script_arg $ min_version_arg)
 
 let repl_cmd =
   let run () =

@@ -529,11 +529,14 @@ let rationale_of repo dec =
   | [] -> None
 
 (* Rebuild the reason-maintenance mirror from the recorded decision
-   history (used after loading a persisted repository). *)
-let rebuild_jtms repo =
+   history (used after loading a persisted repository).  The
+   per-decision body is exposed separately so a replication follower
+   can install the mirror incrementally as each replayed decision
+   commits — J.justify does not deduplicate, so calling the whole
+   rebuild repeatedly would pile up duplicate justifications. *)
+let install_rebuilt_justifications repo dec =
   let j = Repo.jtms repo in
-  List.iter
-    (fun dec ->
+  (fun dec ->
       let dec_name = Symbol.name dec in
       let inputs = inputs_of repo dec in
       let outputs = outputs_of repo dec in
@@ -579,7 +582,10 @@ let rebuild_jtms repo =
             :: !added)
         asserts;
       Repo.record_justifications repo dec !added)
-    (Repo.decision_log repo)
+    dec
+
+let rebuild_jtms repo =
+  List.iter (install_rebuilt_justifications repo) (Repo.decision_log repo)
 
 let justifying_decision repo obj =
   match

@@ -83,3 +83,10 @@ val rebuild_jtms : Repository.t -> unit
 (** Reinstall the JTMS justifications of every logged decision from its
     KB record — how a freshly loaded repository regains its reason
     maintenance ({!Persist.load_repository} calls this). *)
+
+val install_rebuilt_justifications : Repository.t -> Prop.id -> unit
+(** The per-decision body of {!rebuild_jtms}.  A replication follower
+    calls this once per replayed decision as it commits; the JTMS does
+    not deduplicate justifications, so per-decision installation (not a
+    whole-log rebuild per frame) keeps the mirror identical to the
+    leader's. *)

@@ -7,15 +7,42 @@ let ( let* ) = Result.bind
 
 let wal_path dir = Filename.concat dir "wal.log"
 let checkpoint_path dir = Filename.concat dir "checkpoint.repo"
+let archived_wal_path dir gen = Filename.concat dir (Printf.sprintf "wal.%d.log" gen)
+
+(* The live [wal.log] belongs to a numbered generation; rotation
+   (checkpoint) and re-attachment archive it as [wal.<gen>.log] so a
+   replication follower holding a (generation, byte-offset) cursor can
+   still stream the suffix it has not applied yet.  The current
+   generation is always 1 + the highest archived number. *)
+let parse_archived_gen name =
+  match String.split_on_char '.' name with
+  | [ "wal"; n; "log" ] -> int_of_string_opt n
+  | _ -> None
+
+let archived_generations dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries |> List.filter_map parse_archived_gen |> List.sort compare
+
+let derive_generation dir =
+  match List.rev (archived_generations dir) with
+  | g :: _ -> g + 1
+  | [] -> 0
 
 type t = {
   dir : string;
   repo : Repo.t;
   checkpoint_every : int;
   fsync : bool;
+  retain_archives : int;
+  mutable generation : int;
   mutable journal : Journal.t;
   mutable event_sub : Repo.event_subscription option;
   mutable closed : bool;
+  m : Mutex.t;
+      (* serializes log rotation against [ship] readers; appends are
+         already serialized by the caller (the server's write lock) *)
 }
 
 type report = {
@@ -66,6 +93,13 @@ let g_checkpoint_us =
   Obs.Registry.histogram Obs.Registry.default "gkbms_checkpoint_us"
     ~help:"Checkpoint duration: sync, snapshot write and log rotation"
 
+let prune_archives t =
+  List.iter
+    (fun g ->
+      if g < t.generation - t.retain_archives then
+        try Sys.remove (archived_wal_path t.dir g) with Sys_error _ -> ())
+    (archived_generations t.dir)
+
 let checkpoint t =
   if t.closed then Error "Durable.checkpoint: handle closed"
   else
@@ -73,11 +107,19 @@ let checkpoint t =
     let t0 = Obs.Runtime.now_s () in
     Journal.sync t.journal;
     let* () = Persist.save_to_file t.repo (checkpoint_path t.dir) in
-    (* the log is truncated only after the snapshot is durable; a crash
-       in between replays the (idempotent) suffix over the snapshot *)
+    (* the log is rotated only after the snapshot is durable; a crash
+       in between replays the (idempotent) suffix over the snapshot.
+       The old log is archived rather than deleted so followers can
+       still stream from a pre-rotation cursor. *)
     let base = Cml.Kb.base (Repo.kb t.repo) in
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
     Journal.detach t.journal;
     Wal.close (Journal.writer t.journal);
+    (try Sys.rename (wal_path t.dir) (archived_wal_path t.dir t.generation)
+     with Sys_error _ -> ());
+    t.generation <- t.generation + 1;
+    prune_archives t;
     t.journal <- fresh_journal ~fsync:t.fsync t.dir base;
     Obs.Registry.Counter.inc g_checkpoints;
     Obs.Histogram.observe g_checkpoint_us ((Obs.Runtime.now_s () -. t0) *. 1e6);
@@ -105,24 +147,6 @@ let handle_event t = function
         (Sexp.to_string (Persist.sexp_of_artifact a))
     | None -> ())
 
-let attach ?(checkpoint_every = 256) ?(fsync = false) ~dir repo =
-  let* () = ensure_dir dir in
-  let* () = Persist.save_to_file repo (checkpoint_path dir) in
-  let base = Cml.Kb.base (Repo.kb repo) in
-  let t =
-    {
-      dir;
-      repo;
-      checkpoint_every;
-      fsync;
-      journal = fresh_journal ~fsync dir base;
-      event_sub = None;
-      closed = false;
-    }
-  in
-  t.event_sub <- Some (Repo.on_event repo (fun e -> handle_event t e));
-  Ok t
-
 let read_file path =
   try
     let ic = open_in_bin path in
@@ -131,6 +155,49 @@ let read_file path =
     close_in ic;
     Ok text
   with Sys_error e -> Error e
+
+(* Archive the valid prefix of a leftover [wal.log] under its
+   generation number before a fresh log replaces it.  A torn or corrupt
+   tail is cut at the scan boundary, so archives only ever hold frames
+   that recovery would accept. *)
+let archive_existing_log dir =
+  let wal = wal_path dir in
+  if not (Sys.file_exists wal) then derive_generation dir
+  else
+    let gen = derive_generation dir in
+    (match read_file wal with
+    | Error _ -> ()
+    | Ok data ->
+      let scan = Wal.scan data in
+      let prefix = String.sub data 0 scan.Wal.valid_bytes in
+      let oc = open_out_bin (archived_wal_path dir gen) in
+      output_string oc prefix;
+      close_out oc);
+    gen + 1
+
+let attach ?(checkpoint_every = 256) ?(fsync = false) ?(retain_archives = 8)
+    ~dir repo =
+  let* () = ensure_dir dir in
+  let* () = Persist.save_to_file repo (checkpoint_path dir) in
+  let generation = archive_existing_log dir in
+  let base = Cml.Kb.base (Repo.kb repo) in
+  let t =
+    {
+      dir;
+      repo;
+      checkpoint_every;
+      fsync;
+      retain_archives;
+      generation;
+      journal = fresh_journal ~fsync dir base;
+      event_sub = None;
+      closed = false;
+      m = Mutex.create ();
+    }
+  in
+  prune_archives t;
+  t.event_sub <- Some (Repo.on_event repo (fun e -> handle_event t e));
+  Ok t
 
 let recover ?register_tools ~dir () =
   let cp = checkpoint_path dir in
@@ -209,6 +276,67 @@ let dir t = t.dir
 let sync t = Journal.sync t.journal
 let wal_records t = Wal.records_written (Journal.writer t.journal)
 let wal_bytes t = Wal.bytes_written (Journal.writer t.journal)
+let generation t = t.generation
+
+(* ---------------- frame shipping (replication) ---------------- *)
+
+type ship = {
+  chunk : string;
+  next_gen : int;
+  next_offset : int;
+  at_head : bool;
+}
+
+let read_range path ~offset ~stop =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  seek_in ic offset;
+  really_input_string ic (stop - offset)
+
+let ship t ~gen ~offset ~max_bytes =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  if t.closed then Error (`Failure "Durable.ship: handle closed")
+  else if gen > t.generation || gen < 0 then Error `Resync
+  else if gen = t.generation then begin
+    (* make every appended frame visible to the read below; syncs only
+       happen at decision boundaries, so the synced prefix never ends
+       inside an open frame *)
+    Journal.sync t.journal;
+    let size = Wal.bytes_written (Journal.writer t.journal) in
+    let offset = max offset Wal.header_bytes in
+    if offset > size then Error `Resync
+    else if offset = size then
+      Ok { chunk = ""; next_gen = gen; next_offset = offset; at_head = true }
+    else
+      let stop = min size (offset + max_bytes) in
+      match read_range (wal_path t.dir) ~offset ~stop with
+      | chunk ->
+        Ok { chunk; next_gen = gen; next_offset = stop; at_head = stop = size }
+      | exception Sys_error e -> Error (`Failure e)
+  end
+  else
+    let path = archived_wal_path t.dir gen in
+    if not (Sys.file_exists path) then Error `Resync
+    else
+      let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+      let offset = max offset Wal.header_bytes in
+      if size <= Wal.header_bytes || offset = size then
+        (* archive exhausted: continue at the start of the next one *)
+        Ok
+          {
+            chunk = "";
+            next_gen = gen + 1;
+            next_offset = Wal.header_bytes;
+            at_head = false;
+          }
+      else if offset > size then Error `Resync
+      else
+        let stop = min size (offset + max_bytes) in
+        match read_range path ~offset ~stop with
+        | chunk ->
+          Ok { chunk; next_gen = gen; next_offset = stop; at_head = false }
+        | exception Sys_error e -> Error (`Failure e)
 
 let close t =
   if not t.closed then begin

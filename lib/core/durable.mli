@@ -35,15 +35,24 @@ val pp_report : Format.formatter -> report -> unit
 val wal_path : string -> string
 val checkpoint_path : string -> string
 
+val archived_wal_path : string -> int -> string
+(** [wal.<gen>.log]: a rotated log, kept so replication followers can
+    stream from a pre-rotation (generation, offset) cursor. *)
+
 val attach :
-  ?checkpoint_every:int -> ?fsync:bool -> dir:string -> Repository.t ->
-  (t, string) result
+  ?checkpoint_every:int -> ?fsync:bool -> ?retain_archives:int ->
+  dir:string -> Repository.t -> (t, string) result
 (** Make a live repository durable under [dir]: write an initial
     checkpoint, open a fresh log and subscribe to the delta and event
     feeds.  A checkpoint is taken automatically after
     [checkpoint_every] log records (default 256, measured at decision
     commit); [fsync] (default false) forces data to the device on every
-    decision commit rather than only into the OS. *)
+    decision commit rather than only into the OS.
+
+    Any leftover [wal.log] in [dir] is archived (valid prefix only)
+    under the next generation number before the fresh log is opened,
+    so generations grow strictly across re-attachments; at most
+    [retain_archives] (default 8) archived generations are kept. *)
 
 val recover :
   ?register_tools:(Repository.t -> unit) -> dir:string -> unit ->
@@ -68,6 +77,42 @@ val checkpoint : t -> (unit, string) result
 val sync : t -> unit
 val wal_records : t -> int
 val wal_bytes : t -> int
+
+val generation : t -> int
+(** The number of the live log.  Strictly increases across checkpoints
+    and re-attachments to the same directory, which makes it usable as
+    the epoch half of a replication session token: any (generation,
+    {!Repository.version}) pair captured later compares lexicographically
+    greater. *)
+
+(** {1 Frame shipping (replication)}
+
+    A follower streams the log as raw framed bytes addressed by a
+    (generation, byte-offset) cursor.  Offsets are absolute file
+    positions (the 8-byte header counts), so cursor 0/clamped-to-header
+    means "from the first frame". *)
+
+type ship = {
+  chunk : string;  (** raw framed bytes, no header — may end mid-frame *)
+  next_gen : int;  (** cursor to request next *)
+  next_offset : int;
+  at_head : bool;
+      (** the chunk ends exactly at the live log's synced end: the
+          requester is caught up with the leader *)
+}
+
+val ship :
+  t -> gen:int -> offset:int -> max_bytes:int ->
+  (ship, [ `Resync | `Failure of string ]) result
+(** Read up to [max_bytes] of framed log bytes at the cursor.  On the
+    live generation the journal is flushed first, so every acknowledged
+    decision is readable; syncs happen only at decision boundaries, so
+    the synced prefix never cuts a frame open (a chunk may — the
+    requester resumes at its own scan boundary).  An exhausted archived
+    generation redirects the cursor to the next generation's first
+    frame.  [`Resync] means the cursor is unservable (archive pruned,
+    or ahead of the log): the follower must re-bootstrap from a
+    snapshot. *)
 
 val close : t -> unit
 (** Detach from the repository's feeds and close the log.  The

@@ -374,9 +374,21 @@ let artifact_of_sexp sexp =
 
 (* ---------------- repository snapshots ---------------- *)
 
-let save_repository repo =
+let save_repository_gen ~canonical repo =
   let kb = Repo.kb repo in
   let props = Store.Base.to_serialized (Cml.Kb.base kb) in
+  (* proposition lines come out in store-enumeration order, which
+     depends on insertion history; the canonical form sorts them so two
+     repositories with the same logical state serialize byte-identically
+     (the replication convergence check) *)
+  let props =
+    if not canonical then props
+    else
+      String.split_on_char '\n' props
+      |> List.filter (fun l -> l <> "")
+      |> List.sort String.compare
+      |> fun lines -> String.concat "\n" lines ^ "\n"
+  in
   let artifacts =
     List.filter_map
       (fun obj ->
@@ -396,6 +408,9 @@ let save_repository repo =
          kv "log" (S.List log);
          kv "counter"
            (S.Atom (string_of_int (List.length (Repo.decision_log repo)))) ])
+
+let save_repository repo = save_repository_gen ~canonical:false repo
+let save_repository_canonical repo = save_repository_gen ~canonical:true repo
 
 let load_repository_raw text =
   let* sexp = S.parse text in
@@ -450,12 +465,53 @@ let finalize ?(register_tools = Mapping.register_tools) repo =
   (* tools are code, re-registered after the snapshot so their KB
      records (already in the snapshot) are not duplicated *)
   register_tools repo;
-  (* re-align the decision counter so fresh decisions do not collide *)
-  let rec bump () =
-    let candidate = Repo.fresh_decision_id repo in
-    if Cml.Kb.exists (Repo.kb repo) candidate then bump () else ()
+  (* re-align the proposition id counter: a snapshot loaded into a
+     fresh process (warm server restart, replication bootstrap) must
+     not mint ids (p<n>, text<n>, …) that collide with persisted ones.
+     All prefixes share one counter, so the largest trailing number
+     over the whole base is a safe floor. *)
+  let trailing_number s =
+    let n = String.length s in
+    let rec start i =
+      if i > 0 && s.[i - 1] >= '0' && s.[i - 1] <= '9' then start (i - 1)
+      else i
+    in
+    let i = start n in
+    if i = n then 0
+    else match int_of_string_opt (String.sub s i (n - i)) with
+      | Some v -> v
+      | None -> 0
   in
-  bump ();
+  Prop.advance_ids
+    (List.fold_left
+       (fun acc (p : Prop.t) ->
+         max acc (trailing_number (Symbol.name p.Prop.id)))
+       0
+       (Store.Base.to_list (Cml.Kb.base (Repo.kb repo))));
+  (* re-align the decision counter past every dec<n> still present.
+     Probing for the first free id is wrong here: a retracted decision
+     leaves a gap in the sequence, and a counter parked in that gap
+     re-issues a live decision's id on the next commit (which a
+     replication follower would then skip as an already-applied
+     overlap).  Scan for the maximum instead. *)
+  let dec_number s =
+    if String.length s > 3 && String.sub s 0 3 = "dec" then
+      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+      | Some v -> v
+      | None -> 0
+    else 0
+  in
+  Repo.advance_decision_counter repo
+    (List.fold_left
+       (fun acc (p : Prop.t) ->
+         max acc
+           (max
+              (dec_number (Symbol.name p.Prop.id))
+              (dec_number (Symbol.name p.Prop.source))))
+       (List.fold_left
+          (fun acc id -> max acc (dec_number (Symbol.name id)))
+          0 (Repo.decision_log repo))
+       (Store.Base.to_list (Cml.Kb.base (Repo.kb repo))));
   Decision.rebuild_jtms repo
 
 let load_repository ?register_tools text =

@@ -10,6 +10,12 @@
 val save_repository : Repository.t -> string
 (** A self-contained textual snapshot (s-expression). *)
 
+val save_repository_canonical : Repository.t -> string
+(** Like {!save_repository} but with proposition lines sorted, so the
+    bytes are independent of store insertion history: two repositories
+    with identical logical state produce identical snapshots.  This is
+    the replication convergence oracle (leader vs follower compare). *)
+
 val load_repository :
   ?register_tools:(Repository.t -> unit) -> string ->
   (Repository.t, string) result

@@ -270,6 +270,9 @@ let fresh_decision_id t =
   t.decision_counter <- t.decision_counter + 1;
   Printf.sprintf "dec%d" t.decision_counter
 
+let advance_decision_counter t n =
+  if t.decision_counter < n then t.decision_counter <- n
+
 let drain_changes t =
   let changes = List.rev t.change_batch in
   t.change_batch <- [];

@@ -124,6 +124,11 @@ val decision_log : t -> Prop.id list
 
 val fresh_decision_id : t -> string
 
+val advance_decision_counter : t -> int -> unit
+(** Raise the decision counter to at least [n], so ids minted after a
+    snapshot load cannot collide with persisted decisions (recovery
+    realignment — see {!Persist.finalize}). *)
+
 val drain_changes : t -> Store.Base.change list
 (** Proposition-base changes accumulated since the last drain (used for
     set-oriented consistency checking at decision commit). *)

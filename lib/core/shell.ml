@@ -234,8 +234,10 @@ let eval t line =
     | Error e -> "error: " ^ e)
   | [ "load"; file ] -> (
     if t.shared then
-      "error: load is unavailable in a shared session (the repository is \
-       shared with other clients)"
+      "error: load is unavailable here: this session shares one repository \
+       with other clients (and any replication followers), and load would \
+       swap it out from under them; run load in a standalone shell, or \
+       restart the server on the saved file"
     else
       match Persist.load_from_file file with
       | Ok repo' ->

@@ -221,14 +221,15 @@ type scan_result = {
   truncated : string option;
 }
 
-let scan data =
+let header_bytes = String.length magic
+
+(* The frame loop shared by [scan] and [scan_from]: walk frames from an
+   absolute byte offset, stopping at the first framing violation. *)
+let scan_frames data ~offset =
   let n = String.length data in
-  let hn = String.length magic in
-  if n < hn || String.sub data 0 hn <> magic then
-    { records = []; valid_bytes = 0; truncated = Some "bad or missing header" }
-  else begin
+  begin
     let records = ref [] in
-    let pos = ref hn in
+    let pos = ref (max 0 offset) in
     let stop = ref None in
     (try
        while !pos < n do
@@ -275,6 +276,17 @@ let scan data =
      with Exit -> ());
     { records = List.rev !records; valid_bytes = !pos; truncated = !stop }
   end
+
+let scan_from ?(expect_header = true) data ~offset =
+  if not expect_header then scan_frames data ~offset
+  else if
+    String.length data < header_bytes
+    || String.sub data 0 header_bytes <> magic
+  then
+    { records = []; valid_bytes = 0; truncated = Some "bad or missing header" }
+  else scan_frames data ~offset:(max offset header_bytes)
+
+let scan data = scan_from data ~offset:header_bytes
 
 let read_file path =
   try

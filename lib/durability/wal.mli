@@ -27,6 +27,9 @@ type record =
 val magic : string
 (** The 8-byte file header. *)
 
+val header_bytes : int
+(** [String.length magic]: the absolute offset of the first frame. *)
+
 (** {1 Sinks}
 
     A sink is where framed bytes go; the fault-injection harness
@@ -85,5 +88,14 @@ val scan : string -> scan_result
 (** Scan raw log bytes (header included).  Never raises: any framing
     violation — bad magic, impossible length, short frame, checksum
     mismatch, undecodable payload — truncates the log there. *)
+
+val scan_from : ?expect_header:bool -> string -> offset:int -> scan_result
+(** Like {!scan} but start the frame walk at absolute byte [offset] —
+    the replication "frames since" primitive.  With [expect_header]
+    (default true) the magic bytes at position 0 are still validated
+    and [offset] is clamped to [header_bytes]; pass
+    [~expect_header:false] to scan a headerless byte range (a chunk
+    shipped mid-log).  [valid_bytes] stays absolute within [data], so
+    a caller resumes at exactly [valid_bytes]. *)
 
 val read_file : string -> (scan_result, string) result

@@ -27,6 +27,13 @@ let fresh_id ?(prefix = "p") () =
 
 let reset_ids () = Atomic.set id_counter 0
 
+let advance_ids n =
+  let rec loop () =
+    let cur = Atomic.get id_counter in
+    if cur >= n || Atomic.compare_and_set id_counter cur n then () else loop ()
+  in
+  loop ()
+
 let equal a b =
   Symbol.equal a.id b.id
   && Symbol.equal a.source b.source

@@ -35,6 +35,10 @@ val fresh_id : ?prefix:string -> unit -> id
 val reset_ids : unit -> unit
 (** Reset the id counter (for tests). *)
 
+val advance_ids : int -> unit
+(** Raise the id counter to at least [n], so ids minted after loading a
+    snapshot into a fresh process cannot collide with persisted ones. *)
+
 val equal : t -> t -> bool
 (** Structural equality, ignoring belief time. *)
 

@@ -1,0 +1,270 @@
+module Daemon = Server.Daemon
+module Scheduler = Server.Scheduler
+module Protocol = Server.Protocol
+module Repo = Gkbms.Repository
+module Durable = Gkbms.Durable
+
+let g_frames_shipped =
+  Obs.Registry.counter Obs.Registry.default "gkbms_repl_frames_shipped_total"
+    ~help:"WAL frame chunks shipped to followers"
+
+let g_bytes_shipped =
+  Obs.Registry.counter Obs.Registry.default "gkbms_repl_bytes_shipped_total"
+    ~help:"WAL bytes shipped to followers"
+
+let g_snapshots =
+  Obs.Registry.counter Obs.Registry.default "gkbms_repl_snapshots_total"
+    ~help:"Snapshot (checkpoint) transfers started by follower bootstraps"
+
+type ack = {
+  mutable k_gen : int;
+  mutable k_offset : int;
+  mutable k_epoch : int;
+  mutable k_version : int;
+}
+
+type t = {
+  daemon : Daemon.t;
+  durable : Durable.t;
+  repo : Repo.t;
+  chunk_limit : int;
+  m : Mutex.t;  (** follower ack table *)
+  followers : (string, ack) Hashtbl.t;
+}
+
+(* leave generous headroom under the protocol frame bound for the
+   response header *)
+let max_chunk = Protocol.max_frame - 4096
+
+(* One consistent capture: under the scheduler read lock no decision is
+   mid-commit, so the journal is at frame depth 0 and (ship result,
+   generation, version) describe the same leader state — the invariant
+   behind the (epoch, version) session token. *)
+let capture t ~gen ~offset ~max_bytes =
+  Scheduler.read (Daemon.scheduler t.daemon) (fun () ->
+      let shipped = Durable.ship t.durable ~gen ~offset ~max_bytes in
+      let epoch = Durable.generation t.durable in
+      let version = Repo.version t.repo in
+      (shipped, epoch, version))
+
+let resync_error =
+  "error: resync: cursor unservable (archive pruned or past the log head); \
+   re-bootstrap from a snapshot"
+
+let handle_frames t ~gen ~offset ~max_bytes ~wait_ms =
+  let max_bytes = max 1 (min max_bytes max_chunk) in
+  let deadline = Unix.gettimeofday () +. (float_of_int wait_ms /. 1e3) in
+  let rec go () =
+    match capture t ~gen ~offset ~max_bytes with
+    | Error `Resync, _, _ -> resync_error
+    | Error (`Failure e), _, _ -> "error: " ^ e
+    | Ok s, epoch, version ->
+      if
+        s.Durable.chunk = "" && s.Durable.at_head
+        && Unix.gettimeofday () < deadline
+      then begin
+        (* long poll: nothing new yet; re-capture shortly *)
+        Thread.delay 0.01;
+        go ()
+      end
+      else begin
+        if s.Durable.chunk <> "" then begin
+          Obs.Registry.Counter.inc g_frames_shipped;
+          Obs.Registry.Counter.inc g_bytes_shipped
+            ~by:(String.length s.Durable.chunk)
+        end;
+        Wire.format_frames ~next_gen:s.Durable.next_gen
+          ~next_offset:s.Durable.next_offset ~caught_up:s.Durable.at_head
+          ~epoch ~version ~chunk:s.Durable.chunk
+      end
+  in
+  go ()
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    Ok data
+  with Sys_error e -> Error e
+
+let handle_snapshot t ~from =
+  (* under the read lock the checkpoint file cannot rotate underneath
+     us, and it always describes the state at the current generation's
+     first frame (both attach and checkpoint write it immediately
+     before opening the generation's log) *)
+  Scheduler.read (Daemon.scheduler t.daemon) (fun () ->
+      match read_file (Durable.checkpoint_path (Durable.dir t.durable)) with
+      | Error e -> "error: cannot read checkpoint: " ^ e
+      | Ok data ->
+        let total = String.length data in
+        if from < 0 || from > total then
+          Printf.sprintf "error: snapshot offset %d out of range (total %d)"
+            from total
+        else begin
+          if from = 0 then Obs.Registry.Counter.inc g_snapshots;
+          let stop = min total (from + t.chunk_limit) in
+          Wire.format_snapshot
+            ~generation:(Durable.generation t.durable)
+            ~offset:Durability.Wal.header_bytes ~total
+            ~chunk:(String.sub data from (stop - from))
+        end)
+
+let handle_ack t ~name ~gen ~offset ~epoch ~version =
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.followers name with
+  | Some a ->
+    a.k_gen <- gen;
+    a.k_offset <- offset;
+    a.k_epoch <- epoch;
+    a.k_version <- version
+  | None ->
+    Hashtbl.replace t.followers name
+      { k_gen = gen; k_offset = offset; k_epoch = epoch; k_version = version });
+  Mutex.unlock t.m;
+  (* leader-side lag gauges, per follower *)
+  let cur_gen = Durable.generation t.durable in
+  let lag_bytes =
+    if gen = cur_gen then max 0 (Durable.wal_bytes t.durable - offset)
+    else Durable.wal_bytes t.durable
+  in
+  let lag_versions =
+    if epoch = cur_gen then max 0 (Repo.version t.repo - version)
+    else Repo.version t.repo
+  in
+  Obs.Registry.Gauge.set
+    (Obs.Registry.gauge Obs.Registry.default "gkbms_repl_follower_lag_bytes"
+       ~labels:[ ("follower", name) ]
+       ~help:"Bytes of WAL the follower has not acknowledged")
+    (float_of_int lag_bytes);
+  Obs.Registry.Gauge.set
+    (Obs.Registry.gauge Obs.Registry.default "gkbms_repl_follower_lag_versions"
+       ~labels:[ ("follower", name) ]
+       ~help:"Leader versions ahead of the follower's acknowledged token")
+    (float_of_int lag_versions);
+  "ok"
+
+let handle_status t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "leader gen %d offset %d version %d\n"
+       (Durable.generation t.durable)
+       (Durable.wal_bytes t.durable)
+       (Repo.version t.repo));
+  Mutex.lock t.m;
+  let rows =
+    Hashtbl.fold
+      (fun name a acc ->
+        Printf.sprintf "follower %s gen %d offset %d epoch %d version %d" name
+          a.k_gen a.k_offset a.k_epoch a.k_version
+        :: acc)
+      t.followers []
+  in
+  Mutex.unlock t.m;
+  List.iter
+    (fun r ->
+      Buffer.add_string b r;
+      Buffer.add_char b '\n')
+    (List.sort String.compare rows);
+  String.trim (Buffer.contents b)
+
+let handle_wait t ~epoch ~version ~timeout_ms =
+  let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1e3) in
+  let current () = (Durable.generation t.durable, Repo.version t.repo) in
+  let rec go () =
+    let e, v = current () in
+    if Wire.token_le (epoch, version) (e, v) then Wire.format_token ~epoch:e ~version:v
+    else if Unix.gettimeofday () >= deadline then
+      Printf.sprintf "error: wait: leader at %d:%d, needed %d:%d (timeout)" e v
+        epoch version
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let default_wait_ms = 5_000
+let max_wait_ms = 60_000
+
+let words line =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
+
+let int_arg s = int_of_string_opt s
+
+let handle t line =
+  match words line with
+  | [ "repl"; "hello" ] ->
+    Some
+      (Scheduler.read (Daemon.scheduler t.daemon) (fun () ->
+           Wire.format_hello
+             ~generation:(Durable.generation t.durable)
+             ~version:(Repo.version t.repo)))
+  | [ "repl"; "token" ] ->
+    Some
+      (Scheduler.read (Daemon.scheduler t.daemon) (fun () ->
+           Wire.format_token
+             ~epoch:(Durable.generation t.durable)
+             ~version:(Repo.version t.repo)))
+  | [ "repl"; "snapshot"; from ] -> (
+    match int_arg from with
+    | Some from -> Some (handle_snapshot t ~from)
+    | None -> Some "error: usage: repl snapshot FROM")
+  | [ "repl"; "frames"; gen; offset; max_bytes; wait_ms ] -> (
+    match (int_arg gen, int_arg offset, int_arg max_bytes, int_arg wait_ms) with
+    | Some gen, Some offset, Some max_bytes, Some wait_ms ->
+      let wait_ms = max 0 (min wait_ms max_wait_ms) in
+      Some (handle_frames t ~gen ~offset ~max_bytes ~wait_ms)
+    | _ -> Some "error: usage: repl frames GEN OFFSET MAX_BYTES WAIT_MS")
+  | [ "repl"; "ack"; name; gen; offset; epoch; version ] -> (
+    match (int_arg gen, int_arg offset, int_arg epoch, int_arg version) with
+    | Some gen, Some offset, Some epoch, Some version ->
+      Some (handle_ack t ~name ~gen ~offset ~epoch ~version)
+    | _ -> Some "error: usage: repl ack NAME GEN OFFSET EPOCH VERSION")
+  | [ "repl"; "status" ] -> Some (handle_status t)
+  | "repl" :: _ ->
+    Some
+      "error: unknown repl command (hello|token|snapshot|frames|ack|status)"
+  | [ "wait"; epoch; version ] | [ "wait"; epoch; version; _ ] -> (
+    let timeout_ms =
+      match words line with
+      | [ _; _; _; ms ] -> Option.value (int_arg ms) ~default:default_wait_ms
+      | _ -> default_wait_ms
+    in
+    match (int_arg epoch, int_arg version) with
+    | Some epoch, Some version ->
+      let timeout_ms = max 0 (min timeout_ms max_wait_ms) in
+      Some (handle_wait t ~epoch ~version ~timeout_ms)
+    | _ -> Some "error: usage: wait EPOCH VERSION [TIMEOUT_MS]")
+  | _ -> None
+
+let attach ?(chunk_limit = 1 lsl 20) daemon =
+  match Daemon.durable daemon with
+  | None ->
+    Error
+      "replication leader requires an attached WAL (start the server with \
+       --wal DIR)"
+  | Some durable ->
+    let t =
+      {
+        daemon;
+        durable;
+        repo = Daemon.repo daemon;
+        chunk_limit = max 4096 (min chunk_limit max_chunk);
+        m = Mutex.create ();
+        followers = Hashtbl.create 8;
+      }
+    in
+    Daemon.set_extension daemon (handle t);
+    Ok t
+
+let followers t =
+  Mutex.lock t.m;
+  let rows =
+    Hashtbl.fold
+      (fun name a acc -> (name, (a.k_gen, a.k_offset, a.k_epoch, a.k_version)) :: acc)
+      t.followers []
+  in
+  Mutex.unlock t.m;
+  List.sort compare rows

@@ -1,0 +1,35 @@
+(** Leader side of WAL-shipping replication.
+
+    [attach daemon] installs a {!Server.Daemon} extension that answers
+    the [repl] command family on the daemon's ordinary connections:
+
+    - [repl hello] — banner with protocol version, generation, version;
+    - [repl token] — the leader's current (epoch, version) session token;
+    - [repl snapshot FROM] — a chunk of the current checkpoint file, for
+      follower bootstrap (the header names the generation whose first
+      frame follows the checkpointed state);
+    - [repl frames GEN OFFSET MAX WAITMS] — a chunk of committed WAL
+      frames at the follower's cursor, long-polling up to WAITMS when
+      already at the head; an unservable cursor (pruned archive, offset
+      past the head) gets a [resync] error telling the follower to
+      re-bootstrap;
+    - [repl ack NAME GEN OFFSET EPOCH VERSION] — follower progress
+      report, recorded for [repl status] and exported as per-follower
+      lag gauges;
+    - [wait EPOCH VERSION [MS]] — block until the leader reaches the
+      token (trivially true on the leader itself; kept symmetric with
+      followers so clients can send it to either end).
+
+    All state captures run under the daemon's scheduler read lock, so a
+    frames response never cuts a decision frame in half and its
+    (epoch, version) header describes exactly the shipped prefix. *)
+
+type t
+
+val attach : ?chunk_limit:int -> Server.Daemon.t -> (t, string) result
+(** Requires the daemon to have an attached WAL
+    ({!Server.Daemon.attach_durable}). [chunk_limit] bounds snapshot
+    chunks (default 1 MiB). *)
+
+val followers : t -> (string * (int * int * int * int)) list
+(** Last acked (gen, offset, epoch, version) per follower name. *)

@@ -7,19 +7,64 @@ type t = {
 let of_transport transport =
   { transport; reader = Protocol.reader transport; next_id = 1 }
 
-let connect_unix path =
+let retriable = function
+  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> true
+  | _ -> false
+
+(* A freshly (re)started server can accept a connection and drop it
+   before its session thread is up — a follower restarting mid-test
+   does exactly this.  One retry on the two reset-shaped errnos absorbs
+   that race without masking real failures. *)
+let with_retry ?(attempts = 2) f =
+  let rec go n =
+    match f () with
+    | v -> v
+    | exception e when retriable e && n > 1 ->
+      Thread.delay 0.05;
+      go (n - 1)
+  in
+  go (max 1 attempts)
+
+let connect_fd path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+let connect_unix ?(handshake = false) path =
   match
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX path)
-     with e ->
-       (try Unix.close fd with _ -> ());
-       raise e);
-    fd
+    with_retry (fun () ->
+        let fd = connect_fd path in
+        let t = of_transport (Protocol.fd_transport fd) in
+        if handshake then begin
+          (* a connect-time ping forces the reset-shaped failure (if
+             any) to surface here, inside the retry window *)
+          match
+            Protocol.write_frame t.transport
+              (Protocol.Request { id = 0; line = "ping" })
+          with
+          | exception e ->
+            t.transport.Protocol.close ();
+            raise e
+          | _n -> (
+            match Protocol.next_frame t.reader with
+            | Ok _ -> t
+            | Error `Eof ->
+              t.transport.Protocol.close ();
+              raise (Unix.Unix_error (Unix.ECONNRESET, "handshake", path))
+            | Error (`Corrupt reason) ->
+              t.transport.Protocol.close ();
+              failwith ("protocol: " ^ reason))
+        end
+        else t)
   with
-  | fd -> Ok (of_transport (Protocol.fd_transport fd))
+  | t -> Ok t
   | exception Unix.Unix_error (err, _, _) ->
     Error
       (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message err))
+  | exception Failure e -> Error e
 
 let request t line =
   let id = t.next_id in

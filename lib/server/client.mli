@@ -6,7 +6,24 @@
 type t
 
 val of_transport : Protocol.transport -> t
-val connect_unix : string -> (t, string) result
+
+val connect_unix : ?handshake:bool -> string -> (t, string) result
+(** Connect to a Unix-domain socket.  With [handshake] (default false)
+    a [ping] round-trip is performed before the client is returned, so
+    a server that accepted the connection but died before serving it
+    fails here — inside the retry window — rather than on the first
+    real request.  Connect (and handshake) failures with reset-shaped
+    errnos (ECONNRESET/EPIPE) are retried once; a follower restarting
+    under test does exactly this. *)
+
+val retriable : exn -> bool
+(** True for the reset-shaped errnos the connect retry absorbs
+    (exposed for tests). *)
+
+val with_retry : ?attempts:int -> (unit -> 'a) -> 'a
+(** Run [f], retrying after a 50 ms pause while it raises a {!retriable}
+    exception, at most [attempts] (default 2) runs in total (exposed
+    for tests). *)
 
 val request : t -> string -> (string, string) result
 (** Send one command line, block for its response.  [Ok payload] on a

@@ -9,6 +9,10 @@ type config = {
   domains : int;
       (** domains for read-command evaluation; 1 = all evaluation on
           the accept threads (pre-multicore behaviour) *)
+  read_only : string option;
+      (** [Some leader] marks this daemon a replication follower:
+          write-class commands are refused with an error naming the
+          leader address to redirect to *)
 }
 
 let default_config =
@@ -19,6 +23,7 @@ let default_config =
     queue_limit = 64;
     wal_fsync = false;
     domains = 1;
+    read_only = None;
   }
 
 type t = {
@@ -40,6 +45,12 @@ type t = {
   sessions : (int, Session.t) Hashtbl.t;
   mutable next_sid : int;
   mutable durable : Gkbms.Durable.t option;
+  mutable extension : (string -> string option) option;
+      (** protocol extension (the replication command family): consulted
+          on the raw request line before the built-ins, outside any
+          scheduler lock — the handler takes what it needs (a follower's
+          [wait] blocks on apply progress and must not hold the read
+          lock while the puller needs the write lock) *)
   mutable listen_fd : Unix.file_descr option;
   mutable stopping : bool;
   mutable reaper : Thread.t option;
@@ -63,6 +74,7 @@ let create ?(config = default_config) repo =
     sessions = Hashtbl.create 16;
     next_sid = 0;
     durable = None;
+    extension = None;
     listen_fd = None;
     stopping = false;
     reaper = None;
@@ -70,6 +82,19 @@ let create ?(config = default_config) repo =
   }
 
 let repo t = t.repo
+let scheduler t = t.scheduler
+let durable t = t.durable
+let config t = t.config
+let set_extension t ext = t.extension <- Some ext
+
+(* exclusive access for out-of-band mutation (the replication applier):
+   the scheduler write lock keeps pool-domain readers out, [eval_m]
+   keeps single-domain readers out *)
+let exclusive t f =
+  Scheduler.write t.scheduler (fun () ->
+      Mutex.lock t.eval_m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.eval_m) f)
+
 let metrics t = Metrics.snapshot t.metrics
 let cache_stats t = Option.map Cache.stats t.cache
 let scheduler_stats t = Scheduler.stats t.scheduler
@@ -89,6 +114,15 @@ let attach_wal t ~dir =
       t.durable <- Some d;
       Ok ()
     | Error e -> Error e)
+
+let attach_durable t d =
+  if t.durable <> None then Error "a WAL is already attached"
+  else if not (Gkbms.Durable.repo d == t.repo) then
+    Error "the durable handle journals a different repository"
+  else begin
+    t.durable <- Some d;
+    Ok ()
+  end
 
 let metrics_text t =
   let b = Buffer.create 512 in
@@ -184,6 +218,9 @@ let process t session (req : Protocol.request) : Protocol.response =
       ~seconds:(Unix.gettimeofday () -. t0);
     { Protocol.id = req.Protocol.id; ok; payload }
   in
+  match Option.bind t.extension (fun ext -> ext line) with
+  | Some payload -> finish payload
+  | None -> (
   match line with
   | "metrics" -> finish (metrics_text t)
   | "metrics json" ->
@@ -205,13 +242,20 @@ let process t session (req : Protocol.request) : Protocol.response =
   | line when Gkbms.Shell.is_quit line -> finish "bye"
   | line -> (
     match Scheduler.classify line with
-    | `Write ->
-      finish
-        (Scheduler.write t.scheduler (fun () ->
-             let out = eval_under_lock t session line in
-             (* make the decision durable before answering the client *)
-             Option.iter Gkbms.Durable.sync t.durable;
-             out))
+    | `Write -> (
+      match t.config.read_only with
+      | Some leader ->
+        finish
+          (Printf.sprintf
+             "error: read-only follower: redirect writes to the leader at %s"
+             leader)
+      | None ->
+        finish
+          (Scheduler.write t.scheduler (fun () ->
+               let out = eval_under_lock t session line in
+               (* make the decision durable before answering the client *)
+               Option.iter Gkbms.Durable.sync t.durable;
+               out)))
     | `Read -> (
       match t.cache with
       | Some cache when Scheduler.cacheable line -> (
@@ -229,7 +273,7 @@ let process t session (req : Protocol.request) : Protocol.response =
       | _ ->
         finish
           (Scheduler.read t.scheduler (fun () -> eval_read t session line))
-      ))
+      )))
 
 (* connection lifecycle ------------------------------------------------ *)
 

@@ -32,22 +32,51 @@ type config = {
           write); writes stay on the accept threads, serialized in
           decision-log order.  [1] keeps every command on the accept
           threads under one evaluation mutex. *)
+  read_only : string option;
+      (** [Some leader_addr] marks the daemon a replication follower:
+          write-class commands are refused with an error telling the
+          client to redirect to [leader_addr].  Reads (and the
+          protocol-level commands) are served normally, at the
+          follower's applied version. *)
 }
 
 val default_config : config
 (** cache on, capacity 4096, no idle timeout, queue limit 64, no fsync,
-    1 domain. *)
+    1 domain, writable. *)
 
 type t
 
 val create : ?config:config -> Gkbms.Repository.t -> t
 val repo : t -> Gkbms.Repository.t
+val config : t -> config
+val scheduler : t -> Scheduler.t
+val durable : t -> Gkbms.Durable.t option
 
 val attach_wal : t -> dir:string -> (unit, string) result
 (** Journal the shared repository under [dir] via {!Gkbms.Durable}; every
     write command syncs the log before its response is sent, so a
     [kill -9] loses at most the in-flight uncommitted decision and
     [gkbms recover] restores exactly the committed prefix. *)
+
+val attach_durable : t -> Gkbms.Durable.t -> (unit, string) result
+(** Adopt an already-attached durable handle (the recovery path:
+    {!Gkbms.Durable.open_} recovers and re-attaches in one step, and the
+    daemon is then created around the recovered repository).  Fails if a
+    WAL is already attached or the handle journals a different
+    repository. *)
+
+val set_extension : t -> (string -> string option) -> unit
+(** Install a protocol extension (the replication command family).  The
+    function sees each trimmed request line before the built-ins;
+    [Some payload] answers the request, [None] falls through.  It runs
+    on the session's executor thread with {e no} scheduler lock held —
+    handlers take the locks they need (and may block, e.g. a follower's
+    bounded [wait]). *)
+
+val exclusive : t -> (unit -> 'a) -> 'a
+(** Run [f] with the same exclusivity as a write command: under the
+    scheduler write lock and the evaluation mutex.  The replication
+    applier mutates the repository through this. *)
 
 val handle : t -> Protocol.transport -> unit
 (** Serve one connection to completion in the calling thread (spawn a

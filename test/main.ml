@@ -25,6 +25,7 @@ let () =
       ("negotiation", Test_negotiation.suite);
       ("shell", Test_shell.suite);
       ("server", Test_server.suite);
+      ("replication", Test_replication.suite);
       ("coverage", Test_coverage.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);

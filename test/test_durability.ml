@@ -502,6 +502,145 @@ let test_durable_retraction_survives () =
     (List.map Symbol.name (Repo.decision_log st.Scn.repo))
     (List.map Symbol.name (Repo.decision_log repo2))
 
+(* a warm restart is a fresh process: the global proposition id counter
+   restarts at zero, and recovery must re-align it so the first
+   post-restart decision does not mint ids colliding with recovered
+   propositions (seen as "proposition id p1 already present" on a
+   restarted replication leader's first write) *)
+let test_recover_realigns_prop_ids () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.setup ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  ignore (ok (Scn.map_move_down st));
+  Durable.close d;
+  Kernel.Prop.reset_ids ();
+  let repo2, _ = ok (Durable.recover ~dir ()) in
+  (match
+     Repo.new_object repo2 ~name:"FreshAfterRestart"
+       ~cls:Gkbms.Metamodel.dbpl_object (Repo.Text "v0")
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-restart insert refused: %s" e);
+  check bool "object landed" true
+    (List.exists
+       (fun o -> Symbol.name o = "FreshAfterRestart")
+       (Repo.all_design_objects repo2))
+
+(* a retraction leaves a gap in the dec<n> sequence; recovery must park
+   the decision counter past the maximum, not in the gap, or the first
+   post-restart commit re-issues a live decision's id (and replication
+   followers then skip its frame as an already-applied overlap) *)
+let test_recover_realigns_decision_counter () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.run_through_conflict ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  ignore (ok (Scn.resolve_conflict st));
+  Durable.close d;
+  let next_live = Repo.fresh_decision_id st.Scn.repo in
+  let repo2, _ = ok (Durable.recover ~dir ()) in
+  check string "fresh decision id skips the retraction gap" next_live
+    (Repo.fresh_decision_id repo2)
+
+(* mid-log offset reading (replication frame shipping) -------------------- *)
+
+(* every frame-start offset of [data]'s valid prefix, plus the end
+   boundary (so the last entry is exactly [valid_bytes]) *)
+let frame_boundaries data =
+  let scan = Wal.scan data in
+  let offs, last =
+    List.fold_left
+      (fun (offs, off) r -> (off :: offs, off + String.length (Wal.frame r)))
+      ([], Wal.header_bytes) scan.Wal.records
+  in
+  List.rev (last :: offs)
+
+let test_scan_from_every_boundary () =
+  let data, _ = write_sample () in
+  let bounds = frame_boundaries data in
+  check int "one boundary per frame plus the end"
+    (List.length sample_records + 1)
+    (List.length bounds);
+  List.iteri
+    (fun i off ->
+      let scan = Wal.scan_from data ~offset:off in
+      check bool (Printf.sprintf "clean at boundary %d" i) true
+        (scan.Wal.truncated = None);
+      check Alcotest.(list Alcotest.string)
+        (Printf.sprintf "suffix from boundary %d" i)
+        (encoded (List.filteri (fun j _ -> j >= i) sample_records))
+        (encoded scan.Wal.records);
+      check int
+        (Printf.sprintf "valid to the end from boundary %d" i)
+        (String.length data) scan.Wal.valid_bytes)
+    bounds
+
+let test_scan_from_headerless_chunk () =
+  (* shipped chunks carry no header: scan them with expect_header off *)
+  let data, _ = write_sample () in
+  let chunk =
+    String.sub data Wal.header_bytes (String.length data - Wal.header_bytes)
+  in
+  let scan = Wal.scan_from ~expect_header:false chunk ~offset:0 in
+  check bool "clean" true (scan.Wal.truncated = None);
+  check Alcotest.(list Alcotest.string) "all records"
+    (encoded sample_records) (encoded scan.Wal.records);
+  check int "all bytes consumed" (String.length chunk) scan.Wal.valid_bytes;
+  (* with the header expected, the same bytes are rejected *)
+  let rejected = Wal.scan_from chunk ~offset:0 in
+  check bool "headerless bytes rejected when header expected" true
+    (rejected.Wal.truncated <> None && rejected.Wal.records = [])
+
+let test_scan_from_torn_final_frame () =
+  let data, _ = write_sample () in
+  let bounds = frame_boundaries data in
+  let mid = List.nth bounds (List.length bounds / 2) in
+  let last_start = List.nth bounds (List.length bounds - 2) in
+  let cut = String.sub data 0 (String.length data - 2) in
+  let scan = Wal.scan_from cut ~offset:mid in
+  check bool "torn tail reported" true (scan.Wal.truncated <> None);
+  check Alcotest.(list Alcotest.string) "mid-log suffix minus the torn frame"
+    (encoded
+       (List.filteri
+          (fun j _ ->
+            j >= List.length bounds / 2 && j < List.length sample_records - 1)
+          sample_records))
+    (encoded scan.Wal.records);
+  check int "scan boundary before the torn frame" last_start
+    scan.Wal.valid_bytes;
+  (* once the frame's bytes complete, resuming at the boundary reads
+     exactly the one remaining record — the follower resume path *)
+  let resumed = Wal.scan_from data ~offset:scan.Wal.valid_bytes in
+  check bool "resume is clean" true (resumed.Wal.truncated = None);
+  check Alcotest.(list Alcotest.string) "resume reads the final record"
+    (encoded [ List.nth sample_records (List.length sample_records - 1) ])
+    (encoded resumed.Wal.records)
+
+(* randomized extension of the crash suite: at any frame boundary of any
+   crashed log, scan_from agrees with the full scan's suffix *)
+let prop_scan_from_is_suffix =
+  QCheck.Test.make ~name:"scan_from = scan suffix (random crashes and offsets)"
+    ~count:200
+    QCheck.(triple ops_gen (int_range 0 99999) (int_range 0 99999))
+    (fun (ops, crash_seed, idx_seed) ->
+      let data, _ = run_random_ops ops in
+      let crash = crash_seed mod (String.length data + 1) in
+      let cut = String.sub data 0 crash in
+      let full = Wal.scan cut in
+      if String.length cut < Wal.header_bytes then
+        (* no header survived: scan_from must reject like scan does *)
+        let s = Wal.scan_from cut ~offset:0 in
+        s.Wal.records = [] && s.Wal.valid_bytes = 0
+      else begin
+        let bounds = frame_boundaries cut in
+        let idx = idx_seed mod List.length bounds in
+        let s = Wal.scan_from cut ~offset:(List.nth bounds idx) in
+        encoded s.Wal.records
+        = List.filteri (fun j _ -> j >= idx) (encoded full.Wal.records)
+        && s.Wal.valid_bytes = full.Wal.valid_bytes
+      end)
+
 let suite =
   [
     ("crc32 vectors", `Quick, test_crc_vectors);
@@ -519,10 +658,16 @@ let suite =
     ("replay idempotent", `Quick, test_replay_idempotent);
     QCheck_alcotest.to_alcotest prop_crash_recovery_torn;
     QCheck_alcotest.to_alcotest prop_crash_recovery_bitflip;
+    ("scan_from at every frame boundary", `Quick, test_scan_from_every_boundary);
+    ("scan_from headerless chunk", `Quick, test_scan_from_headerless_chunk);
+    ("scan_from torn final frame", `Quick, test_scan_from_torn_final_frame);
+    QCheck_alcotest.to_alcotest prop_scan_from_is_suffix;
     ("durable repository roundtrip", `Quick, test_durable_roundtrip);
     ("durable crash keeps committed prefix", `Quick, test_durable_crash_prefix);
     ("durable reopen continues", `Quick, test_durable_open_continues);
     ("aborted decision not resurrected", `Quick, test_durable_aborted_not_resurrected);
     ("checkpoint truncates log", `Quick, test_durable_checkpoint_truncates);
     ("retraction survives recovery", `Quick, test_durable_retraction_survives);
+    ("recovery realigns prop id counter", `Quick, test_recover_realigns_prop_ids);
+    ("recovery realigns decision counter", `Quick, test_recover_realigns_decision_counter);
   ]

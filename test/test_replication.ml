@@ -1,0 +1,544 @@
+(* Leader → follower WAL shipping: wire codecs, the leader's repl
+   command family, follower bootstrap/catch-up, read-your-writes
+   session tokens, write refusal, and the convergence differential
+   (leader and follower canonical snapshots must be byte-identical,
+   including across checkpoints, restarts and simulated crashes). *)
+
+module Daemon = Server.Daemon
+module Client = Server.Client
+module Repo = Gkbms.Repository
+module Scn = Gkbms.Scenario
+module Durable = Gkbms.Durable
+module Wal = Durability.Wal
+module Wire = Replication.Wire
+module Applier = Replication.Applier
+module Leader = Replication.Leader
+module Follower = Replication.Follower
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let req_ok client line =
+  match Client.request client line with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "request %S failed: %s" line e
+
+let req_err client line =
+  match Client.request client line with
+  | Ok s -> Alcotest.failf "request %S unexpectedly succeeded: %s" line s
+  | Error e -> e
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec loop i = i + nl <= hl && (String.sub hay i nl = needle || loop (i + 1)) in
+  loop 0
+
+let temp_dir () =
+  let d = Filename.temp_file "gkbms-repl" "" in
+  Sys.remove d;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let canonical repo = Gkbms.Persist.save_repository_canonical repo
+
+let decisions repo = List.map Kernel.Symbol.name (Repo.decision_log repo)
+
+(* wire codecs ----------------------------------------------------------- *)
+
+let test_wire_roundtrips () =
+  (match Wire.parse_hello (Wire.format_hello ~generation:3 ~version:41) with
+  | Ok h ->
+    check int "hello gen" 3 h.Wire.h_generation;
+    check int "hello version" 41 h.Wire.h_version
+  | Error e -> Alcotest.fail e);
+  (match Wire.parse_hello "gkbms-repl 99 0 0" with
+  | Error e -> check bool "version mismatch reported" true (contains "version" e)
+  | Ok _ -> Alcotest.fail "foreign protocol version accepted");
+  (match Wire.parse_token (Wire.format_token ~epoch:2 ~version:7) with
+  | Ok t ->
+    check int "token epoch" 2 t.Wire.t_epoch;
+    check int "token version" 7 t.Wire.t_version
+  | Error e -> Alcotest.fail e);
+  (* chunks are binary: newlines and NULs must survive *)
+  let chunk = "bin\x00ary\nwith\nnewlines" in
+  (match
+     Wire.parse_snapshot
+       (Wire.format_snapshot ~generation:1 ~offset:8 ~total:999 ~chunk)
+   with
+  | Ok s ->
+    check int "snap gen" 1 s.Wire.s_generation;
+    check int "snap offset" 8 s.Wire.s_offset;
+    check int "snap total" 999 s.Wire.s_total;
+    check string "snap chunk intact" chunk s.Wire.s_chunk
+  | Error e -> Alcotest.fail e);
+  (match
+     Wire.parse_frames
+       (Wire.format_frames ~next_gen:2 ~next_offset:1234 ~caught_up:true
+          ~epoch:2 ~version:56 ~chunk)
+   with
+  | Ok f ->
+    check int "frames next gen" 2 f.Wire.f_next_gen;
+    check int "frames next offset" 1234 f.Wire.f_next_offset;
+    check bool "frames caught up" true f.Wire.f_caught_up;
+    check int "frames epoch" 2 f.Wire.f_epoch;
+    check int "frames version" 56 f.Wire.f_version;
+    check string "frames chunk intact" chunk f.Wire.f_chunk
+  | Error e -> Alcotest.fail e);
+  (match Wire.parse_frames "1 2 garbage 4 5\nx" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage header parsed")
+
+let test_session_tokens () =
+  check bool "parse roundtrip" true
+    (Wire.parse_session_token (Wire.format_session_token ~epoch:4 ~version:17)
+    = Ok (4, 17));
+  (match Wire.parse_session_token "nonsense" with
+  | Error e -> check bool "parse error mentions shape" true (contains "EPOCH" e)
+  | Ok _ -> Alcotest.fail "nonsense token parsed");
+  (* lexicographic: a later epoch dominates any version *)
+  check bool "same epoch by version" true (Wire.token_le (1, 5) (1, 5));
+  check bool "version strictly less" true (Wire.token_le (1, 4) (1, 5));
+  check bool "version greater" false (Wire.token_le (1, 6) (1, 5));
+  check bool "epoch dominates" true (Wire.token_le (1, 999) (2, 0));
+  check bool "epoch dominates reverse" false (Wire.token_le (2, 0) (1, 999));
+  check bool "resync error recognized" true
+    (Wire.is_resync_error "error: resync: cursor unservable");
+  check bool "other errors not resync" false
+    (Wire.is_resync_error "error: something else")
+
+(* a leader daemon journaling a scenario repository ----------------------- *)
+
+type leader_rig = {
+  l_dir : string;
+  l_st : Scn.state;
+  mutable l_daemon : Daemon.t;
+}
+
+let make_leader ?(config = Daemon.default_config) dir =
+  let st = ok (Scn.setup ()) in
+  let daemon = Daemon.create ~config st.Scn.repo in
+  ok (Daemon.attach_wal daemon ~dir);
+  ignore (ok (Leader.attach daemon));
+  { l_dir = dir; l_st = st; l_daemon = daemon }
+
+let leader_client rig = Client.of_transport (Daemon.connect rig.l_daemon)
+
+let leader_token rig =
+  let d = Option.get (Daemon.durable rig.l_daemon) in
+  (Durable.generation d, Repo.version (Daemon.repo rig.l_daemon))
+
+let connect_to rig () = Ok (Client.of_transport (Daemon.connect rig.l_daemon))
+
+let make_follower ?name rig dir =
+  Follower.create ?name ~leader:"leader.sock" ~connect:(connect_to rig) ~dir ()
+
+let converged rig follower =
+  check Alcotest.(list string) "decision logs equal"
+    (decisions (Daemon.repo rig.l_daemon))
+    (decisions (Follower.repo follower));
+  check string "canonical snapshots byte-identical"
+    (canonical (Daemon.repo rig.l_daemon))
+    (canonical (Follower.repo follower))
+
+(* leader command family -------------------------------------------------- *)
+
+let test_leader_frames_basic () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let rig = make_leader dir in
+  ignore (ok (Scn.map_move_down rig.l_st));
+  let c = leader_client rig in
+  (match Wire.parse_hello (req_ok c "repl hello") with
+  | Ok h -> check int "initial generation" 0 h.Wire.h_generation
+  | Error e -> Alcotest.fail e);
+  let frames =
+    match Wire.parse_frames (req_ok c (Wire.frames ~gen:0 ~offset:0
+                                         ~max_bytes:(1 lsl 20) ~wait_ms:0))
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  check bool "caught up" true frames.Wire.f_caught_up;
+  check bool "chunk has bytes" true (String.length frames.Wire.f_chunk > 0);
+  (* the chunk is exactly the framed log: scan it headerless *)
+  let scan = Wal.scan_from ~expect_header:false frames.Wire.f_chunk ~offset:0 in
+  check bool "chunk scans clean" true (scan.Wal.truncated = None);
+  check int "chunk fully consumed" (String.length frames.Wire.f_chunk)
+    scan.Wal.valid_bytes;
+  check bool "contains the decision commit" true
+    (List.exists (function Wal.Decision_commit _ -> true | _ -> false)
+       scan.Wal.records);
+  (* re-request at the returned cursor: empty and still caught up *)
+  (match
+     Wire.parse_frames
+       (req_ok c
+          (Wire.frames ~gen:frames.Wire.f_next_gen
+             ~offset:frames.Wire.f_next_offset ~max_bytes:(1 lsl 20) ~wait_ms:0))
+   with
+  | Ok f2 ->
+    check int "no new bytes" 0 (String.length f2.Wire.f_chunk);
+    check bool "still caught up" true f2.Wire.f_caught_up
+  | Error e -> Alcotest.fail e);
+  (* unservable cursors demand a resync *)
+  check bool "future generation is resync" true
+    (Wire.is_resync_error
+       (req_err c (Wire.frames ~gen:99 ~offset:0 ~max_bytes:4096 ~wait_ms:0)));
+  check bool "offset past head is resync" true
+    (Wire.is_resync_error
+       (req_err c
+          (Wire.frames ~gen:0 ~offset:99_999_999 ~max_bytes:4096 ~wait_ms:0)));
+  (* leader answers wait trivially at its own state *)
+  let e, v = leader_token rig in
+  (match Wire.parse_token (req_ok c (Printf.sprintf "wait %d %d 1000" e v)) with
+  | Ok t -> check bool "wait token covers request" true
+              (Wire.token_le (e, v) (t.Wire.t_epoch, t.Wire.t_version))
+  | Error err -> Alcotest.fail err);
+  Client.close c;
+  Daemon.stop rig.l_daemon
+
+(* bootstrap, catch-up, read-your-writes --------------------------------- *)
+
+let test_follower_bootstrap_and_catch_up () =
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir; rm_rf fdir) @@ fun () ->
+  let rig = make_leader ldir in
+  ignore (ok (Scn.map_move_down rig.l_st));
+  ignore (ok (Scn.normalize_invitations rig.l_st));
+  let f = ok (make_follower ~name:"f1" rig fdir) in
+  Fun.protect ~finally:(fun () -> Follower.stop f) @@ fun () ->
+  ok (Follower.catch_up f);
+  converged rig f;
+  (* the applied token covers the leader's *)
+  let e, v = leader_token rig in
+  check bool "applied covers leader token" true
+    (Wire.token_le (e, v) (Follower.applied f));
+  (* new work on the leader flows through a later catch-up *)
+  ignore (ok (Scn.substitute_key rig.l_st));
+  ok (Follower.catch_up f);
+  converged rig f;
+  (* read-your-writes: the new token is immediately waitable *)
+  let e2, v2 = leader_token rig in
+  check bool "wait_for succeeds" true
+    (Follower.wait_for f ~epoch:e2 ~version:v2 ~timeout_ms:1000);
+  check bool "wait_for a future token times out" false
+    (Follower.wait_for f ~epoch:e2 ~version:(v2 + 1000) ~timeout_ms:60);
+  Daemon.stop rig.l_daemon
+
+let test_follower_refuses_writes () =
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir; rm_rf fdir) @@ fun () ->
+  let rig = make_leader ldir in
+  ignore (ok (Scn.map_move_down rig.l_st));
+  let f = ok (make_follower ~name:"f1" rig fdir) in
+  Fun.protect ~finally:(fun () -> Follower.stop f) @@ fun () ->
+  ok (Follower.catch_up f);
+  let c = Client.of_transport (Daemon.connect (Follower.daemon f)) in
+  let refusal = req_err c "normalize" in
+  check bool "names the follower role" true (contains "read-only follower" refusal);
+  check bool "redirects to the leader" true (contains "leader.sock" refusal);
+  (* reads are served normally, at the applied version *)
+  check bool "reads still served" true
+    (contains "decisions: 1" (req_ok c "stats"));
+  (* the protocol wait command works through the follower daemon *)
+  let e, v = leader_token rig in
+  ignore (req_ok c (Printf.sprintf "wait %d %d 2000" e v));
+  check bool "wait timeout reported" true
+    (contains "timeout" (req_err c (Printf.sprintf "wait %d %d 50" e (v + 999))));
+  (* applied/status introspection *)
+  (match Wire.parse_token (req_ok c "repl applied") with
+  | Ok t -> check bool "repl applied covers leader" true
+              (Wire.token_le (e, v) (t.Wire.t_epoch, t.Wire.t_version))
+  | Error err -> Alcotest.fail err);
+  check bool "repl status names follower" true
+    (contains "follower f1" (req_ok c "repl status"));
+  Client.close c;
+  Daemon.stop rig.l_daemon
+
+(* checkpoints rotate the generation; followers cross the boundary ------- *)
+
+let test_generation_boundary () =
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir; rm_rf fdir) @@ fun () ->
+  let rig = make_leader ldir in
+  ignore (ok (Scn.map_move_down rig.l_st));
+  let f = ok (make_follower ~name:"f1" rig fdir) in
+  Fun.protect ~finally:(fun () -> Follower.stop f) @@ fun () ->
+  ok (Follower.catch_up f);
+  let durable = Option.get (Daemon.durable rig.l_daemon) in
+  let gen_before = Durable.generation durable in
+  ok (Durable.checkpoint durable);
+  check int "checkpoint rotated the generation" (gen_before + 1)
+    (Durable.generation durable);
+  ignore (ok (Scn.normalize_invitations rig.l_st));
+  ok (Follower.catch_up f);
+  converged rig f;
+  let g, _ = Follower.cursor f in
+  check int "follower crossed into the new generation" (gen_before + 1) g;
+  (* epochs grew with the rotation, so fresh tokens still compare greater *)
+  let e, v = leader_token rig in
+  check bool "post-rotation token waitable" true
+    (Follower.wait_for f ~epoch:e ~version:v ~timeout_ms:1000);
+  Daemon.stop rig.l_daemon
+
+(* follower restart: warm recovery resumes at the persisted cursor ------- *)
+
+let test_follower_restart_resumes () =
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir; rm_rf fdir) @@ fun () ->
+  let rig = make_leader ldir in
+  ignore (ok (Scn.map_move_down rig.l_st));
+  let f1 = ok (make_follower ~name:"f1" rig fdir) in
+  ok (Follower.catch_up f1);
+  let cursor_before = Follower.cursor f1 in
+  Follower.stop f1;
+  (* leader keeps writing while the follower is down *)
+  ignore (ok (Scn.normalize_invitations rig.l_st));
+  ignore (ok (Scn.substitute_key rig.l_st));
+  (* restart from the same directory: local recovery, not a re-bootstrap *)
+  let snaps_before =
+    Obs.Registry.Counter.get
+      (Obs.Registry.counter Obs.Registry.default "gkbms_repl_bootstraps_total")
+  in
+  let f2 = ok (make_follower ~name:"f1" rig fdir) in
+  Fun.protect ~finally:(fun () -> Follower.stop f2) @@ fun () ->
+  check bool "restart did not re-bootstrap" true
+    (Obs.Registry.Counter.get
+       (Obs.Registry.counter Obs.Registry.default "gkbms_repl_bootstraps_total")
+    = snaps_before);
+  check bool "cursor resumed where it left off" true
+    (Follower.cursor f2 = cursor_before);
+  ok (Follower.catch_up f2);
+  converged rig f2;
+  Daemon.stop rig.l_daemon
+
+(* leader restart: epochs stay monotone, followers reconnect ------------- *)
+
+let test_leader_restart_epoch_monotone () =
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir; rm_rf fdir) @@ fun () ->
+  let rig = make_leader ldir in
+  ignore (ok (Scn.map_move_down rig.l_st));
+  let f = ok (make_follower ~name:"f1" rig fdir) in
+  Fun.protect ~finally:(fun () -> Follower.stop f) @@ fun () ->
+  ok (Follower.catch_up f);
+  let epoch_before, _ = leader_token rig in
+  (* "restart" the leader: stop the daemon (closes the WAL), recover the
+     directory, rebuild the daemon around the recovered repository *)
+  Daemon.stop rig.l_daemon;
+  let durable, _report = ok (Durable.open_ ~dir:ldir ()) in
+  let daemon = Daemon.create (Durable.repo durable) in
+  ok (Daemon.attach_durable daemon durable);
+  ignore (ok (Leader.attach daemon));
+  rig.l_daemon <- daemon;
+  check bool "generation grew across the restart" true
+    (Durable.generation durable > epoch_before);
+  (* the follower's first pull fails on the dead connection, then
+     reconnects and converges *)
+  (match Follower.step f with Ok _ -> () | Error _ -> ());
+  ok (Follower.catch_up f);
+  converged rig f;
+  let e, v = leader_token rig in
+  check bool "post-restart token waitable" true
+    (Follower.wait_for f ~epoch:e ~version:v ~timeout_ms:1000);
+  Daemon.stop daemon
+
+(* the full storyline, including retraction, replicates ------------------ *)
+
+let test_full_scenario_replicates () =
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir; rm_rf fdir) @@ fun () ->
+  let rig = make_leader ldir in
+  let f = ok (make_follower ~name:"f1" rig fdir) in
+  Fun.protect ~finally:(fun () -> Follower.stop f) @@ fun () ->
+  ignore (ok (Scn.map_move_down rig.l_st));
+  ignore (ok (Scn.normalize_invitations rig.l_st));
+  ok (Follower.catch_up f);
+  ignore (ok (Scn.substitute_key rig.l_st));
+  ignore (ok (Scn.introduce_minutes rig.l_st));
+  (* resolve_conflict retracts a decision: the unlog note must replicate *)
+  ignore (ok (Scn.resolve_conflict rig.l_st));
+  ok (Follower.catch_up f);
+  converged rig f;
+  (* artifacts (design sources) came across, not just propositions *)
+  List.iter
+    (fun obj ->
+      check bool
+        (Kernel.Symbol.name obj ^ " artifact replicated")
+        true
+        (Repo.source_text (Daemon.repo rig.l_daemon) obj
+        = Repo.source_text (Follower.repo f) obj))
+    (Repo.all_design_objects (Daemon.repo rig.l_daemon));
+  Daemon.stop rig.l_daemon
+
+(* randomized convergence differential ----------------------------------- *)
+
+(* a random mutation on the leader: a manual-edit decision on a random
+   version tip (each success is one WAL decision frame; editing an
+   object that already has a successor aborts the decision — also worth
+   shipping, so those are kept in the mix and tolerated) *)
+let random_edit rng tips st =
+  let repo = st.Scn.repo in
+  let i = Random.State.int rng (Array.length !tips) in
+  match
+    Gkbms.Decision.execute repo
+      ~decision_class:Gkbms.Metamodel.dec_manual_edit
+      ~tool:Gkbms.Mapping.editor_tool
+      ~inputs:[ ("object", !tips.(i)) ]
+      ~params:[ ("text", Printf.sprintf "edit %d" (Random.State.int rng 1_000_000)) ]
+      ()
+  with
+  | Ok executed -> (
+    (* keep editing the new version next time *)
+    match List.assoc_opt "edited" executed.Gkbms.Decision.outputs with
+    | Some obj -> !tips.(i) <- obj
+    | None -> ())
+  | Error _ -> ()
+
+let scenario_steps =
+  [|
+    (fun st -> ignore (ok (Scn.map_move_down st)));
+    (fun st -> ignore (ok (Scn.normalize_invitations st)));
+    (fun st -> ignore (ok (Scn.substitute_key st)));
+    (fun st -> ignore (ok (Scn.introduce_minutes st)));
+    (fun st -> ignore (ok (Scn.resolve_conflict st)));
+  |]
+
+let run_differential ~seed ~rounds () =
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir; rm_rf fdir) @@ fun () ->
+  let rng = Random.State.make [| seed |] in
+  let rig = make_leader ldir in
+  (* dedicated version chains for the random edits, so they never
+     collide with names the storyline steps want to create *)
+  let tips =
+    ref
+      (Array.init 4 (fun i ->
+           ok
+             (Repo.new_object rig.l_st.Scn.repo
+                ~name:(Printf.sprintf "ReplDoc%d" i)
+                ~cls:Gkbms.Metamodel.dbpl_object (Repo.Text "v0"))))
+  in
+  let follower = ref (ok (make_follower ~name:"f1" rig fdir)) in
+  let next_step = ref 0 in
+  Fun.protect ~finally:(fun () ->
+      Follower.stop !follower;
+      Daemon.stop rig.l_daemon)
+  @@ fun () ->
+  for _ = 1 to rounds do
+    (match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      (* advance the storyline, or fall back to random edits *)
+      if !next_step < Array.length scenario_steps then begin
+        scenario_steps.(!next_step) rig.l_st;
+        incr next_step
+      end
+      else random_edit rng tips rig.l_st
+    | 4 | 5 | 6 -> random_edit rng tips rig.l_st
+    | 7 ->
+      (* leader checkpoint: rotates the generation mid-stream *)
+      ok (Durable.checkpoint (Option.get (Daemon.durable rig.l_daemon)))
+    | 8 ->
+      (* follower crash/restart: resume from the persisted cursor *)
+      Follower.stop !follower;
+      follower := ok (make_follower ~name:"f1" rig fdir)
+    | _ -> ());
+    (* pull with probability ~1/2, so the follower is often behind *)
+    if Random.State.bool rng then
+      match Follower.step !follower with Ok _ -> () | Error _ -> ()
+  done;
+  ok (Follower.catch_up !follower);
+  converged rig !follower
+
+let test_differential_seed_1 () = run_differential ~seed:11 ~rounds:60 ()
+let test_differential_seed_2 () = run_differential ~seed:22 ~rounds:60 ()
+let test_differential_seed_3 () = run_differential ~seed:33 ~rounds:60 ()
+
+(* the arena (GC-invisible) backend behaves identically ------------------ *)
+
+let test_convergence_arena_backend () =
+  (* restore whatever the process default was (GKBMS_STORE or mem) *)
+  let restore =
+    match
+      Option.map Store.Base.backend_of_string (Sys.getenv_opt "GKBMS_STORE")
+    with
+    | Some (Ok b) -> b
+    | _ -> `Mem
+  in
+  Store.Base.set_default_backend `Arena;
+  Fun.protect ~finally:(fun () -> Store.Base.set_default_backend restore)
+  @@ fun () ->
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir; rm_rf fdir) @@ fun () ->
+  let rig = make_leader ldir in
+  ignore (ok (Scn.map_move_down rig.l_st));
+  ignore (ok (Scn.normalize_invitations rig.l_st));
+  let f = ok (make_follower ~name:"f1" rig fdir) in
+  Fun.protect ~finally:(fun () -> Follower.stop f) @@ fun () ->
+  ok (Follower.catch_up f);
+  converged rig f;
+  Daemon.stop rig.l_daemon
+
+(* applier unit behavior -------------------------------------------------- *)
+
+let test_applier_skips_logged_decisions () =
+  let ldir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf ldir) @@ fun () ->
+  let rig = make_leader ldir in
+  ignore (ok (Scn.map_move_down rig.l_st));
+  let c = leader_client rig in
+  let frames =
+    match
+      Wire.parse_frames
+        (req_ok c (Wire.frames ~gen:0 ~offset:0 ~max_bytes:(1 lsl 20) ~wait_ms:0))
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  let records =
+    (Wal.scan_from ~expect_header:false frames.Wire.f_chunk ~offset:0).Wal.records
+  in
+  Client.close c;
+  (* apply the same stream twice into a fresh repository: the second
+     pass must be a no-op (idempotent overlap replay) *)
+  let target = ok (Gkbms.Persist.load_repository
+                     (Gkbms.Persist.save_repository (ok (Scn.setup ())).Scn.repo))
+  in
+  let applier = Applier.create target in
+  ok (Applier.feed_all applier records);
+  check int "depth back to zero" 0 (Applier.depth applier);
+  let snap = canonical target in
+  let decisions_after = Applier.decisions_applied applier in
+  ok (Applier.feed_all applier records);
+  check string "second replay changed nothing" snap (canonical target);
+  check int "no decision re-applied" decisions_after
+    (Applier.decisions_applied applier);
+  Daemon.stop rig.l_daemon
+
+let suite =
+  [
+    ("wire roundtrips", `Quick, test_wire_roundtrips);
+    ("session tokens", `Quick, test_session_tokens);
+    ("leader frames basics", `Quick, test_leader_frames_basic);
+    ("follower bootstrap and catch-up", `Quick, test_follower_bootstrap_and_catch_up);
+    ("follower refuses writes", `Quick, test_follower_refuses_writes);
+    ("generation boundary crossed", `Quick, test_generation_boundary);
+    ("follower restart resumes", `Quick, test_follower_restart_resumes);
+    ("leader restart keeps epochs monotone", `Quick, test_leader_restart_epoch_monotone);
+    ("full scenario replicates", `Quick, test_full_scenario_replicates);
+    ("convergence differential (seed 11)", `Quick, test_differential_seed_1);
+    ("convergence differential (seed 22)", `Quick, test_differential_seed_2);
+    ("convergence differential (seed 33)", `Quick, test_differential_seed_3);
+    ("convergence on arena backend", `Quick, test_convergence_arena_backend);
+    ("applier skips already-logged decisions", `Quick, test_applier_skips_logged_decisions);
+  ]

@@ -499,6 +499,58 @@ let test_differential_cached () = differential ~cache:true ()
 let test_differential_uncached () = differential ~cache:false ()
 let test_differential_domains () = differential ~domains:4 ~cache:true ()
 
+(* connect-time retry on reset-shaped errors ------------------------------ *)
+
+let test_client_retry_once () =
+  (* first attempt dies with ECONNRESET (a server restarting under us),
+     the second succeeds *)
+  let attempts = ref 0 in
+  let v =
+    Client.with_retry (fun () ->
+        incr attempts;
+        if !attempts = 1 then
+          raise (Unix.Unix_error (Unix.ECONNRESET, "connect", ""))
+        else 42)
+  in
+  check int "second attempt answered" 42 v;
+  check int "exactly one retry" 2 !attempts;
+  (* EPIPE is retried the same way *)
+  let attempts = ref 0 in
+  ignore
+    (Client.with_retry (fun () ->
+         incr attempts;
+         if !attempts = 1 then
+           raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+         else 0));
+  check int "epipe retried" 2 !attempts
+
+let test_client_retry_gives_up () =
+  (* persistent resets surface after the retry budget *)
+  let attempts = ref 0 in
+  (match
+     Client.with_retry (fun () ->
+         incr attempts;
+         raise (Unix.Unix_error (Unix.ECONNRESET, "connect", "")))
+   with
+  | (_ : unit) -> Alcotest.fail "persistent reset did not raise"
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ());
+  check int "both attempts used" 2 !attempts;
+  (* non-retriable errors propagate immediately *)
+  let attempts = ref 0 in
+  (match
+     Client.with_retry (fun () ->
+         incr attempts;
+         raise (Unix.Unix_error (Unix.ECONNREFUSED, "connect", "")))
+   with
+  | (_ : unit) -> Alcotest.fail "refused did not raise"
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
+  check int "no retry for refused" 1 !attempts;
+  check bool "retriable classification" true
+    (Client.retriable (Unix.Unix_error (Unix.ECONNRESET, "", ""))
+    && Client.retriable (Unix.Unix_error (Unix.EPIPE, "", ""))
+    && not (Client.retriable (Unix.Unix_error (Unix.ENOENT, "", "")))
+    && not (Client.retriable Exit))
+
 let suite =
   [
     ("protocol roundtrip", `Quick, test_protocol_roundtrip);
@@ -519,4 +571,6 @@ let suite =
     ("differential: concurrent = sequential (cache on)", `Quick, test_differential_cached);
     ("differential: concurrent = sequential (cache off)", `Quick, test_differential_uncached);
     ("differential: concurrent = sequential (4 domains)", `Quick, test_differential_domains);
+    ("client retries reset once", `Quick, test_client_retry_once);
+    ("client retry gives up and classifies", `Quick, test_client_retry_gives_up);
   ]

@@ -133,8 +133,16 @@ let test_cross_session_version_advance () =
 let test_shared_session_refuses_load () =
   let st = ok (Gkbms.Scenario.setup ()) in
   let shell = Shell.session st.Gkbms.Scenario.repo in
-  check bool "load refused" true
-    (contains "shared session" (Shell.eval shell "load /tmp/nonexistent.repo"));
+  let refusal = Shell.eval shell "load /tmp/nonexistent.repo" in
+  check bool "load refused" true (contains "error: load is unavailable" refusal);
+  (* the message must say why: the repository is shared, and load would
+     swap it out from under the other sessions/followers *)
+  check bool "refusal names the shared repository" true
+    (contains "shares one repository" refusal);
+  check bool "refusal names the consequence" true
+    (contains "swap it out" refusal);
+  check bool "refusal suggests a remedy" true
+    (contains "standalone shell" refusal);
   (* a private shell still loads (see save-and-load above) *)
   check bool "map still works" true (contains "dec1" (Shell.eval shell "map"))
 
