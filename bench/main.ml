@@ -834,6 +834,61 @@ let shape_e21_store () =
    phase measures read-your-writes freshness: after each leader commit,
    how long until a follower's applied (epoch, version) token covers
    it. *)
+(* ------------------------------------------------------------------ *)
+(* E23: cost-based planner — bound-argument queries over a 1M-fact EDB *)
+(* ------------------------------------------------------------------ *)
+
+let shape_e23_planner () =
+  section "E23: query planner — bound queries over a 1M-fact EDB";
+  (* 200k disjoint chains of length 5: 1M edge facts, 3M closure
+     tuples.  A bound query path(sK_0, Y) touches one chain; the
+     planner-off engine materializes all 200k. *)
+  let segments =
+    match Sys.getenv_opt "GKBMS_E23_SEGMENTS" with
+    | Some s -> (try int_of_string s with _ -> 200_000)
+    | None -> 200_000
+  and len = 5 in
+  let t0 = Unix.gettimeofday () in
+  let d = W.segmented_chain_program ~segments ~len in
+  let t_load = Unix.gettimeofday () -. t0 in
+  let facts = Logic.Datalog.fact_count d (Kernel.Symbol.intern "edge") in
+  Printf.printf "EDB: %d edge facts (loaded in %.1f s)\n%!" facts t_load;
+  let goal s =
+    Term.atom "path" [ Term.sym (Printf.sprintf "s%d_0" s); Term.var "Y" ]
+  in
+  let queries = 20 in
+  let seg_of i = i * (segments / (queries + 1)) in
+  (* warm-up: interning, first-plan costs *)
+  ignore (ok (Planner.query d (goal (seg_of 0))));
+  let t0 = Unix.gettimeofday () in
+  let planned = Array.init queries (fun i -> ok (Planner.query d (goal (seg_of (i + 1))))) in
+  let t_planned = (Unix.gettimeofday () -. t0) /. float_of_int queries in
+  Printf.printf "planned (magic-sets): %.3f ms/query, %d answers each\n%!"
+    (t_planned *. 1e3)
+    (List.length planned.(0));
+  (* ablation: planner off — one bound query pays full materialization *)
+  let t0 = Unix.gettimeofday () in
+  let unplanned = ok (Logic.Datalog.query d (goal (seg_of 1))) in
+  let t_unplanned = Unix.gettimeofday () -. t0 in
+  let closure = Logic.Datalog.derived_count d in
+  Printf.printf "unplanned: %.1f ms (materialized %d closure tuples)\n%!"
+    (t_unplanned *. 1e3) closure;
+  (* answer invariance on the measured query *)
+  let canon substs =
+    List.sort_uniq String.compare
+      (List.map (Format.asprintf "%a" Term.Subst.pp) substs)
+  in
+  if canon planned.(0) <> canon unplanned then
+    failwith "E23: planned and unplanned answers differ";
+  let speedup = t_unplanned /. t_planned in
+  Printf.printf "speedup: %.0fx\n%!" speedup;
+  metric_i "e23_edb_facts" facts;
+  metric_i "e23_closure_tuples" closure;
+  metric_i "e23_queries" queries;
+  metric_f "e23_planned_ms_mean" (t_planned *. 1e3);
+  metric_f "e23_unplanned_ms" (t_unplanned *. 1e3);
+  metric_f "e23_speedup" speedup
+
 let shape_e22_replication () =
   section "E22: replication — read fan-out across followers, session lag";
   let cores = Domain.recommended_domain_count () in
@@ -1223,6 +1278,7 @@ let () =
   let par_only = List.mem "par" args in
   let store_only = List.mem "store" args in
   let repl_only = List.mem "repl" args in
+  let planner_only = List.mem "planner" args in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> Some path
@@ -1236,6 +1292,7 @@ let () =
   else if par_only then shape_e20_parallel ()
   else if store_only then shape_e21_store ()
   else if repl_only then shape_e22_replication ()
+  else if planner_only then shape_e23_planner ()
   else begin
     shape_e1_menu ();
     shape_e2_mapping_strategies ();

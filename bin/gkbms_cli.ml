@@ -311,6 +311,26 @@ let derive_cmd =
        ~doc:"Query the deductive view (tabled top-down inference).")
     Term.(const run $ until_arg $ atom_arg)
 
+let explain_cmd =
+  let atom_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATOM"
+           ~doc:"e.g. \"in(InvitationRel, ?C)\"")
+  in
+  let run until atom =
+    handle
+      (let* st, _ = build_state until in
+       let* goal = Langs.Assertion.parse_atom atom in
+       let* report = Cml.Kb.explain (Repo.kb st.Scn.repo) goal in
+       Format.printf "%s@." (String.trim report);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the query planner's chosen plan for a goal (strategy, \
+             join order, estimated vs. actual cardinalities) and evaluate \
+             it.")
+    Term.(const run $ until_arg $ atom_arg)
+
 (* export / import ----------------------------------------------------------- *)
 
 let export_cmd =
@@ -794,7 +814,7 @@ let main =
          "A knowledge base management system for information system \
           evolution (Jarke & Rose, SIGMOD 1988).")
     [ scenario_cmd; focus_cmd; why_cmd; deps_cmd; config_cmd; source_cmd;
-      ask_cmd; derive_cmd; export_cmd; import_cmd; snapshot_cmd; recover_cmd;
+      ask_cmd; derive_cmd; explain_cmd; export_cmd; import_cmd; snapshot_cmd; recover_cmd;
       audit_cmd; repl_cmd; stats_cmd; trace_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -34,6 +34,7 @@ type t = {
   constraint_defs : Formula.t Symbol.Tbl.t;  (** constraint object -> formula *)
   mutable behaviour_defs : (Symbol.t * string * (t -> Prop.id -> unit)) list;
   cache : cache;
+  pstats : Planner.Stats.t;  (** planner statistics, fed off [on_change] *)
 }
 
 let base t = t.base
@@ -563,9 +564,42 @@ let datalog t =
 
 let prover t ~tabling = Prover.make ~tabling (datalog t)
 
+(* The extensional tuples one proposition contributes to the deductive
+   view — must mirror the external enumerations registered by [datalog]
+   exactly ([prop/4] for every proposition, [instanceof/2]/[isa/2] by
+   label, [attr/3] for non-individual non-reserved links), so the
+   planner statistics agree with what rule bodies actually see. *)
+let planner_pred_prop = Symbol.intern "prop"
+let planner_pred_instanceof = Symbol.intern "instanceof"
+let planner_pred_isa = Symbol.intern "isa"
+let planner_pred_attr = Symbol.intern "attr"
+
+let planner_tuples (p : Prop.t) =
+  let s = Term.symbol in
+  let base =
+    [ (planner_pred_prop, [| s p.id; s p.source; s p.label; s p.dest |]) ]
+  in
+  let individual =
+    Symbol.equal p.source p.id && Symbol.equal p.dest p.id
+    && Symbol.equal p.label p.id
+  in
+  if Symbol.equal p.label Axioms.instanceof then
+    (planner_pred_instanceof, [| s p.source; s p.dest |]) :: base
+  else if Symbol.equal p.label Axioms.isa then
+    (planner_pred_isa, [| s p.source; s p.dest |]) :: base
+  else if (not individual) && not (Axioms.is_reserved_label p.label) then
+    (planner_pred_attr, [| s p.source; s p.label; s p.dest |]) :: base
+  else base
+
+let planner_stats t = t.pstats
+
 let derive t goal =
-  let p = prover t ~tabling:true in
-  Ok (Prover.solve p [ goal ])
+  if Planner.on () then Planner.query ~stats:t.pstats (datalog t) goal
+  else
+    let p = prover t ~tabling:true in
+    Ok (Prover.solve p [ goal ])
+
+let explain t goal = Planner.explain ~stats:t.pstats (datalog t) goal
 
 let enum_holds t (a : Term.atom) =
   match Array.to_list a.args with
@@ -643,12 +677,18 @@ let create ?backend () =
           misses = 0;
           invalidations = 0;
         };
+      pstats = Planner.Stats.create ();
     }
   in
   (* keep the closure caches consistent with every base change,
      including those replayed by transaction rollback *)
   ignore
     (Base.on_change base (fun change -> invalidate_for_change t change)
+      : Base.subscription);
+  (* planner statistics track the same change feed, from the very first
+     bootstrap proposition *)
+  ignore
+    (Planner.Stats.attach_base t.pstats base ~tuples_of:planner_tuples
       : Base.subscription);
   List.iter
     (fun p ->

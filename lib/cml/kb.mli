@@ -130,7 +130,19 @@ val prover : t -> tabling:bool -> Logic.Prover.t
 (** A fresh inference engine over {!datalog}. *)
 
 val derive : t -> Logic.Term.atom -> (Logic.Term.Subst.t list, string) result
-(** Query the deductive view (tabled top-down). *)
+(** Query the deductive view.  By default the tabled top-down prover;
+    with the planner enabled ([GKBMS_PLANNER=on] or
+    {!Planner.set_enabled}) a cost-based bottom-up plan (magic-sets on
+    the monotone cone) over the same view — the answer substitution
+    set is identical either way. *)
+
+val explain : t -> Logic.Term.atom -> (string, string) result
+(** Render the planner's chosen plan for a goal (strategy, adornments,
+    per-literal estimates, estimated vs. actual cardinalities) and
+    evaluate it.  Works whether or not the planner gate is on. *)
+
+val planner_stats : t -> Planner.Stats.t
+(** The statistics collector fed off this KB's change feed. *)
 
 val formula_env : t -> Logic.Formula.env
 (** Environment for constraint evaluation: [instances_of] quantifies over

@@ -50,7 +50,7 @@ let help_text =
   \          map normalize key minutes resolve why [OBJ] history [OBJ] \
    source [OBJ]\n\
   \          deps [OBJ] config [LEVEL] check ask FORMULA derive ATOM \
-   save FILE load FILE quit\n\
+   explain ATOM save FILE load FILE quit\n\
   \          (focus OBJ sets this session's cursor; menu/why/history/source \
    then default to it)"
 
@@ -227,6 +227,14 @@ let eval t line =
         String.concat "\n"
           (List.sort_uniq String.compare
              (List.map (fmt "%a" Logic.Term.Subst.pp) substs))
+      | Error e -> "error: " ^ e))
+  | "explain" :: rest -> (
+    let text = String.concat " " rest in
+    match Langs.Assertion.parse_atom text with
+    | Error e -> "error: " ^ e
+    | Ok goal -> (
+      match Cml.Kb.explain (Repo.kb repo) goal with
+      | Ok report -> String.trim report
       | Error e -> "error: " ^ e))
   | [ "save"; file ] -> (
     match Persist.save_to_file repo file with

@@ -247,6 +247,39 @@ let copy t =
     pub = fresh_counters ();
   }
 
+(* A cheap evaluation view: shares the extensional tables and external
+   relations of [t] physically (no tuple copy — at 1M facts [copy] is
+   the dominant cost of spinning up a throwaway engine) but starts with
+   no rules and an empty materialization.  The planner installs a
+   rewritten program into the view and solves it without disturbing the
+   parent.  The view must treat the shared tables as read-only: calling
+   [add_fact]/[remove_fact]/[add_facts] on a view would mutate the
+   parent's extensional state. *)
+let derive_view t =
+  {
+    facts = t.facts;
+    externals = t.externals;
+    rules = [];
+    derived = Symbol.Tbl.create 64;
+    solved = false;
+    idb_cache = None;
+    nonmonotone_cache = None;
+    strata_cache = None;
+    counters = fresh_counters ();
+    pub = fresh_counters ();
+  }
+
+let fact_preds t =
+  Symbol.Tbl.fold
+    (fun p rel acc -> if Relation.cardinal rel > 0 then p :: acc else acc)
+    t.facts []
+  |> List.sort Symbol.compare
+
+let fact_count t p =
+  match Symbol.Tbl.find_opt t.facts p with
+  | Some r -> Relation.cardinal r
+  | None -> 0
+
 let set_of tbl p =
   match Symbol.Tbl.find_opt tbl p with
   | Some s -> s
@@ -841,6 +874,18 @@ let rederivable t p (tup : tuple) =
    database, i.e. current ∪ deleted), then put back and re-propagate the
    tuples that still have an independent derivation. *)
 let propagate_deletions t seeds strata =
+  (* The lookups below (and especially the per-tuple body probes of
+     [rederivable]) are maintenance work, not query answering: a
+     retraction storm would otherwise swamp the hit/miss ratio with
+     thousands of internal probes and make the steady-state index
+     statistics meaningless.  Snapshot the two counters and restore them
+     on exit; the delta counters ([delta_rounds]/[delta_tuples]) keep
+     counting, they genuinely describe DRed work. *)
+  let h0 = t.counters.c_index_hits and m0 = t.counters.c_index_misses in
+  Fun.protect ~finally:(fun () ->
+      t.counters.c_index_hits <- h0;
+      t.counters.c_index_misses <- m0)
+  @@ fun () ->
   let deleted = delta_create () in
   List.iter
     (fun (p, tup) -> ignore (Relation.add (delta_set deleted p) tup))

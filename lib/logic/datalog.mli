@@ -16,6 +16,22 @@ type strategy = [ `Naive | `Seminaive ]
 val create : unit -> t
 val copy : t -> t
 
+val derive_view : t -> t
+(** A throwaway evaluation view over [t]'s extensional state: shares the
+    stored fact tables and external relations physically (no copy) but
+    has no rules and an empty materialization.  Install a (rewritten)
+    program with {!add_clause} and {!solve} it without touching the
+    parent.  The shared tables are read-only through the view: never
+    call {!add_fact}/{!add_facts}/{!remove_fact} on a view. *)
+
+val fact_preds : t -> Symbol.t list
+(** Predicates with at least one explicitly stored fact (sorted; does
+    not include external relations). *)
+
+val fact_count : t -> Symbol.t -> int
+(** Number of explicitly stored facts of a predicate (0 for externals
+    and unknown predicates). *)
+
 val add_fact : t -> Term.atom -> (unit, string) result
 (** Ground atoms only.  Duplicate facts are ignored.  On a solved,
     negation-free engine the new fact is propagated with one semi-naive

@@ -1,0 +1,164 @@
+open Kernel
+module Term = Logic.Term
+module Vars = Set.Make (String)
+
+type est = {
+  rows : Symbol.t -> int option;
+  distinct : Symbol.t -> int -> int option;
+}
+
+(* Defaults when a predicate has never been observed (e.g. external
+   relations without an attached collector): a middling relation with
+   10% selectivity per bound column — the classic System-R guesses. *)
+let default_rows = 1000.
+let default_selectivity = 0.1
+
+let of_stats ?stats d =
+  let rows p =
+    match stats with
+    | Some s -> (
+      match Stats.rows s p with
+      | Some n -> Some n
+      | None ->
+        let n = Logic.Datalog.fact_count d p in
+        if n > 0 then Some n else None)
+    | None ->
+      let n = Logic.Datalog.fact_count d p in
+      if n > 0 then Some n else None
+  in
+  let distinct p i =
+    match stats with Some s -> Stats.distinct s p i | None -> None
+  in
+  { rows; distinct }
+
+type lit_plan = {
+  lit : Term.literal;
+  est_rows : float;
+  scan_cost : float;
+  indexed : bool;
+}
+
+type body_plan = { order : lit_plan list; est_out : float }
+
+let term_bound bound = function
+  | Term.Var v -> Vars.mem v bound
+  | Term.Sym _ | Term.Int _ -> true
+
+let atom_new_vars bound (a : Term.atom) =
+  Array.fold_left
+    (fun acc t ->
+      match t with
+      | Term.Var v when not (Vars.mem v bound) -> Vars.add v acc
+      | _ -> acc)
+    Vars.empty a.args
+
+let lit_vars = function
+  | Term.Pos a | Term.Neg a -> Term.atom_vars a
+  | Term.Cmp (_, x, y) ->
+    List.concat_map (function Term.Var v -> [ v ] | _ -> []) [ x; y ]
+
+let lit_ready bound lit =
+  List.for_all (fun v -> Vars.mem v bound) (lit_vars lit)
+
+(* Estimated matching tuples and scan cost of one positive atom under
+   the current bindings. *)
+let estimate_atom est bound (a : Term.atom) =
+  let n =
+    match est.rows a.pred with
+    | Some r -> float_of_int (max 1 r)
+    | None -> default_rows
+  in
+  let sel = ref 1.0 in
+  Array.iteri
+    (fun i t ->
+      if term_bound bound t then
+        let s =
+          match est.distinct a.pred i with
+          | Some d when d > 0 -> 1.0 /. float_of_int d
+          | Some _ | None -> default_selectivity
+        in
+        sel := !sel *. s)
+    a.args;
+  let est_rows = Float.max 1.0 (n *. !sel) in
+  let len = Array.length a.args in
+  let indexed =
+    (len > 0 && term_bound bound a.args.(0))
+    || (len > 1 && term_bound bound a.args.(len - 1))
+  in
+  (* With an end argument bound the hash index narrows the scan to one
+     bucket (≈ the matching rows); otherwise every tuple is touched. *)
+  let scan_cost = if indexed then est_rows else n in
+  (est_rows, scan_cost, indexed)
+
+let order_body est ~bound (body : Term.literal list) =
+  let positives, filters =
+    List.partition (function Term.Pos _ -> true | _ -> false) body
+  in
+  let bound = ref bound in
+  let pending = ref filters in
+  let remaining = ref positives in
+  let order = ref [] in
+  let est_out = ref 1.0 in
+  (* Place every Neg/Cmp whose variables are all bound (the engine
+     would delay them anyway; placing them early prunes sooner). *)
+  let flush_filters () =
+    let ready, rest = List.partition (lit_ready !bound) !pending in
+    pending := rest;
+    List.iter
+      (fun lit ->
+        order := { lit; est_rows = 0.; scan_cost = 0.; indexed = false } :: !order)
+      ready
+  in
+  flush_filters ();
+  while !remaining <> [] do
+    (* Greedy: cheapest scan next, ties broken by smaller output — but
+       never pick a literal disconnected from the bound variables while
+       a connected one exists.  A disconnected pick is a cross product,
+       and (crucially for the magic-sets SIPS) it would discard the
+       bindings the head passed down: an intensional literal chosen with
+       no bound argument adorns as all-free, and its magic cone becomes
+       the whole relation. *)
+    let scored =
+      List.map
+        (fun lit ->
+          match lit with
+          | Term.Pos a ->
+            let est_rows, scan_cost, indexed = estimate_atom est !bound a in
+            ({ lit; est_rows; scan_cost; indexed }, a)
+          | Term.Neg _ | Term.Cmp _ -> assert false)
+        !remaining
+    in
+    let connected =
+      List.filter
+        (fun (_, (a : Term.atom)) ->
+          Array.exists (term_bound !bound) a.args)
+        scored
+    in
+    let scored = if connected <> [] then connected else scored in
+    let best, best_atom =
+      List.fold_left
+        (fun (b, ba) (c, ca) ->
+          if
+            c.scan_cost < b.scan_cost
+            || (c.scan_cost = b.scan_cost && c.est_rows < b.est_rows)
+          then (c, ca)
+          else (b, ba))
+        (List.hd scored) (List.tl scored)
+    in
+    let rec remove_first = function
+      | [] -> []
+      | l :: rest -> if l == best.lit then rest else l :: remove_first rest
+    in
+    remaining := remove_first !remaining;
+    order := best :: !order;
+    est_out := !est_out *. best.est_rows;
+    bound := Vars.union !bound (atom_new_vars !bound best_atom);
+    flush_filters ()
+  done;
+  (* Whatever filters never became ground are appended at the end; the
+     engine keeps delaying them until their variables are bound. *)
+  List.iter
+    (fun lit ->
+      order := { lit; est_rows = 0.; scan_cost = 0.; indexed = false } :: !order)
+    !pending;
+  { order = List.rev !order; est_out = !est_out }

@@ -1,0 +1,46 @@
+(** Bottom-up cost model and per-rule join-order planner.
+
+    A literal's cost is estimated System-R style from the statistics:
+    estimated matching rows = cardinality × ∏ (1 / distinct(arg i))
+    over the bound argument positions, and the scan cost is that
+    estimate when the engine's first/last-argument hash index applies
+    (first or last argument bound) or the full cardinality otherwise.
+    {!order_body} greedily picks the cheapest evaluable positive
+    literal next — preferring literals connected to the bound-variable
+    set over cross products, so the magic-sets SIPS keeps propagating
+    the head's bindings — growing the bound-variable set as it goes,
+    and schedules negation/comparison filters as soon as their
+    variables are bound.  Reordering is answer-invariant: positive-literal join
+    order never changes the fixpoint, and the engine already delays
+    non-ground [Neg]/[Cmp] literals. *)
+
+open Kernel
+
+module Vars : Set.S with type elt = string
+(** Variable-name sets. *)
+
+type est = {
+  rows : Symbol.t -> int option;  (** cardinality, if known *)
+  distinct : Symbol.t -> int -> int option;
+      (** distinct values at an argument position, if known *)
+}
+
+val of_stats : ?stats:Stats.t -> Logic.Datalog.t -> est
+(** Estimator backed by a collector (when given) with the engine's own
+    explicit fact tables as fallback. *)
+
+type lit_plan = {
+  lit : Logic.Term.literal;
+  est_rows : float;  (** estimated matching tuples under the bindings *)
+  scan_cost : float;  (** tuples the engine will touch to find them *)
+  indexed : bool;  (** first or last argument bound at evaluation time *)
+}
+
+type body_plan = {
+  order : lit_plan list;  (** chosen evaluation order *)
+  est_out : float;  (** estimated substitutions out of the body *)
+}
+
+val order_body : est -> bound:Vars.t -> Logic.Term.literal list -> body_plan
+(** Order a clause body given the variables already bound (e.g. by a
+    magic predicate or the bound head arguments). *)

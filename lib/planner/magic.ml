@@ -1,0 +1,169 @@
+open Kernel
+module Term = Logic.Term
+module Vars = Cost.Vars
+
+exception Nonmonotone
+
+type rule_plan = {
+  pred : Symbol.t;
+  clause : Term.clause;
+  lits : Cost.lit_plan list;
+  est_out : float;
+}
+
+type rewrite = {
+  clauses : Term.clause list;
+  answer : Term.atom;
+  rule_plans : rule_plan list;
+  magic_rules : int;
+  adorned_preds : (Symbol.t * string) list;
+}
+
+let adornment_string ad =
+  String.init (Array.length ad) (fun i -> if ad.(i) then 'b' else 'f')
+
+(* '@' cannot appear in parsed predicate names, so adorned and magic
+   predicates never collide with user predicates. *)
+let adorned_name p ad =
+  Symbol.intern (Symbol.name p ^ "@" ^ adornment_string ad)
+
+let magic_name p ad =
+  Symbol.intern ("magic@" ^ Symbol.name p ^ "@" ^ adornment_string ad)
+
+let adornment_of bound (args : Term.t array) =
+  Array.map
+    (function
+      | Term.Var v -> Vars.mem v bound
+      | Term.Sym _ | Term.Int _ -> true)
+    args
+
+let bound_args ad (args : Term.t array) =
+  let out = ref [] in
+  Array.iteri (fun i a -> if ad.(i) then out := a :: !out) args;
+  Array.of_list (List.rev !out)
+
+let atom_vars_set (a : Term.atom) =
+  List.fold_left (fun acc v -> Vars.add v acc) Vars.empty (Term.atom_vars a)
+
+let rewrite ~est ~is_idb ~rules (q : Term.atom) =
+  if not (is_idb q.Term.pred) then Error `Edb
+  else
+    try
+      let out = ref [] in
+      let rule_plans = ref [] in
+      let magic_rules = ref 0 in
+      let adorned_preds = ref [] in
+      let seen = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      let enqueue p ad = Queue.add (p, ad) queue in
+      let q_ad = adornment_of Vars.empty q.Term.args in
+      enqueue q.Term.pred q_ad;
+      while not (Queue.is_empty queue) do
+        let p, ad = Queue.pop queue in
+        let key = (p, adornment_string ad) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          let p_ad = adorned_name p ad in
+          adorned_preds := (p_ad, adornment_string ad) :: !adorned_preds;
+          List.iter
+            (fun (c : Term.clause) ->
+              if Symbol.equal c.head.pred p then begin
+                (* Head variables at bound positions are bound by the
+                   magic predicate; SIPS-order the body under them. *)
+                let bound0 =
+                  Array.to_list (bound_args ad c.head.args)
+                  |> List.fold_left
+                       (fun acc t ->
+                         match t with
+                         | Term.Var v -> Vars.add v acc
+                         | Term.Sym _ | Term.Int _ -> acc)
+                       Vars.empty
+                in
+                let plan = Cost.order_body est ~bound:bound0 c.body in
+                let head_magic =
+                  Term.Pos
+                    {
+                      Term.pred = magic_name p ad;
+                      args = bound_args ad c.head.args;
+                    }
+                in
+                let bound = ref bound0 in
+                let prefix = ref [ head_magic ] in
+                List.iter
+                  (fun (lp : Cost.lit_plan) ->
+                    match lp.lit with
+                    | Term.Pos a when is_idb a.pred ->
+                      let ad_b = adornment_of !bound a.args in
+                      enqueue a.pred ad_b;
+                      let bargs = bound_args ad_b a.args in
+                      out :=
+                        {
+                          Term.head =
+                            { Term.pred = magic_name a.pred ad_b; args = bargs };
+                          body = List.rev !prefix;
+                        }
+                        :: !out;
+                      incr magic_rules;
+                      prefix :=
+                        Term.Pos { a with Term.pred = adorned_name a.pred ad_b }
+                        :: !prefix;
+                      bound := Vars.union !bound (atom_vars_set a)
+                    | Term.Pos a ->
+                      prefix := lp.lit :: !prefix;
+                      bound := Vars.union !bound (atom_vars_set a)
+                    | Term.Neg a ->
+                      if is_idb a.pred then raise Nonmonotone;
+                      prefix := lp.lit :: !prefix
+                    | Term.Cmp _ -> prefix := lp.lit :: !prefix)
+                  plan.order;
+                let adorned =
+                  {
+                    Term.head = { c.head with Term.pred = p_ad };
+                    body = List.rev !prefix;
+                  }
+                in
+                out := adorned :: !out;
+                rule_plans :=
+                  {
+                    pred = p_ad;
+                    clause = adorned;
+                    lits = plan.order;
+                    est_out = plan.est_out;
+                  }
+                  :: !rule_plans
+              end)
+            rules
+        end
+      done;
+      (* Seed: the query's own constants are the first magic tuple. *)
+      let seed =
+        {
+          Term.head =
+            { Term.pred = magic_name q.Term.pred q_ad;
+              args = bound_args q_ad q.Term.args };
+          body = [];
+        }
+      in
+      (* Distinct body occurrences can emit structurally identical magic
+         rules; evaluating duplicates is pure waste, so dedupe. *)
+      let dedup = Hashtbl.create 32 in
+      let clauses =
+        List.filter
+          (fun c ->
+            let key = Format.asprintf "%a" Term.pp_clause c in
+            if Hashtbl.mem dedup key then false
+            else begin
+              Hashtbl.add dedup key ();
+              true
+            end)
+          (seed :: List.rev !out)
+      in
+      Ok
+        {
+          clauses;
+          answer = { q with Term.pred = adorned_name q.Term.pred q_ad };
+          rule_plans = List.rev !rule_plans;
+          magic_rules = !magic_rules;
+          adorned_preds = List.rev !adorned_preds;
+        }
+    with Nonmonotone -> Error `Nonmonotone

@@ -1,0 +1,44 @@
+(** Magic-sets rewriting for bound queries.
+
+    Given a query atom with some ground arguments, rewrite the program
+    so bottom-up evaluation only derives tuples relevant to those
+    bindings: each reachable IDB predicate is specialized per
+    {e adornment} (the b/f pattern of bound/free arguments it is called
+    with), guarded by a [magic@p@bf] predicate holding exactly the
+    bound-argument combinations the query can reach, seeded from the
+    query's own constants.  Rule bodies are SIPS-ordered by the cost
+    model ({!Cost.order_body}), so bindings pass sideways through the
+    cheapest join order.
+
+    The rewrite is restricted to the monotone cone: if any reachable
+    rule negates an IDB predicate the rewrite aborts
+    ([Error `Nonmonotone]) and the caller falls back to unrewritten
+    evaluation — magic filtering under negation can change answers.
+    Negation over extensional/external predicates and comparisons pass
+    through untouched.  EDB/external query predicates need no rewrite
+    at all ([Error `Edb]): the engine's indexes already serve them. *)
+
+open Kernel
+
+type rule_plan = {
+  pred : Symbol.t;  (** adorned head predicate *)
+  clause : Logic.Term.clause;  (** the rewritten, SIPS-ordered rule *)
+  lits : Cost.lit_plan list;  (** per-literal estimates, for [explain] *)
+  est_out : float;
+}
+
+type rewrite = {
+  clauses : Logic.Term.clause list;  (** seeds + magic rules + adorned rules *)
+  answer : Logic.Term.atom;  (** query atom renamed to its adorned predicate *)
+  rule_plans : rule_plan list;
+  magic_rules : int;
+  adorned_preds : (Symbol.t * string) list;
+      (** (adorned predicate, b/f adornment string) *)
+}
+
+val rewrite :
+  est:Cost.est ->
+  is_idb:(Symbol.t -> bool) ->
+  rules:Logic.Term.clause list ->
+  Logic.Term.atom ->
+  (rewrite, [ `Nonmonotone | `Edb ]) result

@@ -1,0 +1,113 @@
+open Kernel
+module Term = Logic.Term
+
+(* Per-predicate statistics.  [per_arg.(i)] maps each value seen at
+   argument position [i] to its multiplicity, so distinct counts stay
+   exact under retraction (a value drops out when its count hits 0). *)
+type pred_stats = {
+  mutable rows : int;
+  mutable per_arg : (Term.t, int) Hashtbl.t array;
+  gauge : Obs.Registry.Gauge.t;
+}
+
+type t = {
+  m : Mutex.t;  (** adds/removes may arrive from server writer threads *)
+  preds : pred_stats Symbol.Tbl.t;
+}
+
+let reg = Obs.Registry.default
+
+let pred_gauge p =
+  Obs.Registry.gauge reg "gkbms_datalog_pred_rows"
+    ~labels:[ ("pred", Symbol.name p) ]
+    ~help:"Stored extensional tuples per predicate (planner statistics)"
+
+let create () = { m = Mutex.create (); preds = Symbol.Tbl.create 32 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let get_stats t p arity =
+  match Symbol.Tbl.find_opt t.preds p with
+  | Some s ->
+    (* Arity can grow if a predicate is observed with mixed widths
+       (should not happen in practice, but never index out of range). *)
+    if Array.length s.per_arg < arity then
+      s.per_arg <-
+        Array.init arity (fun i ->
+            if i < Array.length s.per_arg then s.per_arg.(i)
+            else Hashtbl.create 16);
+    s
+  | None ->
+    let s =
+      {
+        rows = 0;
+        per_arg = Array.init arity (fun _ -> Hashtbl.create 16);
+        gauge = pred_gauge p;
+      }
+    in
+    Symbol.Tbl.add t.preds p s;
+    s
+
+let observe_add t p (args : Term.t array) =
+  locked t @@ fun () ->
+  let s = get_stats t p (Array.length args) in
+  s.rows <- s.rows + 1;
+  Array.iteri
+    (fun i v ->
+      let tbl = s.per_arg.(i) in
+      let n = match Hashtbl.find_opt tbl v with Some n -> n | None -> 0 in
+      Hashtbl.replace tbl v (n + 1))
+    args;
+  Obs.Registry.Gauge.set s.gauge (float_of_int s.rows)
+
+let observe_remove t p (args : Term.t array) =
+  locked t @@ fun () ->
+  match Symbol.Tbl.find_opt t.preds p with
+  | None -> ()
+  | Some s ->
+    s.rows <- max 0 (s.rows - 1);
+    Array.iteri
+      (fun i v ->
+        if i < Array.length s.per_arg then
+          let tbl = s.per_arg.(i) in
+          match Hashtbl.find_opt tbl v with
+          | Some n when n <= 1 -> Hashtbl.remove tbl v
+          | Some n -> Hashtbl.replace tbl v (n - 1)
+          | None -> ())
+      args;
+    Obs.Registry.Gauge.set s.gauge (float_of_int s.rows)
+
+let rows t p =
+  locked t @@ fun () ->
+  match Symbol.Tbl.find_opt t.preds p with
+  | Some s -> Some s.rows
+  | None -> None
+
+let distinct t p i =
+  locked t @@ fun () ->
+  match Symbol.Tbl.find_opt t.preds p with
+  | Some s when i >= 0 && i < Array.length s.per_arg ->
+    Some (Hashtbl.length s.per_arg.(i))
+  | Some _ | None -> None
+
+let preds t =
+  locked t (fun () ->
+      Symbol.Tbl.fold (fun p s acc -> (p, s.rows) :: acc) t.preds [])
+  |> List.sort (fun (a, _) (b, _) -> Symbol.compare a b)
+
+let seed_datalog t d =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun args -> observe_add t p (Array.of_list args))
+        (Logic.Datalog.facts_of d p))
+    (Logic.Datalog.fact_preds d)
+
+let attach_base t base ~tuples_of =
+  Store.Base.on_change base (function
+    | Store.Base.Added p ->
+      List.iter (fun (pred, args) -> observe_add t pred args) (tuples_of p)
+    | Store.Base.Removed p ->
+      List.iter (fun (pred, args) -> observe_remove t pred args) (tuples_of p))

@@ -88,7 +88,8 @@ let classify line =
 
 let cacheable line =
   match first_word line with
-  | "help" | "stats" | "unmapped" | "check" | "ask" | "derive" -> true
+  | "help" | "stats" | "unmapped" | "check" | "ask" | "derive" | "explain" ->
+    true
   (* browsing commands are cacheable only in their explicit-operand form:
      without an operand they read the session cursor *)
   | "menu" | "why" | "history" | "source" | "deps" -> has_operand line

@@ -28,5 +28,6 @@ let () =
       ("replication", Test_replication.suite);
       ("coverage", Test_coverage.suite);
       ("obs", Test_obs.suite);
+      ("planner", Test_planner.suite);
       ("par", Test_par.suite);
     ]

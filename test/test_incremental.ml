@@ -166,6 +166,26 @@ let test_index_used () =
   check bool "bound-first-arg joins hit the index" true
     ((Datalog.stats d).Datalog.index_hits > 0)
 
+let test_delete_rederive_counters_isolated () =
+  (* delete-rederive internally re-runs rule joins; those lookups must
+     not pollute the hit/miss counters, which report the *query*
+     workload's index effectiveness *)
+  let d = mk_program path_rules in
+  List.iter
+    (fun (i, j) -> ok (Datalog.add_fact d (edge i j)))
+    [ (0, 1); (1, 3); (0, 2); (2, 3) ];
+  ok (Datalog.solve d);
+  let before = Datalog.stats d in
+  ok (Datalog.remove_fact d (edge 1 3));
+  let after = Datalog.stats d in
+  check int "one incremental delete" 1 after.Datalog.incr_deletes;
+  check bool "DRed ran delta rounds" true
+    (after.Datalog.delta_rounds > before.Datalog.delta_rounds);
+  check int "index_hits untouched by DRed" before.Datalog.index_hits
+    after.Datalog.index_hits;
+  check int "index_misses untouched by DRed" before.Datalog.index_misses
+    after.Datalog.index_misses
+
 (* Randomized differential test: arbitrary insert/remove interleavings
    on a solved engine agree with from-scratch naive and seminaive
    evaluation of the final state. *)
@@ -196,5 +216,7 @@ let suite =
      test_duplicate_and_absent_are_noops);
     ("negation falls back", `Quick, test_negation_falls_back);
     ("first-arg index used", `Quick, test_index_used);
+    ("delete-rederive leaves hit/miss counters alone", `Quick,
+     test_delete_rederive_counters_isolated);
     QCheck_alcotest.to_alcotest prop_incremental_differential;
   ]

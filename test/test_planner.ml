@@ -1,0 +1,381 @@
+(* The cost-based query planner: statistics exactness, cost-model
+   ordering, magic-sets cone restriction, and — the load-bearing
+   property — answer invariance: [Planner.query] must produce exactly
+   the substitution set of the unplanned engine on randomized programs
+   and bindings, sequentially and at 1/2/4 domains. *)
+
+open Kernel
+open Logic
+module T = Term
+module P = Planner
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let v = T.var
+let s = T.sym
+let sym = Symbol.intern
+
+let pool1 = Par.Pool.create ~domains:1
+let pool2 = Par.Pool.create ~domains:2
+let pool4 = Par.Pool.create ~domains:4
+
+let canon substs =
+  List.sort_uniq String.compare
+    (List.map (Format.asprintf "%a" T.Subst.pp) substs)
+
+(* statistics ----------------------------------------------------------- *)
+
+let test_stats_exact () =
+  let st = P.Stats.create () in
+  let p = sym "tp_edge" in
+  let tup a b = [| s a; s b |] in
+  P.Stats.observe_add st p (tup "a" "x");
+  P.Stats.observe_add st p (tup "a" "y");
+  P.Stats.observe_add st p (tup "b" "y");
+  check int "rows" 3 (Option.get (P.Stats.rows st p));
+  check int "distinct arg0" 2 (Option.get (P.Stats.distinct st p 0));
+  check int "distinct arg1" 2 (Option.get (P.Stats.distinct st p 1));
+  (* removing one 'a' tuple keeps 'a' distinct (multiplicity 2 -> 1) *)
+  P.Stats.observe_remove st p (tup "a" "x");
+  check int "rows after remove" 2 (Option.get (P.Stats.rows st p));
+  check int "distinct arg0 kept" 2 (Option.get (P.Stats.distinct st p 0));
+  check int "distinct arg1 dropped to" 1 (Option.get (P.Stats.distinct st p 1));
+  P.Stats.observe_remove st p (tup "a" "y");
+  check int "distinct arg0 dropped" 1 (Option.get (P.Stats.distinct st p 0));
+  (* unknown removals clamp at zero *)
+  P.Stats.observe_remove st p (tup "zz" "zz");
+  P.Stats.observe_remove st p (tup "b" "y");
+  P.Stats.observe_remove st p (tup "b" "y");
+  check int "rows clamp" 0 (Option.get (P.Stats.rows st p));
+  check bool "unknown pred" true (P.Stats.rows st (sym "tp_none") = None)
+
+let test_stats_gauges () =
+  let st = P.Stats.create () in
+  let p = sym "tp_gauge_pred" in
+  P.Stats.observe_add st p [| s "a"; s "b" |];
+  P.Stats.observe_add st p [| s "c"; s "d" |];
+  match
+    Obs.Registry.find Obs.Registry.default
+      ~labels:[ ("pred", "tp_gauge_pred") ]
+      "gkbms_datalog_pred_rows"
+  with
+  | Some { Obs.Registry.value = Obs.Registry.Gauge_v g; _ } ->
+    check bool "gauge tracks rows" true (g = 2.0)
+  | Some _ -> Alcotest.fail "pred_rows is not a gauge"
+  | None -> Alcotest.fail "gkbms_datalog_pred_rows{pred=...} not registered"
+
+let test_stats_attach () =
+  let base = Store.Base.create () in
+  let st = P.Stats.create () in
+  let pred = sym "tp_link" in
+  let tuples_of (p : Prop.t) = [ (pred, [| T.symbol p.source; T.symbol p.dest |]) ] in
+  let _sub = P.Stats.attach_base st base ~tuples_of in
+  let mk id src dst =
+    Prop.make ~id:(sym id) ~source:(sym src) ~label:(sym "l") ~dest:(sym dst) ()
+  in
+  ok (Store.Base.insert base (mk "t1" "a" "x"));
+  ok (Store.Base.insert base (mk "t2" "b" "x"));
+  check int "rows after inserts" 2 (Option.get (P.Stats.rows st pred));
+  check int "distinct dest" 1 (Option.get (P.Stats.distinct st pred 1));
+  ignore (ok (Store.Base.remove base (sym "t1")));
+  check int "rows after remove" 1 (Option.get (P.Stats.rows st pred));
+  check int "distinct source" 1 (Option.get (P.Stats.distinct st pred 0))
+
+(* cost model ------------------------------------------------------------ *)
+
+let test_cost_order () =
+  let st = P.Stats.create () in
+  let big = sym "tc_big" and small = sym "tc_small" in
+  for i = 0 to 99 do
+    P.Stats.observe_add st big [| s (Printf.sprintf "b%d" i); s "hub" |]
+  done;
+  P.Stats.observe_add st small [| s "k"; s "m" |];
+  let d = Datalog.create () in
+  let est = P.Cost.of_stats ~stats:st d in
+  (* nothing bound: the 1-row relation should be joined first, and the
+     comparison delayed until both variables are bound *)
+  let body =
+    [
+      T.Cmp (T.Lt, v "X", v "Y");
+      T.Pos (T.atom_s big [ v "X"; v "Y" ]);
+      T.Pos (T.atom_s small [ v "Y"; v "Z" ]);
+    ]
+  in
+  let plan = P.Cost.order_body est ~bound:P.Cost.Vars.empty body in
+  (match List.map (fun (lp : P.Cost.lit_plan) -> lp.lit) plan.order with
+  | [ T.Pos a1; T.Pos a2; T.Cmp _ ] ->
+    check bool "small first" true (Symbol.equal a1.T.pred small);
+    check bool "big second" true (Symbol.equal a2.T.pred big)
+  | _ -> Alcotest.fail "unexpected order");
+  (* the second literal joins on a bound variable -> indexed *)
+  (match plan.order with
+  | _ :: (lp : P.Cost.lit_plan) :: _ -> check bool "indexed join" true lp.indexed
+  | _ -> Alcotest.fail "short plan")
+
+(* magic-sets ------------------------------------------------------------ *)
+
+let segmented ~segments ~len =
+  let d = Datalog.create () in
+  let facts = ref [] in
+  for sgt = 0 to segments - 1 do
+    for i = 0 to len - 1 do
+      facts :=
+        T.atom "edge"
+          [ s (Printf.sprintf "m%d_%d" sgt i);
+            s (Printf.sprintf "m%d_%d" sgt (i + 1)) ]
+        :: !facts
+    done
+  done;
+  ok (Datalog.add_facts d !facts);
+  ok
+    (Datalog.add_clause d
+       (T.clause (T.atom "path" [ v "X"; v "Y" ])
+          [ T.Pos (T.atom "edge" [ v "X"; v "Y" ]) ]));
+  ok
+    (Datalog.add_clause d
+       (T.clause (T.atom "path" [ v "X"; v "Y" ])
+          [ T.Pos (T.atom "edge" [ v "X"; v "Z" ]);
+            T.Pos (T.atom "path" [ v "Z"; v "Y" ]) ]));
+  d
+
+let test_magic_cone () =
+  let d = segmented ~segments:20 ~len:5 in
+  let goal = T.atom "path" [ s "m7_0"; v "Y" ] in
+  let est = P.Cost.of_stats d in
+  let rw =
+    match
+      P.Magic.rewrite ~est ~is_idb:(Datalog.is_idb d)
+        ~rules:(Datalog.clauses d) goal
+    with
+    | Ok rw -> rw
+    | Error _ -> Alcotest.fail "expected a magic rewrite"
+  in
+  let view = Datalog.derive_view d in
+  List.iter (fun c -> ok (Datalog.add_clause view c)) rw.P.Magic.clauses;
+  ok (Datalog.solve view);
+  let planned = Datalog.match_atom view rw.P.Magic.answer T.Subst.empty in
+  (* full materialization on the original engine *)
+  let full = ok (Datalog.query d goal) in
+  check bool "answers equal" true (canon planned = canon full);
+  check int "answers" 5 (List.length planned);
+  (* the view touched one segment's cone, not the 20-segment closure *)
+  let full_closure = Datalog.derived_count d in
+  let cone = Datalog.derived_count view in
+  check int "full closure" (20 * (5 * 6 / 2)) full_closure;
+  (* one segment's adorned tuples + magic facts, nowhere near 300 *)
+  check bool "cone is small" true (cone < full_closure / 5)
+
+let test_magic_all_free () =
+  (* zero bound arguments: nullary magic predicates must still work *)
+  let d = segmented ~segments:3 ~len:3 in
+  let goal = T.atom "path" [ v "X"; v "Y" ] in
+  let planned = ok (P.query d goal) in
+  let full = ok (Datalog.query (Datalog.copy d) goal) in
+  check bool "all-free answers equal" true (canon planned = canon full);
+  check int "all-free count" (3 * (3 * 4 / 2)) (List.length planned)
+
+let test_edb_shortcut () =
+  let d = segmented ~segments:2 ~len:3 in
+  let goal = T.atom "edge" [ s "m0_1"; v "Y" ] in
+  let planned = ok (P.query d goal) in
+  check int "edb answers" 1 (List.length planned);
+  (* the engine was not materialized to answer it *)
+  check int "no derivation" 0 (Datalog.derived_count d)
+
+let test_nonmonotone_fallback () =
+  let d = Datalog.create () in
+  List.iter
+    (fun f -> ok (Datalog.add_fact d f))
+    [
+      T.atom "node" [ s "a" ]; T.atom "node" [ s "b" ]; T.atom "node" [ s "c" ];
+      T.atom "edge" [ s "a"; s "b" ];
+    ];
+  ok
+    (Datalog.add_clause d
+       (T.clause (T.atom "path" [ v "X"; v "Y" ])
+          [ T.Pos (T.atom "edge" [ v "X"; v "Y" ]) ]));
+  ok
+    (Datalog.add_clause d
+       (T.clause (T.atom "unreach" [ v "X"; v "Y" ])
+          [ T.Pos (T.atom "node" [ v "X" ]);
+            T.Pos (T.atom "node" [ v "Y" ]);
+            T.Neg (T.atom "path" [ v "X"; v "Y" ]) ]));
+  (* querying the nonmonotone predicate falls back to full evaluation *)
+  let goal = T.atom "unreach" [ s "a"; v "Y" ] in
+  let planned = ok (P.query d goal) in
+  let full = ok (Datalog.query (Datalog.copy d) goal) in
+  check bool "fallback answers equal" true (canon planned = canon full);
+  check int "fallback count" 2 (List.length planned);
+  (* querying path still gets the magic rewrite: its cone is monotone *)
+  let goal = T.atom "path" [ s "a"; v "Y" ] in
+  let est = P.Cost.of_stats d in
+  (match
+     P.Magic.rewrite ~est ~is_idb:(Datalog.is_idb d)
+       ~rules:(Datalog.clauses d) goal
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "monotone cone should rewrite");
+  let planned = ok (P.query d goal) in
+  check bool "cone answers equal" true
+    (canon planned = canon (ok (Datalog.query (Datalog.copy d) goal)))
+
+(* the differential: planned ≡ unplanned, at 1/2/4 domains --------------- *)
+
+let node i = Printf.sprintf "q%d" i
+
+let build_program edges nodes =
+  let d = Datalog.create () in
+  List.iter
+    (fun (i, j) -> ok (Datalog.add_fact d (T.atom "edge" [ s (node i); s (node j) ])))
+    edges;
+  List.iter
+    (fun i -> ok (Datalog.add_fact d (T.atom "node" [ s (node i) ])))
+    nodes;
+  List.iter
+    (fun c -> ok (Datalog.add_clause d c))
+    [
+      T.clause (T.atom "path" [ v "X"; v "Y" ])
+        [ T.Pos (T.atom "edge" [ v "X"; v "Y" ]) ];
+      T.clause (T.atom "path" [ v "X"; v "Y" ])
+        [ T.Pos (T.atom "edge" [ v "X"; v "Z" ]);
+          T.Pos (T.atom "path" [ v "Z"; v "Y" ]) ];
+      T.clause (T.atom "ord" [ v "X"; v "Y" ])
+        [ T.Pos (T.atom "path" [ v "X"; v "Y" ]); T.Cmp (T.Lt, v "X", v "Y") ];
+      T.clause (T.atom "unreach" [ v "X"; v "Y" ])
+        [ T.Pos (T.atom "node" [ v "X" ]); T.Pos (T.atom "node" [ v "Y" ]);
+          T.Neg (T.atom "path" [ v "X"; v "Y" ]) ];
+    ];
+  d
+
+let goal_gen =
+  QCheck.Gen.(
+    let* pred = oneofl [ "edge"; "path"; "ord"; "unreach"; "node" ] in
+    let arity = if pred = "node" then 1 else 2 in
+    let* args =
+      list_repeat arity
+        (oneof
+           [ map (fun i -> `Const i) (int_range 0 7);
+             oneofl [ `Var "A"; `Var "B" ] ])
+    in
+    return (pred, args))
+
+let arbitrary_case =
+  QCheck.make
+    ~print:(fun (edges, nodes, (pred, args)) ->
+      Printf.sprintf "edges=%s nodes=%s goal=%s(%s)"
+        (String.concat ","
+           (List.map (fun (i, j) -> Printf.sprintf "%d-%d" i j) edges))
+        (String.concat "," (List.map string_of_int nodes))
+        pred
+        (String.concat ","
+           (List.map
+              (function `Const i -> node i | `Var w -> "?" ^ w)
+              args)))
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 20) (pair (int_range 0 7) (int_range 0 7)))
+        (list_size (int_range 0 6) (int_range 0 7))
+        goal_gen)
+
+let test_planner_differential =
+  QCheck.Test.make
+    ~name:"planner: planned ≡ unplanned on random programs (1/2/4 domains)"
+    ~count:60 arbitrary_case
+    (fun (edges, nodes, (pred, args)) ->
+      let goal =
+        T.atom pred
+          (List.map (function `Const i -> s (node i) | `Var w -> v w) args)
+      in
+      let reference = build_program edges nodes in
+      let expect = canon (ok (Datalog.query reference goal)) in
+      let planned d pool = canon (ok (P.query ?pool d goal)) in
+      List.for_all
+        (fun pool -> planned (build_program edges nodes) pool = expect)
+        [ None; Some pool1; Some pool2; Some pool4 ])
+
+(* Kb integration -------------------------------------------------------- *)
+
+let small_kb () =
+  let kb = Cml.Kb.create () in
+  List.iter
+    (fun n -> ignore (ok (Cml.Kb.declare kb n)))
+    [ "Doc"; "Report"; "Paper"; "r1"; "p1" ];
+  ignore (ok (Cml.Kb.add_isa kb ~sub:"Report" ~super:"Doc"));
+  ignore (ok (Cml.Kb.add_isa kb ~sub:"Paper" ~super:"Doc"));
+  ignore (ok (Cml.Kb.add_instanceof kb ~inst:"r1" ~cls:"Report"));
+  ignore (ok (Cml.Kb.add_instanceof kb ~inst:"p1" ~cls:"Paper"));
+  kb
+
+let with_planner enabled f =
+  let prev = P.on () in
+  P.set_enabled enabled;
+  Fun.protect ~finally:(fun () -> P.set_enabled prev) f
+
+let test_kb_derive_equal () =
+  let kb = small_kb () in
+  List.iter
+    (fun goal ->
+      let off = with_planner false (fun () -> canon (ok (Cml.Kb.derive kb goal))) in
+      let on = with_planner true (fun () -> canon (ok (Cml.Kb.derive kb goal))) in
+      check bool "derive planner on ≡ off" true (off = on))
+    [
+      T.atom "in" [ s "r1"; v "C" ];
+      T.atom "in" [ v "X"; s "Doc" ];
+      T.atom "isa_tc" [ v "X"; v "Y" ];
+      T.atom "instanceof" [ s "p1"; v "C" ];
+    ];
+  (* and the planned path really answers: r1 is at least in Report and Doc *)
+  let on =
+    with_planner true (fun () ->
+        canon (ok (Cml.Kb.derive kb (T.atom "in" [ s "r1"; v "C" ]))))
+  in
+  check bool "r1 has classes" true (List.length on >= 2)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_kb_explain () =
+  let kb = small_kb () in
+  let report = ok (Cml.Kb.explain kb (T.atom "in" [ s "r1"; v "C" ])) in
+  List.iter
+    (fun needle ->
+      check bool (Printf.sprintf "explain mentions %S" needle) true
+        (contains report needle))
+    [ "strategy: magic-sets"; "estimated vs actual"; "answers:"; "in@bf" ]
+
+let test_metrics () =
+  let counter name =
+    match Obs.Registry.find Obs.Registry.default name with
+    | Some { Obs.Registry.value = Obs.Registry.Counter_v n; _ } -> n
+    | _ -> 0
+  in
+  let before = counter "gkbms_planner_plans_total" in
+  let d = segmented ~segments:2 ~len:2 in
+  ignore (ok (P.query d (T.atom "path" [ s "m0_0"; v "Y" ])));
+  check bool "plans_total counted" true
+    (counter "gkbms_planner_plans_total" > before)
+
+let suite =
+  [
+    ("stats: exact distinct under add/remove", `Quick, test_stats_exact);
+    ("stats: pred_rows gauges exported", `Quick, test_stats_gauges);
+    ("stats: attach_base tracks the change feed", `Quick, test_stats_attach);
+    ("cost: selective literal first, filters when bound", `Quick, test_cost_order);
+    ("magic: bound query evaluates only the cone", `Quick, test_magic_cone);
+    ("magic: all-free query (nullary magic seeds)", `Quick, test_magic_all_free);
+    ("planner: EDB shortcut skips materialization", `Quick, test_edb_shortcut);
+    ("planner: nonmonotone cone falls back, answers equal", `Quick,
+     test_nonmonotone_fallback);
+    QCheck_alcotest.to_alcotest test_planner_differential;
+    ("kb: derive planner on ≡ off", `Quick, test_kb_derive_equal);
+    ("kb: explain renders plan and cardinalities", `Quick, test_kb_explain);
+    ("planner: obs counters move", `Quick, test_metrics);
+  ]

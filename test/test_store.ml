@@ -380,6 +380,59 @@ let prop_backends_agree =
       | m :: rest -> List.for_all (fun v -> v = m) rest
       | [] -> false)
 
+(* Every index-selection arm of [Base.query]: the no-residual fast path
+   must return exactly the indexed list (source+label, source-only,
+   label-only, unconstrained), and each residual combination must agree
+   with a reference filter over [to_list] — under all four backends. *)
+let test_query_residual_fast_path () =
+  with_backends (fun base ->
+      List.iter
+        (fun (id, s, l, d, t0, t1) ->
+          ok (Base.insert base (mk ~time:(Time.between t0 t1) id s l d)))
+        [
+          ("q1", "a", "attr", "x", 0, 10);
+          ("q2", "a", "attr", "y", 5, 15);
+          ("q3", "a", "isa", "x", 0, 10);
+          ("q4", "b", "attr", "x", 0, 10);
+          ("q5", "b", "isa", "y", 20, 30);
+        ];
+      let reference ?source ?label ?dest ?valid_at () =
+        List.filter
+          (fun (p : Prop.t) ->
+            (match source with None -> true | Some x -> Symbol.equal p.source x)
+            && (match label with None -> true | Some l -> Symbol.equal p.label l)
+            && (match dest with None -> true | Some y -> Symbol.equal p.dest y)
+            &&
+            match valid_at with
+            | None -> true
+            | Some pt -> Time.valid_at p.time pt)
+          (Base.to_list base)
+      in
+      let agree name ?source ?label ?dest ?valid_at () =
+        check Alcotest.(list string) name
+          (ids (reference ?source ?label ?dest ?valid_at ()))
+          (ids (Base.query ?source ?label ?dest ?valid_at base))
+      in
+      let a = sym "a" and attr = sym "attr" and x = sym "x" in
+      (* no-residual arms: the indexed list is returned as-is *)
+      agree "source+label" ~source:a ~label:attr ();
+      agree "source only" ~source:a ();
+      agree "label only" ~label:attr ();
+      agree "unconstrained" ();
+      (* residual arms: dest narrows a source index; label narrows dest *)
+      agree "source+label+dest" ~source:a ~label:attr ~dest:x ();
+      agree "source+dest" ~source:a ~dest:x ();
+      agree "dest only" ~dest:x ();
+      agree "dest+label" ~dest:x ~label:attr ();
+      (* valid_at forces the filter on every arm, including no-residual *)
+      agree "source+label at t" ~source:a ~label:attr ~valid_at:7 ();
+      agree "label at t" ~label:attr ~valid_at:12 ();
+      agree "unconstrained at t" ~valid_at:25 ();
+      agree "dest at t" ~dest:x ~valid_at:3 ();
+      (* empty results through both paths *)
+      agree "missing source" ~source:(sym "zz") ();
+      agree "missing combo" ~source:a ~label:(sym "isa") ~dest:(sym "y") ())
+
 let suite =
   [
     ("insert and find", `Quick, test_insert_find);
@@ -401,6 +454,7 @@ let suite =
     ("with_tx exception re-emits", `Quick, test_with_tx_exception_reemits);
     ("nested rollback re-emits", `Quick, test_nested_rollback_reemits);
     ("query valid_at", `Quick, test_query_valid_at);
+    ("query residual fast path", `Quick, test_query_residual_fast_path);
     ("persistence roundtrip", `Quick, test_persistence_roundtrip);
     ("persistence rejects garbage", `Quick, test_persistence_rejects_garbage);
     QCheck_alcotest.to_alcotest prop_store_model;
