@@ -160,11 +160,26 @@ let recover_cmd =
                  repository snapshot to $(docv) — byte-comparable across \
                  replicas, the replication convergence oracle.")
   in
-  let run dir store canonical =
+  let flight_log_arg =
+    Arg.(value & flag & info [ "flight-log" ]
+           ~doc:"Also print the decision flight log dumped by a crashed \
+                 server (SIGUSR2, $(b,DIR/flight.json)) next to the WAL, \
+                 when one exists.")
+  in
+  let run dir store canonical flight_log =
     apply_store store;
     handle
       (let* repo, report = Gkbms.Durable.recover ~dir () in
        Format.printf "%a@." Gkbms.Durable.pp_report report;
+       (if flight_log then
+          let path = Obs.Recorder.default_file dir in
+          if Sys.file_exists path then begin
+            Format.printf "@.flight log (%s):@." path;
+            In_channel.with_open_text path In_channel.input_all
+            |> String.split_on_char '\n'
+            |> List.iter (fun l -> if l <> "" then Format.printf "  %s@." l)
+          end
+          else Format.printf "@.no flight log at %s@." path);
        (match canonical with
        | None -> ()
        | Some file ->
@@ -187,7 +202,7 @@ let recover_cmd =
        ~doc:"Rebuild a repository from its durability directory: load the \
              checkpoint, replay the longest valid WAL prefix, discard \
              uncommitted decisions.")
-    Term.(const run $ dir_arg $ store_arg $ canonical_arg)
+    Term.(const run $ dir_arg $ store_arg $ canonical_arg $ flight_log_arg)
 
 (* focus ------------------------------------------------------------------ *)
 
@@ -578,6 +593,13 @@ let serve_cmd =
   in
   let run until wal socket no_cache idle domains store role follow =
     apply_store store;
+    (* flight recorder dump-on-crash: SIGUSR2 snapshots the decision
+       lifecycle ring next to the WAL (read back with
+       recover --flight-log) *)
+    Option.iter
+      (fun dir ->
+        Obs.Recorder.install_crash_dump ~path:(Obs.Recorder.default_file dir))
+      wal;
     let config =
       { Server.Daemon.default_config with
         cache = not no_cache;
@@ -711,7 +733,18 @@ let client_cmd =
                  the client blocks until this server has applied at least \
                  that state before sending any command.")
   in
-  let run socket cmds script min_version =
+  let timing_arg =
+    Arg.(value & flag & info [ "timing" ]
+           ~doc:"Print each request's wall time and its trace id (requests \
+                 are sent with a fresh trace context; look the trace up \
+                 later with $(b,trace decision ID) or $(b,trace dump) on \
+                 the server).")
+  in
+  let run socket cmds script min_version timing =
+    (* --timing also records this process's client.send spans, dumped
+       after the command loop so a cross-process trace can be stitched
+       from all three dumps (client, leader, follower) *)
+    if timing then Obs.Trace.set_enabled true;
     match Server.Client.connect_unix socket with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -742,11 +775,20 @@ let client_cmd =
       else
       let failed = ref false in
       let send line =
-        match Server.Client.request client line with
-        | Ok payload -> if payload <> "" then Format.printf "%s@." payload
-        | Error payload ->
-          failed := true;
-          Format.printf "%s@." payload
+        let print_result = function
+          | Ok payload -> if payload <> "" then Format.printf "%s@." payload
+          | Error payload ->
+            failed := true;
+            Format.printf "%s@." payload
+        in
+        if timing then begin
+          let t0 = Unix.gettimeofday () in
+          let res, trace = Server.Client.request_traced client line in
+          let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          print_result res;
+          Format.printf "# %.2f ms trace %s@." ms trace
+        end
+        else print_result (Server.Client.request client line)
       in
       let script_lines =
         match script with
@@ -771,6 +813,9 @@ let client_cmd =
         loop ()
       | lines -> List.iter send lines);
       Server.Client.close client;
+      if timing then
+        Format.printf "# client spans@.%s@."
+          (Obs.Export.spans_json (Obs.Trace.recent ()));
       if !failed then 1 else 0
   in
   Cmd.v
@@ -779,8 +824,10 @@ let client_cmd =
              the given commands and exit non-zero if any response is an \
              error; otherwise read commands interactively.  With \
              --min-version, first block until the server (typically a \
-             replication follower) has applied the given session token.")
-    Term.(const run $ socket_arg $ exec_args $ script_arg $ min_version_arg)
+             replication follower) has applied the given session token.  \
+             With --timing, print per-request wall time and trace id.")
+    Term.(const run $ socket_arg $ exec_args $ script_arg $ min_version_arg
+          $ timing_arg)
 
 let repl_cmd =
   let run () =
@@ -807,6 +854,30 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive dialog manager (§3.3.1).")
     Term.(const run $ const ())
 
+let slo_cmd =
+  let spec_arg =
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"SPEC"
+           ~doc:"Parse and install an objective table (e.g. \
+                 $(b,run=50ms,derive=10ms,default=100ms); durations take \
+                 ms/us/s suffixes, bare numbers are milliseconds) instead \
+                 of the GKBMS_SLO environment variable, then print it.")
+  in
+  let run spec =
+    match Option.map Obs.Slo.configure spec with
+    | Some (Error e) ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Some (Ok ()) | None ->
+      Format.printf "%s@." (Obs.Slo.render ());
+      0
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:"Show the per-command latency objectives (GKBMS_SLO) and this \
+             process's request/breach/burn tallies.  On a live server, use \
+             $(b,client -e slo) for the server's own tallies.")
+    Term.(const run $ spec_arg)
+
 let main =
   Cmd.group
     (Cmd.info "gkbms" ~version:"1.0.0"
@@ -815,6 +886,7 @@ let main =
           evolution (Jarke & Rose, SIGMOD 1988).")
     [ scenario_cmd; focus_cmd; why_cmd; deps_cmd; config_cmd; source_cmd;
       ask_cmd; derive_cmd; explain_cmd; export_cmd; import_cmd; snapshot_cmd; recover_cmd;
-      audit_cmd; repl_cmd; stats_cmd; trace_cmd; serve_cmd; client_cmd ]
+      audit_cmd; repl_cmd; stats_cmd; trace_cmd; slo_cmd; serve_cmd;
+      client_cmd ]
 
 let () = exit (Cmd.eval' main)

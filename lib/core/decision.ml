@@ -174,6 +174,10 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
           (match Store.Base.rollback base with Ok () -> () | Error _ -> ());
           List.iter (J.retract (Repo.jtms repo)) !added_justs;
           Repo.emit_event repo (Repo.Decision_aborted err);
+          (* no decision id exists on the abort path, so the flight
+             recorder keys the event by class *)
+          Obs.Recorder.record ~decision:decision_class
+            (Obs.Recorder.Aborted err);
           Error err
         in
         let result =
@@ -184,6 +188,8 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
           let* () = check_outputs repo decision_class outputs in
           (* the decision instance and its links *)
           let dec_name = Repo.fresh_decision_id repo in
+          Obs.Recorder.record ~decision:dec_name
+            (Obs.Recorder.Execute_begun decision_class);
           let* dec_id = Kb.declare kb dec_name in
           let* _ = Kb.add_instanceof kb ~inst:dec_name ~cls:decision_class in
           let* () =
@@ -359,6 +365,8 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
           with
           | Ok () ->
             Repo.emit_event repo (Repo.Decision_committed executed.decision);
+            Obs.Recorder.record ~decision:(Symbol.name executed.decision)
+              Obs.Recorder.Committed;
             Ok executed
           | Error e -> rollback e)
         | Error e -> rollback e)

@@ -134,7 +134,17 @@ let maybe_checkpoint t =
 let handle_event t = function
   | Repo.Decision_begun cls -> Journal.begin_decision t.journal cls
   | Repo.Decision_committed id ->
-    Journal.commit_decision t.journal (Symbol.name id);
+    let name = Symbol.name id in
+    Obs.Trace.with_span "wal.append" ~attrs:[ ("decision", name) ] (fun () ->
+        (* the trace note travels inside the committed frame, ahead of
+           the commit record: recovery ignores it, followers read it to
+           compute per-decision visibility lag and continue the trace *)
+        Journal.note t.journal Obs.Trace_context.note_key
+          (Obs.Trace_context.note_value ~decision:name
+             ~ctx:(Obs.Trace.current_context ())
+             ~commit_s:(Obs.Runtime.now_s ()));
+        Journal.commit_decision t.journal name);
+    Obs.Recorder.record ~decision:name Obs.Recorder.Wal_appended;
     maybe_checkpoint t
   | Repo.Decision_aborted reason -> Journal.abort_decision t.journal reason
   | Repo.Decision_unlogged id ->

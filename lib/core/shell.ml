@@ -51,6 +51,7 @@ let help_text =
    source [OBJ]\n\
   \          deps [OBJ] config [LEVEL] check ask FORMULA derive ATOM \
    explain ATOM save FILE load FILE quit\n\
+  \          slo trace decision ID\n\
   \          (focus OBJ sets this session's cursor; menu/why/history/source \
    then default to it)"
 
@@ -98,6 +99,8 @@ let eval t line =
       (Store.Base.cardinal (Cml.Kb.base (Repo.kb repo)))
       (List.length (Repo.all_design_objects repo))
       (List.length (Repo.decision_log repo))
+  | [ "slo" ] -> Obs.Slo.render ()
+  | [ "trace"; "decision"; id ] -> Obs.Recorder.render_for id
   | [ "unmapped" ] ->
     String.concat ", "
       (List.map Symbol.name (Navigation.unmapped_objects repo))

@@ -38,6 +38,21 @@ let sanitize ~allow_colon name =
 let metric_name = sanitize ~allow_colon:true
 let label_name = sanitize ~allow_colon:false
 
+(* HELP text has its own escaping rules in the exposition format:
+   backslash and newline must be escaped (a raw backslash would make
+   scrapers misparse the rest of the line; a raw newline would split
+   it).  Quotes are legal un-escaped here, unlike in label values. *)
+let help_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let label_value_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -81,8 +96,7 @@ let prometheus samples =
         Hashtbl.add seen_header name ();
         if s.help <> "" then
           Buffer.add_string b
-            (Printf.sprintf "# HELP %s %s\n" name
-               (String.map (fun c -> if c = '\n' then ' ' else c) s.help));
+            (Printf.sprintf "# HELP %s %s\n" name (help_escape s.help));
         Buffer.add_string b
           (Printf.sprintf "# TYPE %s %s\n" name (prom_type s.value))
       end;

@@ -4,6 +4,14 @@
 val json_escape : string -> string
 (** The JSON string-literal body for [s] (no surrounding quotes). *)
 
+val label_value_escape : string -> string
+(** Prometheus label-value escaping: backslash, double quote and
+    newline become their backslash-escaped forms. *)
+
+val help_escape : string -> string
+(** Prometheus HELP-text escaping: backslash and newline (quotes are
+    legal raw in HELP text, unlike in label values). *)
+
 (** {1 Metrics} *)
 
 val prometheus : Registry.sample list -> string

@@ -1,0 +1,138 @@
+type kind =
+  | Execute_begun of string
+  | Committed
+  | Aborted of string
+  | Wal_appended
+  | Applied of float
+
+type event = {
+  at_s : float;
+  decision : string;
+  trace : string option;
+  kind : kind;
+}
+
+(* A fixed circular buffer under a mutex: recording is a store and two
+   index bumps, so it stays cheap enough to leave on permanently (the
+   flight recorder is most valuable for the crash nobody planned). *)
+let m = Mutex.create ()
+let cap = ref 1024
+let buf = ref (Array.make !cap None)
+let head = ref 0 (* next write slot *)
+let count = ref 0
+
+let set_capacity n =
+  let n = max 1 n in
+  Mutex.lock m;
+  cap := n;
+  buf := Array.make n None;
+  head := 0;
+  count := 0;
+  Mutex.unlock m
+
+let clear () =
+  Mutex.lock m;
+  Array.fill !buf 0 (Array.length !buf) None;
+  head := 0;
+  count := 0;
+  Mutex.unlock m
+
+let record ?trace ~decision kind =
+  let trace =
+    match trace with
+    | Some _ as t -> t
+    | None -> Option.map Trace_context.trace_hex (Trace.current_context ())
+  in
+  let ev = { at_s = Runtime.now_s (); decision; trace; kind } in
+  Mutex.lock m;
+  !buf.(!head) <- Some ev;
+  head := (!head + 1) mod !cap;
+  if !count < !cap then incr count;
+  Mutex.unlock m
+
+(* oldest first *)
+let events () =
+  Mutex.lock m;
+  let n = !count and c = !cap and b = !buf and h = !head in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match b.((h - 1 - i + (2 * c)) mod c) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  Mutex.unlock m;
+  List.rev !out
+
+let events_for decision =
+  List.filter (fun ev -> ev.decision = decision) (events ())
+
+let truncate_str n s = if String.length s <= n then s else String.sub s 0 n ^ "…"
+
+let kind_label = function
+  | Execute_begun _ -> "execute_begun"
+  | Committed -> "committed"
+  | Aborted _ -> "aborted"
+  | Wal_appended -> "wal_appended"
+  | Applied _ -> "applied"
+
+let kind_detail = function
+  | Execute_begun cls -> Printf.sprintf " class=%s" cls
+  | Committed -> ""
+  | Aborted err -> Printf.sprintf " error=%S" (truncate_str 120 err)
+  | Wal_appended -> ""
+  | Applied lag_s -> Printf.sprintf " lag_ms=%.3f" (lag_s *. 1e3)
+
+let render_event ev =
+  Printf.sprintf "%.6f %-14s decision=%s trace=%s%s" ev.at_s
+    (kind_label ev.kind) ev.decision
+    (Option.value ev.trace ~default:"-")
+    (kind_detail ev.kind)
+
+let render_for decision =
+  match events_for decision with
+  | [] -> Printf.sprintf "no recorded events for decision %s" decision
+  | evs ->
+    Printf.sprintf "decision %s: %d event(s)\n%s" decision (List.length evs)
+      (String.concat "\n" (List.map render_event evs))
+
+let json_of_event ev =
+  let detail =
+    match ev.kind with
+    | Execute_begun cls ->
+      Printf.sprintf ",\"class\":\"%s\"" (Export.json_escape cls)
+    | Aborted err -> Printf.sprintf ",\"error\":\"%s\"" (Export.json_escape err)
+    | Applied lag_s -> Printf.sprintf ",\"lag_s\":%.6f" lag_s
+    | Committed | Wal_appended -> ""
+  in
+  Printf.sprintf
+    "{\"at_s\":%.6f,\"kind\":\"%s\",\"decision\":\"%s\",\"trace\":%s%s}" ev.at_s
+    (kind_label ev.kind)
+    (Export.json_escape ev.decision)
+    (match ev.trace with
+    | Some t -> Printf.sprintf "\"%s\"" (Export.json_escape t)
+    | None -> "null")
+    detail
+
+let dump_to_file path =
+  let evs = events () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun ev ->
+          output_string oc (json_of_event ev);
+          output_char oc '\n')
+        evs);
+  List.length evs
+
+let default_file dir = Filename.concat dir "flight.json"
+
+(* Dump-on-crash: SIGUSR2 flushes the ring to [path].  We deliberately
+   use a signal the runtime never raises itself, so an operator (or the
+   CI smoke) can snapshot a live or wedged process without killing it;
+   the handler swallows I/O errors — crashing in the crash dumper would
+   be embarrassing. *)
+let install_crash_dump ~path =
+  Sys.set_signal Sys.sigusr2
+    (Sys.Signal_handle (fun _ -> try ignore (dump_to_file path) with _ -> ()))

@@ -1,0 +1,52 @@
+(** Decision flight recorder: a bounded ring of typed lifecycle events
+    keyed by decision id.
+
+    Every layer that touches a decision files one event — execution
+    start, commit/abort, WAL append, follower apply — so after a crash
+    (or live, via [trace decision <id>]) the full lifecycle of the
+    last [capacity] events is reconstructible, the observability
+    analogue of the paper's decision audit trail.  Recording is always
+    on: one mutexed ring write per event, independent of whether span
+    tracing is enabled. *)
+
+type kind =
+  | Execute_begun of string  (** decision class *)
+  | Committed
+  | Aborted of string  (** error *)
+  | Wal_appended
+  | Applied of float  (** replication visibility lag, seconds *)
+
+type event = {
+  at_s : float;
+  decision : string;
+  trace : string option;  (** 16-hex trace id, when one was ambient *)
+  kind : kind;
+}
+
+val record : ?trace:string -> decision:string -> kind -> unit
+(** File an event.  [trace] defaults to the ambient
+    {!Trace.current_context}'s trace id. *)
+
+val events : unit -> event list
+(** Ring contents, oldest first. *)
+
+val events_for : string -> event list
+val render_for : string -> string
+(** Human-readable lifecycle for one decision id (the [trace decision
+    <id>] verb). *)
+
+val set_capacity : int -> unit
+(** Resize (default 1024); drops current contents. *)
+
+val clear : unit -> unit
+
+val dump_to_file : string -> int
+(** Write the ring as JSON lines (oldest first); returns the event
+    count. *)
+
+val default_file : string -> string
+(** [default_file dir] is the conventional flight-log path inside a
+    WAL directory, ["<dir>/flight.json"]. *)
+
+val install_crash_dump : path:string -> unit
+(** Install a SIGUSR2 handler that dumps the ring to [path]. *)

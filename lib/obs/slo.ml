@@ -1,0 +1,199 @@
+type objective = { cmd : string; target_s : float }
+
+(* Objectives live in a mutexed table seeded from GKBMS_SLO
+   ("run=50ms,derive=10ms,default=250ms"); the "default" entry is the
+   fallback for commands without their own objective and always
+   exists, so every request is SLO-accounted out of the box. *)
+let m = Mutex.create ()
+let default_target_s = 0.25
+let objectives : (string, float) Hashtbl.t = Hashtbl.create 16
+
+type stat = { mutable requests : int; mutable breaches : int }
+
+let stats : (string, stat) Hashtbl.t = Hashtbl.create 16
+
+let budget =
+  match Sys.getenv_opt "GKBMS_SLO_BUDGET" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f when f > 0. && f <= 1. -> f
+    | _ -> 0.01)
+  | None -> 0.01
+
+let duration_of_string s =
+  let s = String.trim s in
+  let num suffix =
+    float_of_string_opt
+      (String.trim (String.sub s 0 (String.length s - String.length suffix)))
+  in
+  let scaled =
+    if String.length s > 2 && Filename.check_suffix s "ms" then
+      Option.map (fun f -> f /. 1e3) (num "ms")
+    else if String.length s > 2 && Filename.check_suffix s "us" then
+      Option.map (fun f -> f /. 1e6) (num "us")
+    else if String.length s > 1 && Filename.check_suffix s "s" then num "s"
+    else Option.map (fun f -> f /. 1e3) (float_of_string_opt s)
+    (* bare number = ms *)
+  in
+  match scaled with
+  | Some f when f >= 0. && Float.is_finite f -> Some f
+  | _ -> None
+
+let parse_spec spec =
+  let entries = String.split_on_char ',' spec in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+      let e = String.trim e in
+      if e = "" then go acc rest
+      else
+        match String.index_opt e '=' with
+        | None -> Error (Printf.sprintf "bad SLO entry %S (want cmd=duration)" e)
+        | Some i -> (
+          let cmd = String.trim (String.sub e 0 i) in
+          let dur = String.sub e (i + 1) (String.length e - i - 1) in
+          match (cmd, duration_of_string dur) with
+          | "", _ -> Error (Printf.sprintf "bad SLO entry %S: empty command" e)
+          | _, None ->
+            Error
+              (Printf.sprintf "bad SLO entry %S: unparseable duration %S" e dur)
+          | cmd, Some target_s -> go ({ cmd; target_s } :: acc) rest))
+  in
+  go [] entries
+
+(* Built-in seeds: the replication verbs long-poll by design (the
+   leader holds [repl frames] up to the follower's wait budget, [wait]
+   blocks for read-your-writes), so counting them against the 250ms
+   default would burn the budget on healthy behaviour. *)
+let seed_objectives tbl =
+  Hashtbl.replace tbl "default" default_target_s;
+  Hashtbl.replace tbl "repl" 2.0;
+  Hashtbl.replace tbl "wait" 2.0
+
+let set_objectives objs =
+  Mutex.lock m;
+  Hashtbl.reset objectives;
+  seed_objectives objectives;
+  List.iter (fun { cmd; target_s } -> Hashtbl.replace objectives cmd target_s) objs;
+  Mutex.unlock m
+
+let configure spec =
+  match parse_spec spec with
+  | Ok objs ->
+    set_objectives objs;
+    Ok ()
+  | Error _ as e -> e
+
+let () =
+  seed_objectives objectives;
+  match Sys.getenv_opt "GKBMS_SLO" with
+  | Some spec -> ( match configure spec with Ok () | Error _ -> ())
+  | None -> ()
+
+let objective_for cmd =
+  Mutex.lock m;
+  let t =
+    match Hashtbl.find_opt objectives cmd with
+    | Some t -> t
+    | None -> (
+      match Hashtbl.find_opt objectives "default" with
+      | Some t -> t
+      | None -> default_target_s)
+  in
+  Mutex.unlock m;
+  t
+
+let reset_counts () =
+  Mutex.lock m;
+  Hashtbl.reset stats;
+  Mutex.unlock m
+
+let requests_total cmd =
+  Registry.counter Registry.default "gkbms_slo_requests_total"
+    ~help:"Requests observed against a latency SLO" ~labels:[ ("cmd", cmd) ]
+
+let breaches_total cmd =
+  Registry.counter Registry.default "gkbms_slo_breaches_total"
+    ~help:"Requests that blew their latency objective" ~labels:[ ("cmd", cmd) ]
+
+let burn_rate_gauge cmd =
+  Registry.gauge Registry.default "gkbms_slo_burn_rate"
+    ~help:
+      "Breach ratio divided by the error budget (1.0 = burning exactly the \
+       budget)"
+    ~labels:[ ("cmd", cmd) ]
+
+let observe ~cmd seconds =
+  let target = objective_for cmd in
+  let breach = seconds > target in
+  Mutex.lock m;
+  let st =
+    match Hashtbl.find_opt stats cmd with
+    | Some st -> st
+    | None ->
+      let st = { requests = 0; breaches = 0 } in
+      Hashtbl.add stats cmd st;
+      st
+  in
+  st.requests <- st.requests + 1;
+  if breach then st.breaches <- st.breaches + 1;
+  let requests = st.requests and breaches = st.breaches in
+  Mutex.unlock m;
+  Registry.Counter.inc (requests_total cmd);
+  if breach then Registry.Counter.inc (breaches_total cmd);
+  Registry.Gauge.set (burn_rate_gauge cmd)
+    (Float.of_int breaches /. Float.of_int requests /. budget);
+  breach
+
+let render () =
+  Mutex.lock m;
+  let objs =
+    Hashtbl.fold (fun cmd t acc -> (cmd, t) :: acc) objectives []
+    |> List.sort compare
+  in
+  let rows =
+    List.map
+      (fun (cmd, target) ->
+        let requests, breaches =
+          match Hashtbl.find_opt stats cmd with
+          | Some st -> (st.requests, st.breaches)
+          | None -> (0, 0)
+        in
+        (cmd, target, requests, breaches))
+      objs
+  in
+  (* commands observed without a dedicated objective (accounted against
+     "default") still deserve a row; resolve the fallback inline — the
+     lock is held, so calling objective_for here would self-deadlock *)
+  let fallback =
+    Option.value
+      (Hashtbl.find_opt objectives "default")
+      ~default:default_target_s
+  in
+  let extra =
+    Hashtbl.fold
+      (fun cmd st acc ->
+        if Hashtbl.mem objectives cmd then acc
+        else (cmd, fallback, st.requests, st.breaches) :: acc)
+      stats []
+    |> List.sort compare
+  in
+  Mutex.unlock m;
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%-20s %12s %10s %10s %10s %8s\n" "cmd" "objective_ms"
+       "requests" "breaches" "breach_pct" "burn");
+  List.iter
+    (fun (cmd, target, requests, breaches) ->
+      let ratio =
+        if requests = 0 then 0.
+        else Float.of_int breaches /. Float.of_int requests
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-20s %12.1f %10d %10d %9.2f%% %8.2f\n" cmd
+           (target *. 1e3) requests breaches (ratio *. 100.) (ratio /. budget)))
+    (rows @ extra);
+  Buffer.add_string b
+    (Printf.sprintf "error budget: %.2f%% of requests may breach\n"
+       (budget *. 100.));
+  Buffer.contents b

@@ -12,7 +12,19 @@ let flag = Atomic.make false
 let set_enabled b = Atomic.set flag b
 let enabled () = Atomic.get flag
 
-let threshold = Atomic.make 0.1
+(* Slow-op threshold: GKBMS_SLOW_MS (milliseconds) overrides the
+   100ms default at startup; `trace slow MS` can still retune live. *)
+let threshold_of_ms_string s =
+  match float_of_string_opt (String.trim s) with
+  | Some ms when ms >= 0. && Float.is_finite ms -> Some (ms /. 1000.)
+  | _ -> None
+
+let default_threshold_s =
+  match Sys.getenv_opt "GKBMS_SLOW_MS" with
+  | Some s -> ( match threshold_of_ms_string s with Some t -> t | None -> 0.1)
+  | None -> 0.1
+
+let threshold = Atomic.make default_threshold_s
 let set_slow_threshold_s s = Atomic.set threshold s
 let slow_threshold_s () = Atomic.get threshold
 
@@ -52,8 +64,48 @@ let push ring len cap sp =
   ring := sp :: !ring;
   if !len >= cap then ring := truncate cap !ring else incr len
 
+let self_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+(* Ambient trace context: the inbound Trace_context, if any, for the
+   calling (domain, thread).  Propagation must survive tracing being
+   off (a follower still files the trace note even if nobody is
+   recording spans locally), so this is independent of [flag]. *)
+let contexts : (int * int, Trace_context.t) Hashtbl.t = Hashtbl.create 16
+
+let current_context () =
+  let key = self_key () in
+  Mutex.lock m;
+  let c = Hashtbl.find_opt contexts key in
+  Mutex.unlock m;
+  c
+
+let set_context ctx =
+  let key = self_key () in
+  Mutex.lock m;
+  (match ctx with
+  | Some c -> Hashtbl.replace contexts key c
+  | None -> Hashtbl.remove contexts key);
+  Mutex.unlock m
+
+let with_context ctx f =
+  let key = self_key () in
+  Mutex.lock m;
+  let prev = Hashtbl.find_opt contexts key in
+  (match ctx with
+  | Some c -> Hashtbl.replace contexts key c
+  | None -> Hashtbl.remove contexts key);
+  Mutex.unlock m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock m;
+      (match prev with
+      | Some c -> Hashtbl.replace contexts key c
+      | None -> Hashtbl.remove contexts key);
+      Mutex.unlock m)
+    f
+
 let stack_of_self () =
-  let id = ((Domain.self () :> int), Thread.id (Thread.self ())) in
+  let id = self_key () in
   Mutex.lock m;
   let st =
     match Hashtbl.find_opt stacks id with
@@ -89,6 +141,11 @@ let finish st sp =
 let with_span ?(attrs = []) name f =
   if not (Atomic.get flag) then f ()
   else begin
+    let attrs =
+      match current_context () with
+      | Some c -> ("trace", Trace_context.trace_hex c) :: attrs
+      | None -> attrs
+    in
     let sp =
       {
         span_name = name;

@@ -28,10 +28,31 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val set_slow_threshold_s : float -> unit
-(** Operations at least this long (default 0.1s) enter the slow-op
-    log.  0 captures everything. *)
+(** Operations at least this long enter the slow-op log.  0 captures
+    everything.  The startup default is 0.1s, overridable by the
+    [GKBMS_SLOW_MS] environment variable (milliseconds). *)
 
 val slow_threshold_s : unit -> float
+
+val threshold_of_ms_string : string -> float option
+(** Parse a [GKBMS_SLOW_MS]-style value (non-negative milliseconds)
+    into seconds; [None] on malformed input. *)
+
+(** {1 Ambient trace context}
+
+    The inbound {!Trace_context.t}, if any, for the calling
+    (domain, thread).  Spans opened while a context is set
+    automatically carry a [("trace", <hex id>)] attribute, which is
+    how one trace id stitches span trees across processes.  Context
+    propagation is independent of {!enabled} — followers still need
+    the context for lag accounting when span recording is off. *)
+
+val set_context : Trace_context.t option -> unit
+val current_context : unit -> Trace_context.t option
+
+val with_context : Trace_context.t option -> (unit -> 'a) -> 'a
+(** Run the thunk with the ambient context set (or cleared, for
+    [None]); the previous context is restored even on raise. *)
 
 val set_capacity : recent:int -> slow:int -> unit
 (** Ring sizes (defaults 64 and 32); shrinking drops oldest entries. *)

@@ -1,0 +1,83 @@
+type t = { trace_id : int64; span_id : int64; sampled : bool }
+
+(* Id generation: a splitmix64 stream over an atomic counter.  The
+   stream is seeded from wall clock and pid so two processes started
+   in the same microsecond still diverge; splitmix's finalizer gives
+   full 64-bit avalanche, so consecutive ids share no prefix. *)
+let state =
+  Atomic.make
+    (Int64.logxor
+       (Int64.of_float (Unix.gettimeofday () *. 1e6))
+       (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B97F4A7C15L))
+
+let next_id () =
+  let rec bump () =
+    let cur = Atomic.get state in
+    let nxt = Int64.add cur 0x9E3779B97F4A7C15L in
+    if Atomic.compare_and_set state cur nxt then nxt else bump ()
+  in
+  let z = bump () in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  if z = 0L then 1L else z
+
+let generate ?(sampled = true) () =
+  { trace_id = next_id (); span_id = next_id (); sampled }
+
+let child t = { t with span_id = next_id () }
+let trace_hex t = Printf.sprintf "%016Lx" t.trace_id
+let span_hex t = Printf.sprintf "%016Lx" t.span_id
+
+let encode t =
+  Printf.sprintf "%016Lx:%016Lx:%c" t.trace_id t.span_id
+    (if t.sampled then '1' else '0')
+
+let hex64_of s =
+  if String.length s = 0 || String.length s > 16 then None
+  else if not (String.for_all (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) s)
+  then None
+  else Int64.of_string_opt ("0x" ^ s)
+
+let decode s =
+  match String.split_on_char ':' s with
+  | [ tr; sp; flags ] -> (
+    match (hex64_of tr, hex64_of sp, flags) with
+    | Some trace_id, Some span_id, ("0" | "1") ->
+      Ok { trace_id; span_id; sampled = flags = "1" }
+    | _ -> Error (Printf.sprintf "malformed trace context %S" s))
+  | _ -> Error (Printf.sprintf "malformed trace context %S" s)
+
+let equal a b =
+  a.trace_id = b.trace_id && a.span_id = b.span_id && a.sampled = b.sampled
+
+(* ---------------- WAL / replication trace note ---------------- *)
+
+(* One note per committed decision:
+     "<decision> <ctx|-> <commit wall-clock seconds>"
+   The "-" form keeps the note useful (visibility lag) for decisions
+   committed without any inbound trace, and is what old peers that
+   never send a context degrade to. *)
+
+let note_key = "trace"
+
+let note_value ~decision ~ctx ~commit_s =
+  Printf.sprintf "%s %s %.6f" decision
+    (match ctx with Some c -> encode c | None -> "-")
+    commit_s
+
+let parse_note_value s =
+  match String.split_on_char ' ' s with
+  | [ decision; ctx; ts ] when decision <> "" -> (
+    let ctx_r =
+      if ctx = "-" then Ok None else Result.map Option.some (decode ctx)
+    in
+    match (ctx_r, float_of_string_opt ts) with
+    | Ok ctx, Some commit_s -> Ok (decision, ctx, commit_s)
+    | Error e, _ -> Error e
+    | _, None -> Error (Printf.sprintf "malformed trace note timestamp %S" ts))
+  | _ -> Error (Printf.sprintf "malformed trace note %S" s)

@@ -1,0 +1,45 @@
+(** Cross-process trace propagation context.
+
+    A context is the (trace id, parent span id, sampling flag) triple
+    that rides along with a request or a replicated decision so every
+    process touching it files spans under the same trace.  The codec is
+    a fixed-shape ASCII string ["<16 hex>:<16 hex>:<0|1>"] — cheap to
+    embed in the server protocol's request frames and in WAL notes —
+    and absence of a context is always a valid (and the back-compat)
+    state: old peers simply never send one. *)
+
+type t = { trace_id : int64; span_id : int64; sampled : bool }
+
+val generate : ?sampled:bool -> unit -> t
+(** A fresh root context with process-unique random ids
+    (sampled defaults to [true]). *)
+
+val child : t -> t
+(** Same trace, fresh span id: what a hop passes downstream. *)
+
+val trace_hex : t -> string
+(** 16-char lowercase hex trace id — the user-facing trace handle. *)
+
+val span_hex : t -> string
+
+val encode : t -> string
+(** ["<trace hex>:<span hex>:<0|1>"], 35 bytes. *)
+
+val decode : string -> (t, string) result
+val equal : t -> t -> bool
+
+(** {1 WAL trace note}
+
+    The leader appends one [Wal.Note (note_key, note_value ...)] per
+    committed decision, just before the commit record.  Followers parse
+    it to compute per-decision visibility lag and to continue the
+    originating trace; recovery and old peers ignore it (unknown notes
+    are skipped on both paths). *)
+
+val note_key : string
+(** ["trace"]. *)
+
+val note_value : decision:string -> ctx:t option -> commit_s:float -> string
+(** ["<decision> <encoded ctx or -> <commit_s>"]. *)
+
+val parse_note_value : string -> (string * t option * float, string) result

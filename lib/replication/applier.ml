@@ -13,6 +13,14 @@ let g_decisions =
   Obs.Registry.counter Obs.Registry.default "gkbms_repl_decisions_applied_total"
     ~help:"Decision frames applied from the replication stream"
 
+let g_visibility_lag =
+  Obs.Registry.histogram Obs.Registry.default
+    "gkbms_repl_visibility_lag_seconds"
+    ~help:
+      "Per-decision replication visibility lag: follower apply wall-clock \
+       minus the leader's commit wall-clock, from the trace note in the \
+       shipped frame"
+
 (* Buffered decision frames.  The leader's WAL brackets every decision
    with begin/commit records (nested decisions nest their frames); the
    applier buffers records until the OUTERMOST commit arrives and only
@@ -80,6 +88,20 @@ let apply_plain t r =
       Repo.set_artifact repo (Symbol.intern name) a;
       Ok ()
     | Wal.Note ("unlog", name) -> apply_unlog repo (Symbol.intern name)
+    | Wal.Note (key, v) when key = Wire.trace_note_key ->
+      (* the leader stamped this decision's commit wall-clock: now minus
+         then is exactly how long the decision took to become visible
+         here.  Clock skew can make the difference negative on real
+         hosts; clamp rather than poison the histogram. *)
+      (match Wire.parse_trace_note v with
+      | Ok (decision, ctx, commit_s) ->
+        let lag = Float.max 0. (Obs.Runtime.now_s () -. commit_s) in
+        Obs.Histogram.observe g_visibility_lag lag;
+        Obs.Recorder.record
+          ?trace:(Option.map Obs.Trace_context.trace_hex ctx)
+          ~decision (Obs.Recorder.Applied lag)
+      | Error _ -> ());
+      Ok ()
     | Wal.Note _ -> Ok ()
     | Wal.Decision_begin _ | Wal.Decision_commit _ | Wal.Decision_abort _ ->
       Ok ()
@@ -114,6 +136,19 @@ and apply_subframe t name f =
   commit_decision t (Symbol.intern name);
   Ok ()
 
+(* the frame's trace note, if the leader shipped one (items are newest
+   first, and the note is appended right before the commit record, so
+   it sits near the head) *)
+let frame_trace_ctx f =
+  List.find_map
+    (function
+      | Rec (Wal.Note (key, v)) when key = Wire.trace_note_key -> (
+        match Wire.parse_trace_note v with
+        | Ok (_, ctx, _) -> ctx
+        | Error _ -> None)
+      | _ -> None)
+    f.items
+
 let apply_outer_frame t name f =
   let id = Symbol.intern name in
   if already_logged t.repo id then
@@ -123,12 +158,17 @@ let apply_outer_frame t name f =
        would wedge every later record behind a begin that never
        commits) *)
     Ok ()
-  else begin
+  else
+    (* continue the originating trace: spans opened while this frame
+       applies (including the follower's own wal.append) carry the
+       leader-side trace id *)
+    Obs.Trace.with_context (frame_trace_ctx f) @@ fun () ->
+    Obs.Trace.with_span "follower.apply" ~attrs:[ ("decision", name) ]
+    @@ fun () ->
     Repo.emit_event t.repo (Repo.Decision_begun f.cls);
     let* () = apply_items t (List.rev f.items) in
     commit_decision t id;
     Ok ()
-  end
 
 let feed t r =
   t.records_fed <- t.records_fed + 1;

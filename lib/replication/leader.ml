@@ -67,16 +67,25 @@ let handle_frames t ~gen ~offset ~max_bytes ~wait_ms =
         Thread.delay 0.01;
         go ()
       end
-      else begin
-        if s.Durable.chunk <> "" then begin
-          Obs.Registry.Counter.inc g_frames_shipped;
-          Obs.Registry.Counter.inc g_bytes_shipped
-            ~by:(String.length s.Durable.chunk)
-        end;
+      else if s.Durable.chunk <> "" then begin
+        Obs.Registry.Counter.inc g_frames_shipped;
+        Obs.Registry.Counter.inc g_bytes_shipped
+          ~by:(String.length s.Durable.chunk);
+        Obs.Trace.with_span "repl.ship"
+          ~attrs:
+            [
+              ("gen", string_of_int gen);
+              ("bytes", string_of_int (String.length s.Durable.chunk));
+            ]
+          (fun () ->
+            Wire.format_frames ~next_gen:s.Durable.next_gen
+              ~next_offset:s.Durable.next_offset ~caught_up:s.Durable.at_head
+              ~epoch ~version ~chunk:s.Durable.chunk)
+      end
+      else
         Wire.format_frames ~next_gen:s.Durable.next_gen
           ~next_offset:s.Durable.next_offset ~caught_up:s.Durable.at_head
           ~epoch ~version ~chunk:s.Durable.chunk
-      end
   in
   go ()
 

@@ -147,3 +147,12 @@ let is_resync_error msg =
   let n = String.length needle and m = String.length msg in
   let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
   go 0
+
+(* The per-decision trace note the leader embeds in shipped WAL frames
+   (see {!Obs.Trace_context}): delegated so the codec is shared with
+   [Durable], which writes the note, and so both framings round-trip
+   through one implementation. *)
+
+let trace_note_key = Obs.Trace_context.note_key
+let format_trace_note = Obs.Trace_context.note_value
+let parse_trace_note = Obs.Trace_context.parse_note_value

@@ -77,3 +77,19 @@ val token_le : int * int -> int * int -> bool
 val is_resync_error : string -> bool
 (** True when a leader error payload demands a follower re-bootstrap
     (its cursor points at a pruned archive or past the log head). *)
+
+(** {1 Trace notes}
+
+    One [Wal.Note (trace_note_key, ...)] rides inside every committed
+    decision frame the leader ships: decision id, optional encoded
+    {!Obs.Trace_context}, and the leader's commit wall-clock.  Old
+    peers (frames without the note) parse fine — the note is just
+    another WAL record recovery ignores. *)
+
+val trace_note_key : string
+
+val format_trace_note :
+  decision:string -> ctx:Obs.Trace_context.t option -> commit_s:float -> string
+
+val parse_trace_note :
+  string -> (string * Obs.Trace_context.t option * float, string) result

@@ -43,7 +43,7 @@ let connect_unix ?(handshake = false) path =
              any) to surface here, inside the retry window *)
           match
             Protocol.write_frame t.transport
-              (Protocol.Request { id = 0; line = "ping" })
+              (Protocol.Request { id = 0; line = "ping"; ctx = None })
           with
           | exception e ->
             t.transport.Protocol.close ();
@@ -66,10 +66,11 @@ let connect_unix ?(handshake = false) path =
       (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message err))
   | exception Failure e -> Error e
 
-let request t line =
+let request ?ctx t line =
   let id = t.next_id in
   t.next_id <- id + 1;
-  match Protocol.write_frame t.transport (Protocol.Request { id; line }) with
+  let ctx = Option.map Obs.Trace_context.encode ctx in
+  match Protocol.write_frame t.transport (Protocol.Request { id; line; ctx }) with
   | exception e -> Error ("transport: " ^ Printexc.to_string e)
   | _n -> (
     match Protocol.next_frame t.reader with
@@ -83,8 +84,33 @@ let request t line =
     | Error `Eof -> Error "transport: connection closed"
     | Error (`Corrupt reason) -> Error ("protocol: " ^ reason))
 
+(* Start (or continue) a distributed trace around one request: the
+   server sees the encoded context in the frame and files its spans
+   under the same trace id, which this returns for later lookup with
+   [trace decision <id>]. *)
+let request_traced t line =
+  let ctx =
+    match Obs.Trace.current_context () with
+    | Some parent -> Obs.Trace_context.child parent
+    | None -> Obs.Trace_context.generate ()
+  in
+  let cmd =
+    match String.index_opt line ' ' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let res =
+    Obs.Trace.with_context (Some ctx) (fun () ->
+        Obs.Trace.with_span "client.send"
+          ~attrs:[ ("cmd", cmd) ]
+          (fun () -> request ~ctx t line))
+  in
+  (res, Obs.Trace_context.trace_hex ctx)
+
 let close t =
   (try
-     ignore (Protocol.write_frame t.transport (Protocol.Request { id = 0; line = "quit" }))
+     ignore
+       (Protocol.write_frame t.transport
+          (Protocol.Request { id = 0; line = "quit"; ctx = None }))
    with _ -> ());
   t.transport.Protocol.close ()

@@ -25,9 +25,17 @@ val with_retry : ?attempts:int -> (unit -> 'a) -> 'a
     exception, at most [attempts] (default 2) runs in total (exposed
     for tests). *)
 
-val request : t -> string -> (string, string) result
+val request : ?ctx:Obs.Trace_context.t -> t -> string -> (string, string) result
 (** Send one command line, block for its response.  [Ok payload] on a
     successful response, [Error payload] when the server reports an
-    error, [Error _] on transport failure or id mismatch. *)
+    error, [Error _] on transport failure or id mismatch.  [ctx], when
+    given, rides the request frame so the server continues that
+    distributed trace. *)
+
+val request_traced : t -> string -> (string, string) result * string
+(** Like {!request}, but under a trace context — a child of the
+    ambient {!Obs.Trace.current_context} if one is set, fresh
+    otherwise — with a [client.send] span around the round trip.
+    Returns the response and the 16-hex trace id. *)
 
 val close : t -> unit

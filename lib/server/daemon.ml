@@ -200,22 +200,33 @@ let trace_command t = function
     | _ -> "error: trace slow expects a non-negative number (milliseconds)")
   | [ "dump" ] -> Obs.Export.spans_json (Obs.Trace.slow ())
   | [ "dump"; "recent" ] -> Obs.Export.spans_json (Obs.Trace.recent ())
+  | [ "decision"; id ] -> Obs.Recorder.render_for id
   | [ "clear" ] ->
     Obs.Trace.clear ();
     "trace buffers cleared"
   | _ ->
     ignore t;
-    "error: usage: trace on|off|slow MS|dump [recent]|clear"
+    "error: usage: trace on|off|slow MS|dump [recent]|decision ID|clear"
 
 let process t session (req : Protocol.request) : Protocol.response =
   let line = String.trim req.Protocol.line in
+  (* Install the request's trace context (if the frame carried one) as
+     the ambient context for this executor thread, for exactly the
+     duration of this request — the thread is reused, so a stale
+     context must never leak into the next request. *)
+  let ctx =
+    Option.bind req.Protocol.ctx (fun s ->
+        Result.to_option (Obs.Trace_context.decode s))
+  in
+  Obs.Trace.with_context ctx @@ fun () ->
   Obs.Trace.with_span "server.request" ~attrs:[ ("cmd", command_label line) ]
   @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let finish payload =
     let ok = not (is_error payload) in
-    Metrics.record t.metrics ~cmd:(command_label line) ~ok
-      ~seconds:(Unix.gettimeofday () -. t0);
+    let seconds = Unix.gettimeofday () -. t0 in
+    Metrics.record t.metrics ~cmd:(command_label line) ~ok ~seconds;
+    ignore (Obs.Slo.observe ~cmd:(command_label line) seconds);
     { Protocol.id = req.Protocol.id; ok; payload }
   in
   match Option.bind t.extension (fun ext -> ext line) with

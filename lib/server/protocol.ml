@@ -1,4 +1,4 @@
-type request = { id : int; line : string }
+type request = { id : int; line : string; ctx : string option }
 type response = { id : int; ok : bool; payload : string }
 type frame = Request of request | Response of response
 
@@ -19,11 +19,24 @@ let u32le_of_string s pos =
   Int32.to_int (String.get_int32_le s pos) land 0xffffffff
 
 let payload_of = function
-  | Request { id; line } ->
+  | Request { id; line; ctx = None } ->
     let b = Bytes.create (5 + String.length line) in
     Bytes.set b 0 'Q';
     u32le_to_bytes b 1 id;
     Bytes.blit_string line 0 b 5 (String.length line);
+    Bytes.unsafe_to_string b
+  | Request { id; line; ctx = Some ctx } ->
+    (* 'T' = traced request: a u8-length trace context precedes the
+       command line.  Old peers never emit 'T'; new peers emit 'Q'
+       whenever there is no context, so the two framings coexist. *)
+    let cn = String.length ctx in
+    if cn > 255 then invalid_arg "Protocol: trace context too long";
+    let b = Bytes.create (6 + cn + String.length line) in
+    Bytes.set b 0 'T';
+    u32le_to_bytes b 1 id;
+    Bytes.set b 5 (Char.chr cn);
+    Bytes.blit_string ctx 0 b 6 cn;
+    Bytes.blit_string line 0 b (6 + cn) (String.length line);
     Bytes.unsafe_to_string b
   | Response { id; ok; payload } ->
     let b = Bytes.create (6 + String.length payload) in
@@ -39,7 +52,18 @@ let decode_payload s =
   else
     let id = u32le_of_string s 1 in
     match s.[0] with
-    | 'Q' -> Ok (Request { id; line = String.sub s 5 (len - 5) })
+    | 'Q' -> Ok (Request { id; line = String.sub s 5 (len - 5); ctx = None })
+    | 'T' when len >= 6 ->
+      let cn = Char.code s.[5] in
+      if len < 6 + cn then Error "traced request shorter than its context"
+      else
+        Ok
+          (Request
+             {
+               id;
+               line = String.sub s (6 + cn) (len - 6 - cn);
+               ctx = Some (String.sub s 6 cn);
+             })
     | 'R' when len >= 6 ->
       Ok
         (Response

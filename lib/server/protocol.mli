@@ -13,7 +13,13 @@
     by the tests and benches, so everything above the byte layer is
     exercised identically in both settings. *)
 
-type request = { id : int; line : string }
+type request = {
+  id : int;
+  line : string;
+  ctx : string option;
+      (** encoded {!Obs.Trace_context}; [None] (and the untagged legacy
+          framing) means the request starts no distributed trace *)
+}
 type response = { id : int; ok : bool; payload : string }
 type frame = Request of request | Response of response
 

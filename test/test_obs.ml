@@ -321,6 +321,17 @@ let validate_json s =
           else expect ']'
         in
         elements ()
+    | Some ('n' | 't' | 'f') ->
+      (* the literals: null, true, false (flight-log events use null) *)
+      let lit =
+        if !pos + 4 <= n && String.sub s !pos 4 = "null" then Some 4
+        else if !pos + 4 <= n && String.sub s !pos 4 = "true" then Some 4
+        else if !pos + 5 <= n && String.sub s !pos 5 = "false" then Some 5
+        else None
+      in
+      (match lit with
+      | Some len -> pos := !pos + len
+      | None -> fail "expected a literal")
     | Some _ -> number ()
     | None -> fail "unexpected end"
   in
@@ -401,6 +412,199 @@ let test_span_json () =
   validate_json json;
   check bool "nested child serialized" true (contains json "\"leaf\"");
   check bool "attr escaped" true (contains json "run \\\"x\\\"")
+
+(* ---------------- exporter escaping regressions ---------------- *)
+
+let test_prometheus_escaping_regression () =
+  let r = Reg.create () in
+  let c =
+    Reg.counter r "esc_total" ~help:"path C:\\temp\nsecond line"
+      ~labels:[ ("path", "C:\\dir \"q\"\nx") ]
+  in
+  Reg.Counter.inc c;
+  let text = Export.prometheus (Reg.snapshot r) in
+  (* every sample line must still satisfy the exposition grammar *)
+  List.iter
+    (fun line ->
+      if
+        line <> ""
+        && not (String.length line >= 2 && String.sub line 0 2 = "# ")
+      then check_sample_line line)
+    (String.split_on_char '\n' text);
+  check bool "HELP escapes backslash and newline" true
+    (contains text "# HELP esc_total path C:\\\\temp\\nsecond line");
+  check bool "label value escapes backslash, quote, newline" true
+    (contains text "C:\\\\dir \\\"q\\\"\\nx");
+  check Alcotest.string "help_escape" "a\\\\b\\nc" (Export.help_escape "a\\b\nc");
+  check Alcotest.string "label_value_escape" "a\\\\b\\\"c\\nd"
+    (Export.label_value_escape "a\\b\"c\nd")
+
+(* ---------------- trace context codec ---------------- *)
+
+module Ctx = Obs.Trace_context
+
+let ctx_of (trace_id, span_id, sampled) = { Ctx.trace_id; span_id; sampled }
+
+let gen_ctx = QCheck.(map ctx_of (triple int64 int64 bool))
+
+let prop_ctx_roundtrip =
+  QCheck.Test.make ~name:"trace context codec round-trips" ~count:300 gen_ctx
+    (fun ctx ->
+      match Ctx.decode (Ctx.encode ctx) with
+      | Ok ctx' -> Ctx.equal ctx ctx'
+      | Error _ -> false)
+
+let prop_note_roundtrip =
+  QCheck.Test.make ~name:"WAL trace note round-trips (incl. absent context)"
+    ~count:300
+    QCheck.(triple small_nat (option gen_ctx) (float_range 0. 2e9))
+    (fun (n, ctx, commit_s) ->
+      let decision = Printf.sprintf "dec%d" n in
+      match
+        Ctx.parse_note_value (Ctx.note_value ~decision ~ctx ~commit_s)
+      with
+      | Ok (d', ctx', c') ->
+        d' = decision
+        && Option.equal Ctx.equal ctx ctx'
+        && Float.abs (c' -. commit_s) <= 1e-5
+      | Error _ -> false)
+
+let test_ctx_decode_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Ctx.decode s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decoded malformed context %S" s)
+    [ ""; "abc"; "zz:ff:1"; "1:2"; "1:2:3:4"; "ff:gg:1"; "ff:ee:2";
+      "11111111111111111:2:1" ];
+  match Ctx.parse_note_value "dec1 not-a-ctx" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed malformed note"
+
+let test_ctx_generate_distinct () =
+  let a = Ctx.generate () and b = Ctx.generate () in
+  check bool "fresh ids differ" false (Ctx.equal a b);
+  let c = Ctx.child a in
+  check bool "child keeps trace id" true (a.Ctx.trace_id = c.Ctx.trace_id);
+  check bool "child gets fresh span id" false (a.Ctx.span_id = c.Ctx.span_id);
+  check int "hex handle is 16 chars" 16 (String.length (Ctx.trace_hex a))
+
+(* ---------------- ambient context ---------------- *)
+
+let test_ambient_context () =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Trace.set_slow_threshold_s 10.;
+  let ctx = Ctx.generate () in
+  check bool "no ambient context initially" true
+    (Trace.current_context () = None);
+  Trace.with_context (Some ctx) (fun () ->
+      check bool "ambient context set" true
+        (Trace.current_context () = Some ctx);
+      Trace.with_span "ctx_op" (fun () -> ());
+      (* nested clear, then restore *)
+      Trace.with_context None (fun () ->
+          check bool "nested clear" true (Trace.current_context () = None)));
+  check bool "context restored to none" true (Trace.current_context () = None);
+  Trace.set_enabled false;
+  match Trace.recent () with
+  | sp :: _ ->
+    check Alcotest.string "span name" "ctx_op" sp.Trace.span_name;
+    check bool "span auto-tagged with trace id" true
+      (List.mem ("trace", Ctx.trace_hex ctx) sp.Trace.attrs)
+  | [] -> Alcotest.fail "no span recorded"
+
+let test_slow_threshold_parse () =
+  check bool "50 -> 0.05s" true (Trace.threshold_of_ms_string "50" = Some 0.05);
+  check bool "0 ok" true (Trace.threshold_of_ms_string "0" = Some 0.);
+  check bool "spaces ok" true
+    (Trace.threshold_of_ms_string " 250 " = Some 0.25);
+  check bool "negative rejected" true
+    (Trace.threshold_of_ms_string "-1" = None);
+  check bool "garbage rejected" true (Trace.threshold_of_ms_string "abc" = None)
+
+(* ---------------- flight recorder ---------------- *)
+
+let test_recorder_ring () =
+  Obs.Recorder.clear ();
+  Obs.Recorder.set_capacity 4;
+  Fun.protect ~finally:(fun () ->
+      Obs.Recorder.set_capacity 1024;
+      Obs.Recorder.clear ())
+  @@ fun () ->
+  for i = 1 to 6 do
+    Obs.Recorder.record
+      ~decision:(Printf.sprintf "d%d" i)
+      Obs.Recorder.Committed
+  done;
+  let evs = Obs.Recorder.events () in
+  check int "ring bounded" 4 (List.length evs);
+  check Alcotest.string "oldest surviving event" "d3"
+    (List.hd evs).Obs.Recorder.decision;
+  check Alcotest.string "newest event" "d6"
+    (List.nth evs 3).Obs.Recorder.decision;
+  Obs.Recorder.record ~trace:"cafe0123cafe0123" ~decision:"d7"
+    (Obs.Recorder.Applied 0.005);
+  check int "events_for filters" 1
+    (List.length (Obs.Recorder.events_for "d7"));
+  let r = Obs.Recorder.render_for "d7" in
+  check bool "render carries trace id" true (contains r "cafe0123cafe0123");
+  check bool "render carries lag" true (contains r "lag_ms=5.000");
+  check bool "unknown decision message" true
+    (contains (Obs.Recorder.render_for "nope") "no recorded events");
+  (* dump is JSON lines, one per surviving event *)
+  let path = Filename.temp_file "gkbms_flight" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ())
+  @@ fun () ->
+  let n = Obs.Recorder.dump_to_file path in
+  check int "dump count" 4 n;
+  let lines =
+    In_channel.with_open_text path In_channel.input_lines
+    |> List.filter (fun l -> l <> "")
+  in
+  check int "one JSON line per event" 4 (List.length lines);
+  List.iter validate_json lines;
+  check bool "dump carries the applied event" true
+    (List.exists (fun l -> contains l "\"kind\":\"applied\"") lines)
+
+(* ---------------- SLO layer ---------------- *)
+
+let test_slo_objectives_and_breaches () =
+  Obs.Runtime.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Slo.set_objectives [];
+      Obs.Slo.reset_counts ())
+  @@ fun () ->
+  (match Obs.Slo.configure "run=50ms, derive=1s ,key=200us,default=100" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure failed: %s" e);
+  let approx a b = Float.abs (a -. b) < 1e-9 in
+  check bool "ms suffix" true (approx (Obs.Slo.objective_for "run") 0.05);
+  check bool "s suffix" true (approx (Obs.Slo.objective_for "derive") 1.0);
+  check bool "us suffix" true (approx (Obs.Slo.objective_for "key") 2e-4);
+  check bool "bare number is ms" true
+    (approx (Obs.Slo.objective_for "unknown-cmd") 0.1);
+  check bool "repl long-poll seed survives" true
+    (approx (Obs.Slo.objective_for "repl") 2.0);
+  (match Obs.Slo.parse_spec "run=abc" with
+  | Error e -> check bool "parse error names the entry" true (contains e "run")
+  | Ok _ -> Alcotest.fail "parsed a bad duration");
+  (match Obs.Slo.parse_spec "=5ms" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed an empty command");
+  Obs.Slo.reset_counts ();
+  check bool "breach detected" true (Obs.Slo.observe ~cmd:"run" 0.2);
+  check bool "fast request ok" false (Obs.Slo.observe ~cmd:"run" 0.01);
+  let table = Obs.Slo.render () in
+  check bool "render lists the command" true (contains table "run");
+  check bool "render shows the breach" true (contains table "50.0");
+  (* the sentinel counters reached the default registry *)
+  match
+    Reg.find Reg.default ~labels:[ ("cmd", "run") ] "gkbms_slo_breaches_total"
+  with
+  | Some { Reg.value = Reg.Counter_v v; _ } ->
+    check bool "breach counter moved" true (v >= 1)
+  | _ -> Alcotest.fail "gkbms_slo_breaches_total{cmd=run} missing"
 
 (* ---------------- prover copy regression ---------------- *)
 
@@ -533,4 +737,13 @@ let suite =
     ("span tree json", `Quick, test_span_json);
     ("prover copy stats independent", `Quick, test_prover_copy_stats_independent);
     ("slow decision commit traced", `Quick, test_slow_decision_in_slow_log);
+    ("prometheus escaping regression", `Quick, test_prometheus_escaping_regression);
+    QCheck_alcotest.to_alcotest prop_ctx_roundtrip;
+    QCheck_alcotest.to_alcotest prop_note_roundtrip;
+    ("trace context rejects malformed", `Quick, test_ctx_decode_rejects_malformed);
+    ("trace context id generation", `Quick, test_ctx_generate_distinct);
+    ("ambient trace context", `Quick, test_ambient_context);
+    ("slow threshold parsing", `Quick, test_slow_threshold_parse);
+    ("flight recorder ring", `Quick, test_recorder_ring);
+    ("slo objectives and breaches", `Quick, test_slo_objectives_and_breaches);
   ]

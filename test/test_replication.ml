@@ -525,6 +525,98 @@ let test_applier_skips_logged_decisions () =
     (Applier.decisions_applied applier);
   Daemon.stop rig.l_daemon
 
+(* trace propagation across the replication stream ------------------------ *)
+
+module Ctx = Obs.Trace_context
+
+let prop_trace_note_roundtrip =
+  QCheck.Test.make ~name:"WAL trace notes round-trip over the wire helpers"
+    ~count:200
+    QCheck.(
+      quad small_nat (option (triple int64 int64 bool)) bool
+        (float_range 0. 2e9))
+    (fun (n, ctx, _, commit_s) ->
+      let decision = Printf.sprintf "dec%d" n in
+      let ctx =
+        Option.map
+          (fun (trace_id, span_id, sampled) -> { Ctx.trace_id; span_id; sampled })
+          ctx
+      in
+      match
+        Wire.parse_trace_note (Wire.format_trace_note ~decision ~ctx ~commit_s)
+      with
+      | Ok (d', ctx', c') ->
+        d' = decision
+        && Option.equal Ctx.equal ctx ctx'
+        && Float.abs (c' -. commit_s) <= 1e-5
+      | Error _ -> false)
+
+let lag_count () =
+  match
+    Obs.Registry.find Obs.Registry.default "gkbms_repl_visibility_lag_seconds"
+  with
+  | Some { Obs.Registry.value = Obs.Registry.Histogram_v s; _ } ->
+    s.Obs.Histogram.total
+  | _ -> 0
+
+let test_trace_spans_replication () =
+  let ldir = temp_dir () and fdir = temp_dir () in
+  Fun.protect ~finally:(fun () ->
+      rm_rf ldir;
+      rm_rf fdir)
+  @@ fun () ->
+  let rig = make_leader ldir in
+  let f = ok (make_follower ~name:"f1" rig fdir) in
+  Fun.protect ~finally:(fun () -> Follower.stop f) @@ fun () ->
+  ok (Follower.catch_up f);
+  let before = lag_count () in
+  Obs.Recorder.clear ();
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Obs.Trace.set_slow_threshold_s 10.;
+  Fun.protect ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.set_slow_threshold_s 0.1;
+      Daemon.stop rig.l_daemon)
+  @@ fun () ->
+  let c = leader_client rig in
+  let res, trace = Client.request_traced c "map" in
+  let out = ok res in
+  check bool "decision executed" true (contains "executed: decision" out);
+  (* "map executed: decision decN -> ..." *)
+  let dec =
+    match String.split_on_char ' ' out with
+    | _ :: _ :: _ :: d :: _ -> d
+    | _ -> Alcotest.failf "cannot parse decision id from %S" out
+  in
+  ok (Follower.catch_up f);
+  converged rig f;
+  (* the commit-stamp note crossed the stream and fed the lag histogram *)
+  check bool "visibility lag observed" true (lag_count () > before);
+  (* the follower's flight recorder saw the apply, under the same trace *)
+  let applied =
+    List.exists
+      (fun ev ->
+        ev.Obs.Recorder.decision = dec
+        && ev.Obs.Recorder.trace = Some trace
+        &&
+        match ev.Obs.Recorder.kind with
+        | Obs.Recorder.Applied lag -> lag >= 0.
+        | _ -> false)
+      (Obs.Recorder.events ())
+  in
+  check bool "recorder holds the traced apply" true applied;
+  (* and the apply span itself is stitched into the same trace *)
+  let apply_span =
+    List.exists
+      (fun sp ->
+        sp.Obs.Trace.span_name = "follower.apply"
+        && List.mem ("trace", trace) sp.Obs.Trace.attrs
+        && List.mem ("decision", dec) sp.Obs.Trace.attrs)
+      (Obs.Trace.recent ())
+  in
+  check bool "follower.apply span carries the trace id" true apply_span
+
 let suite =
   [
     ("wire roundtrips", `Quick, test_wire_roundtrips);
@@ -541,4 +633,6 @@ let suite =
     ("convergence differential (seed 33)", `Quick, test_differential_seed_3);
     ("convergence on arena backend", `Quick, test_convergence_arena_backend);
     ("applier skips already-logged decisions", `Quick, test_applier_skips_logged_decisions);
+    QCheck_alcotest.to_alcotest prop_trace_note_roundtrip;
+    ("trace spans the replication stream", `Quick, test_trace_spans_replication);
   ]

@@ -55,7 +55,7 @@ let roundtrip frame =
   | Error (`Corrupt e) -> Alcotest.failf "unexpected corruption: %s" e
 
 let test_protocol_roundtrip () =
-  (match roundtrip (Protocol.Request { id = 42; line = "focus Papers" }) with
+  (match roundtrip (Protocol.Request { id = 42; line = "focus Papers"; ctx = None }) with
   | Protocol.Request r ->
     check int "id" 42 r.Protocol.id;
     check string "line" "focus Papers" r.Protocol.line
@@ -72,8 +72,8 @@ let test_protocol_roundtrip () =
 let test_protocol_pipelined_and_partial () =
   let client, server = Protocol.loopback () in
   let wire =
-    Protocol.encode (Protocol.Request { id = 1; line = "a" })
-    ^ Protocol.encode (Protocol.Request { id = 2; line = "b" })
+    Protocol.encode (Protocol.Request { id = 1; line = "a"; ctx = None })
+    ^ Protocol.encode (Protocol.Request { id = 2; line = "b"; ctx = None })
   in
   (* deliver byte by byte: the reader must reassemble frames *)
   String.iter (fun c -> client.Protocol.write (String.make 1 c)) wire;
@@ -89,7 +89,7 @@ let test_protocol_pipelined_and_partial () =
 let test_protocol_corruption () =
   let client, server = Protocol.loopback () in
   let wire =
-    Bytes.of_string (Protocol.encode (Protocol.Request { id = 3; line = "stats" }))
+    Bytes.of_string (Protocol.encode (Protocol.Request { id = 3; line = "stats"; ctx = None }))
   in
   (* flip a payload byte: the CRC must catch it *)
   let last = Bytes.length wire - 1 in
@@ -102,7 +102,7 @@ let test_protocol_corruption () =
   | _ -> Alcotest.fail "corruption undetected");
   (* truncated frame *)
   let client, server = Protocol.loopback () in
-  let wire = Protocol.encode (Protocol.Request { id = 4; line = "stats" }) in
+  let wire = Protocol.encode (Protocol.Request { id = 4; line = "stats"; ctx = None }) in
   client.Protocol.write (String.sub wire 0 (String.length wire - 2));
   client.Protocol.close ();
   let r = Protocol.reader server in
@@ -316,7 +316,7 @@ let test_abrupt_disconnect () =
   let repo = keyed_repo () in
   let daemon = Daemon.create repo in
   let transport = Daemon.connect daemon in
-  ignore (Protocol.write_frame transport (Protocol.Request { id = 1; line = "stats" }));
+  ignore (Protocol.write_frame transport (Protocol.Request { id = 1; line = "stats"; ctx = None }));
   (* drop the connection without a quit *)
   transport.Protocol.close ();
   let rec wait n =
@@ -551,6 +551,101 @@ let test_client_retry_gives_up () =
     && not (Client.retriable (Unix.Unix_error (Unix.ENOENT, "", "")))
     && not (Client.retriable Exit))
 
+(* trace propagation ---------------------------------------------------- *)
+
+module Ctx = Obs.Trace_context
+
+(* round-trip a traced request through the full framing (header, crc,
+   tagged payload); the context rides as opaque bytes, so any short
+   string must survive *)
+let prop_traced_request_roundtrip =
+  QCheck.Test.make ~name:"traced request frames round-trip" ~count:200
+    QCheck.(
+      triple small_nat
+        (option (string_gen_of_size (Gen.int_range 0 255) Gen.printable))
+        printable_string)
+    (fun (id, ctx, line) ->
+      match roundtrip (Protocol.Request { id; line; ctx }) with
+      | Protocol.Request r ->
+        r.Protocol.id = id && r.Protocol.line = line && r.Protocol.ctx = ctx
+      | _ -> false)
+
+let prop_trace_context_over_protocol =
+  QCheck.Test.make ~name:"trace contexts survive the protocol framing"
+    ~count:200
+    QCheck.(triple int64 int64 bool)
+    (fun (trace_id, span_id, sampled) ->
+      let ctx = { Ctx.trace_id; span_id; sampled } in
+      match
+        roundtrip
+          (Protocol.Request { id = 1; line = "status"; ctx = Some (Ctx.encode ctx) })
+      with
+      | Protocol.Request { ctx = Some s; _ } -> (
+        match Ctx.decode s with Ok c -> Ctx.equal c ctx | Error _ -> false)
+      | _ -> false)
+
+let test_protocol_legacy_untraced () =
+  (* absent context must keep the legacy 'Q' tag on the wire, so old
+     peers interoperate in both directions *)
+  let payload_of frame =
+    let wire = Protocol.encode frame in
+    String.sub wire 8 (String.length wire - 8)
+  in
+  let payload = payload_of (Protocol.Request { id = 9; line = "status"; ctx = None }) in
+  check bool "untraced request keeps legacy tag" true (payload.[0] = 'Q');
+  (match Protocol.decode_payload payload with
+  | Ok (Protocol.Request r) ->
+    check bool "legacy decode has no context" true (r.Protocol.ctx = None)
+  | _ -> Alcotest.fail "legacy payload did not decode");
+  (* traced requests use the new tag and refuse oversized contexts *)
+  let traced =
+    payload_of (Protocol.Request { id = 9; line = "status"; ctx = Some "abc" })
+  in
+  check bool "traced request uses new tag" true (traced.[0] = 'T');
+  check bool "oversized context rejected" true
+    (try
+       ignore
+         (payload_of
+            (Protocol.Request
+               { id = 9; line = "x"; ctx = Some (String.make 300 'c') }));
+       false
+     with Invalid_argument _ -> true)
+
+let test_request_traced_spans () =
+  let repo = keyed_repo () in
+  let daemon = Daemon.create repo in
+  let client = Client.of_transport (Daemon.connect daemon) in
+  Obs.Trace.clear ();
+  Obs.Trace.set_enabled true;
+  Obs.Trace.set_slow_threshold_s 10.;
+  Fun.protect ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.set_slow_threshold_s 0.1;
+      Client.close client;
+      Daemon.stop daemon)
+  @@ fun () ->
+  let res, trace = Client.request_traced client "focus Papers" in
+  ignore (ok res);
+  check int "trace id is a 16-char hex handle" 16 (String.length trace);
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' | 'a' .. 'f' -> ()
+      | _ -> Alcotest.failf "non-hex trace id %S" trace)
+    trace;
+  (* both halves of the conversation — the client's send span and the
+     server's request span — carry the same trace id *)
+  let spans = Obs.Trace.recent () in
+  let tagged name =
+    List.exists
+      (fun sp ->
+        sp.Obs.Trace.span_name = name
+        && List.mem ("trace", trace) sp.Obs.Trace.attrs)
+      spans
+  in
+  check bool "client.send span tagged" true (tagged "client.send");
+  check bool "server.request span tagged" true (tagged "server.request")
+
 let suite =
   [
     ("protocol roundtrip", `Quick, test_protocol_roundtrip);
@@ -573,4 +668,8 @@ let suite =
     ("differential: concurrent = sequential (4 domains)", `Quick, test_differential_domains);
     ("client retries reset once", `Quick, test_client_retry_once);
     ("client retry gives up and classifies", `Quick, test_client_retry_gives_up);
+    QCheck_alcotest.to_alcotest prop_traced_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_trace_context_over_protocol;
+    ("legacy untraced framing preserved", `Quick, test_protocol_legacy_untraced);
+    ("traced request spans both halves", `Quick, test_request_traced_spans);
   ]
