@@ -581,6 +581,38 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "follow" ] ~docv:"SOCKET"
            ~doc:"Leader socket to replicate from (follower role).")
   in
+  let group_commit =
+    Arg.(value
+         & opt ~vopt:(Some "") (some string) None
+         & info [ "group-commit" ] ~docv:"K,T"
+             ~doc:"Group commit: collect concurrently arriving write \
+                   commands and journal them as one WAL batch with a \
+                   single sync, then ack each client.  A batch flushes at \
+                   $(b,K) writes or $(b,T) microseconds after the first, \
+                   whichever comes first (bare flag: the 16,500 default).")
+  in
+  let event_loop =
+    Arg.(value & flag & info [ "event-loop" ]
+           ~doc:"Serve connections from a single select-based event loop \
+                 over a small worker pool instead of a thread per \
+                 connection (sessions may pipeline requests).")
+  in
+  let parse_group_commit = function
+    | None -> Ok None
+    | Some "" -> Ok (Some Server.Daemon.default_group_commit)
+    | Some s -> (
+      let default_t = snd Server.Daemon.default_group_commit in
+      match String.split_on_char ',' s with
+      | [ k ] -> (
+        match int_of_string_opt k with
+        | Some k when k > 0 -> Ok (Some (k, default_t))
+        | _ -> Error ("invalid --group-commit " ^ s))
+      | [ k; t ] -> (
+        match (int_of_string_opt k, int_of_string_opt t) with
+        | Some k, Some t when k > 0 && t >= 0 -> Ok (Some (k, t))
+        | _ -> Error ("invalid --group-commit " ^ s))
+      | _ -> Error ("invalid --group-commit " ^ s ^ " (expected K or K,T)"))
+  in
   let serve_loop daemon ~socket ~banner =
     let stop_handler _ = Server.Daemon.stop daemon in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop_handler);
@@ -591,7 +623,8 @@ let serve_cmd =
     Format.printf "server stopped.@.";
     Ok ()
   in
-  let run until wal socket no_cache idle domains store role follow =
+  let run until wal socket no_cache idle domains store role follow group_commit
+      event_loop =
     apply_store store;
     (* flight recorder dump-on-crash: SIGUSR2 snapshots the decision
        lifecycle ring next to the WAL (read back with
@@ -600,21 +633,28 @@ let serve_cmd =
       (fun dir ->
         Obs.Recorder.install_crash_dump ~path:(Obs.Recorder.default_file dir))
       wal;
-    let config =
-      { Server.Daemon.default_config with
-        cache = not no_cache;
-        idle_timeout = idle;
-        domains = max 1 domains;
-      }
-    in
-    let flags =
-      Printf.sprintf "cache %s%s%s"
-        (if no_cache then "off" else "on")
-        (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
-        (match wal with None -> "" | Some dir -> ", wal " ^ dir)
-    in
     handle
-      (match role with
+      (let* group_commit = parse_group_commit group_commit in
+      let config =
+        { Server.Daemon.default_config with
+          cache = not no_cache;
+          idle_timeout = idle;
+          domains = max 1 domains;
+          group_commit;
+          event_loop;
+        }
+      in
+      let flags =
+        Printf.sprintf "cache %s%s%s%s%s"
+          (if no_cache then "off" else "on")
+          (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
+          (match wal with None -> "" | Some dir -> ", wal " ^ dir)
+          (match group_commit with
+          | None -> ""
+          | Some (k, t) -> Printf.sprintf ", group-commit %d,%dus" k t)
+          (if event_loop then ", event loop" else "")
+      in
+      match role with
       | `Single ->
         let* st, _ = build_state until in
         let daemon = Server.Daemon.create ~config st.Scn.repo in
@@ -715,7 +755,7 @@ let serve_cmd =
              serves reads at the applied version (writes are refused with \
              a redirect).")
     Term.(const run $ until_arg $ wal_arg $ socket_arg $ no_cache $ idle
-          $ domains $ store_arg $ role $ follow)
+          $ domains $ store_arg $ role $ follow $ group_commit $ event_loop)
 
 let client_cmd =
   let exec_args =
@@ -740,7 +780,15 @@ let client_cmd =
                  later with $(b,trace decision ID) or $(b,trace dump) on \
                  the server).")
   in
-  let run socket cmds script min_version timing =
+  let pipeline_arg =
+    Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"K"
+           ~doc:"Keep up to $(docv) requests in flight instead of one \
+                 round trip at a time (batch mode only; against a \
+                 group-commit server, back-to-back writes then share one \
+                 WAL sync).  Responses print in submission order.  \
+                 Default 1.")
+  in
+  let run socket cmds script min_version timing pipeline =
     (* --timing also records this process's client.send spans, dumped
        after the command loop so a cross-process trace can be stitched
        from all three dumps (client, leader, follower) *)
@@ -797,7 +845,15 @@ let client_cmd =
           In_channel.with_open_text file In_channel.input_lines
           |> List.filter (fun l -> String.trim l <> "")
       in
+      let print_result = function
+        | Ok payload -> if payload <> "" then Format.printf "%s@." payload
+        | Error payload ->
+          failed := true;
+          Format.printf "%s@." payload
+      in
       (match cmds @ script_lines with
+      | (_ :: _ as lines) when pipeline > 1 ->
+        List.iter print_result (Server.Client.pipeline ~window:pipeline client lines)
       | [] ->
         (* interactive *)
         let rec loop () =
@@ -825,9 +881,10 @@ let client_cmd =
              error; otherwise read commands interactively.  With \
              --min-version, first block until the server (typically a \
              replication follower) has applied the given session token.  \
-             With --timing, print per-request wall time and trace id.")
+             With --timing, print per-request wall time and trace id.  \
+             With --pipeline K, keep up to K batch commands in flight.")
     Term.(const run $ socket_arg $ exec_args $ script_arg $ min_version_arg
-          $ timing_arg)
+          $ timing_arg $ pipeline_arg)
 
 let repl_cmd =
   let run () =

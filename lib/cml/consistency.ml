@@ -213,21 +213,22 @@ let check_all ?pool kb =
 
 let check_delta kb changes =
   let base = Kb.base kb in
-  (* propositions to re-check structurally: the added ones, plus anything
-     incident to an object touched by a change *)
+  (* [touched] (all endpoints of all changes) selects which class
+     constraints to re-evaluate.  The structural re-check set is
+     narrower: a newly ADDED proposition can only invalidate itself or
+     propositions that reference it by id (temporal containment of links
+     whose endpoint's valid time it defines) — its class-side endpoints
+     keep their old propositions valid, because [instance_ok] and
+     referential integrity are monotone under additions.  Expanding the
+     endpoints of additions would re-enqueue the full extension of every
+     class the delta mentions (all past instanceof links of a decision
+     class, say), turning each commit into an O(base) scan.  REMOVALS
+     keep the full expansion: deleting an object or link can break
+     referential integrity, temporal containment, and conformance of
+     anything incident to either endpoint. *)
   let touched = ref Symbol.Set.empty in
   let add_sym s = touched := Symbol.Set.add s !touched in
   let isa_changed = ref false in
-  List.iter
-    (fun change ->
-      let p =
-        match change with Base.Added p -> p | Base.Removed p -> p
-      in
-      add_sym p.Prop.id;
-      add_sym p.Prop.source;
-      add_sym p.Prop.dest;
-      if Symbol.equal p.Prop.label Axioms.isa then isa_changed := true)
-    changes;
   let props_to_check = ref [] in
   let seen = ref Symbol.Set.empty in
   let enqueue (p : Prop.t) =
@@ -236,12 +237,27 @@ let check_delta kb changes =
       props_to_check := p :: !props_to_check
     end
   in
-  Symbol.Set.iter
-    (fun s ->
-      (match Base.find base s with Some p -> enqueue p | None -> ());
-      List.iter enqueue (Base.by_source base s);
-      List.iter enqueue (Base.by_dest base s))
-    !touched;
+  let expand s =
+    (match Base.find base s with Some p -> enqueue p | None -> ());
+    List.iter enqueue (Base.by_source base s);
+    List.iter enqueue (Base.by_dest base s)
+  in
+  List.iter
+    (fun change ->
+      let p =
+        match change with Base.Added p -> p | Base.Removed p -> p
+      in
+      add_sym p.Prop.id;
+      add_sym p.Prop.source;
+      add_sym p.Prop.dest;
+      if Symbol.equal p.Prop.label Axioms.isa then isa_changed := true;
+      match change with
+      | Base.Added p -> enqueue p; expand p.Prop.id
+      | Base.Removed p ->
+        expand p.Prop.id;
+        expand p.Prop.source;
+        expand p.Prop.dest)
+    changes;
   let structural =
     List.concat_map (fun p -> check_prop kb p) !props_to_check
   in
@@ -260,11 +276,21 @@ let check_delta kb changes =
       !touched Symbol.Set.empty
   in
   let constraints =
-    List.concat_map
-      (fun ((cls, _, _) as entry) ->
-        if Symbol.Set.mem cls affected_classes then check_constraint kb entry
-        else [])
-      (Kb.all_constraints kb)
+    (* look the constraints up from the affected classes' own [constraint]
+       links rather than folding [Kb.all_constraints] — the latter scans
+       the whole base, which would make every commit O(base) again *)
+    Symbol.Set.fold
+      (fun cls acc ->
+        List.fold_left
+          (fun acc (p : Prop.t) ->
+            if Symbol.equal p.Prop.label Axioms.constraint_ then
+              match Kb.constraint_formula kb p.Prop.dest with
+              | Some f -> check_constraint kb (cls, p.Prop.dest, f) @ acc
+              | None -> acc
+            else acc)
+          acc
+          (Base.by_source base cls))
+      affected_classes []
   in
   structural @ cycles @ constraints
 

@@ -387,6 +387,8 @@ let constraints_of t cls =
         (Base.by_source t.base c))
     classes
 
+let constraint_formula t id = Symbol.Tbl.find_opt t.constraint_defs id
+
 let all_constraints t =
   Base.fold t.base
     (fun acc (p : Prop.t) ->

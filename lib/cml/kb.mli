@@ -110,7 +110,12 @@ val constraints_of : t -> Prop.id -> (Prop.id * Logic.Formula.t) list
 (** Constraints attached to the class, including inherited ones. *)
 
 val all_constraints : t -> (Prop.id * Prop.id * Logic.Formula.t) list
-(** All (class, constraint-object, formula) triples. *)
+(** All (class, constraint-object, formula) triples.  Scans the whole
+    base — prefer {!constraint_formula} plus the class's own
+    [constraint] links on hot paths. *)
+
+val constraint_formula : t -> Prop.id -> Logic.Formula.t option
+(** The formula registered for a constraint object, if any. *)
 
 val add_behaviour :
   t -> cls:string -> event:string -> (t -> Prop.id -> unit) -> (unit, string) result

@@ -165,7 +165,10 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
           (Printf.sprintf "tool %s executes %s, not %s" tool
              tool_spec.executes decision_class)
       else
-        let* () = check_inputs repo decision_class inputs in
+        let* () =
+          Obs.Trace.with_span "decision.check_inputs" (fun () ->
+              check_inputs repo decision_class inputs)
+        in
         ignore (Repo.drain_changes repo);
         Repo.emit_event repo (Repo.Decision_begun decision_class);
         Store.Base.begin_tx base;
@@ -185,11 +188,18 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
             Obs.Trace.with_span "decision.tool_run" (fun () ->
                 tool_spec.run repo ~inputs ~params)
           in
-          let* () = check_outputs repo decision_class outputs in
+          let* () =
+            Obs.Trace.with_span "decision.check_outputs" (fun () ->
+                check_outputs repo decision_class outputs)
+          in
           (* the decision instance and its links *)
           let dec_name = Repo.fresh_decision_id repo in
-          Obs.Recorder.record ~decision:dec_name
-            (Obs.Recorder.Execute_begun decision_class);
+          (* everything between tool run and consistency check: the
+             decision instance, its links, texts and reason maintenance *)
+          let* dec_id, obligations =
+            Obs.Trace.with_span "decision.bookkeeping" @@ fun () ->
+            Obs.Recorder.record ~decision:dec_name
+              (Obs.Recorder.Execute_begun decision_class);
           let* dec_id = Kb.declare kb dec_name in
           let* _ = Kb.add_instanceof kb ~inst:dec_name ~cls:decision_class in
           let* () =
@@ -335,6 +345,8 @@ let execute repo ~decision_class ~tool ~inputs ?(params = []) ?(rationale = "")
                   ~suffix:"asserts" (String.concat ";" asserts)
               in
               Ok ()
+          in
+          Ok (dec_id, obligations)
           in
           (* set-oriented consistency check over the delta *)
           let delta = Repo.drain_changes repo in

@@ -44,10 +44,13 @@ val attach :
   dir:string -> Repository.t -> (t, string) result
 (** Make a live repository durable under [dir]: write an initial
     checkpoint, open a fresh log and subscribe to the delta and event
-    feeds.  A checkpoint is taken automatically after
-    [checkpoint_every] log records (default 256, measured at decision
-    commit); [fsync] (default false) forces data to the device on every
-    decision commit rather than only into the OS.
+    feeds.  A checkpoint is taken automatically (at a decision or batch
+    commit boundary) once the log holds at least
+    [max checkpoint_every (base cardinal)] records ([checkpoint_every]
+    defaults to 256) — scaling the cadence with the base keeps the
+    O(base) snapshot cost amortized O(1) per logged record; [fsync]
+    (default false) forces data to the device on every decision commit
+    rather than only into the OS.
 
     Any leftover [wal.log] in [dir] is archived (valid prefix only)
     under the next generation number before the fresh log is opened,
@@ -77,6 +80,20 @@ val checkpoint : t -> (unit, string) result
 val sync : t -> unit
 val wal_records : t -> int
 val wal_bytes : t -> int
+
+val begin_batch : t -> unit
+(** Open a group-commit batch: decision commits between here and
+    {!commit_batch} append their frames without the per-decision sync.
+    Must be called with the repository exclusively locked (the daemon's
+    write side) and balanced with {!commit_batch}; see
+    {!Durability.Journal.begin_batch} for the crash contract (a torn
+    batch is rolled back whole on recovery). *)
+
+val commit_batch : t -> unit
+(** Append the end-of-batch marker and sync once — the durability point
+    for every decision in the batch; only after this returns may the
+    batched commands be acknowledged.  Also runs the deferred
+    checkpoint check.  No-op if no batch is open. *)
 
 val generation : t -> int
 (** The number of the live log.  Strictly increases across checkpoints

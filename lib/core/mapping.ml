@@ -26,15 +26,7 @@ let rec hierarchy_root design cls_name =
   | Some { Tdl.supers = s :: _; _ } -> hierarchy_root design s
   | Some _ | None -> cls_name
 
-let next_version_name repo base =
-  let kb = Repo.kb repo in
-  if not (Kb.exists kb base) then base
-  else
-    let rec try_n n =
-      let candidate = Printf.sprintf "%s%d" base n in
-      if Kb.exists kb candidate then try_n (n + 1) else candidate
-    in
-    try_n 2
+let next_version_name repo base = Repo.next_version_name repo base
 
 (* strip a trailing version number: "InvitationRel2" -> "InvitationRel" *)
 let version_base name =

@@ -49,6 +49,12 @@ type t = {
   mutable change_batch : Store.Base.change list;  (** reverse order *)
   decision_justs : Tms.Jtms.justification list Symbol.Tbl.t;
       (** JTMS justifications installed by each decision instance *)
+  version_hints : int Symbol.Tbl.t;
+      (** version-lineage base -> lower bound on the first free version
+          index (>= 2).  Maintained from the base's change stream, so
+          it survives rollbacks and backtracking: removing [Base7]
+          lowers the hint back to 7.  Keeps {!next_version_name}
+          amortized O(1) instead of probing the whole lineage. *)
   mutable event_listeners : (event_subscription * (event -> unit)) list;
       (** newest first *)
   mutable next_event_sub : int;
@@ -67,6 +73,46 @@ and tool = {
     t -> inputs:(string * Prop.id) list -> params:(string * string) list ->
     (output list, string) result;
 }
+
+(* split a trailing version index: "InvitationRel7" -> ("InvitationRel", 7).
+   Indexes below 2 are never allocated by [next_version_name], so they do
+   not participate in hint maintenance. *)
+let split_version name =
+  let n = String.length name in
+  let rec first_digit i =
+    if i = 0 then n
+    else if name.[i - 1] >= '0' && name.[i - 1] <= '9' then first_digit (i - 1)
+    else i
+  in
+  let cut = first_digit n in
+  if cut = n || cut = 0 then None
+  else
+    match int_of_string_opt (String.sub name cut (n - cut)) with
+    | Some idx when idx >= 2 -> Some (String.sub name 0 cut, idx)
+    | _ -> None
+
+let track_version_hint t change =
+  let open Store.Base in
+  match change with
+  | Added p when Prop.is_individual p -> (
+    match split_version (Symbol.name p.Prop.id) with
+    | Some (base, idx) -> (
+      let b = Symbol.intern base in
+      (* indices below the hint are all occupied; occupying the hint
+         itself pushes the first-free bound one up *)
+      match Symbol.Tbl.find_opt t.version_hints b with
+      | Some h when idx = h -> Symbol.Tbl.replace t.version_hints b (h + 1)
+      | _ -> ())
+    | None -> ())
+  | Removed p when Prop.is_individual p -> (
+    match split_version (Symbol.name p.Prop.id) with
+    | Some (base, idx) -> (
+      let b = Symbol.intern base in
+      match Symbol.Tbl.find_opt t.version_hints b with
+      | Some h when idx < h -> Symbol.Tbl.replace t.version_hints b idx
+      | _ -> ())
+    | None -> ())
+  | Added _ | Removed _ -> ()
 
 let create ?(install_metamodel = true) () =
   let kb = Kb.create () in
@@ -87,11 +133,13 @@ let create ?(install_metamodel = true) () =
       event_listeners = [];
       next_event_sub = 0;
       version = Atomic.make 0;
+      version_hints = Symbol.Tbl.create 64;
     }
   in
   ignore
     (Store.Base.on_change (Kb.base kb) (fun c ->
-         t.change_batch <- c :: t.change_batch)
+         t.change_batch <- c :: t.change_batch;
+         track_version_hint t c)
       : Store.Base.subscription);
   t
 
@@ -269,6 +317,26 @@ let decision_log t = List.rev t.log
 let fresh_decision_id t =
   t.decision_counter <- t.decision_counter + 1;
   Printf.sprintf "dec%d" t.decision_counter
+
+let next_version_name t base =
+  if not (Kb.exists t.kb base) then base
+  else begin
+    let b = Symbol.intern base in
+    let start =
+      match Symbol.Tbl.find_opt t.version_hints b with
+      | Some h -> h
+      | None -> 2
+    in
+    let rec probe n =
+      if Kb.exists t.kb (base ^ string_of_int n) then probe (n + 1) else n
+    in
+    let n = probe start in
+    (* every index in [start, n) was just observed occupied, and the
+       hint guaranteed everything below [start] occupied, so [n] is the
+       exact first-free index — remember it *)
+    Symbol.Tbl.replace t.version_hints b n;
+    base ^ string_of_int n
+  end
 
 let advance_decision_counter t n =
   if t.decision_counter < n then t.decision_counter <- n

@@ -124,6 +124,13 @@ val decision_log : t -> Prop.id list
 
 val fresh_decision_id : t -> string
 
+val next_version_name : t -> string -> string
+(** First free name in the version lineage of [base]: [base] itself if
+    unused, else [base2], [base3], ... — always the smallest free index,
+    so names freed by backtracking are reused.  Amortized O(1): a hint
+    table tracking the base's change stream (including rollbacks)
+    remembers where the lineage ends instead of re-probing it. *)
+
 val advance_decision_counter : t -> int -> unit
 (** Raise the decision counter to at least [n], so ids minted after a
     snapshot load cannot collide with persisted decisions (recovery

@@ -44,6 +44,18 @@ let is_quit line =
   | "quit" | "exit" | "q" -> true
   | _ -> false
 
+(* Every verb [eval] dispatches on (plus the quit forms), in help
+   order.  The server's classification table is checked against this
+   list by a test, so adding a verb here without classifying it there
+   fails loudly instead of silently defaulting. *)
+let verbs =
+  [
+    "help"; "stats"; "slo"; "trace"; "unmapped"; "focus"; "menu"; "run";
+    "map"; "normalize"; "key"; "minutes"; "resolve"; "why"; "history";
+    "source"; "deps"; "config"; "check"; "ask"; "derive"; "explain";
+    "save"; "load"; "quit"; "exit"; "q";
+  ]
+
 let help_text =
   "commands: help stats unmapped focus [OBJ] menu [OBJ] run CLASS TOOL \
    ROLE=OBJ.. [K=V..]\n\

@@ -54,3 +54,8 @@ v} *)
 
 val is_quit : string -> bool
 (** Does the line ask to leave ([quit] / [exit])? *)
+
+val verbs : string list
+(** Every verb {!eval} dispatches on, plus the quit forms.  The
+    server's read/write classification table is tested against this
+    list, so a new shell verb must be classified explicitly. *)

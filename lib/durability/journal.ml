@@ -5,7 +5,20 @@ type t = {
   base : Store.Base.t;
   sub : Store.Base.subscription;
   mutable open_frames : int;
+  mutable batching : bool;
 }
+
+(* Group-commit batch markers.  A batch brackets whole decision frames
+   with a pair of reserved [Note] records; the end marker is the
+   batch's durability point (one sync for every decision inside).
+   Recovery ([resolve]) treats the pair as an outer frame, so a torn
+   batch — end marker missing after a crash — rolls back *all* its
+   decisions: none of them were acknowledged, because acks only go out
+   after the end-of-batch sync returns.  Markers sit outside decision
+   frames, so replication followers (which buffer and apply whole
+   decision frames) skip over them untouched. *)
+let batch_begin_key = "gc-begin"
+let batch_end_key = "gc-end"
 
 let attach w base =
   let sub =
@@ -13,11 +26,12 @@ let attach w base =
       | Store.Base.Added p -> Wal.append w (Wal.Put p)
       | Store.Base.Removed p -> Wal.append w (Wal.Tomb p.Prop.id))
   in
-  { w; base; sub; open_frames = 0 }
+  { w; base; sub; open_frames = 0; batching = false }
 
 let detach t = Store.Base.off_change t.base t.sub
 let writer t = t.w
 let depth t = t.open_frames
+let in_batch t = t.batching
 
 let begin_decision t name =
   t.open_frames <- t.open_frames + 1;
@@ -26,12 +40,31 @@ let begin_decision t name =
 let commit_decision t name =
   if t.open_frames > 0 then t.open_frames <- t.open_frames - 1;
   Wal.append t.w (Wal.Decision_commit name);
-  (* the commit record is the durability point *)
-  Wal.sync t.w
+  (* the commit record is the durability point — except inside a
+     batch, where the end-of-batch marker is *)
+  if not t.batching then Wal.sync t.w
 
 let abort_decision t reason =
   if t.open_frames > 0 then t.open_frames <- t.open_frames - 1;
   Wal.append t.w (Wal.Decision_abort reason)
+
+let begin_batch t id =
+  if t.batching then invalid_arg "Journal.begin_batch: batch already open";
+  if t.open_frames > 0 then
+    invalid_arg "Journal.begin_batch: decision frame open";
+  t.batching <- true;
+  (* the batch counts as an open frame so [depth] keeps checkpoints
+     (which require a frame-clean log) out of the middle of it *)
+  t.open_frames <- t.open_frames + 1;
+  Wal.append t.w (Wal.Note (batch_begin_key, id))
+
+let commit_batch t id =
+  if not t.batching then invalid_arg "Journal.commit_batch: no batch open";
+  t.batching <- false;
+  if t.open_frames > 0 then t.open_frames <- t.open_frames - 1;
+  Wal.append t.w (Wal.Note (batch_end_key, id));
+  (* the single sync that makes every decision in the batch durable *)
+  Wal.sync t.w
 
 let artifact t name text = Wal.append t.w (Wal.Artifact (name, text))
 let note t k v = Wal.append t.w (Wal.Note (k, v))
@@ -76,6 +109,22 @@ let resolve records =
       | Wal.Decision_abort reason -> (
         aborted := reason :: !aborted;
         match !frames with [] -> () | _ :: rest -> frames := rest)
+      | Wal.Note (k, _) when k = batch_begin_key ->
+        (* a group-commit batch opens an outer frame: its decisions
+           stay staged until the end marker lands, so a torn batch is
+           rolled back whole *)
+        frames := ([], []) :: !frames
+      | Wal.Note (k, _) when k = batch_end_key -> (
+        match !frames with
+        | [] -> committed := r :: !committed
+        | (ops, decs) :: rest -> (
+          match rest with
+          | [] ->
+            committed := (r :: ops) @ !committed;
+            decisions := decs @ !decisions;
+            frames := []
+          | (pops, pdecs) :: rest' ->
+            frames := ((r :: ops) @ pops, decs @ pdecs) :: rest'))
       | Wal.Put _ | Wal.Tomb _ | Wal.Artifact _ | Wal.Note _ -> (
         match !frames with
         | [] -> committed := r :: !committed

@@ -28,12 +28,41 @@ val depth : t -> int
 
 val begin_decision : t -> string -> unit
 val commit_decision : t -> string -> unit
-(** Appends the commit record and syncs the log. *)
+(** Appends the commit record and syncs the log — unless a batch is
+    open, in which case the sync is deferred to {!commit_batch}. *)
 
 val abort_decision : t -> string -> unit
 val artifact : t -> string -> string -> unit
 val note : t -> string -> string -> unit
 val sync : t -> unit
+
+(** {1 Group commit}
+
+    A batch brackets whole decision frames between a pair of reserved
+    marker records and defers every per-decision sync to a single
+    end-of-batch sync — the group-commit durability point.  Recovery
+    treats the bracket as an outer frame: a batch whose end marker
+    never hit the disk (crash mid-batch) is rolled back whole, which
+    is exactly right because no decision in it was acknowledged (acks
+    only go out after {!commit_batch} returns).  The markers sit
+    outside decision frames, so replication followers stream over them
+    unchanged. *)
+
+val begin_batch : t -> string -> unit
+(** Open a batch tagged with an (informational) id.
+    @raise Invalid_argument if a batch or a decision frame is open. *)
+
+val commit_batch : t -> string -> unit
+(** Append the end marker and sync once.
+    @raise Invalid_argument if no batch is open. *)
+
+val in_batch : t -> bool
+
+val batch_begin_key : string
+(** The reserved [Note] key bracketing a batch ([commit_batch] writes
+    {!batch_end_key}); exposed for tests and log tooling. *)
+
+val batch_end_key : string
 
 (** {1 Recovery} *)
 

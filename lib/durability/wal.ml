@@ -36,6 +36,12 @@ let sync_hist fsync =
     ~labels:[ ("fsync", if fsync then "true" else "false") ]
     ~help:"WAL sink sync latency (flush, plus fsync when enabled)"
 
+(* One increment per physical sink sync: group commit's whole point is
+   to keep this counter far below the decision count *)
+let g_fsyncs =
+  Obs.Registry.counter Obs.Registry.default "gkbms_wal_fsyncs_total"
+    ~help:"WAL file sink syncs (channel flush, plus fsync when enabled)"
+
 let file_sink ?(append = false) ?(fsync = false) path =
   let flags =
     if append then [ Open_wronly; Open_append; Open_creat; Open_binary ]
@@ -52,6 +58,7 @@ let file_sink ?(append = false) ?(fsync = false) path =
         (if fsync then
            try Unix.fsync (Unix.descr_of_out_channel oc)
            with Unix.Unix_error _ -> ());
+        Obs.Registry.Counter.inc g_fsyncs;
         Obs.Histogram.observe hist ((Obs.Runtime.now_s () -. t0) *. 1e6));
     close = (fun () -> close_out oc);
   }

@@ -84,6 +84,65 @@ let request ?ctx t line =
     | Error `Eof -> Error "transport: connection closed"
     | Error (`Corrupt reason) -> Error ("protocol: " ^ reason))
 
+(* Pipelined submission: keep up to [window] requests in flight, match
+   responses to requests by id so out-of-order completion (a fast read
+   overtaking a batched write's ack) is fine.  Results come back in
+   *submission* order regardless of arrival order. *)
+let pipeline ?(window = 16) t lines =
+  let window = max 1 window in
+  let lines = Array.of_list lines in
+  let n = Array.length lines in
+  let results = Array.make n (Error "transport: no response") in
+  let index_of_id = Hashtbl.create (2 * window) in
+  let sent = ref 0 and received = ref 0 in
+  let fail_rest msg =
+    (* every request not yet answered gets the transport error *)
+    Hashtbl.iter (fun _ i -> results.(i) <- Error msg) index_of_id;
+    for i = !sent to n - 1 do
+      results.(i) <- Error msg
+    done;
+    received := n;
+    sent := n
+  in
+  let send_one () =
+    let i = !sent in
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace index_of_id id i;
+    incr sent;
+    match
+      Protocol.write_frame t.transport
+        (Protocol.Request { id; line = lines.(i); ctx = None })
+    with
+    | exception e -> fail_rest ("transport: " ^ Printexc.to_string e)
+    | _n -> ()
+  in
+  let recv_one () =
+    match Protocol.next_frame t.reader with
+    | Ok (Protocol.Response r) -> (
+      match Hashtbl.find_opt index_of_id r.Protocol.id with
+      | Some i ->
+        Hashtbl.remove index_of_id r.Protocol.id;
+        incr received;
+        results.(i) <-
+          (if r.Protocol.ok then Ok r.Protocol.payload
+           else Error r.Protocol.payload)
+      | None ->
+        fail_rest
+          (Printf.sprintf "protocol: response id %d matches no in-flight request"
+             r.Protocol.id))
+    | Ok (Protocol.Request _) -> fail_rest "protocol: unexpected request frame"
+    | Error `Eof -> fail_rest "transport: connection closed"
+    | Error (`Corrupt reason) -> fail_rest ("protocol: " ^ reason)
+  in
+  while !received < n do
+    while !sent < n && !sent - !received < window do
+      send_one ()
+    done;
+    if !received < n then recv_one ()
+  done;
+  Array.to_list results
+
 (* Start (or continue) a distributed trace around one request: the
    server sees the encoded context in the frame and files its spans
    under the same trace id, which this returns for later lookup with

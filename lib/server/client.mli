@@ -32,6 +32,16 @@ val request : ?ctx:Obs.Trace_context.t -> t -> string -> (string, string) result
     given, rides the request frame so the server continues that
     distributed trace. *)
 
+val pipeline :
+  ?window:int -> t -> string list -> (string, string) result list
+(** Send the commands keeping up to [window] (default 16, min 1)
+    requests in flight, reading responses as they arrive.  Responses
+    are matched to requests by id, so out-of-order completion is fine;
+    the returned list is in submission order.  On a transport failure
+    every not-yet-answered command yields [Error _].  Against a
+    group-commit server, back-to-back writes submitted this way share
+    one fsync. *)
+
 val request_traced : t -> string -> (string, string) result * string
 (** Like {!request}, but under a trace context — a child of the
     ambient {!Obs.Trace.current_context} if one is set, fresh

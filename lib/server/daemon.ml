@@ -13,6 +13,16 @@ type config = {
       (** [Some leader] marks this daemon a replication follower:
           write-class commands are refused with an error naming the
           leader address to redirect to *)
+  group_commit : (int * int) option;
+      (** [Some (k, t_us)] turns on group commit: write commands from
+          all sessions are collected by a flusher thread and committed
+          under one exclusive section with a single end-of-batch WAL
+          sync; a batch flushes at [k] commands or [t_us] µs after its
+          first enqueue, whichever comes first *)
+  event_loop : bool;
+      (** serve {!listen} connections from a [Unix.select] readiness
+          loop over a small worker pool instead of a thread per
+          connection *)
 }
 
 let default_config =
@@ -24,12 +34,27 @@ let default_config =
     wal_fsync = false;
     domains = 1;
     read_only = None;
+    group_commit = None;
+    event_loop = false;
   }
+
+let default_group_commit = (16, 500)
+
+type entry = {
+  gsession : Session.t;
+  greq : Protocol.request;
+  enq_s : float;
+  gfinish : Protocol.response -> unit;
+}
 
 type t = {
   repo : Repo.t;
   config : config;
   scheduler : Scheduler.t;
+  group : entry Scheduler.Batch.t option;
+  mutable flusher : Thread.t option;
+  mutable eloop_wake : (unit -> unit) option;
+      (** wakes the event loop's select (stop, suspended-fd resume) *)
   cache : Cache.t option;
   metrics : Metrics.t;
   eval_m : Mutex.t;
@@ -62,6 +87,12 @@ let create ?(config = default_config) repo =
     repo;
     config;
     scheduler = Scheduler.create ();
+    group =
+      Option.map
+        (fun (k, t_us) -> Scheduler.Batch.create ~max:k ~window_us:t_us)
+        config.group_commit;
+    flusher = None;
+    eloop_wake = None;
     cache =
       (if config.cache then Some (Cache.create ~capacity:config.cache_capacity ())
        else None);
@@ -286,6 +317,98 @@ let process t session (req : Protocol.request) : Protocol.response =
           (Scheduler.read t.scheduler (fun () -> eval_read t session line))
       )))
 
+(* group commit -------------------------------------------------------- *)
+
+(* Writes are eligible for the batched path only when group commit is
+   on and this daemon accepts writes at all; everything else — reads,
+   built-ins, protocol extensions, follower refusals — keeps the
+   synchronous [process] path.  (Extension commands never classify as
+   writes: the replication family has its own verbs.) *)
+let grouped t (req : Protocol.request) =
+  t.group <> None
+  && t.config.read_only = None
+  && Scheduler.classify req.Protocol.line = `Write
+
+(* One batch: validate and commit every collected write sequentially
+   under a single exclusive section — same total order as today, same
+   snapshot-plus-predecessors semantics — bracketed by the durable
+   batch seam so the WAL is synced once, at the end.  Only then are
+   the acks sent: a client never sees a success for a decision that
+   could still be lost, and a crash before the end-of-batch marker
+   rolls back exactly the unacknowledged suffix. *)
+let exec_batch t entries =
+  let outs =
+    Scheduler.write t.scheduler (fun () ->
+        Option.iter Gkbms.Durable.begin_batch t.durable;
+        let outs =
+          List.map
+            (fun e ->
+              let line = String.trim e.greq.Protocol.line in
+              let ctx =
+                Option.bind e.greq.Protocol.ctx (fun s ->
+                    Result.to_option (Obs.Trace_context.decode s))
+              in
+              Obs.Trace.with_context ctx @@ fun () ->
+              Obs.Trace.with_span "server.request"
+                ~attrs:[ ("cmd", command_label line); ("batched", "true") ]
+              @@ fun () -> eval_under_lock t e.gsession line)
+            entries
+        in
+        Option.iter Gkbms.Durable.commit_batch t.durable;
+        outs)
+  in
+  Metrics.observe_batch t.metrics (List.length entries);
+  List.iter2
+    (fun e payload ->
+      let ok = not (is_error payload) in
+      let cmd = command_label e.greq.Protocol.line in
+      let seconds = Unix.gettimeofday () -. e.enq_s in
+      Metrics.record t.metrics ~cmd ~ok ~seconds;
+      ignore (Obs.Slo.observe ~cmd seconds);
+      e.gfinish { Protocol.id = e.greq.Protocol.id; ok; payload })
+    entries outs
+
+let refuse e reason =
+  e.gfinish
+    { Protocol.id = e.greq.Protocol.id; ok = false; payload = "error: " ^ reason }
+
+let exec_batch_safe t entries =
+  try exec_batch t entries
+  with exn ->
+    (* a failure in the batch machinery itself (not in command
+       evaluation, which is caught per-command): never strand the
+       sessions blocked on these acks *)
+    let reason = "internal: " ^ Printexc.to_string exn in
+    List.iter (fun e -> refuse e reason) entries
+
+let flusher_loop t batch =
+  let rec loop () =
+    match Scheduler.Batch.drain batch with
+    | [] -> ()
+    | entries ->
+      exec_batch_safe t entries;
+      loop ()
+  in
+  loop ()
+
+let ensure_flusher t batch =
+  Mutex.lock t.m;
+  if t.flusher = None && not t.stopping then
+    t.flusher <- Some (Thread.create (flusher_loop t) batch);
+  Mutex.unlock t.m
+
+let submit_write t session req ~finish =
+  match t.group with
+  | None ->
+    (* group commit off: fall back to the synchronous write path *)
+    finish (process t session req)
+  | Some batch ->
+    ensure_flusher t batch;
+    let e =
+      { gsession = session; greq = req; enq_s = Unix.gettimeofday (); gfinish = finish }
+    in
+    if not (Scheduler.Batch.submit batch e) then refuse e "server stopping"
+
 (* connection lifecycle ------------------------------------------------ *)
 
 let reaper_loop t timeout =
@@ -314,31 +437,36 @@ let ensure_reaper t =
   | Some timeout, None -> t.reaper <- Some (Thread.create (reaper_loop t) timeout)
   | _ -> ()
 
-let handle t transport =
-  let session =
-    Mutex.lock t.m;
-    let sid = t.next_sid in
-    t.next_sid <- sid + 1;
-    let s =
-      Session.create ~sid ~queue_limit:t.config.queue_limit ~repo:t.repo
-        ~transport
-    in
-    Hashtbl.replace t.sessions sid s;
-    ensure_reaper t;
-    Mutex.unlock t.m;
-    s
+let register_session t transport =
+  Mutex.lock t.m;
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  let s =
+    Session.create ~sid ~queue_limit:t.config.queue_limit ~repo:t.repo
+      ~transport
   in
+  Hashtbl.replace t.sessions sid s;
+  ensure_reaper t;
+  Mutex.unlock t.m;
   Metrics.session_opened t.metrics;
+  s
+
+let unregister_session t session =
+  Mutex.lock t.m;
+  Hashtbl.remove t.sessions (Session.sid session);
+  Mutex.unlock t.m;
+  Metrics.session_closed t.metrics
+
+let handle t transport =
+  let session = register_session t transport in
   Fun.protect
-    ~finally:(fun () ->
-      Mutex.lock t.m;
-      Hashtbl.remove t.sessions (Session.sid session);
-      Mutex.unlock t.m;
-      Metrics.session_closed t.metrics)
+    ~finally:(fun () -> unregister_session t session)
     (fun () ->
-      Session.run session ~process:(process t)
+      Session.run session ~grouped:(grouped t) ~submit_write:(submit_write t)
+        ~process:(process t)
         ~on_bytes:(fun ~incoming ~outgoing ->
           Metrics.add_bytes t.metrics ~incoming ~outgoing)
+        ~on_inflight:(Metrics.inflight t.metrics)
         ~on_protocol_error:(fun _reason -> Metrics.protocol_error t.metrics))
 
 let register_worker t th =
@@ -350,6 +478,226 @@ let connect t =
   let client_end, server_end = Protocol.loopback () in
   register_worker t (Thread.create (fun () -> handle t server_end) ());
   client_end
+
+(* event loop ----------------------------------------------------------
+
+   One thread multiplexes every connection with [Unix.select]: it
+   accepts, reads whatever bytes are ready, parses complete frames
+   ([Protocol.feed]) and queues them per connection; a small worker
+   pool drains one connection at a time (actor style), keeping
+   per-session order while any number of sessions sit idle for free.
+   Writes still pipeline through the group-commit flusher, so a worker
+   only ever blocks on its own session's outstanding acks.
+
+   Backpressure: a connection whose request queue hits the limit is
+   dropped from the select read set until its worker drains it below
+   half, mirroring the blocking receiver's behaviour.  A connection is
+   only closed (fd released) once no worker holds it and its last ack
+   has gone out — an fd number must not be reused while a stale writer
+   could still reach it. *)
+
+let eloop_worker_count = 4
+
+type econn = {
+  efd : Unix.file_descr;
+  esession : Session.t;
+  efeeder : Protocol.feeder;
+  ebuf : bytes;
+  em : Mutex.t;
+  erq : Protocol.request Queue.t;
+  mutable escheduled : bool;  (** queued for (or held by) a worker *)
+  mutable esuspended : bool;  (** removed from the select read set *)
+  mutable eclosed : bool;
+}
+
+let econn_handle_one t c req =
+  let s = c.esession in
+  let done_one resp =
+    (match Session.send s resp with
+    | Some n -> Metrics.add_bytes t.metrics ~incoming:0 ~outgoing:n
+    | None -> ());
+    Metrics.inflight t.metrics (-1)
+  in
+  if grouped t req then begin
+    Session.begin_async s;
+    submit_write t s req ~finish:(fun resp ->
+        done_one resp;
+        Session.end_async s)
+  end
+  else begin
+    Session.await_idle s;
+    done_one (process t s req);
+    if Gkbms.Shell.is_quit req.Protocol.line then
+      (* shutting the socket down surfaces as EOF in the select loop,
+         which buries the connection through the normal path *)
+      Session.shutdown s
+  end
+
+let econn_drain t wake c =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock c.em;
+    match Queue.take_opt c.erq with
+    | None ->
+      c.escheduled <- false;
+      Mutex.unlock c.em;
+      continue_ := false
+    | Some req ->
+      let resume =
+        c.esuspended && Queue.length c.erq <= t.config.queue_limit / 2
+      in
+      if resume then c.esuspended <- false;
+      Mutex.unlock c.em;
+      if resume then wake ();
+      econn_handle_one t c req
+  done
+
+let eloop t fd =
+  let conns : (Unix.file_descr, econn) Hashtbl.t = Hashtbl.create 64 in
+  let graveyard : econn list ref = ref [] in
+  let ready : econn Bqueue.t = Bqueue.create ~capacity:4096 in
+  let pipe_r, pipe_w = Unix.pipe () in
+  let wake () =
+    try ignore (Unix.write_substring pipe_w "x" 0 1) with Unix.Unix_error _ -> ()
+  in
+  Mutex.lock t.m;
+  t.eloop_wake <- Some wake;
+  Mutex.unlock t.m;
+  let workers =
+    List.init eloop_worker_count (fun _ ->
+        Thread.create
+          (fun () ->
+            let continue_ = ref true in
+            while !continue_ do
+              match Bqueue.take ready with
+              | None -> continue_ := false
+              | Some c -> econn_drain t wake c
+            done)
+          ())
+  in
+  let stopping () =
+    Mutex.lock t.m;
+    let s = t.stopping in
+    Mutex.unlock t.m;
+    s
+  in
+  let bury c =
+    (* out of the select set now; fd closed later, once quiescent *)
+    Mutex.lock c.em;
+    c.eclosed <- true;
+    Mutex.unlock c.em;
+    Hashtbl.remove conns c.efd;
+    unregister_session t c.esession;
+    Session.shutdown c.esession;
+    graveyard := c :: !graveyard
+  in
+  let sweep_graveyard () =
+    graveyard :=
+      List.filter
+        (fun c ->
+          let busy =
+            Mutex.lock c.em;
+            let b = c.escheduled || not (Queue.is_empty c.erq) in
+            Mutex.unlock c.em;
+            b || Session.async_pending c.esession > 0
+          in
+          if not busy then Session.detach c.esession;
+          busy)
+        !graveyard
+  in
+  let accept_ready () =
+    match Unix.accept fd with
+    | conn_fd, _ ->
+      let session = register_session t (Protocol.fd_transport conn_fd) in
+      let c =
+        {
+          efd = conn_fd;
+          esession = session;
+          efeeder = Protocol.feeder ();
+          ebuf = Bytes.create 8192;
+          em = Mutex.create ();
+          erq = Queue.create ();
+          escheduled = false;
+          esuspended = false;
+          eclosed = false;
+        }
+      in
+      Hashtbl.replace conns conn_fd c
+    | exception Unix.Unix_error _ -> ()
+  in
+  let enqueue_request c req =
+    Metrics.inflight t.metrics 1;
+    Mutex.lock c.em;
+    Queue.push req c.erq;
+    if Queue.length c.erq >= t.config.queue_limit then c.esuspended <- true;
+    let need_sched = not c.escheduled in
+    if need_sched then c.escheduled <- true;
+    Mutex.unlock c.em;
+    if need_sched then ignore (Bqueue.put ready c : bool)
+  in
+  let read_ready c =
+    match Unix.read c.efd c.ebuf 0 (Bytes.length c.ebuf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> bury c
+    | 0 -> bury c
+    | n -> (
+      Session.touch c.esession;
+      Metrics.add_bytes t.metrics ~incoming:n ~outgoing:0;
+      match Protocol.feed c.efeeder c.ebuf n with
+      | Error _reason ->
+        Metrics.protocol_error t.metrics;
+        bury c
+      | Ok frames ->
+        List.iter
+          (function
+            | Protocol.Request req -> enqueue_request c req
+            | Protocol.Response _ ->
+              Metrics.protocol_error t.metrics;
+              bury c)
+          frames)
+  in
+  let drain_pipe () =
+    let b = Bytes.create 64 in
+    match Unix.read pipe_r b 0 64 with
+    | _ | (exception Unix.Unix_error _) -> ()
+  in
+  while not (stopping ()) do
+    sweep_graveyard ();
+    let watched =
+      Hashtbl.fold
+        (fun cfd c acc ->
+          if c.esuspended || c.eclosed then acc else cfd :: acc)
+        conns []
+    in
+    match Unix.select (fd :: pipe_r :: watched) [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+      (* the listener was closed under us by [stop]; recheck *)
+      ()
+    | readable, _, _ ->
+      List.iter
+        (fun rfd ->
+          if rfd = fd then accept_ready ()
+          else if rfd = pipe_r then drain_pipe ()
+          else
+            match Hashtbl.find_opt conns rfd with
+            | Some c -> read_ready c
+            | None -> ())
+        readable
+  done;
+  (* shutdown: stop feeding the workers, drop every connection *)
+  Hashtbl.iter (fun _ c -> bury c) conns;
+  Bqueue.close ready;
+  List.iter (fun th -> try Thread.join th with _ -> ()) workers;
+  (* workers are gone, so quiescence is immediate for queued work; a
+     straggler ack from the flusher fails harmlessly on the closed fd *)
+  List.iter (fun c -> Session.detach c.esession) !graveyard;
+  graveyard := [];
+  Mutex.lock t.m;
+  t.eloop_wake <- None;
+  Mutex.unlock t.m;
+  (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+  try Unix.close pipe_w with Unix.Unix_error _ -> ()
 
 let listen t ~path =
   match
@@ -384,7 +732,7 @@ let listen t ~path =
           (* listener closed by [stop] *)
           ())
     in
-    accept_loop ();
+    if t.config.event_loop then eloop t fd else accept_loop ();
     (try Unix.unlink path with _ -> ());
     Ok ()
 
@@ -397,6 +745,9 @@ let stop t =
   let sessions = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
   let workers = t.workers in
   t.workers <- [];
+  let wake = t.eloop_wake in
+  let flusher = t.flusher in
+  t.flusher <- None;
   Mutex.unlock t.m;
   if not already then (
     (match fd with
@@ -405,6 +756,14 @@ let stop t =
          blocked in accept(2) on Linux *)
       (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
       (try Unix.close fd with _ -> ())
+    | None -> ());
+    (* nudge the event loop off its select so it notices [stopping] *)
+    Option.iter (fun w -> w ()) wake;
+    (* refuse new batched writes, let the flusher commit the tail, then
+       retire it — before closing sessions, so queued acks can land *)
+    Option.iter Scheduler.Batch.close t.group;
+    (match flusher with
+    | Some th -> ( try Thread.join th with _ -> ())
     | None -> ());
     List.iter Session.shutdown sessions;
     List.iter (fun th -> try Thread.join th with _ -> ()) workers;

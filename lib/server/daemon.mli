@@ -38,11 +38,32 @@ type config = {
           client to redirect to [leader_addr].  Reads (and the
           protocol-level commands) are served normally, at the
           follower's applied version. *)
+  group_commit : (int * int) option;
+      (** [Some (k, t_us)] turns on group commit: write commands from
+          all sessions are collected by a flusher thread, validated and
+          committed in arrival order under one exclusive section, and
+          made durable with a {e single} end-of-batch WAL sync; only
+          then is each client acked.  A batch flushes at [k] commands
+          or [t_us] µs after its first enqueue, whichever comes first.
+          Crash safety: the batch is bracketed by begin/end markers in
+          the journal, so [recover] after a mid-batch [kill -9] rolls
+          back exactly the torn (never-acknowledged) suffix. *)
+  event_loop : bool;
+      (** serve {!listen} connections from a [Unix.select] readiness
+          loop multiplexing all sessions over a small worker pool,
+          instead of a thread per connection.  Per-session request
+          order is preserved (each connection is drained by one worker
+          at a time); combined with [group_commit], pipelined writes
+          from any number of sessions share fsyncs. *)
 }
 
 val default_config : config
 (** cache on, capacity 4096, no idle timeout, queue limit 64, no fsync,
-    1 domain, writable. *)
+    1 domain, writable, no group commit, thread-per-connection. *)
+
+val default_group_commit : int * int
+(** [(16, 500)]: flush at 16 writes or 500µs, whichever first — the
+    [serve --group-commit] default. *)
 
 type t
 
@@ -88,8 +109,9 @@ val connect : t -> Protocol.transport
 
 val listen : t -> path:string -> (unit, string) result
 (** Bind a Unix-domain socket at [path] (replacing a stale file) and
-    accept connections until {!stop}, one thread per connection.  Blocks
-    the calling thread. *)
+    accept connections until {!stop} — one thread per connection, or,
+    with [config.event_loop], a single select loop over a worker pool.
+    Blocks the calling thread. *)
 
 val stop : t -> unit
 (** Stop listening, shut every live session down, wait for them to

@@ -18,6 +18,8 @@ type t = {
   sessions_opened : Obs.Registry.Counter.t;
   sessions_closed : Obs.Registry.Counter.t;
   protocol_errors : Obs.Registry.Counter.t;
+  batch_size : Obs.Histogram.t;
+  inflight : Obs.Registry.Gauge.t;
 }
 
 let create ?registry () =
@@ -37,6 +39,14 @@ let create ?registry () =
       counter "gkbms_server_sessions_closed_total" "Client sessions closed";
     protocol_errors =
       counter "gkbms_server_protocol_errors_total" "Malformed frames seen";
+    batch_size =
+      Obs.Registry.histogram registry "gkbms_group_commit_batch_size"
+        ~help:"Write commands committed per group-commit batch";
+    inflight =
+      Obs.Registry.gauge registry "gkbms_server_inflight_requests"
+        ~help:
+          "Requests received (parsed off a connection) but not yet \
+           answered, across all sessions";
   }
 
 let registry t = t.registry
@@ -78,6 +88,8 @@ let add_bytes t ~incoming ~outgoing =
 let session_opened t = Obs.Registry.Counter.inc t.sessions_opened
 let session_closed t = Obs.Registry.Counter.inc t.sessions_closed
 let protocol_error t = Obs.Registry.Counter.inc t.protocol_errors
+let observe_batch t n = Obs.Histogram.observe t.batch_size (float_of_int n)
+let inflight t by = Obs.Registry.Gauge.add t.inflight (float_of_int by)
 
 type command_snapshot = {
   cmd : string;

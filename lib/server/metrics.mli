@@ -22,6 +22,15 @@ val session_opened : t -> unit
 val session_closed : t -> unit
 val protocol_error : t -> unit
 
+val observe_batch : t -> int -> unit
+(** Account one group-commit flush of [n] write commands
+    ([gkbms_group_commit_batch_size]). *)
+
+val inflight : t -> int -> unit
+(** Adjust the in-flight request gauge: [+1] when a request is parsed
+    off a connection, [-1] when its response is written
+    ([gkbms_server_inflight_requests]). *)
+
 (** {1 Snapshots} *)
 
 type command_snapshot = {

@@ -257,3 +257,47 @@ let write_frame tr frame =
   let s = encode frame in
   tr.write s;
   String.length s
+
+(* push parsing --------------------------------------------------------
+   The event-loop variant of [reader]: the select loop owns the fd and
+   hands whatever bytes arrived to [feed], which returns every complete
+   frame they finish.  No blocking, no transport. *)
+
+type feeder = { fpending : Buffer.t; mutable foff : int }
+
+let feeder () = { fpending = Buffer.create 512; foff = 0 }
+let feeder_pending f = Buffer.length f.fpending - f.foff
+
+let feed f b n =
+  Buffer.add_subbytes f.fpending b 0 n;
+  let peek pos = Buffer.nth f.fpending (f.foff + pos) in
+  let u32le_at pos =
+    Char.code (peek pos)
+    lor (Char.code (peek (pos + 1)) lsl 8)
+    lor (Char.code (peek (pos + 2)) lsl 16)
+    lor (Char.code (peek (pos + 3)) lsl 24)
+  in
+  let rec frames acc =
+    if feeder_pending f < 8 then Ok (List.rev acc)
+    else
+      let len = u32le_at 0 in
+      if len > max_frame then
+        Error (Printf.sprintf "frame length %d exceeds limit" len)
+      else if feeder_pending f < 8 + len then Ok (List.rev acc)
+      else
+        let crc = Int32.of_int (u32le_at 4) in
+        let payload = Buffer.sub f.fpending (f.foff + 8) len in
+        f.foff <- f.foff + 8 + len;
+        if Durability.Crc32.of_string payload <> crc then
+          Error "checksum mismatch"
+        else
+          match decode_payload payload with
+          | Ok fr -> frames (fr :: acc)
+          | Error e -> Error e
+  in
+  let r = frames [] in
+  if f.foff = Buffer.length f.fpending then begin
+    Buffer.clear f.fpending;
+    f.foff <- 0
+  end;
+  r

@@ -67,3 +67,22 @@ val bytes_consumed : reader -> int
 
 val write_frame : transport -> frame -> int
 (** Write one frame; returns the number of bytes written. *)
+
+(** {1 Push parsing}
+
+    The event-loop variant of {!reader}: the select loop owns the fd
+    and hands whatever bytes arrived to {!feed}; no blocking, no
+    transport. *)
+
+type feeder
+
+val feeder : unit -> feeder
+
+val feed : feeder -> bytes -> int -> (frame list, string) result
+(** Append the first [n] bytes of the buffer and return every frame
+    they complete (possibly none).  An [Error] is a corrupt stream —
+    bad checksum, oversized length, undecodable payload — and the
+    connection should be dropped. *)
+
+val feeder_pending : feeder -> int
+(** Bytes buffered but not yet forming a complete frame. *)

@@ -80,17 +80,193 @@ let has_operand line =
   let line = String.trim line in
   String.contains line ' '
 
+type cache_mode = [ `Always | `With_operand | `Never ]
+
+(* Every verb the daemon can see — the shell's plus the daemon-level
+   built-ins — with an explicit classification, so a future verb that
+   is missing here fails the table-driven test in test_server rather
+   than silently landing on the cached-read path.
+
+   [`With_operand]: browsing commands are cacheable only in their
+   explicit-operand form — without an operand they read the session
+   cursor.  [`Never] covers per-session state ([focus], [config]),
+   side effects ([save]), time-varying output ([slo], [trace]), and
+   the daemon built-ins answered before classification. *)
+let verb_table : (string * [ `Read | `Write ] * cache_mode) list =
+  [
+    (* shell reads, version-keyed and session-independent *)
+    ("help", `Read, `Always);
+    ("stats", `Read, `Always);
+    ("unmapped", `Read, `Always);
+    ("check", `Read, `Always);
+    ("ask", `Read, `Always);
+    ("derive", `Read, `Always);
+    ("explain", `Read, `Always);
+    (* browsing: cursor-relative without an operand *)
+    ("menu", `Read, `With_operand);
+    ("why", `Read, `With_operand);
+    ("history", `Read, `With_operand);
+    ("source", `Read, `With_operand);
+    ("deps", `Read, `With_operand);
+    (* per-session or time-varying reads *)
+    ("focus", `Read, `Never);
+    ("config", `Read, `Never);
+    ("slo", `Read, `Never);
+    ("trace", `Read, `Never);
+    ("save", `Read, `Never);
+    (* writes: decision log order, exclusive side *)
+    ("run", `Write, `Never);
+    ("map", `Write, `Never);
+    ("normalize", `Write, `Never);
+    ("key", `Write, `Never);
+    ("minutes", `Write, `Never);
+    ("resolve", `Write, `Never);
+    ("load", `Write, `Never);
+    (* session terminators *)
+    ("quit", `Read, `Never);
+    ("exit", `Read, `Never);
+    ("q", `Read, `Never);
+    (* daemon built-ins, answered before classification *)
+    ("metrics", `Read, `Never);
+    ("news", `Read, `Never);
+    ("ping", `Read, `Never);
+    ("version", `Read, `Never);
+  ]
+
+let verb_entry verb =
+  List.find_map
+    (fun (v, rw, c) -> if String.equal v verb then Some (rw, c) else None)
+    verb_table
+
+let known_verbs = List.map (fun (v, _, _) -> v) verb_table
+
 let classify line =
-  match first_word line with
-  | "run" | "map" | "normalize" | "key" | "minutes" | "resolve" | "load" ->
-    `Write
-  | _ -> `Read
+  match verb_entry (first_word line) with
+  | Some (`Write, _) -> `Write
+  | Some (`Read, _) | None -> `Read
 
 let cacheable line =
-  match first_word line with
-  | "help" | "stats" | "unmapped" | "check" | "ask" | "derive" | "explain" ->
-    true
-  (* browsing commands are cacheable only in their explicit-operand form:
-     without an operand they read the session cursor *)
-  | "menu" | "why" | "history" | "source" | "deps" -> has_operand line
-  | _ -> false
+  match verb_entry (first_word line) with
+  | Some (_, `Always) -> true
+  | Some (_, `With_operand) -> has_operand line
+  | Some (_, `Never) | None -> false
+
+(* write-batch admission ----------------------------------------------- *)
+
+(* The group-commit admission queue: writers [submit] work items as
+   they arrive; a single flusher thread blocks in [drain] and is handed
+   the accumulated batch when it reaches [max] items or [window_us]
+   microseconds have passed since the batch's *first* enqueue —
+   whichever comes first, so a lone writer waits at most the window and
+   a burst never waits at all.  While a drained batch is being
+   committed, the next one accumulates behind it: under load the
+   window hardly matters and batches form by natural accumulation.
+
+   The stdlib has no timed condition wait, so once a batch is pending
+   the flusher polls its deadline in sub-window sleeps; when the queue
+   is empty it parks on the condition variable and costs nothing. *)
+module Batch = struct
+  type 'a t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    q : 'a Queue.t;
+    max : int;
+    window_s : float;
+    mutable first_enqueue : float;
+    mutable closed : bool;
+  }
+
+  let create ~max ~window_us =
+    if max < 1 then invalid_arg "Scheduler.Batch.create: max < 1";
+    if window_us < 0 then invalid_arg "Scheduler.Batch.create: window_us < 0";
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      max;
+      window_s = float_of_int window_us /. 1e6;
+      first_enqueue = 0.;
+      closed = false;
+    }
+
+  let submit t x =
+    Mutex.lock t.m;
+    let accepted = not t.closed in
+    if accepted then begin
+      if Queue.is_empty t.q then t.first_enqueue <- Unix.gettimeofday ();
+      Queue.push x t.q;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.m;
+    accepted
+
+  (* Take at most [max] items: the queue can overshoot the cap while
+     [drain] is off the mutex in its gather loop, and an oversized
+     batch would hold the repository's write slot (and every parked
+     submitter) for longer than the cap promises.  Leftovers restart
+     the window at the take, so the next [drain] still runs its gather
+     loop — the yields there are what let submitter threads (one
+     runtime lock!) refill the queue while a batch is due; flushing
+     leftovers ungathered would starve the producers into a trickle
+     of undersized batches. *)
+  let take_up_to t n =
+    let rec go acc k =
+      if k = 0 || Queue.is_empty t.q then List.rev acc
+      else go (Queue.pop t.q :: acc) (k - 1)
+    in
+    let xs = go [] n in
+    if not (Queue.is_empty t.q) then t.first_enqueue <- Unix.gettimeofday ();
+    xs
+
+  let drain t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.nonempty t.m
+    done;
+    if Queue.is_empty t.q then begin
+      (* closed and drained *)
+      Mutex.unlock t.m;
+      []
+    end
+    else begin
+      (* Gather phase: submitter threads only make progress while this
+         thread is off the OCaml runtime lock, so poll-sleeping out the
+         whole window would just add dead time to every commit.
+         Instead, yield and flush as soon as the queue stops growing —
+         pipelined submitters extend the batch across the yields, a
+         lone blocking writer flushes immediately, and anything that
+         arrives during the previous batch's fsync (which releases the
+         runtime lock) forms the next batch.  [max] and the window stay
+         as hard bounds. *)
+      let rec gather stable_len =
+        if
+          Queue.length t.q >= t.max
+          || t.closed
+          || Unix.gettimeofday () -. t.first_enqueue >= t.window_s
+        then ()
+        else begin
+          Mutex.unlock t.m;
+          Thread.yield ();
+          Mutex.lock t.m;
+          let len = Queue.length t.q in
+          if len > stable_len then gather len
+        end
+      in
+      gather (Queue.length t.q);
+      let xs = take_up_to t t.max in
+      Mutex.unlock t.m;
+      xs
+    end
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m
+
+  let length t =
+    Mutex.lock t.m;
+    let n = Queue.length t.q in
+    Mutex.unlock t.m;
+    n
+end

@@ -43,3 +43,45 @@ val cacheable : string -> bool
     be served from the version-keyed cache.  Commands that read or set
     per-session state ([focus], [config], cursor-relative browsing) and
     commands with side effects ([save]) are excluded. *)
+
+type cache_mode = [ `Always | `With_operand | `Never ]
+
+val verb_entry : string -> ([ `Read | `Write ] * cache_mode) option
+(** The explicit classification table entry for a verb, if it has one.
+    {!classify} and {!cacheable} are derived from this table; a verb
+    with no entry classifies as an uncacheable read.  Exposed so the
+    table-driven test can insist every shell verb is listed. *)
+
+val known_verbs : string list
+(** Every verb with an explicit table entry. *)
+
+(** {1 Write-batch admission}
+
+    The group-commit admission queue: writers {!Batch.submit} work
+    items as they arrive, and a single flusher thread blocks in
+    {!Batch.drain} until the accumulated batch reaches [max] items or
+    [window_us] µs have elapsed since the batch's first enqueue —
+    whichever comes first.  A lone writer therefore waits at most one
+    window; under load the next batch accumulates while the previous
+    one commits, so batches mostly form by natural accumulation. *)
+module Batch : sig
+  type 'a t
+
+  val create : max:int -> window_us:int -> 'a t
+  (** @raise Invalid_argument if [max < 1] or [window_us < 0]. *)
+
+  val submit : 'a t -> 'a -> bool
+  (** Enqueue an item; [false] if the queue was closed instead. *)
+
+  val drain : 'a t -> 'a list
+  (** Block until a batch is due and take it, at most [max] items in
+      submission order.  Overshoot past the cap stays queued and seeds
+      the next batch, whose window restarts at the take; [[]] once the
+      queue is closed and drained.  Single consumer. *)
+
+  val close : 'a t -> unit
+  (** Refuse further submissions and wake the flusher; already-queued
+      items still drain. *)
+
+  val length : 'a t -> int
+end

@@ -10,11 +10,22 @@ type t = {
   news_m : Mutex.t;
   mutable news : string list;  (** newest first; pre-rendered strings *)
   mutable last_active : float;
+  write_m : Mutex.t;
+      (** serializes response frames: with pipelining, the group-commit
+          flusher acks writes while the executor answers reads, and
+          interleaved frame bytes would corrupt the stream *)
+  pend_m : Mutex.t;
+  pend_c : Condition.t;
+  mutable pending : int;
+      (** writes handed to the group-commit flusher and not yet acked;
+          the executor drains this before any non-write command so a
+          session always reads its own writes *)
 }
 
 let sid t = t.sid
 let shell t = t.shell
 let last_active t = t.last_active
+let touch t = t.last_active <- Unix.gettimeofday ()
 let queue_length t = Bqueue.length t.queue
 
 let create ~sid ~queue_limit ~repo ~transport =
@@ -50,6 +61,10 @@ let create ~sid ~queue_limit ~repo ~transport =
       news_m;
       news = [];
       last_active = Unix.gettimeofday ();
+      write_m = Mutex.create ();
+      pend_m = Mutex.create ();
+      pend_c = Condition.create ();
+      pending = 0;
     }
   in
   t_ref := Some t;
@@ -68,7 +83,51 @@ let detach t =
   Repo.off_event t.repo t.sub;
   t.transport.Protocol.close ()
 
-let run t ~process ~on_bytes ~on_protocol_error =
+let send t resp =
+  Mutex.lock t.write_m;
+  let r =
+    try Some (Protocol.write_frame t.transport (Protocol.Response resp))
+    with _ -> None
+  in
+  Mutex.unlock t.write_m;
+  (* peer gone mid-response: stop accepting work for this session *)
+  if r = None then Bqueue.close t.queue;
+  r
+
+let begin_async t =
+  Mutex.lock t.pend_m;
+  t.pending <- t.pending + 1;
+  Mutex.unlock t.pend_m
+
+let end_async t =
+  Mutex.lock t.pend_m;
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.pend_c;
+  Mutex.unlock t.pend_m
+
+let async_pending t =
+  Mutex.lock t.pend_m;
+  let n = t.pending in
+  Mutex.unlock t.pend_m;
+  n
+
+let await_idle t =
+  Mutex.lock t.pend_m;
+  while t.pending > 0 do
+    Condition.wait t.pend_c t.pend_m
+  done;
+  Mutex.unlock t.pend_m
+
+let post t req = Bqueue.put t.queue req
+
+let run t ~grouped ~submit_write ~process ~on_bytes ~on_inflight
+    ~on_protocol_error =
+  let done_one resp =
+    (match send t resp with
+    | Some n -> on_bytes ~incoming:0 ~outgoing:n
+    | None -> ());
+    on_inflight (-1)
+  in
   let executor =
     Thread.create
       (fun () ->
@@ -77,19 +136,25 @@ let run t ~process ~on_bytes ~on_protocol_error =
           match Bqueue.take t.queue with
           | None -> continue_ := false
           | Some req ->
-            let resp = process t req in
-            (try
-               let n =
-                 Protocol.write_frame t.transport (Protocol.Response resp)
-               in
-               on_bytes ~incoming:0 ~outgoing:n
-             with _ ->
-               (* peer gone mid-response: stop executing *)
-               Bqueue.close t.queue);
-            if Gkbms.Shell.is_quit req.Protocol.line then (
-              Bqueue.close t.queue;
-              (* wake the receiver blocked on the transport *)
-              t.transport.Protocol.shutdown ())
+            if grouped req then begin
+              (* pipelined write: hand it to the group-commit flusher
+                 and move on — back-to-back writes from this session
+                 land in the same batch, one fsync for all of them *)
+              begin_async t;
+              submit_write t req ~finish:(fun resp ->
+                  done_one resp;
+                  end_async t)
+            end
+            else begin
+              (* anything else sees this session's writes first *)
+              await_idle t;
+              let resp = process t req in
+              done_one resp;
+              if Gkbms.Shell.is_quit req.Protocol.line then (
+                Bqueue.close t.queue;
+                (* wake the receiver blocked on the transport *)
+                t.transport.Protocol.shutdown ())
+            end
         done)
       ()
   in
@@ -103,7 +168,7 @@ let run t ~process ~on_bytes ~on_protocol_error =
       let consumed = Protocol.bytes_consumed reader in
       on_bytes ~incoming:(consumed - !last_consumed) ~outgoing:0;
       last_consumed := consumed;
-      if not (Bqueue.put t.queue req) then receiving := false
+      if Bqueue.put t.queue req then on_inflight 1 else receiving := false
     | Ok (Protocol.Response _) ->
       on_protocol_error "unexpected response frame from client";
       receiving := false
@@ -114,4 +179,7 @@ let run t ~process ~on_bytes ~on_protocol_error =
   done;
   Bqueue.close t.queue;
   Thread.join executor;
+  (* in-flight group-commit acks still hold a reference to the
+     transport; let them land (or fail harmlessly) before closing it *)
+  await_idle t;
   detach t

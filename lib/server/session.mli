@@ -1,9 +1,17 @@
 (** A per-connection session: one {!Gkbms.Shell} over the shared
-    repository, a bounded request queue fed by a receiver loop, an
-    executor thread draining it, and an event listener collecting
-    decisions committed by *any* session since this client last polled
-    ([news] — the paper's §2 group setting, where designers working on
-    one shared KB see each other's decisions land).
+    repository, a bounded request queue, and an event listener
+    collecting decisions committed by *any* session since this client
+    last polled ([news] — the paper's §2 group setting, where designers
+    working on one shared KB see each other's decisions land).
+
+    Two drivers exist: {!run} (thread-per-connection: a receiver loop
+    plus an executor thread) and the daemon's event loop, which parses
+    frames itself and drives the session through {!post}/{!send}.
+    Both support pipelining: write-class commands are handed to the
+    group-commit flusher asynchronously ({!begin_async}/{!end_async})
+    and any other command first waits for the session's outstanding
+    writes ({!await_idle}), so a session always reads its own writes
+    and response frames never interleave ({!send} serializes).
 
     The listener is detached with {!Gkbms.Repository.off_event} when the
     connection ends, so a disconnecting client leaks no closure. *)
@@ -13,6 +21,11 @@ type t
 val sid : t -> int
 val shell : t -> Gkbms.Shell.t
 val last_active : t -> float
+
+val touch : t -> unit
+(** Refresh {!last_active} (the event loop calls this on every read;
+    {!run}'s receiver does it itself). *)
+
 val queue_length : t -> int
 
 val create :
@@ -25,14 +38,52 @@ val take_news : t -> string
 val shutdown : t -> unit
 (** Wake the receiver with end-of-stream (idle reaper / server stop). *)
 
+val detach : t -> unit
+(** Unsubscribe the news listener and close the transport.  {!run}
+    does this itself; the event loop calls it when it drops the
+    connection. *)
+
+val send : t -> Protocol.response -> int option
+(** Write one response frame, serialized against concurrent acks.
+    [Some bytes] on success; [None] when the peer is gone (the request
+    queue is closed as a side effect). *)
+
+val post : t -> Protocol.request -> bool
+(** Enqueue a request for the executor ({!run}'s receiver does this
+    itself); [false] if the session is closing. *)
+
+val begin_async : t -> unit
+(** Account one write handed to the group-commit flusher. *)
+
+val end_async : t -> unit
+(** The flusher acked one outstanding write. *)
+
+val await_idle : t -> unit
+(** Block until every outstanding write of this session is acked. *)
+
+val async_pending : t -> int
+(** Writes handed to the flusher and not yet acked (the event loop
+    defers closing a connection's fd until this reaches zero). *)
+
 val run :
   t ->
+  grouped:(Protocol.request -> bool) ->
+  submit_write:
+    (t -> Protocol.request -> finish:(Protocol.response -> unit) -> unit) ->
   process:(t -> Protocol.request -> Protocol.response) ->
   on_bytes:(incoming:int -> outgoing:int -> unit) ->
+  on_inflight:(int -> unit) ->
   on_protocol_error:(string -> unit) ->
   unit
 (** Serve the connection to completion: receive frames into the queue
-    (blocking when it is full — backpressure), execute them in order on
-    the executor thread, write responses back.  Returns once the peer
-    disconnects, sends [quit], or the transport is shut down; the event
-    listener is detached and the transport closed before returning. *)
+    (blocking when it is full — backpressure), execute them on the
+    executor thread, write responses back.  A request for which
+    [grouped] is true is submitted through [submit_write] without
+    waiting for its response (its [finish] acks it later, from the
+    flusher); everything else runs synchronously through [process]
+    after the outstanding writes drain, so per-session responses stay
+    in request order.  [on_inflight] is called with [+1] per request
+    received and [-1] per response written.  Returns once the peer
+    disconnects, sends [quit], or the transport is shut down; the
+    event listener is detached and the transport closed before
+    returning. *)

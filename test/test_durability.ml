@@ -641,6 +641,60 @@ let prop_scan_from_is_suffix =
         && s.Wal.valid_bytes = full.Wal.valid_bytes
       end)
 
+(* group commit: a batch is one crash-atomic unit ------------------------- *)
+
+let test_group_commit_batch_recovery () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.setup ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  (* an ordinary synchronous commit, then a committed batch: both are
+     the acknowledged history *)
+  ignore (ok (Scn.map_move_down st));
+  Durable.sync d;
+  Durable.begin_batch d;
+  ignore (ok (Scn.normalize_invitations st));
+  Durable.commit_batch d;
+  let acked = List.map Symbol.name (Repo.decision_log st.Scn.repo) in
+  let state_acked = canon (Cml.Kb.base (Repo.kb st.Scn.repo)) in
+  (* a torn batch: its decision frames reach the disk, but the crash
+     comes before the end-of-batch marker — exactly the window in which
+     no client has been acked yet *)
+  Durable.begin_batch d;
+  ignore (ok (Scn.substitute_key st));
+  Durable.sync d;
+  let repo2, report = ok (Durable.recover ~dir ()) in
+  check
+    Alcotest.(list string)
+    "acked decisions survive, torn batch rolled back" acked
+    (List.map Symbol.name (Repo.decision_log repo2));
+  check bool "torn batch counted as dangling" true
+    (report.Durable.dangling_frames >= 1);
+  check
+    Alcotest.(list string)
+    "state is exactly the acknowledged history" state_acked
+    (canon (Cml.Kb.base (Repo.kb repo2)))
+
+let test_group_commit_empty_and_errors () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let st = ok (Scn.setup ()) in
+  let d = ok (Durable.attach ~dir st.Scn.repo) in
+  (* an empty batch is legal and recovers to nothing extra *)
+  Durable.begin_batch d;
+  Durable.commit_batch d;
+  (* unbalanced batch calls are programming errors, not silent no-ops *)
+  Durable.begin_batch d;
+  (match Durable.begin_batch d with
+  | () -> Alcotest.fail "nested begin_batch accepted"
+  | exception Invalid_argument _ -> ());
+  Durable.commit_batch d;
+  (* commit without an open batch is ignored (idempotent shutdown) *)
+  Durable.commit_batch d;
+  Durable.close d;
+  let repo2, _ = ok (Durable.recover ~dir ()) in
+  check int "no phantom decisions" 0 (List.length (Repo.decision_log repo2))
+
 let suite =
   [
     ("crc32 vectors", `Quick, test_crc_vectors);
@@ -670,4 +724,6 @@ let suite =
     ("retraction survives recovery", `Quick, test_durable_retraction_survives);
     ("recovery realigns prop id counter", `Quick, test_recover_realigns_prop_ids);
     ("recovery realigns decision counter", `Quick, test_recover_realigns_decision_counter);
+    ("group-commit batch is crash-atomic", `Quick, test_group_commit_batch_recovery);
+    ("group-commit batch edge cases", `Quick, test_group_commit_empty_and_errors);
   ]

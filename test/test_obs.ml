@@ -413,6 +413,51 @@ let test_span_json () =
   check bool "nested child serialized" true (contains json "\"leaf\"");
   check bool "attr escaped" true (contains json "run \\\"x\\\"")
 
+(* ---------------- server group-commit series ---------------- *)
+
+let test_group_commit_series () =
+  (* the group-commit observability trio: the batch-size histogram and
+     in-flight gauge live in the server metrics registry, the fsync
+     counter is registered process-wide by the WAL file sink; all must
+     render through the exposition grammar under their agreed names *)
+  let m = Server.Metrics.create () in
+  Server.Metrics.observe_batch m 5;
+  Server.Metrics.observe_batch m 1;
+  Server.Metrics.inflight m 3;
+  Server.Metrics.inflight m (-1);
+  let text = Export.prometheus (Reg.snapshot (Server.Metrics.registry m)) in
+  List.iter
+    (fun line ->
+      if
+        line <> ""
+        && not (String.length line >= 2 && String.sub line 0 2 = "# ")
+      then check_sample_line line)
+    (String.split_on_char '\n' text);
+  check bool "batch-size histogram exported" true
+    (contains text "gkbms_group_commit_batch_size");
+  check bool "in-flight gauge exported" true
+    (contains text "gkbms_server_inflight_requests");
+  (match Reg.find (Server.Metrics.registry m) "gkbms_server_inflight_requests" with
+  | Some { Reg.value = Reg.Gauge_v v; _ } ->
+    check (Alcotest.float 1e-9) "gauge tracks +3-1" 2.0 v
+  | _ -> Alcotest.fail "in-flight gauge not registered");
+  (match Reg.find (Server.Metrics.registry m) "gkbms_group_commit_batch_size" with
+  | Some { Reg.value = Reg.Histogram_v h; _ } ->
+    check int "two batches observed" 2 h.Obs.Histogram.total
+  | _ -> Alcotest.fail "batch-size histogram not registered");
+  (* the WAL sink's counter registers into the default registry at
+     sink-creation time; exercise one to make the series appear *)
+  let file = Filename.temp_file "gkbms_obs_wal" ".wal" in
+  let w = Durability.Wal.writer (Durability.Wal.file_sink ~fsync:false file) in
+  Durability.Wal.append w (Durability.Wal.Note ("k", "v"));
+  Durability.Wal.sync w;
+  Durability.Wal.close w;
+  Sys.remove file;
+  match Reg.find Reg.default "gkbms_wal_fsyncs_total" with
+  | Some { Reg.value = Reg.Counter_v n; _ } ->
+    check bool "fsync counter counts syncs" true (n >= 1)
+  | _ -> Alcotest.fail "gkbms_wal_fsyncs_total not registered"
+
 (* ---------------- exporter escaping regressions ---------------- *)
 
 let test_prometheus_escaping_regression () =
@@ -738,6 +783,7 @@ let suite =
     ("prover copy stats independent", `Quick, test_prover_copy_stats_independent);
     ("slow decision commit traced", `Quick, test_slow_decision_in_slow_log);
     ("prometheus escaping regression", `Quick, test_prometheus_escaping_regression);
+    ("group-commit series exported", `Quick, test_group_commit_series);
     QCheck_alcotest.to_alcotest prop_ctx_roundtrip;
     QCheck_alcotest.to_alcotest prop_note_roundtrip;
     ("trace context rejects malformed", `Quick, test_ctx_decode_rejects_malformed);

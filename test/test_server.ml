@@ -436,6 +436,37 @@ let digest repo ~docs =
   in
   (triples, decision_classes, chains, tips, unsupported)
 
+(* recover the server's commit order from the decision rationales and
+   replay it sequentially through a plain Shell on an identical seed;
+   the two repositories must then be indistinguishable *)
+let replay_and_compare repo ~docs ~writes =
+  let shell_lines =
+    List.filter_map
+      (fun dec ->
+        match Gkbms.Decision.rationale_of repo dec with
+        | Some r when String.length r > 7 && String.sub r 0 7 = "shell: " ->
+          Some (String.sub r 7 (String.length r - 7))
+        | _ -> None)
+      (Repo.decision_log repo)
+  in
+  check int "server committed all writes" writes (List.length shell_lines);
+  let repo_seq = keyed_repo ~docs () in
+  let shell = Gkbms.Shell.of_repository repo_seq in
+  List.iter
+    (fun line ->
+      let out = Gkbms.Shell.eval shell line in
+      if contains "error" out then
+        Alcotest.failf "sequential replay failed on %S: %s" line out)
+    shell_lines;
+  let d_server = digest repo ~docs and d_seq = digest repo_seq ~docs in
+  let t1, dc1, ch1, tip1, u1 = d_server and t2, dc2, ch2, tip2, u2 = d_seq in
+  check int "same proposition count" (List.length t2) (List.length t1);
+  check bool "same proposition triples" true (t1 = t2);
+  check bool "same decision classes" true (dc1 = dc2);
+  check bool "same version chains" true (ch1 = ch2);
+  check bool "same artifact tips" true (tip1 = tip2);
+  check bool "same unsupported objects" true (u1 = u2)
+
 let differential ?(domains = 1) ~cache () =
   let docs = 3 in
   let repo = keyed_repo ~docs () in
@@ -466,38 +497,364 @@ let differential ?(domains = 1) ~cache () =
   let threads = List.init docs (fun ci -> Thread.create client_thread ci) in
   List.iter Thread.join threads;
   Daemon.stop daemon;
-  (* recover the server's commit order from the decision rationales and
-     replay it sequentially through a plain Shell on an identical seed *)
-  let shell_lines =
-    List.filter_map
-      (fun dec ->
-        match Gkbms.Decision.rationale_of repo dec with
-        | Some r when String.length r > 7 && String.sub r 0 7 = "shell: " ->
-          Some (String.sub r 7 (String.length r - 7))
-        | _ -> None)
-      (Repo.decision_log repo)
-  in
-  check int "server committed all writes" (docs * 4) (List.length shell_lines);
-  let repo_seq = keyed_repo ~docs () in
-  let shell = Gkbms.Shell.of_repository repo_seq in
-  List.iter
-    (fun line ->
-      let out = Gkbms.Shell.eval shell line in
-      if contains "error" out then
-        Alcotest.failf "sequential replay failed on %S: %s" line out)
-    shell_lines;
-  let d_server = digest repo ~docs and d_seq = digest repo_seq ~docs in
-  let t1, dc1, ch1, tip1, u1 = d_server and t2, dc2, ch2, tip2, u2 = d_seq in
-  check int "same proposition count" (List.length t2) (List.length t1);
-  check bool "same proposition triples" true (t1 = t2);
-  check bool "same decision classes" true (dc1 = dc2);
-  check bool "same version chains" true (ch1 = ch2);
-  check bool "same artifact tips" true (tip1 = tip2);
-  check bool "same unsupported objects" true (u1 = u2)
+  replay_and_compare repo ~docs ~writes:(docs * 4)
 
 let test_differential_cached () = differential ~cache:true ()
 let test_differential_uncached () = differential ~cache:false ()
 let test_differential_domains () = differential ~domains:4 ~cache:true ()
+
+(* verb classification table ---------------------------------------------- *)
+
+let test_classification_table () =
+  (* every verb the shell dispatches on, plus the daemon's built-ins,
+     must have an explicit entry in the scheduler's table — no verb may
+     reach the unknown-verb fallback *)
+  let daemon_verbs = [ "metrics"; "news"; "ping"; "version" ] in
+  List.iter
+    (fun v ->
+      check bool ("explicitly classified: " ^ v) true
+        (List.mem v Server.Scheduler.known_verbs))
+    (Gkbms.Shell.verbs @ daemon_verbs);
+  (* a cacheable command must be a read: caching a write would skip it *)
+  List.iter
+    (fun v ->
+      if Server.Scheduler.cacheable v then
+        check bool ("cacheable implies read: " ^ v) true
+          (Server.Scheduler.classify v = `Read))
+    Server.Scheduler.known_verbs;
+  (* the write set is exactly the decision-committing verbs *)
+  let writes =
+    List.filter
+      (fun v -> Server.Scheduler.classify v = `Write)
+      Server.Scheduler.known_verbs
+  in
+  check
+    Alcotest.(slist string compare)
+    "write verbs"
+    [ "run"; "map"; "normalize"; "key"; "minutes"; "resolve"; "load" ]
+    writes
+
+(* bounded queue: model-based property ------------------------------------ *)
+
+type bq_op = Push of int | Pop | Close
+
+let prop_bqueue_model =
+  let op_gen =
+    QCheck.Gen.frequency
+      [
+        (4, QCheck.Gen.map (fun n -> Push n) QCheck.Gen.small_nat);
+        (4, QCheck.Gen.return Pop);
+        (1, QCheck.Gen.return Close);
+      ]
+  in
+  let print_op = function
+    | Push n -> Printf.sprintf "Push %d" n
+    | Pop -> "Pop"
+    | Close -> "Close"
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+      (QCheck.Gen.list_size (QCheck.Gen.int_range 0 40) op_gen)
+  in
+  QCheck.Test.make ~name:"bqueue push/pop/close match the sequential model"
+    ~count:300 arb (fun ops ->
+      let q = Server.Bqueue.create ~capacity:1024 in
+      let model = Queue.create () in
+      let closed = ref false in
+      List.for_all
+        (fun op ->
+          match op with
+          | Push n ->
+            let accepted = Server.Bqueue.put q n in
+            let expect = not !closed in
+            if expect then Queue.push n model;
+            accepted = expect
+          | Pop ->
+            if Queue.is_empty model && not !closed then true (* would block *)
+            else
+              let got = Server.Bqueue.take q in
+              let expect =
+                if Queue.is_empty model then None else Some (Queue.pop model)
+              in
+              got = expect
+          | Close ->
+            Server.Bqueue.close q;
+            closed := true;
+            true)
+        ops
+      && Server.Bqueue.length q = Queue.length model)
+
+let test_bqueue_concurrent_close () =
+  (* producers, consumers, and a closer race: nothing accepted is lost,
+     nothing is duplicated, and every put after close is refused *)
+  let q = Server.Bqueue.create ~capacity:4 in
+  let accepted = Array.make 3 [] in
+  let taken = ref [] in
+  let taken_m = Mutex.create () in
+  let producer i =
+    for k = 0 to 199 do
+      let v = (i * 1000) + k in
+      if Server.Bqueue.put q v then accepted.(i) <- v :: accepted.(i)
+    done
+  in
+  let consumer () =
+    let continue_ = ref true in
+    while !continue_ do
+      match Server.Bqueue.take q with
+      | None -> continue_ := false
+      | Some v ->
+        Mutex.lock taken_m;
+        taken := v :: !taken;
+        Mutex.unlock taken_m
+    done
+  in
+  let producers = List.init 3 (fun i -> Thread.create producer i) in
+  let consumers = List.init 2 (fun _ -> Thread.create consumer ()) in
+  Thread.delay 0.005;
+  Server.Bqueue.close q;
+  List.iter Thread.join producers;
+  List.iter Thread.join consumers;
+  check bool "put refused after close" false (Server.Bqueue.put q (-1));
+  let sent = List.sort compare (List.concat (Array.to_list accepted)) in
+  let got = List.sort compare !taken in
+  check int "conserved count" (List.length sent) (List.length got);
+  check bool "conserved items" true (sent = got)
+
+let test_batch_admission_model () =
+  (* racing submitters against the single drainer: every accepted item
+     comes out exactly once, in per-submitter FIFO order, and no drained
+     batch exceeds [max] — the invariants group commit acks rely on *)
+  let b = Server.Scheduler.Batch.create ~max:7 ~window_us:200 in
+  let producers = 3 and per_producer = 200 in
+  let accepted = Array.make producers [] in
+  let batches = ref [] in
+  let drainer =
+    Thread.create
+      (fun () ->
+        let continue_ = ref true in
+        while !continue_ do
+          match Server.Scheduler.Batch.drain b with
+          | [] -> continue_ := false
+          | xs -> batches := xs :: !batches
+        done)
+      ()
+  in
+  let submitters =
+    List.init producers (fun i ->
+        Thread.create
+          (fun () ->
+            for k = 0 to per_producer - 1 do
+              let v = (i * 1000) + k in
+              if Server.Scheduler.Batch.submit b v then
+                accepted.(i) <- v :: accepted.(i);
+              if k mod 17 = 0 then Thread.yield ()
+            done)
+          ())
+  in
+  List.iter Thread.join submitters;
+  Server.Scheduler.Batch.close b;
+  Thread.join drainer;
+  check bool "submit refused after close" false
+    (Server.Scheduler.Batch.submit b (-1));
+  List.iter
+    (fun xs ->
+      check bool "batch within max" true (List.length xs <= 7))
+    !batches;
+  let drained = List.concat (List.rev !batches) in
+  let sent = List.sort compare (List.concat (Array.to_list accepted)) in
+  check int "conserved count" (List.length sent) (List.length drained);
+  check bool "conserved items" true (sent = List.sort compare drained);
+  (* FIFO per submitter: each producer's items appear in send order *)
+  for i = 0 to producers - 1 do
+    let mine = List.filter (fun v -> v / 1000 = i) drained in
+    check bool
+      (Printf.sprintf "producer %d order preserved" i)
+      true
+      (mine = List.sort compare mine)
+  done
+
+(* group commit + pipelining ---------------------------------------------- *)
+
+let counter_value name =
+  match Obs.Registry.find Obs.Registry.default name with
+  | Some { Obs.Registry.value = Obs.Registry.Counter_v n; _ } -> n
+  | _ -> 0
+
+let histogram_total name =
+  match Obs.Registry.find Obs.Registry.default name with
+  | Some { Obs.Registry.value = Obs.Registry.Histogram_v h; _ } ->
+    h.Obs.Histogram.total
+  | _ -> 0
+
+let test_group_commit_shares_fsyncs () =
+  let dir = Filename.temp_file "gkbms_gc_wal" "" in
+  Sys.remove dir;
+  let docs = 8 in
+  let repo = keyed_repo ~docs () in
+  let decisions_before = List.length (Repo.decision_log repo) in
+  let daemon =
+    Daemon.create
+      ~config:
+        { Daemon.default_config with
+          wal_fsync = true;
+          (* a wide window so the whole pipelined burst forms one batch *)
+          group_commit = Some (docs, 50_000);
+        }
+      repo
+  in
+  ok (Daemon.attach_wal daemon ~dir);
+  let client = Client.of_transport (Daemon.connect daemon) in
+  check string "alive" "pong" (req_ok client "ping");
+  let fsyncs0 = counter_value "gkbms_wal_fsyncs_total" in
+  let batches0 = histogram_total "gkbms_group_commit_batch_size" in
+  let writes =
+    List.init docs (fun i ->
+        Printf.sprintf "run DecManualEdit Editor object=Doc%d text=v1" i)
+  in
+  let results = Client.pipeline ~window:docs client writes in
+  List.iter2
+    (fun line r ->
+      match r with
+      | Ok out -> check bool line true (contains "run executed" out)
+      | Error e -> Alcotest.failf "pipelined write %S failed: %s" line e)
+    writes results;
+  let fsyncs1 = counter_value "gkbms_wal_fsyncs_total" in
+  let batches1 = histogram_total "gkbms_group_commit_batch_size" in
+  check bool "fewer syncs than decisions" true (fsyncs1 - fsyncs0 < docs);
+  check bool "batches observed" true
+    (batches1 - batches0 >= 1 && batches1 - batches0 <= docs);
+  (* a session reads its own pipelined writes *)
+  check bool "news sees the writes" true
+    (contains "committed" (req_ok client "news"));
+  (* every acked decision is durable before its ack *)
+  let recovered, _ = ok (Gkbms.Durable.recover ~dir ()) in
+  check int "acked pipelined writes all recovered" (decisions_before + docs)
+    (List.length (Repo.decision_log recovered));
+  Client.close client;
+  Daemon.stop daemon;
+  rm_rf dir
+
+(* the differential, with group commit on and pipelined clients — over
+   the blocking driver (loopback) or the select event loop (socket) *)
+let differential_grouped ~event_loop () =
+  let docs = 3 in
+  let repo = keyed_repo ~docs () in
+  let daemon =
+    Daemon.create
+      ~config:
+        { Daemon.default_config with
+          group_commit = Some (4, 300);
+          event_loop;
+        }
+      repo
+  in
+  let run_clients mk_client =
+    let client_thread ci =
+      let client = mk_client () in
+      let tip = ref (Printf.sprintf "Doc%d" ci) in
+      for k = 1 to 4 do
+        let lines =
+          [
+            "stats";
+            Printf.sprintf "run DecManualEdit Editor object=%s text=c%dk%d" !tip
+              ci k;
+            "version";
+          ]
+        in
+        (match Client.pipeline ~window:3 client lines with
+        | [ Ok _; Ok resp; Ok _ ] -> (
+          match String.rindex_opt resp '>' with
+          | Some i when i + 1 < String.length resp ->
+            tip := String.trim (String.sub resp (i + 1) (String.length resp - i - 1))
+          | _ -> Alcotest.failf "unparseable run response: %s" resp)
+        | rs ->
+          List.iter
+            (function
+              | Error e -> Alcotest.failf "pipelined request failed: %s" e
+              | Ok _ -> ())
+            rs;
+          Alcotest.failf "expected 3 responses, got %d" (List.length rs))
+      done;
+      Client.close client
+    in
+    let threads = List.init docs (fun ci -> Thread.create client_thread ci) in
+    List.iter Thread.join threads
+  in
+  if event_loop then begin
+    let path = Filename.temp_file "gkbms_gc_srv" ".sock" in
+    Sys.remove path;
+    let listener =
+      Thread.create (fun () -> ignore (Daemon.listen daemon ~path)) ()
+    in
+    let rec wait_sock n =
+      if n > 0 && not (Sys.file_exists path) then (
+        Thread.delay 0.01;
+        wait_sock (n - 1))
+    in
+    wait_sock 200;
+    run_clients (fun () -> ok (Client.connect_unix ~handshake:true path));
+    Daemon.stop daemon;
+    Thread.join listener
+  end
+  else begin
+    run_clients (fun () -> Client.of_transport (Daemon.connect daemon));
+    Daemon.stop daemon
+  end;
+  replay_and_compare repo ~docs ~writes:(docs * 4)
+
+let test_differential_grouped () = differential_grouped ~event_loop:false ()
+let test_differential_event_loop () = differential_grouped ~event_loop:true ()
+
+let test_event_loop_lifecycle () =
+  let repo = keyed_repo ~docs:1 () in
+  let listeners_before = Repo.event_listener_count repo in
+  let daemon =
+    Daemon.create
+      ~config:
+        { Daemon.default_config with
+          event_loop = true;
+          group_commit = Some (4, 500);
+        }
+      repo
+  in
+  let path = Filename.temp_file "gkbms_el_srv" ".sock" in
+  Sys.remove path;
+  let listener =
+    Thread.create (fun () -> ignore (Daemon.listen daemon ~path)) ()
+  in
+  let rec wait_sock n =
+    if n > 0 && not (Sys.file_exists path) then (
+      Thread.delay 0.01;
+      wait_sock (n - 1))
+  in
+  wait_sock 200;
+  let clients = List.init 3 (fun _ -> ok (Client.connect_unix ~handshake:true path)) in
+  List.iter (fun c -> check string "ping" "pong" (req_ok c "ping")) clients;
+  let c0 = List.hd clients in
+  check bool "write over event loop" true
+    (contains "run executed" (req_ok c0 "run DecManualEdit Editor object=Doc0 text=v1"));
+  check bool "news over event loop" true (contains "committed" (req_ok c0 "news"));
+  (* an abrupt disconnect (no quit) must also be reaped *)
+  (match clients with
+  | _ :: abrupt :: rest ->
+    ignore rest;
+    ignore (Client.request abrupt "stats");
+    ignore abrupt
+  | _ -> ());
+  List.iter Client.close clients;
+  let rec wait n =
+    if n > 0 && Daemon.session_count daemon > 0 then (
+      Thread.delay 0.02;
+      wait (n - 1))
+  in
+  wait 200;
+  check int "event-loop sessions drained" 0 (Daemon.session_count daemon);
+  Daemon.stop daemon;
+  Thread.join listener;
+  check bool "socket unlinked" false (Sys.file_exists path);
+  check int "event listeners detached" listeners_before
+    (Repo.event_listener_count repo)
 
 (* connect-time retry on reset-shaped errors ------------------------------ *)
 
@@ -666,6 +1023,14 @@ let suite =
     ("differential: concurrent = sequential (cache on)", `Quick, test_differential_cached);
     ("differential: concurrent = sequential (cache off)", `Quick, test_differential_uncached);
     ("differential: concurrent = sequential (4 domains)", `Quick, test_differential_domains);
+    ("classification table covers every verb", `Quick, test_classification_table);
+    QCheck_alcotest.to_alcotest prop_bqueue_model;
+    ("bqueue concurrent close conserves items", `Quick, test_bqueue_concurrent_close);
+    ("batch admission conserves, orders, caps", `Quick, test_batch_admission_model);
+    ("group commit shares fsyncs, acks durable", `Quick, test_group_commit_shares_fsyncs);
+    ("differential: group commit + pipelining", `Quick, test_differential_grouped);
+    ("differential: event loop + group commit", `Quick, test_differential_event_loop);
+    ("event loop lifecycle and cleanup", `Quick, test_event_loop_lifecycle);
     ("client retries reset once", `Quick, test_client_retry_once);
     ("client retry gives up and classifies", `Quick, test_client_retry_gives_up);
     QCheck_alcotest.to_alcotest prop_traced_request_roundtrip;
